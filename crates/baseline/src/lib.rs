@@ -1,0 +1,47 @@
+//! # cc-fpr — the CC-FPR baseline protocol
+//!
+//! CC-FPR (Control Channel based Fiber-ribbon Pipeline Ring, refs \[4] and
+//! \[9] of the CCR-EDF paper) is the predecessor protocol whose weaknesses
+//! motivate CCR-EDF:
+//!
+//! * **Round-robin clock hand-over** — the master role always moves to the
+//!   next downstream node, so the hand-over gap is constant (one hop), but
+//!   the clock break of the coming slot is fixed *regardless of traffic*.
+//!   A maximally urgent message whose path crosses that break simply cannot
+//!   be sent in that slot: **priority inversion** (Section 1: "highest
+//!   priority messages may be preempted … due to clock interruption").
+//! * **Node-local booking** — as the collection packet passes, each node
+//!   books links for its own locally-best message, seeing only the
+//!   reservations of upstream nodes; downstream deadlines are invisible
+//!   (Section 3: "Node 1 … books Links 1 and 2, regardless of what Node 2
+//!   may have to send"). Arbitration is therefore first-come (ring order
+//!   from the master), not deadline order.
+//!
+//! The crate implements [`CcFprMac`] against the same
+//! [`ccr_edf::mac::MacProtocol`] trait and slot engine as CCR-EDF, so the
+//! two protocols can be compared on identical machinery (experiment E6),
+//! plus the pessimistic worst-case analysis of ref \[5] (experiment E12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod mac;
+pub mod tdma;
+
+pub use analysis::CcFprAnalysis;
+pub use mac::CcFprMac;
+pub use tdma::TdmaMac;
+
+use ccr_edf::config::NetworkConfig;
+use ccr_edf::network::RingNetwork;
+
+/// Build a CC-FPR network on the shared slot engine.
+pub fn new_cc_fpr(cfg: NetworkConfig) -> RingNetwork<CcFprMac> {
+    RingNetwork::with_mac(cfg, CcFprMac)
+}
+
+/// Build a static-TDMA network on the shared slot engine.
+pub fn new_tdma(cfg: NetworkConfig) -> RingNetwork<tdma::TdmaMac> {
+    RingNetwork::with_mac(cfg, tdma::TdmaMac)
+}

@@ -1,0 +1,170 @@
+//! End-to-end behaviour of CC-FPR on the shared slot engine, including the
+//! priority-inversion phenomenon that motivates CCR-EDF.
+
+use cc_fpr::new_cc_fpr;
+use ccr_edf::config::NetworkConfig;
+use ccr_edf::connection::ConnectionSpec;
+use ccr_edf::message::{Destination, Message};
+use ccr_edf::network::RingNetwork;
+use ccr_edf::{NodeId, SimTime, TimeDelta};
+
+fn cfg(n: u16) -> NetworkConfig {
+    NetworkConfig::builder(n)
+        .slot_bytes(2048)
+        .wire_check(true)
+        .build_auto_slot()
+        .unwrap()
+}
+
+#[test]
+fn master_rotates_every_slot_even_when_idle() {
+    let mut net = new_cc_fpr(cfg(5));
+    let mut masters = vec![];
+    for _ in 0..7 {
+        let out = net.step_slot();
+        masters.push(out.master.0);
+    }
+    assert_eq!(masters, vec![0, 1, 2, 3, 4, 0, 1]);
+    // constant one-hop gap every slot
+    let m = net.metrics();
+    assert_eq!(m.handover_hops.min(), Some(1));
+    assert_eq!(m.handover_hops.max(), Some(1));
+    assert_eq!(m.master_changes.get(), 7);
+}
+
+#[test]
+fn basic_delivery_works() {
+    let mut net = new_cc_fpr(cfg(6));
+    net.submit_message(
+        SimTime::ZERO,
+        Message::non_real_time(NodeId(2), Destination::Unicast(NodeId(4)), 1, SimTime::ZERO),
+    );
+    net.run_slots(10);
+    assert_eq!(net.metrics().delivered.get(), 1);
+}
+
+#[test]
+fn priority_inversion_delays_urgent_message() {
+    // A message whose path crosses the rotating clock break cannot book in
+    // the slots where the break sits inside its path. Compare delivery of
+    // the identical scenario under CCR-EDF.
+    let n = 8u16;
+    let c = cfg(n);
+    // Release during slot 1, when CC-FPR's rotating break (at the round-
+    // robin next master) sits inside the message's 6-hop path 1 → 7; it
+    // stays there until the master wraps past the destination.
+    let release = SimTime::ZERO + c.slot_time() + c.phys.link_prop();
+    let build_msg = || {
+        Message::real_time(
+            NodeId(1),
+            Destination::Unicast(NodeId(7)),
+            1,
+            release,
+            SimTime::from_us(60),
+            ccr_edf::connection::ConnectionId(0),
+        )
+    };
+
+    let mut fpr = new_cc_fpr(c.clone());
+    fpr.submit_message(release, build_msg());
+    let mut fpr_slots = None;
+    for s in 0..50 {
+        if !fpr.step_slot().deliveries.is_empty() {
+            fpr_slots = Some(s);
+            break;
+        }
+    }
+
+    let mut edf = RingNetwork::new_ccr_edf(c);
+    edf.submit_message(release, build_msg());
+    let mut edf_slots = None;
+    for s in 0..50 {
+        if !edf.step_slot().deliveries.is_empty() {
+            edf_slots = Some(s);
+            break;
+        }
+    }
+
+    let (fpr_slots, edf_slots) = (fpr_slots.expect("fpr delivers"), edf_slots.expect("edf"));
+    // CCR-EDF delivers in the pipeline minimum (request in slot 1, data in
+    // slot 2); CC-FPR must wait ~N slots for the break to rotate clear.
+    assert_eq!(edf_slots, 2);
+    assert!(
+        fpr_slots >= edf_slots + (n as u64 - 3),
+        "expected inversion delay: fpr {fpr_slots} vs edf {edf_slots}"
+    );
+}
+
+#[test]
+fn ring_order_beats_deadline_order_under_cc_fpr() {
+    // Node 1 (early in booking order) has a lax message; node 5 has an
+    // urgent one with an overlapping path. CC-FPR serves node 1 first.
+    let n = 8u16;
+    let mut net = new_cc_fpr(cfg(n));
+    let lax = Message::real_time(
+        NodeId(1),
+        Destination::Unicast(NodeId(6)), // links 1..5
+        1,
+        SimTime::ZERO,
+        SimTime::from_ms(10),
+        ccr_edf::connection::ConnectionId(0),
+    );
+    let urgent = Message::real_time(
+        NodeId(4),
+        Destination::Unicast(NodeId(6)), // links 4,5 — overlaps
+        1,
+        SimTime::ZERO,
+        SimTime::from_us(15),
+        ccr_edf::connection::ConnectionId(1),
+    );
+    let lax_id = net.submit_message(SimTime::ZERO, lax);
+    let urgent_id = net.submit_message(SimTime::ZERO, urgent);
+    let mut order = vec![];
+    for _ in 0..30 {
+        order.extend(
+            net.step_slot()
+                .deliveries
+                .iter()
+                .map(|d| d.msg.id),
+        );
+        if order.len() == 2 {
+            break;
+        }
+    }
+    assert_eq!(
+        order,
+        vec![lax_id, urgent_id],
+        "CC-FPR booking order ignores deadlines"
+    );
+}
+
+#[test]
+fn periodic_connection_admitted_and_mostly_on_time_at_low_load() {
+    // CC-FPR can still carry periodic traffic at low load; the point of the
+    // paper is the *guarantee*, not average behaviour.
+    let mut net = new_cc_fpr(cfg(6));
+    let spec = ConnectionSpec::unicast(NodeId(2), NodeId(3))
+        .period(TimeDelta::from_us(200))
+        .size_slots(1);
+    net.open_connection(spec).unwrap();
+    net.run_slots(10_000);
+    let m = net.metrics();
+    assert!(m.delivered_rt.get() > 200);
+    // low load, short span → few or no misses
+    assert!(m.rt_miss_ratio() < 0.05, "miss ratio {}", m.rt_miss_ratio());
+}
+
+#[test]
+fn identical_engine_identical_accounting() {
+    // The shared engine must report the same structural metrics fields for
+    // both protocols (smoke check of the generic design).
+    let mut fpr = new_cc_fpr(cfg(4));
+    let mut edf = RingNetwork::new_ccr_edf(cfg(4));
+    for net_slots in [0u64, 10, 100] {
+        let _ = net_slots;
+        fpr.run_slots(10);
+        edf.run_slots(10);
+    }
+    assert_eq!(fpr.metrics().slots.get(), edf.metrics().slots.get());
+    assert_eq!(fpr.slot_index(), edf.slot_index());
+}

@@ -1,0 +1,23 @@
+//! Bench: regenerate the laxity-mapping ablation.
+//!
+//! Times the full (quick-mode) regeneration of the experiment's tables;
+//! the rendered tables themselves come from `ccr-experiments e11`.
+
+use ccr_netsim::experiments::{e11_mapping, ExpOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11");
+    g.sample_size(10);
+    g.bench_function("regenerate_quick", |b| {
+        b.iter(|| {
+            let r = e11_mapping::run(&ExpOptions::quick(0xBE7C4));
+            assert!(!r.tables.is_empty());
+            r.tables.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

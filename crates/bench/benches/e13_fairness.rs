@@ -1,0 +1,23 @@
+//! Bench: regenerate the tie-break fairness ablation.
+//!
+//! Times the full (quick-mode) regeneration of the experiment's tables;
+//! the rendered tables themselves come from `ccr-experiments e13`.
+
+use ccr_netsim::experiments::{e13_fairness, ExpOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13");
+    g.sample_size(10);
+    g.bench_function("regenerate_quick", |b| {
+        b.iter(|| {
+            let r = e13_fairness::run(&ExpOptions::quick(0xBE7C4));
+            assert!(!r.tables.is_empty());
+            r.tables.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

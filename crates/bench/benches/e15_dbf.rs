@@ -1,0 +1,23 @@
+//! Bench: regenerate the constrained-deadline / demand-bound experiment.
+//!
+//! Times the full (quick-mode) regeneration of the experiment's tables;
+//! the rendered tables themselves come from `ccr-experiments e15`.
+
+use ccr_netsim::experiments::{e15_dbf, ExpOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15");
+    g.sample_size(10);
+    g.bench_function("regenerate_quick", |b| {
+        b.iter(|| {
+            let r = e15_dbf::run(&ExpOptions::quick(0xBE7C4));
+            assert!(!r.tables.is_empty());
+            r.tables.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

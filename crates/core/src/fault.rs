@@ -1,0 +1,110 @@
+//! Clock/token-loss recovery (Section 8, "future work", implemented as an
+//! extension).
+//!
+//! The paper assumes the token (clock + distribution packet) is never lost
+//! and sketches the fix: "using a time out and a designated node that
+//! always will start could solve this". We implement exactly that sketch:
+//! when a distribution packet is lost, no node learns the next master, the
+//! clock stays silent, and after a fixed timeout the designated restart
+//! node (node 0) assumes the master role and restarts arbitration with an
+//! empty slot.
+
+use ccr_phys::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// State machine for clock-loss recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ClockRecovery {
+    /// Normal operation.
+    #[default]
+    Healthy,
+    /// Token lost; counting timeout slots until the restart node takes
+    /// over.
+    Recovering {
+        /// Slots of silence remaining before the restart node acts.
+        remaining: u32,
+    },
+}
+
+/// The node designated to restart the clock after a loss.
+pub const RESTART_NODE: NodeId = NodeId(0);
+
+impl ClockRecovery {
+    /// Signal that this slot's distribution packet was lost; recovery
+    /// starts with the configured timeout.
+    pub fn token_lost(&mut self, timeout_slots: u32) {
+        *self = ClockRecovery::Recovering {
+            remaining: timeout_slots,
+        };
+    }
+
+    /// Advance one slot. Returns `Some(RESTART_NODE)` when the timeout has
+    /// elapsed and the restart node takes the master role.
+    pub fn tick(&mut self) -> Option<NodeId> {
+        match self {
+            ClockRecovery::Healthy => None,
+            ClockRecovery::Recovering { remaining } => {
+                if *remaining <= 1 {
+                    *self = ClockRecovery::Healthy;
+                    Some(RESTART_NODE)
+                } else {
+                    *remaining -= 1;
+                    None
+                }
+            }
+        }
+    }
+
+    /// True while recovering (slots are dead time).
+    pub fn recovering(&self) -> bool {
+        matches!(self, ClockRecovery::Recovering { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_ticks_do_nothing() {
+        let mut r = ClockRecovery::default();
+        assert!(!r.recovering());
+        assert_eq!(r.tick(), None);
+        assert_eq!(r, ClockRecovery::Healthy);
+    }
+
+    #[test]
+    fn recovery_counts_down_then_restarts() {
+        let mut r = ClockRecovery::default();
+        r.token_lost(3);
+        assert!(r.recovering());
+        assert_eq!(r.tick(), None); // 2 left
+        assert_eq!(r.tick(), None); // 1 left
+        assert_eq!(r.tick(), Some(RESTART_NODE));
+        assert!(!r.recovering());
+    }
+
+    #[test]
+    fn timeout_one_restarts_next_tick() {
+        let mut r = ClockRecovery::default();
+        r.token_lost(1);
+        assert_eq!(r.tick(), Some(RESTART_NODE));
+    }
+
+    #[test]
+    fn timeout_zero_acts_like_one() {
+        let mut r = ClockRecovery::default();
+        r.token_lost(0);
+        assert_eq!(r.tick(), Some(RESTART_NODE));
+    }
+
+    #[test]
+    fn repeated_loss_restarts_timer() {
+        let mut r = ClockRecovery::default();
+        r.token_lost(2);
+        assert_eq!(r.tick(), None);
+        r.token_lost(2); // lost again mid-recovery
+        assert_eq!(r.tick(), None);
+        assert_eq!(r.tick(), Some(RESTART_NODE));
+    }
+}

@@ -1,0 +1,304 @@
+//! Per-node transmission queues.
+//!
+//! Each node keeps one queue per traffic class. Real-time and best-effort
+//! queues are deadline-ordered (EDF); the non-real-time queue is FIFO.
+//! Local precedence follows Section 3: "best effort messages will only be
+//! requested … if there is no logical real-time connection message queued.
+//! The same applies to non real-time messages."
+//!
+//! A message of `e` slots stays queued until all `e` data packets have been
+//! granted and sent; progress is tracked per message. Because the grant for
+//! slot *k+1* answers the request made during slot *k*, the network pins the
+//! requested message by id and later needs id-based access — hence the
+//! `BTreeMap` + index representation rather than a plain binary heap.
+
+use crate::message::{Message, MessageId, TrafficClass};
+use ccr_sim::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// Ordering key inside a class queue: (deadline, arrival sequence).
+type Key = (SimTime, u64);
+
+/// A queued message with its transmission progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedMessage {
+    /// The message.
+    pub msg: Message,
+    /// Data packets already (successfully) sent.
+    pub sent_slots: u32,
+    /// Packets lost to fault injection (non-reliable messages only; a
+    /// message with any lost packet is counted corrupted, not delivered).
+    pub lost_slots: u32,
+    /// Reliable service: sequence number assigned to the in-flight packet
+    /// (kept across retransmissions), `None` when no packet is in flight.
+    pub current_seq: Option<u8>,
+    /// Reliable service: slot index at which the in-flight packet was sent,
+    /// `None` when no packet awaits acknowledgement.
+    pub awaiting_ack_since: Option<u64>,
+}
+
+impl QueuedMessage {
+    fn new(msg: Message) -> Self {
+        QueuedMessage {
+            msg,
+            sent_slots: 0,
+            lost_slots: 0,
+            current_seq: None,
+            awaiting_ack_since: None,
+        }
+    }
+
+    /// Remaining packets to send.
+    pub fn remaining(&self) -> u32 {
+        self.msg.size_slots - self.sent_slots
+    }
+}
+
+/// Outcome of accounting one sent packet.
+#[derive(Debug, PartialEq)]
+pub enum SentOutcome {
+    /// More packets remain.
+    Progress,
+    /// That was the last packet; the message has left the queue (returned
+    /// with its full bookkeeping, e.g. lost-packet count).
+    Finished(Box<QueuedMessage>),
+}
+
+/// The three class queues of one node.
+#[derive(Debug, Default)]
+pub struct NodeQueues {
+    rt: BTreeMap<Key, QueuedMessage>,
+    be: BTreeMap<Key, QueuedMessage>,
+    nrt: BTreeMap<Key, QueuedMessage>,
+    index: HashMap<MessageId, (TrafficClass, Key)>,
+    next_seq: u64,
+}
+
+impl NodeQueues {
+    /// Empty queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn queue(&self, class: TrafficClass) -> &BTreeMap<Key, QueuedMessage> {
+        match class {
+            TrafficClass::RealTime => &self.rt,
+            TrafficClass::BestEffort => &self.be,
+            TrafficClass::NonRealTime => &self.nrt,
+        }
+    }
+
+    fn queue_mut(&mut self, class: TrafficClass) -> &mut BTreeMap<Key, QueuedMessage> {
+        match class {
+            TrafficClass::RealTime => &mut self.rt,
+            TrafficClass::BestEffort => &mut self.be,
+            TrafficClass::NonRealTime => &mut self.nrt,
+        }
+    }
+
+    /// Enqueue a message (id must already be assigned and unique).
+    pub fn push(&mut self, msg: Message) {
+        debug_assert_ne!(msg.id, Message::UNASSIGNED, "unassigned message id");
+        let key = (msg.deadline, self.next_seq);
+        self.next_seq += 1;
+        let class = msg.class;
+        let id = msg.id;
+        let prev = self.index.insert(id, (class, key));
+        debug_assert!(prev.is_none(), "duplicate message id {id:?}");
+        self.queue_mut(class).insert(key, QueuedMessage::new(msg));
+    }
+
+    /// The message the node would request next: earliest deadline in the
+    /// highest non-empty class, skipping messages stalled on an
+    /// acknowledgement.
+    pub fn head(&self) -> Option<&QueuedMessage> {
+        [&self.rt, &self.be, &self.nrt]
+            .into_iter()
+            .find_map(|q| q.values().find(|m| m.awaiting_ack_since.is_none()))
+    }
+
+    /// Look up a queued message by id.
+    pub fn get(&self, id: MessageId) -> Option<&QueuedMessage> {
+        let (class, key) = self.index.get(&id)?;
+        self.queue(*class).get(key)
+    }
+
+    /// Mutable lookup by id.
+    pub fn get_mut(&mut self, id: MessageId) -> Option<&mut QueuedMessage> {
+        let (class, key) = *self.index.get(&id)?;
+        self.queue_mut(class).get_mut(&key)
+    }
+
+    /// Account one successfully sent packet of message `id`; removes the
+    /// message when complete.
+    ///
+    /// # Panics
+    /// Panics if `id` is not queued.
+    pub fn record_sent_slot(&mut self, id: MessageId) -> SentOutcome {
+        let qm = self.get_mut(id).expect("record_sent_slot: unknown message");
+        qm.sent_slots += 1;
+        qm.awaiting_ack_since = None;
+        if qm.remaining() == 0 {
+            let (class, key) = self.index.remove(&id).expect("present");
+            let qm = self.queue_mut(class).remove(&key).expect("present");
+            SentOutcome::Finished(Box::new(qm))
+        } else {
+            SentOutcome::Progress
+        }
+    }
+
+    /// Remove a message outright (e.g. connection torn down), returning it.
+    pub fn remove(&mut self, id: MessageId) -> Option<Message> {
+        let (class, key) = self.index.remove(&id)?;
+        self.queue_mut(class).remove(&key).map(|qm| qm.msg)
+    }
+
+    /// Queue depth across all classes.
+    pub fn len(&self) -> usize {
+        self.rt.len() + self.be.len() + self.nrt.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queue depth of one class.
+    pub fn class_len(&self, class: TrafficClass) -> usize {
+        self.queue(class).len()
+    }
+
+    /// Iterate all queued messages (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedMessage> {
+        self.rt
+            .values()
+            .chain(self.be.values())
+            .chain(self.nrt.values())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Destination;
+    use ccr_phys::NodeId;
+
+    fn msg(id: u64, class: TrafficClass, deadline_us: u64, size: u32) -> Message {
+        let mut m = match class {
+            TrafficClass::RealTime => Message::real_time(
+                NodeId(0),
+                Destination::Unicast(NodeId(1)),
+                size,
+                SimTime::ZERO,
+                SimTime::from_us(deadline_us),
+                crate::connection::ConnectionId(0),
+            ),
+            TrafficClass::BestEffort => Message::best_effort(
+                NodeId(0),
+                Destination::Unicast(NodeId(1)),
+                size,
+                SimTime::ZERO,
+                SimTime::from_us(deadline_us),
+            ),
+            TrafficClass::NonRealTime => {
+                Message::non_real_time(NodeId(0), Destination::Unicast(NodeId(1)), size, SimTime::ZERO)
+            }
+        };
+        m.id = MessageId(id);
+        m
+    }
+
+    #[test]
+    fn head_prefers_rt_over_be_over_nrt() {
+        let mut q = NodeQueues::new();
+        q.push(msg(1, TrafficClass::NonRealTime, 0, 1));
+        assert_eq!(q.head().unwrap().msg.id, MessageId(1));
+        q.push(msg(2, TrafficClass::BestEffort, 10_000, 1));
+        assert_eq!(q.head().unwrap().msg.id, MessageId(2));
+        q.push(msg(3, TrafficClass::RealTime, 99_999, 1));
+        // RT wins even with the latest deadline
+        assert_eq!(q.head().unwrap().msg.id, MessageId(3));
+    }
+
+    #[test]
+    fn edf_order_within_class() {
+        let mut q = NodeQueues::new();
+        q.push(msg(1, TrafficClass::RealTime, 300, 1));
+        q.push(msg(2, TrafficClass::RealTime, 100, 1));
+        q.push(msg(3, TrafficClass::RealTime, 200, 1));
+        assert_eq!(q.head().unwrap().msg.id, MessageId(2));
+        match q.record_sent_slot(MessageId(2)) {
+            SentOutcome::Finished(qm) => {
+                assert_eq!(qm.msg.id, MessageId(2));
+                assert_eq!(qm.sent_slots, 1);
+                assert_eq!(qm.lost_slots, 0);
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+        assert_eq!(q.head().unwrap().msg.id, MessageId(3));
+    }
+
+    #[test]
+    fn equal_deadlines_fifo() {
+        let mut q = NodeQueues::new();
+        q.push(msg(10, TrafficClass::BestEffort, 500, 1));
+        q.push(msg(11, TrafficClass::BestEffort, 500, 1));
+        assert_eq!(q.head().unwrap().msg.id, MessageId(10));
+    }
+
+    #[test]
+    fn multi_slot_message_progress() {
+        let mut q = NodeQueues::new();
+        q.push(msg(7, TrafficClass::RealTime, 100, 3));
+        assert_eq!(q.record_sent_slot(MessageId(7)), SentOutcome::Progress);
+        assert_eq!(q.get(MessageId(7)).unwrap().remaining(), 2);
+        assert_eq!(q.record_sent_slot(MessageId(7)), SentOutcome::Progress);
+        match q.record_sent_slot(MessageId(7)) {
+            SentOutcome::Finished(qm) => assert_eq!(qm.msg.id, MessageId(7)),
+            other => panic!("expected Finished, got {other:?}"),
+        }
+        assert!(q.is_empty());
+        assert!(q.get(MessageId(7)).is_none());
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut q = NodeQueues::new();
+        q.push(msg(1, TrafficClass::RealTime, 100, 1));
+        q.push(msg(2, TrafficClass::BestEffort, 100, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.remove(MessageId(1)).unwrap().id, MessageId(1));
+        assert_eq!(q.len(), 1);
+        assert!(q.remove(MessageId(1)).is_none());
+        assert_eq!(q.class_len(TrafficClass::BestEffort), 1);
+        assert_eq!(q.class_len(TrafficClass::RealTime), 0);
+    }
+
+    #[test]
+    fn awaiting_ack_skipped_by_head() {
+        let mut q = NodeQueues::new();
+        q.push(msg(1, TrafficClass::RealTime, 100, 2));
+        q.push(msg(2, TrafficClass::RealTime, 200, 1));
+        q.get_mut(MessageId(1)).unwrap().awaiting_ack_since = Some(5);
+        // head skips the stalled message
+        assert_eq!(q.head().unwrap().msg.id, MessageId(2));
+        q.get_mut(MessageId(1)).unwrap().awaiting_ack_since = None;
+        assert_eq!(q.head().unwrap().msg.id, MessageId(1));
+    }
+
+    #[test]
+    fn iter_covers_all_classes() {
+        let mut q = NodeQueues::new();
+        q.push(msg(1, TrafficClass::RealTime, 100, 1));
+        q.push(msg(2, TrafficClass::BestEffort, 100, 1));
+        q.push(msg(3, TrafficClass::NonRealTime, 0, 1));
+        assert_eq!(q.iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown message")]
+    fn record_unknown_id_panics() {
+        let mut q = NodeQueues::new();
+        q.record_sent_slot(MessageId(99));
+    }
+}

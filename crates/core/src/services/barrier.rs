@@ -1,0 +1,87 @@
+//! Barrier synchronisation over the control channel.
+//!
+//! Protocol: a node that has entered the barrier sets its barrier bit in
+//! every request it appends, until it sees `barrier_done = 1` in a
+//! distribution packet. The master of a slot sets `barrier_done` when *all
+//! N* requests of that slot carry the bit — stateless at the master, so the
+//! service survives arbitrary clock hand-over. All nodes observe the same
+//! distribution packet, so every participant releases in the same slot.
+
+use crate::wire::Request;
+use ccr_sim::SimTime;
+
+/// A node's barrier participation state.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct BarrierState {
+    /// `Some(t)` while the node has entered and awaits release; `t` is the
+    /// entry instant (for latency metrics).
+    pub entered_at: Option<SimTime>,
+}
+
+impl BarrierState {
+    /// Enter the barrier at `now`. Idempotent while already waiting.
+    pub fn enter(&mut self, now: SimTime) {
+        if self.entered_at.is_none() {
+            self.entered_at = Some(now);
+        }
+    }
+
+    /// True when the node's requests should carry the barrier bit.
+    pub fn waiting(&self) -> bool {
+        self.entered_at.is_some()
+    }
+
+    /// Observe a distribution packet; returns `Some(entry_time)` when the
+    /// barrier released this node.
+    pub fn on_distribution(&mut self, barrier_done: bool) -> Option<SimTime> {
+        if barrier_done {
+            self.entered_at.take()
+        } else {
+            None
+        }
+    }
+}
+
+/// Master-side rule: the barrier completes in a slot iff every node's
+/// request carries the bit.
+pub fn barrier_complete(requests: &[Request]) -> bool {
+    !requests.is_empty() && requests.iter().all(|r| r.barrier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_then_release() {
+        let mut b = BarrierState::default();
+        assert!(!b.waiting());
+        b.enter(SimTime::from_us(5));
+        assert!(b.waiting());
+        // idempotent: second enter keeps first timestamp
+        b.enter(SimTime::from_us(9));
+        assert_eq!(b.on_distribution(false), None);
+        assert!(b.waiting());
+        assert_eq!(b.on_distribution(true), Some(SimTime::from_us(5)));
+        assert!(!b.waiting());
+    }
+
+    #[test]
+    fn done_without_waiting_is_noop() {
+        let mut b = BarrierState::default();
+        assert_eq!(b.on_distribution(true), None);
+    }
+
+    #[test]
+    fn master_rule_requires_all() {
+        let mut rs = vec![Request::IDLE; 4];
+        assert!(!barrier_complete(&rs));
+        for r in rs.iter_mut().take(3) {
+            r.barrier = true;
+        }
+        assert!(!barrier_complete(&rs));
+        rs[3].barrier = true;
+        assert!(barrier_complete(&rs));
+        assert!(!barrier_complete(&[]));
+    }
+}

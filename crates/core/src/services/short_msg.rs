@@ -1,0 +1,81 @@
+//! Piggy-backed short messages (service of refs \[8]/\[11]).
+//!
+//! A node may attach one small message (16-bit payload) to each request it
+//! appends; the master echoes all short messages in the distribution
+//! packet, so the receiver — and everyone else — sees it by the end of the
+//! slot. Latency is therefore bounded by one slot plus the hand-over gap,
+//! independent of data-channel load.
+
+use crate::wire::ShortMsgWire;
+use ccr_phys::NodeId;
+use ccr_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Outgoing short-message queue of one node.
+#[derive(Debug, Default)]
+pub struct ShortMsgOutbox {
+    queue: VecDeque<(ShortMsgWire, SimTime)>,
+}
+
+impl ShortMsgOutbox {
+    /// Queue a short message to `dest` at `now`.
+    pub fn send(&mut self, dest: NodeId, payload: u16, now: SimTime) {
+        self.queue.push_back((ShortMsgWire { dest, payload }, now));
+    }
+
+    /// The message riding the next request (peek — removed on `pop`).
+    pub fn peek(&self) -> Option<ShortMsgWire> {
+        self.queue.front().map(|(m, _)| *m)
+    }
+
+    /// Dequeue the message that has now been delivered via the
+    /// distribution packet; returns it with its submission instant.
+    pub fn pop(&mut self) -> Option<(ShortMsgWire, SimTime)> {
+        self.queue.pop_front()
+    }
+
+    /// Pending count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no short messages wait.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// A delivered short message (reported in the slot outcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShortDelivery {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dest: NodeId,
+    /// Payload.
+    pub payload: u16,
+    /// When the sender queued it.
+    pub sent: SimTime,
+    /// When the distribution packet delivered it.
+    pub delivered: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut ob = ShortMsgOutbox::default();
+        assert!(ob.is_empty());
+        ob.send(NodeId(1), 0xAAAA, SimTime::from_us(1));
+        ob.send(NodeId(2), 0xBBBB, SimTime::from_us(2));
+        assert_eq!(ob.len(), 2);
+        assert_eq!(ob.peek().unwrap().payload, 0xAAAA);
+        let (m, t) = ob.pop().unwrap();
+        assert_eq!((m.dest, m.payload, t), (NodeId(1), 0xAAAA, SimTime::from_us(1)));
+        assert_eq!(ob.peek().unwrap().payload, 0xBBBB);
+        ob.pop();
+        assert!(ob.pop().is_none());
+    }
+}

@@ -1,0 +1,807 @@
+//! Control-channel wire formats (Figures 4 and 5 of the paper).
+//!
+//! The control channel is bit-serial, clocked by the same clock as the data
+//! bytes, so every bit counts directly as time: the *sizes* computed here
+//! feed the timing model (`t_node` of Equation 2 includes the serialisation
+//! of one request). The codecs are real bit-level encoders/decoders — the
+//! simulator carries decoded structs for speed, but the wire layer keeps the
+//! bit accounting honest and is exercised by tests and benches.
+//!
+//! Collection-phase packet (Figure 4): a start bit, then one request per
+//! node appended in ring order. Each request is
+//! `priority(5) | link-reservation(N) | destination(N)` plus the optional
+//! service fields enabled in [`ServiceWireConfig`].
+//!
+//! Distribution-phase packet (Figure 5): a start bit, the grant bitmap
+//! (result of requests, N bits), the index of the highest-priority node
+//! (`⌈log2 N⌉` bits), plus "other fields" (acknowledgement/service echoes).
+
+use crate::priority::Priority;
+use bytes::{BufMut, BytesMut};
+use ccr_phys::{LinkSet, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A set of nodes as an N-bit mask (the destination field of a request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct NodeSet(pub u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// Set with a single node.
+    pub fn single(n: NodeId) -> Self {
+        NodeSet(1 << n.0)
+    }
+
+    /// Insert a node.
+    pub fn insert(&mut self, n: NodeId) {
+        self.0 |= 1 << n.0;
+    }
+
+    /// Membership test.
+    pub const fn contains(self, n: NodeId) -> bool {
+        self.0 & (1 << n.0) != 0
+    }
+
+    /// Number of members.
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(NodeId(i))
+            }
+        })
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut s = NodeSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+/// Which optional service fields ride in the control packets.
+///
+/// Enabling a service widens every request (and the distribution packet),
+/// which lengthens `t_node` and hence the minimum slot (Equation 2) — the
+/// trade-off explored by experiment E3/E9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ServiceWireConfig {
+    /// Barrier-synchronisation flag bit in each request + done bit in the
+    /// distribution packet.
+    pub barrier: bool,
+    /// Global-reduction participation flag + 32-bit operand per request,
+    /// valid flag + 32-bit result in the distribution packet.
+    pub reduction: bool,
+    /// Piggy-backed short message per request: flag + destination index +
+    /// 16-bit payload; echoed for all nodes in the distribution packet.
+    pub short_msg: bool,
+    /// Reliable-transmission acknowledgement per request: flag + source
+    /// index + 8-bit sequence number; echoed in the distribution packet.
+    pub reliable: bool,
+}
+
+impl ServiceWireConfig {
+    /// All services enabled.
+    pub const ALL: ServiceWireConfig = ServiceWireConfig {
+        barrier: true,
+        reduction: true,
+        short_msg: true,
+        reliable: true,
+    };
+
+    /// Extra bits appended to one request.
+    pub fn request_extra_bits(&self, n_nodes: u16) -> u32 {
+        let idx = log2_ceil(n_nodes);
+        let mut bits = 0;
+        if self.barrier {
+            bits += 1;
+        }
+        if self.reduction {
+            bits += 1 + 32;
+        }
+        if self.short_msg {
+            bits += 1 + idx + 16;
+        }
+        if self.reliable {
+            bits += 1 + idx + 8;
+        }
+        bits
+    }
+
+    /// Extra bits appended to the distribution packet.
+    pub fn distribution_extra_bits(&self, n_nodes: u16) -> u32 {
+        let n = n_nodes as u32;
+        let idx = log2_ceil(n_nodes);
+        let mut bits = 0;
+        if self.barrier {
+            bits += 1;
+        }
+        if self.reduction {
+            bits += 1 + 32;
+        }
+        if self.short_msg {
+            bits += n * (1 + idx + 16);
+        }
+        if self.reliable {
+            bits += n * (1 + idx + 8);
+        }
+        bits
+    }
+}
+
+/// `⌈log2 n⌉`, with `log2_ceil(1) = 1` (an index field is never 0 bits).
+pub fn log2_ceil(n: u16) -> u32 {
+    debug_assert!(n >= 1);
+    (u16::BITS - (n - 1).leading_zeros()).max(1)
+}
+
+/// Bits of one request in the collection packet (Figure 4):
+/// `5 (priority) + N (link reservation) + N (destination)` + services.
+pub fn request_bits(n_nodes: u16, services: ServiceWireConfig) -> u32 {
+    5 + 2 * n_nodes as u32 + services.request_extra_bits(n_nodes)
+}
+
+/// Total bits of the collection packet: start bit + N requests.
+pub fn collection_bits(n_nodes: u16, services: ServiceWireConfig) -> u32 {
+    1 + n_nodes as u32 * request_bits(n_nodes, services)
+}
+
+/// Total bits of the distribution packet (Figure 5): start bit, N-bit grant
+/// bitmap, `⌈log2 N⌉`-bit hp-node index, plus service echoes.
+pub fn distribution_bits(n_nodes: u16, services: ServiceWireConfig) -> u32 {
+    1 + n_nodes as u32 + log2_ceil(n_nodes) + services.distribution_extra_bits(n_nodes)
+}
+
+/// A piggy-backed short message (service of ref \[11]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShortMsgWire {
+    /// Receiver.
+    pub dest: NodeId,
+    /// 16-bit payload.
+    pub payload: u16,
+}
+
+/// A piggy-backed acknowledgement for the reliable-transmission service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckWire {
+    /// The node whose packet is being acknowledged.
+    pub src: NodeId,
+    /// Acknowledged sequence number (modulo 256).
+    pub seq: u8,
+}
+
+/// One node's request in the collection phase (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// 5-bit priority; [`Priority::IDLE`] means "nothing to send".
+    pub priority: Priority,
+    /// Links the node wants for its transmission.
+    pub links: LinkSet,
+    /// Destination node set.
+    pub dests: NodeSet,
+    /// Barrier-arrived flag (when the barrier service is enabled).
+    pub barrier: bool,
+    /// Reduction operand (when the reduction service is enabled).
+    pub reduce: Option<u32>,
+    /// Piggy-backed short message.
+    pub short_msg: Option<ShortMsgWire>,
+    /// Piggy-backed acknowledgement.
+    pub ack: Option<AckWire>,
+}
+
+impl Request {
+    /// The "nothing to send" request (priority 0, all fields zero —
+    /// Section 3: "writes zeros in the other fields").
+    pub const IDLE: Request = Request {
+        priority: Priority::IDLE,
+        links: LinkSet::EMPTY,
+        dests: NodeSet::EMPTY,
+        barrier: false,
+        reduce: None,
+        short_msg: None,
+        ack: None,
+    };
+
+    /// A transmission request with the given priority, links and receivers.
+    pub fn transmission(priority: Priority, links: LinkSet, dests: NodeSet) -> Self {
+        Request {
+            priority,
+            links,
+            dests,
+            ..Request::IDLE
+        }
+    }
+
+    /// True when this request asks for a data transmission.
+    pub fn wants_tx(&self) -> bool {
+        !self.priority.is_idle()
+    }
+}
+
+/// The decoded collection packet: the start bit plus one request per node,
+/// in ring order starting with the master.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionPacket {
+    /// Requests indexed by *ring position from the master* — position 0 is
+    /// the master's own request.
+    pub requests: Vec<Request>,
+}
+
+/// The decoded distribution packet (Figure 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionPacket {
+    /// Grant bit per node (by absolute node index).
+    pub grants: NodeSet,
+    /// Index of the node with the highest-priority message — the next
+    /// master.
+    pub hp_node: NodeId,
+    /// Barrier-complete flag.
+    pub barrier_done: bool,
+    /// Reduction result, when complete this slot.
+    pub reduce_result: Option<u32>,
+    /// Echo of short messages, by sender node index.
+    pub short_msgs: Vec<Option<ShortMsgWire>>,
+    /// Echo of acknowledgements, by sender node index.
+    pub acks: Vec<Option<AckWire>>,
+}
+
+// ---------------------------------------------------------------------------
+// Bit-level codec
+// ---------------------------------------------------------------------------
+
+/// MSB-first bit writer over a [`BytesMut`].
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    cur: u8,
+    used: u32,
+    bits: u64,
+}
+
+impl BitWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `width` bits of `value`, MSB first.
+    pub fn put(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        debug_assert!(width == 64 || value < (1u64 << width), "value overflows width");
+        for i in (0..width).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.cur = (self.cur << 1) | bit;
+            self.used += 1;
+            if self.used == 8 {
+                self.buf.put_u8(self.cur);
+                self.cur = 0;
+                self.used = 0;
+            }
+        }
+        self.bits += width as u64;
+    }
+
+    /// Append a boolean flag.
+    pub fn put_bool(&mut self, b: bool) {
+        self.put(b as u64, 1);
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bits
+    }
+
+    /// Finish, padding the final byte with zeros.
+    pub fn finish(mut self) -> BytesMut {
+        if self.used > 0 {
+            self.buf.put_u8(self.cur << (8 - self.used));
+        }
+        self.buf
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: u64,
+}
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bits while decoding.
+    Truncated,
+    /// A field held an out-of-range value.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "packet truncated"),
+            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl<'a> BitReader<'a> {
+    /// Read from a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Read `width` bits, MSB first.
+    pub fn get(&mut self, width: u32) -> Result<u64, WireError> {
+        debug_assert!(width <= 64);
+        if self.pos + width as u64 > self.data.len() as u64 * 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            let byte = self.data[(self.pos / 8) as usize];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            v = (v << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Read one flag bit.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.get(1)? == 1)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+}
+
+fn put_request(w: &mut BitWriter, r: &Request, n: u16, svc: ServiceWireConfig) {
+    let idx = log2_ceil(n);
+    w.put(r.priority.level() as u64, 5);
+    w.put(r.links.0, n as u32);
+    w.put(r.dests.0, n as u32);
+    if svc.barrier {
+        w.put_bool(r.barrier);
+    }
+    if svc.reduction {
+        w.put_bool(r.reduce.is_some());
+        w.put(r.reduce.unwrap_or(0) as u64, 32);
+    }
+    if svc.short_msg {
+        w.put_bool(r.short_msg.is_some());
+        let m = r.short_msg.unwrap_or(ShortMsgWire {
+            dest: NodeId(0),
+            payload: 0,
+        });
+        w.put(m.dest.0 as u64, idx);
+        w.put(m.payload as u64, 16);
+    }
+    if svc.reliable {
+        w.put_bool(r.ack.is_some());
+        let a = r.ack.unwrap_or(AckWire {
+            src: NodeId(0),
+            seq: 0,
+        });
+        w.put(a.src.0 as u64, idx);
+        w.put(a.seq as u64, 8);
+    }
+}
+
+fn get_request(
+    rd: &mut BitReader<'_>,
+    n: u16,
+    svc: ServiceWireConfig,
+) -> Result<Request, WireError> {
+    let idx = log2_ceil(n);
+    let level = rd.get(5)? as u8;
+    let priority = Priority::new(level);
+    let links = LinkSet(rd.get(n as u32)?);
+    let dests = NodeSet(rd.get(n as u32)?);
+    let barrier = if svc.barrier { rd.get_bool()? } else { false };
+    let reduce = if svc.reduction {
+        let valid = rd.get_bool()?;
+        let v = rd.get(32)? as u32;
+        valid.then_some(v)
+    } else {
+        None
+    };
+    let short_msg = if svc.short_msg {
+        let valid = rd.get_bool()?;
+        let dest = NodeId(rd.get(idx)? as u16);
+        let payload = rd.get(16)? as u16;
+        if valid && dest.0 >= n {
+            return Err(WireError::Invalid("short-msg dest"));
+        }
+        valid.then_some(ShortMsgWire { dest, payload })
+    } else {
+        None
+    };
+    let ack = if svc.reliable {
+        let valid = rd.get_bool()?;
+        let src = NodeId(rd.get(idx)? as u16);
+        let seq = rd.get(8)? as u8;
+        if valid && src.0 >= n {
+            return Err(WireError::Invalid("ack src"));
+        }
+        valid.then_some(AckWire { src, seq })
+    } else {
+        None
+    };
+    Ok(Request {
+        priority,
+        links,
+        dests,
+        barrier,
+        reduce,
+        short_msg,
+        ack,
+    })
+}
+
+impl CollectionPacket {
+    /// Encode to wire bytes (Figure 4 layout).
+    pub fn encode(&self, n: u16, svc: ServiceWireConfig) -> BytesMut {
+        debug_assert_eq!(self.requests.len(), n as usize);
+        let mut w = BitWriter::new();
+        w.put(1, 1); // start bit
+        for r in &self.requests {
+            put_request(&mut w, r, n, svc);
+        }
+        debug_assert_eq!(w.bit_len(), collection_bits(n, svc) as u64);
+        w.finish()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(data: &[u8], n: u16, svc: ServiceWireConfig) -> Result<Self, WireError> {
+        let mut rd = BitReader::new(data);
+        if !rd.get_bool()? {
+            return Err(WireError::Invalid("missing start bit"));
+        }
+        let mut requests = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            requests.push(get_request(&mut rd, n, svc)?);
+        }
+        Ok(CollectionPacket { requests })
+    }
+}
+
+impl DistributionPacket {
+    /// Encode to wire bytes (Figure 5 layout).
+    pub fn encode(&self, n: u16, svc: ServiceWireConfig) -> BytesMut {
+        let idx = log2_ceil(n);
+        let mut w = BitWriter::new();
+        w.put(1, 1); // start bit
+        w.put(self.grants.0, n as u32);
+        w.put(self.hp_node.0 as u64, idx);
+        if svc.barrier {
+            w.put_bool(self.barrier_done);
+        }
+        if svc.reduction {
+            w.put_bool(self.reduce_result.is_some());
+            w.put(self.reduce_result.unwrap_or(0) as u64, 32);
+        }
+        if svc.short_msg {
+            debug_assert_eq!(self.short_msgs.len(), n as usize);
+            for m in &self.short_msgs {
+                w.put_bool(m.is_some());
+                let m = m.unwrap_or(ShortMsgWire {
+                    dest: NodeId(0),
+                    payload: 0,
+                });
+                w.put(m.dest.0 as u64, idx);
+                w.put(m.payload as u64, 16);
+            }
+        }
+        if svc.reliable {
+            debug_assert_eq!(self.acks.len(), n as usize);
+            for a in &self.acks {
+                w.put_bool(a.is_some());
+                let a = a.unwrap_or(AckWire {
+                    src: NodeId(0),
+                    seq: 0,
+                });
+                w.put(a.src.0 as u64, idx);
+                w.put(a.seq as u64, 8);
+            }
+        }
+        debug_assert_eq!(w.bit_len(), distribution_bits(n, svc) as u64);
+        w.finish()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(data: &[u8], n: u16, svc: ServiceWireConfig) -> Result<Self, WireError> {
+        let idx = log2_ceil(n);
+        let mut rd = BitReader::new(data);
+        if !rd.get_bool()? {
+            return Err(WireError::Invalid("missing start bit"));
+        }
+        let grants = NodeSet(rd.get(n as u32)?);
+        let hp = rd.get(idx)? as u16;
+        if hp >= n {
+            return Err(WireError::Invalid("hp index"));
+        }
+        let barrier_done = if svc.barrier { rd.get_bool()? } else { false };
+        let reduce_result = if svc.reduction {
+            let valid = rd.get_bool()?;
+            let v = rd.get(32)? as u32;
+            valid.then_some(v)
+        } else {
+            None
+        };
+        let mut short_msgs = vec![None; n as usize];
+        if svc.short_msg {
+            for slot in short_msgs.iter_mut() {
+                let valid = rd.get_bool()?;
+                let dest = NodeId(rd.get(idx)? as u16);
+                let payload = rd.get(16)? as u16;
+                if valid && dest.0 >= n {
+                    return Err(WireError::Invalid("short-msg dest"));
+                }
+                *slot = valid.then_some(ShortMsgWire { dest, payload });
+            }
+        }
+        let mut acks = vec![None; n as usize];
+        if svc.reliable {
+            for slot in acks.iter_mut() {
+                let valid = rd.get_bool()?;
+                let src = NodeId(rd.get(idx)? as u16);
+                let seq = rd.get(8)? as u8;
+                if valid && src.0 >= n {
+                    return Err(WireError::Invalid("ack src"));
+                }
+                *slot = valid.then_some(AckWire { src, seq });
+            }
+        }
+        Ok(DistributionPacket {
+            grants,
+            hp_node: NodeId(hp),
+            barrier_done,
+            reduce_result,
+            short_msgs,
+            acks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_phys::LinkId;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 1);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+        assert_eq!(log2_ceil(64), 6);
+    }
+
+    #[test]
+    fn figure4_request_size_without_services() {
+        // Figure 4: priority 5 bits + link reservation N + destination N.
+        assert_eq!(request_bits(8, ServiceWireConfig::default()), 5 + 16);
+        assert_eq!(
+            collection_bits(8, ServiceWireConfig::default()),
+            1 + 8 * 21
+        );
+    }
+
+    #[test]
+    fn figure5_distribution_size_without_services() {
+        // Start 1 + grants N + hp index log2 N.
+        assert_eq!(
+            distribution_bits(8, ServiceWireConfig::default()),
+            1 + 8 + 3
+        );
+        assert_eq!(
+            distribution_bits(5, ServiceWireConfig::default()),
+            1 + 5 + 3
+        );
+    }
+
+    #[test]
+    fn service_bits_accounted() {
+        let n = 16;
+        let all = ServiceWireConfig::ALL;
+        let base = request_bits(n, ServiceWireConfig::default());
+        // barrier 1, reduction 33, short 1+4+16, reliable 1+4+8
+        assert_eq!(request_bits(n, all), base + 1 + 33 + 21 + 13);
+    }
+
+    #[test]
+    fn bitwriter_reader_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0xFFFF, 16);
+        w.put_bool(false);
+        w.put(42, 17);
+        assert_eq!(w.bit_len(), 37);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(3).unwrap(), 0b101);
+        assert_eq!(r.get(16).unwrap(), 0xFFFF);
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get(17).unwrap(), 42);
+        assert_eq!(r.bit_pos(), 37);
+        assert!(r.get(8).is_err()); // only padding left (3 bits)
+    }
+
+    fn sample_requests(n: u16) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Request::IDLE
+                } else {
+                    Request {
+                        priority: Priority::new(17 + (i % 15) as u8),
+                        links: LinkSet::single(LinkId(i % n)),
+                        dests: NodeSet::single(NodeId((i + 1) % n)),
+                        barrier: i % 2 == 0,
+                        reduce: (i % 4 == 1).then_some(0xDEAD_0000 + i as u32),
+                        short_msg: (i % 5 == 2).then_some(ShortMsgWire {
+                            dest: NodeId((i + 2) % n),
+                            payload: 0xBEEF,
+                        }),
+                        ack: (i % 2 == 1).then_some(AckWire {
+                            src: NodeId((i + 3) % n),
+                            seq: i as u8,
+                        }),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn collection_roundtrip_all_services() {
+        for n in [2u16, 5, 8, 16, 33, 64] {
+            let pkt = CollectionPacket {
+                requests: sample_requests(n),
+            };
+            let svc = ServiceWireConfig::ALL;
+            let bytes = pkt.encode(n, svc);
+            assert_eq!(
+                bytes.len(),
+                (collection_bits(n, svc) as usize).div_ceil(8)
+            );
+            let back = CollectionPacket::decode(&bytes, n, svc).unwrap();
+            assert_eq!(back, pkt);
+        }
+    }
+
+    #[test]
+    fn collection_roundtrip_no_services() {
+        let n = 10;
+        let svc = ServiceWireConfig::default();
+        let mut reqs = sample_requests(n);
+        // strip service fields the wire won't carry
+        for r in &mut reqs {
+            r.barrier = false;
+            r.reduce = None;
+            r.short_msg = None;
+            r.ack = None;
+        }
+        let pkt = CollectionPacket { requests: reqs };
+        let back = CollectionPacket::decode(&pkt.encode(n, svc), n, svc).unwrap();
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn distribution_roundtrip() {
+        for n in [2u16, 7, 32] {
+            let pkt = DistributionPacket {
+                grants: NodeSet(0b101 % (1 << n)),
+                hp_node: NodeId(n - 1),
+                barrier_done: true,
+                reduce_result: Some(123456),
+                short_msgs: (0..n)
+                    .map(|i| {
+                        (i % 2 == 0).then_some(ShortMsgWire {
+                            dest: NodeId((i + 1) % n),
+                            payload: i,
+                        })
+                    })
+                    .collect(),
+                acks: (0..n)
+                    .map(|i| {
+                        (i % 3 == 0).then_some(AckWire {
+                            src: NodeId(i % n),
+                            seq: (i * 7) as u8,
+                        })
+                    })
+                    .collect(),
+            };
+            let svc = ServiceWireConfig::ALL;
+            let bytes = pkt.encode(n, svc);
+            assert_eq!(
+                bytes.len(),
+                (distribution_bits(n, svc) as usize).div_ceil(8)
+            );
+            let back = DistributionPacket::decode(&bytes, n, svc).unwrap();
+            assert_eq!(back, pkt);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let svc = ServiceWireConfig::default();
+        // zero start bit
+        assert_eq!(
+            CollectionPacket::decode(&[0x00; 32], 4, svc),
+            Err(WireError::Invalid("missing start bit"))
+        );
+        // truncated
+        assert_eq!(
+            CollectionPacket::decode(&[0x80], 8, svc),
+            Err(WireError::Truncated)
+        );
+        // hp index out of range: n=5 → idx 3 bits; craft grants=0, hp=7
+        let mut w = BitWriter::new();
+        w.put(1, 1);
+        w.put(0, 5);
+        w.put(7, 3);
+        let bytes = w.finish();
+        assert_eq!(
+            DistributionPacket::decode(&bytes, 5, svc),
+            Err(WireError::Invalid("hp index"))
+        );
+    }
+
+    #[test]
+    fn nodeset_behaves_like_set() {
+        let mut s = NodeSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(NodeId(3));
+        s.insert(NodeId(3));
+        s.insert(NodeId(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(1)));
+        let v: Vec<NodeId> = s.iter().collect();
+        assert_eq!(v, vec![NodeId(0), NodeId(3)]);
+        let c: NodeSet = [NodeId(0), NodeId(3)].into_iter().collect();
+        assert_eq!(c, s);
+        assert_eq!(NodeSet::single(NodeId(5)).len(), 1);
+    }
+
+    #[test]
+    fn idle_request_is_all_zero_after_priority() {
+        // Section 3: idle nodes write zeros in all other fields.
+        let pkt = CollectionPacket {
+            requests: vec![Request::IDLE; 4],
+        };
+        let bytes = pkt.encode(4, ServiceWireConfig::default());
+        // start bit then zeros: first byte = 0b1000_0000
+        assert_eq!(bytes[0], 0x80);
+        assert!(bytes[1..].iter().all(|&b| b == 0));
+    }
+}

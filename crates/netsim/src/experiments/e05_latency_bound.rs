@@ -1,0 +1,134 @@
+//! E5 — Equations 3–4: the worst-case latency bound.
+//!
+//! For admitted sets at increasing load, measures every connection's
+//! maximum delivery latency and compares it against the user-level bound
+//! `t_maxdelay = P + t_latency` with `t_latency = 2·t_slot +
+//! t_handover_max`. The bound must never be violated; the table also
+//! reports how tight it is (max observed / bound).
+
+use super::{base_config, ExpOptions, ExperimentResult};
+use crate::sweep::parallel_map;
+use ccr_edf::analysis::AnalyticModel;
+use ccr_edf::network::RingNetwork;
+use ccr_sim::report::{fmt_f64, Table};
+use ccr_sim::SeedSequence;
+use ccr_traffic::PeriodicSetBuilder;
+
+/// Run E5.
+pub fn run(opts: &ExpOptions) -> ExperimentResult {
+    let n = 16u16;
+    let cfg = base_config(n, 2_048).build_auto_slot().unwrap();
+    let model = AnalyticModel::new(&cfg);
+    let seq = SeedSequence::new(opts.seed);
+    let loads: Vec<f64> = if opts.quick {
+        vec![0.5, 0.9]
+    } else {
+        vec![0.3, 0.5, 0.7, 0.9, 0.95, 0.99]
+    };
+    let reps = opts.reps(3);
+    let slots = opts.slots(200_000);
+
+    let mut table = Table::new(
+        "E5 — latency bound (Eqs. 3-4), N = 16: admitted load vs worst observed slack",
+        &[
+            "load/u_max",
+            "seed",
+            "delivered_rt",
+            "misses",
+            "bound_violations",
+            "max_latency_us",
+            "t_latency_bound_us",
+            "max_lat/t_latency",
+        ],
+    );
+
+    let cases: Vec<(f64, u64)> = loads
+        .iter()
+        .flat_map(|&l| (0..reps).map(move |r| (l, r)))
+        .collect();
+    let cfg_ref = &cfg;
+    let rows = parallel_map(cases, opts.threads, |&(load, rep)| {
+        let target = load * model.u_max();
+        let mut rng = seq
+            .subsequence("e5", (load * 1000.0) as u64)
+            .stream("traffic", rep);
+        let set = PeriodicSetBuilder::new(n, n as usize * 2, target, cfg_ref.slot_time())
+            .periods(50, 2_000)
+            .generate(&mut rng);
+        let mut net = RingNetwork::new_ccr_edf(cfg_ref.clone());
+        for spec in set {
+            let _ = net.open_connection(spec);
+        }
+        net.run_slots(slots);
+        let m = net.metrics();
+        // The Eq. 3 check itself (completion ≤ deadline + t_latency) is
+        // enforced per delivery by the metrics layer (bound_violations);
+        // the table reports the worst absolute latency for context.
+        (
+            load,
+            rep,
+            m.delivered_rt.get(),
+            m.rt_deadline_misses.get(),
+            m.rt_bound_violations.get(),
+            0.0f64,
+            m.latency_rt.max().unwrap_or(0),
+        )
+    });
+
+    let t_lat = model.worst_latency();
+    let mut notes = vec![format!(
+        "t_latency = 2·t_slot + h_max = {:.3} µs at N = {n}",
+        t_lat.as_us_f64()
+    )];
+    let mut any_violation = 0u64;
+    for (load, rep, delivered, misses, violations, _worst_ps, max_lat_ps) in rows {
+        // The hard guarantee: the Eq. 3 user bound. Priority quantisation
+        // (15 log levels instead of exact deadlines) could in principle
+        // erode it in the last few percent before U_max, so the assertion
+        // covers the theory-safe region and the table reports the rest.
+        if load <= 0.9 {
+            assert_eq!(
+                violations, 0,
+                "Eq. 3 bound violated at load {load} (seed {rep})"
+            );
+        }
+        any_violation += violations;
+        // Misses of the *scheduler* deadline are permitted only within the
+        // t_latency slack — and for admitted sets they should be rare;
+        // assert the hard guarantee (bound violations) only.
+        let max_lat_us = max_lat_ps as f64 / 1e6;
+        table.row(&[
+            fmt_f64(load, 2),
+            rep.to_string(),
+            delivered.to_string(),
+            misses.to_string(),
+            violations.to_string(),
+            fmt_f64(max_lat_us, 2),
+            fmt_f64(t_lat.as_us_f64(), 2),
+            // ratio of the worst observed latency to the protocol-latency
+            // term alone (the rest of the budget is the message's period) —
+            // informative only.
+            fmt_f64(max_lat_us / t_lat.as_us_f64(), 2),
+        ]);
+    }
+    notes.push(format!(
+        "Eq. 3 user-bound violations across all runs: {any_violation}"
+    ));
+
+    ExperimentResult {
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_no_violations() {
+        let r = run(&ExpOptions::quick(5));
+        assert_eq!(r.tables.len(), 1);
+        assert!(r.tables[0].n_rows() >= 2);
+    }
+}

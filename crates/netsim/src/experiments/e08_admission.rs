@@ -1,0 +1,151 @@
+//! E8 — runtime admission control over best-effort messages (Section 6).
+//!
+//! Connection requests arrive at random nodes throughout the run and travel
+//! to the designated admission node as best-effort messages; responses come
+//! back the same way; some connections are later torn down, freeing
+//! capacity. The table reports acceptance behaviour, decision latency and —
+//! the guarantee — zero misses for everything admitted.
+
+use super::{base_config, ExpOptions, ExperimentResult};
+use crate::admission_app::AdmissionApp;
+use ccr_edf::analysis::AnalyticModel;
+use ccr_edf::connection::ConnectionSpec;
+use ccr_edf::network::RingNetwork;
+use ccr_edf::{NodeId, TimeDelta};
+use ccr_sim::report::{fmt_f64, Table};
+use ccr_sim::SeedSequence;
+use rand::Rng;
+
+/// Run E8.
+pub fn run(opts: &ExpOptions) -> ExperimentResult {
+    let n = 16u16;
+    let cfg = base_config(n, 2_048).build_auto_slot().unwrap();
+    let model = AnalyticModel::new(&cfg);
+    let slots = opts.slots(120_000);
+    let mut rng = SeedSequence::new(opts.seed).stream("e8", 0);
+
+    let mut net = RingNetwork::new_ccr_edf(cfg);
+    let mut app = AdmissionApp::for_network(&net);
+
+    // Request schedule: a new connection request every `gap` slots, each
+    // for ~u_max/12 utilisation; every third accepted connection is closed
+    // again after a while, so the system churns around the U_max boundary.
+    let slot = net.config().slot_time();
+    let u_step = model.u_max() / 12.0;
+    let request_gap = slots / 40;
+    let mut to_close: Vec<(u64, ccr_edf::connection::ConnectionId)> = vec![];
+    let mut closed = 0u64;
+
+    let mut series: Vec<(u64, f64)> = vec![]; // (slot, admitted u)
+    for s in 0..slots {
+        if s % request_gap == 0 {
+            let src = NodeId(rng.gen_range(0..n));
+            let hops = rng.gen_range(1..n);
+            let dst = NodeId((src.0 + hops) % n);
+            let jitter = 0.5 + rng.gen::<f64>(); // u in [0.5, 1.5]·u_step
+            let period_ps = (slot.as_ps() as f64 / (u_step * jitter)).round() as u64;
+            let spec = ConnectionSpec::unicast(src, dst)
+                .period(TimeDelta::from_ps(period_ps))
+                .size_slots(1);
+            app.request(&mut net, src, spec);
+        }
+        let deliveries = net.step_slot().deliveries.clone();
+        app.process_deliveries(&mut net, &deliveries);
+
+        // Churn: close every third activation after ~request_gap*5 slots.
+        while app.activated.len() as u64 > closed {
+            let id = app.activated[closed as usize];
+            if closed.is_multiple_of(3) {
+                to_close.push((s + request_gap * 5, id));
+            }
+            closed += 1;
+        }
+        while let Some(&(when, id)) = to_close.first() {
+            if when > s {
+                break;
+            }
+            net.close_connection(id);
+            to_close.remove(0);
+        }
+        if s % (slots / 20).max(1) == 0 {
+            series.push((s, net.admission().admitted_utilisation()));
+        }
+    }
+
+    let m = net.metrics();
+    let mut ta = Table::new(
+        "E8a — runtime admission over best-effort messages (N = 16)",
+        &["metric", "value"],
+    );
+    ta.row(&["u_max".into(), fmt_f64(model.u_max(), 4)]);
+    ta.row(&["requests".into(), app.stats.requested.get().to_string()]);
+    ta.row(&["accepted".into(), app.stats.accepted.get().to_string()]);
+    ta.row(&["rejected".into(), app.stats.rejected.get().to_string()]);
+    ta.row(&[
+        "final admitted u".into(),
+        fmt_f64(net.admission().admitted_utilisation(), 4),
+    ]);
+    ta.row(&[
+        "decision latency mean (slots)".into(),
+        fmt_f64(
+            app.stats.decision_latency.mean().unwrap_or(f64::NAN)
+                / slot.as_ps() as f64,
+            2,
+        ),
+    ]);
+    ta.row(&[
+        "decision latency max (slots)".into(),
+        fmt_f64(
+            app.stats.decision_latency.max().unwrap_or(0) as f64 / slot.as_ps() as f64,
+            2,
+        ),
+    ]);
+    ta.row(&["rt delivered".into(), m.delivered_rt.get().to_string()]);
+    ta.row(&[
+        "rt deadline misses".into(),
+        m.rt_deadline_misses.get().to_string(),
+    ]);
+    ta.row(&[
+        "rt bound violations".into(),
+        m.rt_bound_violations.get().to_string(),
+    ]);
+
+    assert!(app.stats.accepted.get() > 0, "nothing admitted");
+    assert!(
+        app.stats.rejected.get() > 0,
+        "overload never reached — weak experiment"
+    );
+    assert_eq!(m.rt_bound_violations.get(), 0);
+    assert!(
+        net.admission().admitted_utilisation() <= model.u_max() + 1e-9,
+        "admitted set exceeded U_max"
+    );
+
+    let mut tb = Table::new(
+        "E8b — admitted utilisation over time (churn around the boundary)",
+        &["slot", "admitted_u"],
+    );
+    for (s, u) in &series {
+        tb.row(&[s.to_string(), fmt_f64(*u, 4)]);
+    }
+
+    ExperimentResult {
+        tables: vec![ta, tb],
+        notes: vec![
+            "admitted utilisation never exceeds U_max; admitted traffic never \
+             violates the Eq. 3 bound"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_admission_churn() {
+        let r = run(&ExpOptions::quick(8));
+        assert_eq!(r.tables.len(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Parallel parameter sweeps.
+//!
+//! Experiments sweep a parameter (load, ring size, slot length, …) over
+//! many settings × seeds; the runs are independent, so they fan out over
+//! crossbeam scoped threads. Results return in input order, so tables stay
+//! deterministic regardless of scheduling.
+
+/// Run `f` over `inputs` on up to `threads` worker threads, preserving
+/// input order in the output.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || inputs.len() <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let n = inputs.len();
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(n) {
+            let next = &next;
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<(usize, O)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f_ref(&inputs_ref[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (i, o) in h.join().expect("sweep worker panicked") {
+                out[i] = Some(o);
+            }
+        }
+    })
+    .expect("sweep scope");
+    out.into_iter().map(|o| o.expect("all filled")).collect()
+}
+
+/// Default worker count: physical parallelism minus one, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs.clone(), 8, |&x| x * x);
+        let expect: Vec<u64> = inputs.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![5], 16, |&x| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn heavier_closure_runs_in_parallel_correctly() {
+        let out = parallel_map((0..32u64).collect(), 4, |&x| {
+            // some busywork with a data dependency
+            (0..1_000).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        });
+        let expect: Vec<u64> = (0..32u64)
+            .map(|x| (0..1_000).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i)))
+            .collect();
+        assert_eq!(out, expect);
+    }
+}

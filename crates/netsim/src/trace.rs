@@ -1,0 +1,200 @@
+//! Slot-level trace recording — an observability aid for debugging
+//! protocol behaviour and for producing Figure 6/7-style timelines.
+//!
+//! Feed every [`SlotOutcome`] to a [`TraceRecorder`]; it keeps a bounded
+//! ring of per-slot records and renders them as a timeline table or CSV.
+
+use ccr_edf::network::SlotOutcome;
+use ccr_edf::{NodeId, SimTime, TimeDelta};
+use ccr_sim::report::Table;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One slot's condensed trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    /// Slot index.
+    pub slot: u64,
+    /// Slot start.
+    pub start: SimTime,
+    /// Master (clock generator) of the slot.
+    pub master: NodeId,
+    /// Transmissions in the data phase.
+    pub grants: usize,
+    /// Messages completed this slot.
+    pub deliveries: usize,
+    /// Next master (hand-over target).
+    pub next_master: NodeId,
+    /// Hand-over hop distance.
+    pub handover_hops: u16,
+    /// Hand-over gap.
+    pub gap: TimeDelta,
+    /// Slot was clock-recovery dead time.
+    pub recovering: bool,
+    /// A barrier completed.
+    pub barrier: bool,
+    /// A reduction completed.
+    pub reduce: bool,
+}
+
+impl SlotRecord {
+    /// Condense a slot outcome.
+    pub fn from_outcome(out: &SlotOutcome) -> Self {
+        SlotRecord {
+            slot: out.slot_index,
+            start: out.slot_start,
+            master: out.master,
+            grants: out.grant_count,
+            deliveries: out.deliveries.len(),
+            next_master: out.next_master,
+            handover_hops: out.handover_hops,
+            gap: out.gap,
+            recovering: out.recovering,
+            barrier: out.barrier_completed,
+            reduce: out.reduce_result.is_some(),
+        }
+    }
+}
+
+/// A bounded recorder of recent slot records.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    records: VecDeque<SlotRecord>,
+    capacity: usize,
+    observed: u64,
+}
+
+impl TraceRecorder {
+    /// Keep at most `capacity` most recent slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity trace");
+        TraceRecorder {
+            records: VecDeque::with_capacity(capacity),
+            capacity,
+            observed: 0,
+        }
+    }
+
+    /// Record one slot.
+    pub fn observe(&mut self, out: &SlotOutcome) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(SlotRecord::from_outcome(out));
+        self.observed += 1;
+    }
+
+    /// Total slots observed (including evicted ones).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &SlotRecord> {
+        self.records.iter()
+    }
+
+    /// Slots in which the master moved.
+    pub fn handovers(&self) -> impl Iterator<Item = &SlotRecord> {
+        self.records.iter().filter(|r| r.handover_hops > 0)
+    }
+
+    /// Render the retained trace as a timeline table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!(
+                "slot trace (last {} of {} slots)",
+                self.records.len(),
+                self.observed
+            ),
+            &[
+                "slot", "start", "master", "grants", "deliv", "next", "hops", "gap", "flags",
+            ],
+        );
+        for r in &self.records {
+            let mut flags = String::new();
+            if r.recovering {
+                flags.push('R');
+            }
+            if r.barrier {
+                flags.push('B');
+            }
+            if r.reduce {
+                flags.push('Σ');
+            }
+            t.row(&[
+                r.slot.to_string(),
+                r.start.to_string(),
+                r.master.to_string(),
+                r.grants.to_string(),
+                r.deliveries.to_string(),
+                r.next_master.to_string(),
+                r.handover_hops.to_string(),
+                r.gap.to_string(),
+                flags,
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_edf::config::NetworkConfig;
+    use ccr_edf::message::{Destination, Message};
+    use ccr_edf::network::RingNetwork;
+
+    fn traced_run(slots: u64, cap: usize) -> TraceRecorder {
+        let cfg = NetworkConfig::builder(5)
+            .slot_bytes(2048)
+            .build_auto_slot()
+            .unwrap();
+        let mut net = RingNetwork::new_ccr_edf(cfg);
+        net.submit_message(
+            SimTime::ZERO,
+            Message::non_real_time(NodeId(2), Destination::Unicast(NodeId(4)), 2, SimTime::ZERO),
+        );
+        let mut tr = TraceRecorder::new(cap);
+        for _ in 0..slots {
+            tr.observe(net.step_slot());
+        }
+        tr
+    }
+
+    #[test]
+    fn records_every_slot_up_to_capacity() {
+        let tr = traced_run(10, 100);
+        assert_eq!(tr.observed(), 10);
+        assert_eq!(tr.records().count(), 10);
+        // slot indices contiguous
+        let idx: Vec<u64> = tr.records().map(|r| r.slot).collect();
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let tr = traced_run(50, 8);
+        assert_eq!(tr.observed(), 50);
+        let idx: Vec<u64> = tr.records().map(|r| r.slot).collect();
+        assert_eq!(idx, (42..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handover_filter_and_render() {
+        let tr = traced_run(6, 16);
+        // slot 0 hands over 0→2 (the submitted message's source)
+        let h: Vec<&SlotRecord> = tr.handovers().collect();
+        assert!(!h.is_empty());
+        assert_eq!(h[0].next_master, NodeId(2));
+        let txt = tr.render();
+        assert!(txt.contains("slot trace"));
+        assert!(txt.contains("n2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceRecorder::new(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ccr-phys — physical model of the pipelined fibre-ribbon ring
+//!
+//! Models the network architecture of Section 2 of the paper: a
+//! unidirectional ring of `N` nodes joined by 10-fibre ribbon links
+//! (8 data fibres + 1 clock fibre + 1 control fibre, Figure 1). The paper
+//! assumes Motorola OPTOBUS links; since no such hardware exists here, this
+//! crate is the *simulated substitute*: it reproduces exactly the quantities
+//! the MAC protocol and the analysis of Section 4 observe — byte/bit times,
+//! per-hop propagation, clock hand-over delay (Equation 1) and the minimum
+//! slot length (Equation 2) — at picosecond resolution.
+//!
+//! Contents:
+//! * [`ring`] — node/link identifiers, hop arithmetic, segment and link-set
+//!   computation for spatial reuse;
+//! * [`params`] — physical constants (clock period, propagation velocity,
+//!   link length, node delays) with OPTOBUS-era defaults;
+//! * [`timing`] — closed-form implementations of Equations 1 and 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+pub mod ring;
+pub mod timing;
+
+pub use params::PhysParams;
+pub use ring::{LinkId, LinkSet, NodeId, RingTopology};
+pub use timing::TimingModel;

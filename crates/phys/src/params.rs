@@ -1,0 +1,123 @@
+//! Physical-layer parameters.
+//!
+//! Defaults model the hardware the paper assumes: Motorola OPTOBUS
+//! fibre-ribbon links at 400 Mbit/s per fibre (ref \[10] of the paper quotes
+//! parallel optical links at 3 Gbit/s aggregate over ten fibres, i.e.
+//! several hundred Mbit/s per fibre). One clock tick moves one *byte* on the
+//! 8-fibre data channel and one *bit* on the serial control fibre
+//! (Section 1: "The clock signal … that is used to clock data also clocks
+//! each bit in the control-packets").
+
+use ccr_sim::time::TimeDelta;
+use serde::{Deserialize, Serialize};
+
+/// Physical constants of the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysParams {
+    /// Clock period: time for one byte on the data channel / one bit on the
+    /// control channel. Default 2.5 ns (400 MHz, OPTOBUS-class).
+    pub clock_period: TimeDelta,
+    /// Propagation delay per metre of fibre (`P` in Equation 1).
+    /// Default 5 ns/m (group index ≈ 1.5).
+    pub prop_per_m: TimeDelta,
+    /// Length of each link in metres (`L` in Equation 1; the paper assumes
+    /// all links equal). Default 10 m (SAN scale).
+    pub link_length_m: f64,
+    /// Fixed per-node processing latency experienced by the circulating
+    /// control packet, *excluding* the serialisation of the node's own
+    /// request bits (those depend on N and are counted by the protocol
+    /// layer). Default 4 clock ticks of combinational/FIFO delay.
+    pub node_proc_ticks: u32,
+}
+
+impl Default for PhysParams {
+    fn default() -> Self {
+        PhysParams {
+            clock_period: TimeDelta::from_ps(2_500),
+            prop_per_m: TimeDelta::from_ps(5_000),
+            link_length_m: 10.0,
+            node_proc_ticks: 4,
+        }
+    }
+}
+
+impl PhysParams {
+    /// OPTOBUS-style defaults at a given link length.
+    pub fn with_link_length(link_length_m: f64) -> Self {
+        PhysParams {
+            link_length_m,
+            ..Default::default()
+        }
+    }
+
+    /// Data-channel bandwidth in bits per second (8 fibres × clock rate).
+    pub fn data_bandwidth_bps(&self) -> f64 {
+        8.0 / self.clock_period.as_secs_f64()
+    }
+
+    /// Control-channel bandwidth in bits per second (1 fibre × clock rate).
+    pub fn control_bandwidth_bps(&self) -> f64 {
+        1.0 / self.clock_period.as_secs_f64()
+    }
+
+    /// Propagation delay across one link.
+    pub fn link_prop(&self) -> TimeDelta {
+        TimeDelta::from_ps((self.prop_per_m.as_ps() as f64 * self.link_length_m).round() as u64)
+    }
+
+    /// Propagation delay across `hops` consecutive links.
+    pub fn hops_prop(&self, hops: u16) -> TimeDelta {
+        self.link_prop() * hops as u64
+    }
+
+    /// Serialisation time for `bytes` on the 8-fibre data channel.
+    pub fn data_tx_time(&self, bytes: u32) -> TimeDelta {
+        self.clock_period * bytes as u64
+    }
+
+    /// Serialisation time for `bits` on the control fibre.
+    pub fn control_tx_time(&self, bits: u32) -> TimeDelta {
+        self.clock_period * bits as u64
+    }
+
+    /// Fixed per-node control-packet processing delay.
+    pub fn node_proc_delay(&self) -> TimeDelta {
+        self.clock_period * self.node_proc_ticks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_optobus_era() {
+        let p = PhysParams::default();
+        // 400 MHz clock → 3.2 Gbit/s data channel, 400 Mbit/s control.
+        assert!((p.data_bandwidth_bps() - 3.2e9).abs() < 1e3);
+        assert!((p.control_bandwidth_bps() - 4.0e8).abs() < 1e2);
+    }
+
+    #[test]
+    fn link_prop_scales_with_length() {
+        let p = PhysParams::with_link_length(100.0);
+        assert_eq!(p.link_prop(), TimeDelta::from_ns(500));
+        assert_eq!(p.hops_prop(3), TimeDelta::from_ns(1_500));
+        assert_eq!(p.hops_prop(0), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn fractional_length_rounds_to_ps() {
+        let p = PhysParams::with_link_length(0.3333);
+        // 0.3333 m * 5000 ps/m = 1666.5 ps → 1667 (round half up)
+        assert_eq!(p.link_prop(), TimeDelta::from_ps(1_667));
+    }
+
+    #[test]
+    fn serialisation_times() {
+        let p = PhysParams::default();
+        assert_eq!(p.data_tx_time(1_024), TimeDelta::from_ns(2_560));
+        assert_eq!(p.control_tx_time(1), TimeDelta::from_ps(2_500));
+        assert_eq!(p.node_proc_delay(), TimeDelta::from_ns(10));
+    }
+}

@@ -1,0 +1,265 @@
+//! Deterministic discrete-event queue.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs. Ties on time
+//! are broken by schedule order (FIFO), which makes simulation runs fully
+//! deterministic. The queue is generic over the event payload `E`, so the
+//! network crates can use plain enums and keep the dispatch loop branchy but
+//! monomorphic — no boxing, no dynamic dispatch on the hot path.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event with its scheduled execution time and tie-break sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// Instant at which the event fires.
+    pub time: SimTime,
+    /// Monotone sequence number; earlier-scheduled events fire first on ties.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    /// Reverse ordering so the std max-heap pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// # Example
+/// ```
+/// use ccr_sim::{EventQueue, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick, Tock }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(10), Ev::Tock);
+/// q.schedule(SimTime::from_ns(5), Ev::Tick);
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_ns(5), Ev::Tick));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+    executed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            executed: 0,
+        }
+    }
+
+    /// Create an empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            executed: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    #[inline]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event), which
+    /// would violate causality.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "attempt to schedule an event in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pop the next event, advancing the simulation clock to its timestamp.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "event queue time went backwards");
+        self.now = s.time;
+        self.executed += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Pop the next event only if it fires at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drop all pending events without touching the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        A(u32),
+        B,
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), Ev::A(3));
+        q.schedule(SimTime::from_ns(10), Ev::A(1));
+        q.schedule(SimTime::from_ns(20), Ev::A(2));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::from_ns(10), Ev::A(1)),
+                (SimTime::from_ns(20), Ev::A(2)),
+                (SimTime::from_ns(30), Ev::A(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(7);
+        for i in 0..100 {
+            q.schedule(t, Ev::A(i));
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, Ev::A(i));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(5), Ev::B);
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(5));
+        assert_eq!(q.executed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), Ev::B);
+        q.pop();
+        q.schedule(SimTime::from_ns(9), Ev::B);
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), Ev::B);
+        q.schedule(SimTime::from_ns(20), Ev::B);
+        assert!(q.pop_until(SimTime::from_ns(15)).is_some());
+        assert!(q.pop_until(SimTime::from_ns(15)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_causality() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), Ev::A(0));
+        let mut fired = vec![];
+        while let Some((t, Ev::A(n))) = q.pop() {
+            fired.push(n);
+            if n < 5 {
+                q.schedule(t + TimeDelta::from_ns(2), Ev::A(n + 1));
+            }
+        }
+        assert_eq!(fired, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(q.now(), SimTime::from_ns(11));
+    }
+
+    #[test]
+    fn clear_empties_pending() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), Ev::B);
+        q.schedule(SimTime::from_ns(2), Ev::B);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! Bursty (two-state on/off) best-effort traffic.
+//!
+//! A Markov-modulated process: in the ON state, messages arrive at a high
+//! Poisson rate; in the OFF state, none arrive. Dwell times in each state
+//! are exponential. Models the "distributed multimedia" style load the
+//! paper lists among its applications (video frames arrive in bursts).
+
+use ccr_edf::message::{Destination, Message};
+use ccr_edf::{NodeId, SimTime, TimeDelta};
+use rand::Rng;
+
+/// On/off burst generator for one (src, dst) stream.
+#[derive(Debug, Clone)]
+pub struct BurstyGen {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Arrival rate during ON periods (messages/s).
+    pub on_rate_per_s: f64,
+    /// Mean ON duration.
+    pub mean_on: TimeDelta,
+    /// Mean OFF duration.
+    pub mean_off: TimeDelta,
+    /// Message size in slots.
+    pub size_slots: u32,
+    /// Relative deadline of each message.
+    pub rel_deadline: TimeDelta,
+}
+
+impl BurstyGen {
+    fn exp_draw(rng: &mut impl Rng, mean_ps: f64) -> TimeDelta {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        TimeDelta::from_ps((-u.ln() * mean_ps).round() as u64)
+    }
+
+    /// Generate arrivals over `[start, start + horizon)`.
+    pub fn schedule(
+        &self,
+        rng: &mut impl Rng,
+        start: SimTime,
+        horizon: TimeDelta,
+    ) -> Vec<(SimTime, Message)> {
+        assert!(self.on_rate_per_s > 0.0);
+        let end = start + horizon;
+        let mut out = Vec::new();
+        let mut t = start;
+        let gap_mean_ps = 1e12 / self.on_rate_per_s;
+        loop {
+            // ON period
+            let on_end = t + Self::exp_draw(rng, self.mean_on.as_ps() as f64);
+            let mut a = t + Self::exp_draw(rng, gap_mean_ps);
+            while a < on_end.min(end) {
+                out.push((
+                    a,
+                    Message::best_effort(
+                        self.src,
+                        Destination::Unicast(self.dst),
+                        self.size_slots,
+                        a,
+                        a + self.rel_deadline,
+                    ),
+                ));
+                a += Self::exp_draw(rng, gap_mean_ps);
+            }
+            t = on_end + Self::exp_draw(rng, self.mean_off.as_ps() as f64);
+            if t >= end || on_end >= end {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_sim::SeedSequence;
+
+    fn gen() -> BurstyGen {
+        BurstyGen {
+            src: NodeId(0),
+            dst: NodeId(3),
+            on_rate_per_s: 200_000.0,
+            mean_on: TimeDelta::from_us(100),
+            mean_off: TimeDelta::from_us(400),
+            size_slots: 2,
+            rel_deadline: TimeDelta::from_us(500),
+        }
+    }
+
+    #[test]
+    fn produces_bursts_with_gaps() {
+        let mut rng = SeedSequence::new(11).stream("burst", 0);
+        let arr = gen().schedule(&mut rng, SimTime::ZERO, TimeDelta::from_ms(20));
+        assert!(arr.len() > 100, "got {}", arr.len());
+        // Duty cycle 0.2 → rate ≈ 40k/s → ~800 in 20 ms; allow wide band.
+        assert!(arr.len() < 2_500);
+        // sortedness
+        assert!(arr.windows(2).all(|w| w[0].0 <= w[1].0));
+        // gap distribution should contain both tiny intra-burst gaps and
+        // large inter-burst gaps
+        let gaps: Vec<u64> = arr.windows(2).map(|w| (w[1].0 - w[0].0).as_ps()).collect();
+        let small = gaps.iter().filter(|&&g| g < 20_000_000).count(); // <20 µs
+        let large = gaps.iter().filter(|&&g| g > 200_000_000).count(); // >200 µs
+        assert!(small > 0 && large > 0, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn respects_window() {
+        let mut rng = SeedSequence::new(11).stream("burst", 1);
+        let start = SimTime::from_ms(3);
+        let arr = gen().schedule(&mut rng, start, TimeDelta::from_ms(5));
+        assert!(arr
+            .iter()
+            .all(|(t, _)| *t >= start && *t < start + TimeDelta::from_ms(5)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |s| {
+            let mut rng = SeedSequence::new(s).stream("burst", 2);
+            gen()
+                .schedule(&mut rng, SimTime::ZERO, TimeDelta::from_ms(5))
+                .len()
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

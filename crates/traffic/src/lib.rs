@@ -1,0 +1,24 @@
+//! # ccr-traffic — deterministic workload generation
+//!
+//! Workload generators for the CCR-EDF experiments: random periodic
+//! connection sets (UUniFast utilisation partitioning), Poisson and bursty
+//! best-effort arrival processes, and the two application scenarios the
+//! paper motivates (radar signal processing, Section 1 / refs \[1]\[2], and
+//! distributed multimedia).
+//!
+//! All generators are pure functions of a [`ccr_sim::SeedSequence`]-derived
+//! RNG, so every experiment is reproducible from one master seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bursty;
+pub mod periodic;
+pub mod poisson;
+pub mod scenarios;
+pub mod uunifast;
+
+pub use bursty::BurstyGen;
+pub use periodic::PeriodicSetBuilder;
+pub use poisson::PoissonGen;
+pub use uunifast::uunifast;

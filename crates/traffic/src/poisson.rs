@@ -1,0 +1,144 @@
+//! Poisson best-effort / non-real-time arrival processes.
+
+use ccr_edf::message::{Destination, Message};
+use ccr_edf::{NodeId, SimTime, TimeDelta};
+use rand::Rng;
+
+/// Generates messages with exponential inter-arrival times, uniformly
+/// random (src, dst) pairs, geometric-ish sizes and uniform relative
+/// deadlines (for best-effort traffic).
+#[derive(Debug, Clone)]
+pub struct PoissonGen {
+    /// Ring size.
+    pub n_nodes: u16,
+    /// Mean arrivals per second (aggregate over the whole ring).
+    pub rate_per_s: f64,
+    /// Message size range in slots (uniform).
+    pub size_slots: (u32, u32),
+    /// Relative deadline range (uniform) for best-effort messages.
+    pub deadline: (TimeDelta, TimeDelta),
+    /// Generate non-real-time (deadline-less) messages instead.
+    pub non_real_time: bool,
+}
+
+impl PoissonGen {
+    /// Best-effort generator with sensible defaults.
+    pub fn best_effort(n_nodes: u16, rate_per_s: f64) -> Self {
+        PoissonGen {
+            n_nodes,
+            rate_per_s,
+            size_slots: (1, 4),
+            deadline: (TimeDelta::from_us(50), TimeDelta::from_ms(1)),
+            non_real_time: false,
+        }
+    }
+
+    /// Non-real-time (bulk) generator.
+    pub fn non_real_time(n_nodes: u16, rate_per_s: f64) -> Self {
+        PoissonGen {
+            non_real_time: true,
+            size_slots: (2, 16),
+            ..Self::best_effort(n_nodes, rate_per_s)
+        }
+    }
+
+    /// Draw one exponential inter-arrival gap.
+    fn gap(&self, rng: &mut impl Rng) -> TimeDelta {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let secs = -u.ln() / self.rate_per_s;
+        TimeDelta::from_ps((secs * 1e12).round() as u64)
+    }
+
+    /// Generate all arrivals in `[start, start + horizon)` as
+    /// `(release, message)` pairs, sorted by release time.
+    pub fn schedule(
+        &self,
+        rng: &mut impl Rng,
+        start: SimTime,
+        horizon: TimeDelta,
+    ) -> Vec<(SimTime, Message)> {
+        assert!(self.n_nodes >= 2);
+        assert!(self.rate_per_s > 0.0);
+        let end = start + horizon;
+        let mut t = start + self.gap(rng);
+        let mut out = Vec::new();
+        while t < end {
+            let src = NodeId(rng.gen_range(0..self.n_nodes));
+            let hops = rng.gen_range(1..self.n_nodes);
+            let dst = NodeId((src.0 + hops) % self.n_nodes);
+            let size = rng.gen_range(self.size_slots.0..=self.size_slots.1);
+            let msg = if self.non_real_time {
+                Message::non_real_time(src, Destination::Unicast(dst), size, t)
+            } else {
+                let dl = rng.gen_range(self.deadline.0.as_ps()..=self.deadline.1.as_ps());
+                Message::best_effort(
+                    src,
+                    Destination::Unicast(dst),
+                    size,
+                    t,
+                    t + TimeDelta::from_ps(dl),
+                )
+            };
+            out.push((t, msg));
+            t += self.gap(rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_sim::SeedSequence;
+
+    #[test]
+    fn rate_is_respected() {
+        let mut rng = SeedSequence::new(5).stream("poi", 0);
+        let g = PoissonGen::best_effort(8, 100_000.0); // 100k msg/s
+        let arr = g.schedule(&mut rng, SimTime::ZERO, TimeDelta::from_ms(50));
+        // expect ~5000 arrivals; loose 3-sigma bound
+        let n = arr.len() as f64;
+        assert!((n - 5_000.0).abs() < 3.0 * 5_000.0_f64.sqrt() + 50.0, "n {n}");
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_window() {
+        let mut rng = SeedSequence::new(5).stream("poi", 1);
+        let g = PoissonGen::best_effort(4, 50_000.0);
+        let start = SimTime::from_ms(1);
+        let arr = g.schedule(&mut rng, start, TimeDelta::from_ms(2));
+        assert!(arr.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(arr.iter().all(|(t, _)| *t >= start && *t < start + TimeDelta::from_ms(2)));
+    }
+
+    #[test]
+    fn messages_valid_and_classed() {
+        let topo = ccr_phys::RingTopology::new(8);
+        let mut rng = SeedSequence::new(5).stream("poi", 2);
+        for (t, m) in PoissonGen::best_effort(8, 10_000.0)
+            .schedule(&mut rng, SimTime::ZERO, TimeDelta::from_ms(10))
+        {
+            m.validate(topo).unwrap();
+            assert_eq!(m.class, ccr_edf::message::TrafficClass::BestEffort);
+            assert_eq!(m.released, t);
+            assert!(m.deadline > t);
+        }
+        for (_, m) in PoissonGen::non_real_time(8, 10_000.0)
+            .schedule(&mut rng, SimTime::ZERO, TimeDelta::from_ms(5))
+        {
+            assert_eq!(m.class, ccr_edf::message::TrafficClass::NonRealTime);
+            assert_eq!(m.deadline, SimTime::MAX);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut rng = SeedSequence::new(5).stream("poi", 3);
+            PoissonGen::best_effort(6, 20_000.0)
+                .schedule(&mut rng, SimTime::ZERO, TimeDelta::from_ms(5))
+                .len()
+        };
+        assert_eq!(run(), run());
+    }
+}

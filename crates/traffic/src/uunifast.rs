@@ -1,0 +1,85 @@
+//! UUniFast utilisation partitioning (Bini & Buttazzo 2005).
+//!
+//! Splits a total utilisation `u_total` into `n` unbiased uniform shares —
+//! the standard way to generate random periodic task/connection sets for
+//! schedulability experiments. Used by [`crate::periodic`] to build
+//! connection sets at a precise offered load.
+
+use rand::Rng;
+
+/// Partition `u_total` into `n` utilisations, uniformly distributed over
+/// the simplex. Returns an empty vec for `n = 0`.
+///
+/// # Panics
+/// Panics if `u_total` is negative or not finite.
+pub fn uunifast(rng: &mut impl Rng, n: usize, u_total: f64) -> Vec<f64> {
+    assert!(u_total >= 0.0 && u_total.is_finite(), "bad utilisation");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut sum = u_total;
+    for i in 1..n {
+        let next = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        out.push(sum - next);
+        sum = next;
+    }
+    out.push(sum);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_sim::SeedSequence;
+
+    #[test]
+    fn partitions_sum_to_total() {
+        let mut rng = SeedSequence::new(1).stream("uuf", 0);
+        for n in [1usize, 2, 5, 50] {
+            let parts = uunifast(&mut rng, n, 0.7);
+            assert_eq!(parts.len(), n);
+            let sum: f64 = parts.iter().sum();
+            assert!((sum - 0.7).abs() < 1e-9, "sum {sum}");
+            assert!(parts.iter().all(|&u| u >= 0.0));
+        }
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let mut rng = SeedSequence::new(1).stream("uuf", 1);
+        assert!(uunifast(&mut rng, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn zero_utilisation() {
+        let mut rng = SeedSequence::new(1).stream("uuf", 2);
+        let parts = uunifast(&mut rng, 4, 0.0);
+        assert!(parts.iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    fn mean_share_is_unbiased() {
+        // Over many draws, each position's share should average u/n.
+        let mut rng = SeedSequence::new(7).stream("uuf", 3);
+        let n = 4;
+        let mut acc = vec![0.0; n];
+        let reps = 4_000;
+        for _ in 0..reps {
+            for (a, u) in acc.iter_mut().zip(uunifast(&mut rng, n, 0.8)) {
+                *a += u;
+            }
+        }
+        for a in &acc {
+            let mean = a / reps as f64;
+            assert!((mean - 0.2).abs() < 0.01, "biased share {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad utilisation")]
+    fn negative_total_rejected() {
+        let mut rng = SeedSequence::new(1).stream("uuf", 4);
+        uunifast(&mut rng, 3, -0.1);
+    }
+}

@@ -1,0 +1,55 @@
+//! CCR-EDF vs CC-FPR head-to-head on identical traffic — a miniature of
+//! experiment E6 (the paper's motivating comparison).
+//!
+//! Run with: `cargo run --release --example protocol_shootout`
+
+use ccr_edf_suite::edf::arbitration::CcrEdfMac;
+use ccr_edf_suite::prelude::*;
+
+fn main() {
+    let n = 16u16;
+    let cfg = NetworkConfig::builder(n)
+        .slot_bytes(2048)
+        .build_auto_slot()
+        .unwrap();
+    let model = AnalyticModel::new(&cfg);
+    let seq = SeedSequence::new(42);
+    let slots = 60_000u64;
+
+    println!("N = {n}, U_max = {:.4} (Eq. 6)\n", model.u_max());
+    println!(
+        "{:>10} | {:>12} {:>12} | {:>12} {:>12}",
+        "load/U_max", "EDF miss%", "FPR miss%", "EDF p99 µs", "FPR p99 µs"
+    );
+
+    for load in [0.2, 0.4, 0.6, 0.8, 0.9, 1.0] {
+        let mut rng = seq
+            .subsequence("load", (load * 100.0) as u64)
+            .stream("traffic", 0);
+        let set = PeriodicSetBuilder::new(n, n as usize * 2, load * model.u_max(), cfg.slot_time())
+            .periods(50, 2000)
+            .generate(&mut rng);
+        let wl = Workload::raw(set);
+        let edf = run_with_mac(cfg.clone(), CcrEdfMac, &wl, slots);
+        let fpr = run_with_mac(cfg.clone(), CcFprMac, &wl, slots);
+        println!(
+            "{:>10.2} | {:>11.3}% {:>11.3}% | {:>12.1} {:>12.1}",
+            load,
+            100.0 * edf.rt_miss_ratio,
+            100.0 * fpr.rt_miss_ratio,
+            edf.rt_latency_p99_us,
+            fpr.rt_latency_p99_us,
+        );
+        if load <= 0.9 {
+            assert!(
+                edf.rt_miss_ratio < 1e-3,
+                "CCR-EDF must be clean below U_max"
+            );
+        }
+    }
+
+    println!(
+        "\nCC-FPR's round-robin clock break and ring-order booking cost it deadlines \
+         well below the load CCR-EDF sustains — the paper's core claim."
+    );
+}

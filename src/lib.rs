@@ -1,0 +1,43 @@
+//! # ccr-edf-suite — umbrella crate for the CCR-EDF reproduction
+//!
+//! Re-exports the whole workspace under one roof so the examples and
+//! integration tests (and downstream users who just want everything) can
+//! depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event engine and statistics;
+//! * [`phys`] — fibre-ribbon ring physical model (Equations 1–2);
+//! * [`edf`] — the CCR-EDF protocol, scheduling framework and services;
+//! * [`fpr`] — the CC-FPR baseline protocol;
+//! * [`traffic`] — workload generators;
+//! * [`netsim`] — the experiment harness (E1–E12).
+//!
+//! ```
+//! use ccr_edf_suite::prelude::*;
+//!
+//! let cfg = NetworkConfig::builder(4).build_auto_slot().unwrap();
+//! let mut net = RingNetwork::new_ccr_edf(cfg);
+//! net.run_slots(100);
+//! assert_eq!(net.metrics().slots.get(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cc_fpr as fpr;
+pub use ccr_edf as edf;
+pub use ccr_netsim as netsim;
+pub use ccr_phys as phys;
+pub use ccr_sim as sim;
+pub use ccr_traffic as traffic;
+
+/// One-stop imports for examples and tests.
+pub mod prelude {
+    pub use cc_fpr::{new_cc_fpr, new_tdma, CcFprAnalysis, CcFprMac, TdmaMac};
+    pub use ccr_edf::prelude::*;
+    pub use ccr_edf::admission::AdmissionPolicy;
+    pub use ccr_netsim::admission_app::AdmissionApp;
+    pub use ccr_netsim::trace::TraceRecorder;
+    pub use ccr_netsim::{expand_periodic, run_with_mac, RunSummary, Workload};
+    pub use ccr_sim::prelude::*;
+    pub use ccr_traffic::scenarios::{MultimediaScenario, RadarScenario};
+    pub use ccr_traffic::{BurstyGen, PeriodicSetBuilder, PoissonGen};
+}
