@@ -26,10 +26,10 @@ use ccr_edf::analysis::AnalyticModel;
 use ccr_edf::config::NetworkConfig;
 use ccr_edf::connection::ConnectionSpec;
 use ccr_sim::TimeDelta;
-use serde::{Deserialize, Serialize};
 
 /// Closed-form CC-FPR bounds for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CcFprAnalysis {
     n_nodes: u16,
     slot: TimeDelta,
@@ -85,10 +85,7 @@ impl CcFprAnalysis {
     /// Pessimistic per-node feasibility test: all of one node's connections
     /// must fit in its guaranteed 1/N share.
     pub fn node_feasible(&self, specs_of_node: &[ConnectionSpec]) -> bool {
-        let u: f64 = specs_of_node
-            .iter()
-            .map(|s| s.utilisation(self.slot))
-            .sum();
+        let u: f64 = specs_of_node.iter().map(|s| s.utilisation(self.slot)).sum();
         u <= self.u_guaranteed() + 1e-12
     }
 

@@ -1,12 +1,12 @@
 //! The CC-FPR medium access protocol.
 
-use ccr_edf::mac::{Desire, Grant, MacProtocol, SlotPlan};
+use ccr_edf::mac::{ArbScratch, Desire, Grant, MacProtocol, SlotPlan};
 use ccr_edf::wire::Request;
 use ccr_phys::{LinkSet, NodeId, RingTopology};
-use serde::{Deserialize, Serialize};
 
 /// CC-FPR: round-robin clocking, node-local greedy booking.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CcFprMac;
 
 impl MacProtocol for CcFprMac {
@@ -51,13 +51,35 @@ impl MacProtocol for CcFprMac {
         topo: RingTopology,
         spatial_reuse: bool,
     ) -> SlotPlan {
-        let next_master = topo.downstream(current_master, 1);
-        let mut grants = Vec::new();
+        let mut out = SlotPlan::idle(current_master);
+        let mut scratch = ArbScratch::default();
+        self.arbitrate_into(
+            requests,
+            current_master,
+            topo,
+            spatial_reuse,
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
+    fn arbitrate_into(
+        &self,
+        requests: &[Request],
+        current_master: NodeId,
+        topo: RingTopology,
+        spatial_reuse: bool,
+        _scratch: &mut ArbScratch,
+        out: &mut SlotPlan,
+    ) {
+        out.grants.clear();
+        out.next_master = topo.downstream(current_master, 1);
         for pos in 0..topo.n_nodes() {
             let nid = topo.downstream(current_master, pos);
             let r = &requests[nid.idx()];
             if r.wants_tx() {
-                grants.push(Grant {
+                out.grants.push(Grant {
                     node: nid,
                     links: r.links,
                     dests: r.dests,
@@ -69,17 +91,12 @@ impl MacProtocol for CcFprMac {
         }
         // hp-node is reported for observability (highest priority seen),
         // though CC-FPR does not act on it.
-        let hp_node = requests
+        out.hp_node = requests
             .iter()
             .enumerate()
             .filter(|(_, r)| r.wants_tx())
             .max_by_key(|(i, r)| (r.priority, std::cmp::Reverse(*i)))
             .map(|(i, _)| NodeId(i as u16));
-        SlotPlan {
-            grants,
-            next_master,
-            hp_node,
-        }
     }
 
     /// CC-FPR rotates the master every slot, independent of traffic.
@@ -127,13 +144,7 @@ mod tests {
         // the system, 0 → 2 (links 0,1), crosses the break → cannot book.
         let t = topo(4);
         let d = desire(t, 0, 2, 31);
-        let r = CcFprMac.make_request(
-            NodeId(0),
-            Some(d),
-            LinkSet::EMPTY,
-            Some(NodeId(1)),
-            t,
-        );
+        let r = CcFprMac.make_request(NodeId(0), Some(d), LinkSet::EMPTY, Some(NodeId(1)), t);
         assert_eq!(r, Request::IDLE, "urgent message silenced by clock break");
     }
 

@@ -18,10 +18,10 @@
 use ccr_edf::mac::{Desire, Grant, MacProtocol, SlotPlan};
 use ccr_edf::wire::Request;
 use ccr_phys::{LinkSet, NodeId, RingTopology};
-use serde::{Deserialize, Serialize};
 
 /// Static TDMA: slot k+1 belongs to the node after slot k's owner.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TdmaMac;
 
 impl MacProtocol for TdmaMac {
@@ -175,12 +175,7 @@ mod tests {
         // successor, so ~5 dead slots pass first
         net.submit_message(
             SimTime::ZERO,
-            Message::non_real_time(
-                NodeId(5),
-                Destination::Unicast(NodeId(6)),
-                1,
-                SimTime::ZERO,
-            ),
+            Message::non_real_time(NodeId(5), Destination::Unicast(NodeId(6)), 1, SimTime::ZERO),
         );
         let mut delivered_at = None;
         for s in 0..20 {
@@ -190,6 +185,9 @@ mod tests {
             }
         }
         let s = delivered_at.expect("delivered");
-        assert!(s >= 4, "TDMA made the urgent message wait its turn: slot {s}");
+        assert!(
+            s >= 4,
+            "TDMA made the urgent message wait its turn: slot {s}"
+        );
     }
 }

@@ -121,12 +121,7 @@ fn ring_order_beats_deadline_order_under_cc_fpr() {
     let urgent_id = net.submit_message(SimTime::ZERO, urgent);
     let mut order = vec![];
     for _ in 0..30 {
-        order.extend(
-            net.step_slot()
-                .deliveries
-                .iter()
-                .map(|d| d.msg.id),
-        );
+        order.extend(net.step_slot().deliveries.iter().map(|d| d.msg.id));
         if order.len() == 2 {
             break;
         }

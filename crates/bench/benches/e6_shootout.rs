@@ -3,8 +3,8 @@
 //! Times the full (quick-mode) regeneration of the experiment's tables;
 //! the rendered tables themselves come from `ccr-experiments e6`.
 
+use ccr_bench::harness::{criterion_group, criterion_main, Criterion};
 use ccr_netsim::experiments::{e06_shootout, ExpOptions};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6");

@@ -1,6 +1,7 @@
 //! Protocol microbenchmarks: the hot kernels of the simulator.
 
 use cc_fpr::{CcFprMac, TdmaMac};
+use ccr_bench::harness::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use ccr_bench::{bench_config, loaded_network};
 use ccr_edf::arbitration::{CcrEdfMac, CcrEdfRotatingMac};
 use ccr_edf::mac::MacProtocol;
@@ -10,7 +11,6 @@ use ccr_edf::queues::NodeQueues;
 use ccr_edf::wire::{CollectionPacket, NodeSet, Request, ServiceWireConfig};
 use ccr_edf::{LinkSet, NodeId, RingTopology, SimTime};
 use ccr_sim::stats::Histogram;
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 
 fn requests_for(n: u16, density: f64) -> Vec<Request> {
     let topo = RingTopology::new(n);
@@ -158,15 +158,43 @@ fn bench_admission(c: &mut Criterion) {
     let slot = cfg.slot_time();
     let set: Vec<ccr_edf::connection::ConnectionSpec> = (0..20u64)
         .map(|i| {
-            ccr_edf::connection::ConnectionSpec::unicast(NodeId((i % 16) as u16), NodeId(((i + 1) % 16) as u16))
-                .period(slot * (100 + i * 10))
-                .size_slots(2)
-                .deadline(slot * (50 + i * 5))
+            ccr_edf::connection::ConnectionSpec::unicast(
+                NodeId((i % 16) as u16),
+                NodeId(((i + 1) % 16) as u16),
+            )
+            .period(slot * (100 + i * 10))
+            .size_slots(2)
+            .deadline(slot * (50 + i * 5))
         })
         .collect();
     c.bench_function("dbf_feasible_20conns", |b| {
         b.iter(|| ccr_edf::dbf::feasible(black_box(&model), black_box(&set)))
     });
+}
+
+fn bench_parallel_map(c: &mut Criterion) {
+    use ccr_netsim::sweep::{parallel_map, parallel_map_chunked};
+    // The sweep workload: one short simulation per input, the shape every
+    // experiment's parameter sweep has. Compares the per-item atomic
+    // cursor against chunked stealing (see ccr_netsim::sweep docs).
+    let mut g = c.benchmark_group("parallel_map");
+    g.sample_size(10);
+    let inputs: Vec<u64> = (0..32).collect();
+    let work = |seed: &u64| {
+        let mut net = loaded_network(8, 0.5, *seed);
+        net.run_slots(200);
+        net.metrics().delivered.get()
+    };
+    g.bench_function("sweep32_per_item", |b| {
+        b.iter(|| parallel_map(black_box(inputs.clone()), 4, work))
+    });
+    g.bench_function("sweep32_chunk4", |b| {
+        b.iter(|| parallel_map_chunked(black_box(inputs.clone()), 4, 4, work))
+    });
+    g.bench_function("sweep32_chunk8", |b| {
+        b.iter(|| parallel_map_chunked(black_box(inputs.clone()), 4, 8, work))
+    });
+    g.finish();
 }
 
 fn bench_class_queue_types(c: &mut Criterion) {
@@ -234,6 +262,7 @@ criterion_group!(
     bench_priority_mapping,
     bench_histogram,
     bench_admission,
+    bench_parallel_map,
     bench_class_queue_types,
 );
 criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Slot-engine throughput baseline: measures simulated slots per
+//! wall-clock second and records the numbers in `BENCH_slot_engine.json`
+//! at the repository root.
+//!
+//! Three scenarios, all N = 16, 10⁶ slots:
+//!
+//! * `reference_n16_u080` — an admitted periodic set at ≈ 0.8 · U_max
+//!   (the loaded steady state most experiments run in);
+//! * `idle_sparse_n16`   — four long-period connections, so > 99 % of
+//!   slots are idle (the regime the idle-slot fast-forward targets);
+//! * `pure_idle_n16`     — no traffic at all.
+//!
+//! The file keeps two sections: `baseline` (the first numbers ever
+//! recorded — the pre-optimisation engine) and `current` (refreshed on
+//! every run). Re-running never overwrites `baseline`; delete the file to
+//! re-seed it. JSON is written and re-read by hand so the tool works in
+//! the dependency-free workspace.
+
+use ccr_bench::{bench_config, loaded_network};
+use ccr_edf::connection::ConnectionSpec;
+use ccr_edf::network::RingNetwork;
+use ccr_edf::NodeId;
+
+const SLOTS: u64 = 1_000_000;
+const OUT_FILE: &str = "BENCH_slot_engine.json";
+
+struct Scenario {
+    name: &'static str,
+    build: fn() -> RingNetwork,
+}
+
+fn reference() -> RingNetwork {
+    loaded_network(16, 0.8, 42)
+}
+
+/// Four unicast connections with a 1 000-slot period: the network is idle
+/// in the overwhelming majority of slots.
+fn idle_sparse() -> RingNetwork {
+    let cfg = bench_config(16);
+    let slot = cfg.slot_time();
+    let mut net = RingNetwork::new_ccr_edf(cfg);
+    for i in 0..4u16 {
+        let spec = ConnectionSpec::unicast(NodeId(i * 4), NodeId(i * 4 + 2))
+            .period(slot * 1_000)
+            .size_slots(1);
+        net.open_connection(spec).expect("sparse set admits");
+    }
+    net
+}
+
+fn pure_idle() -> RingNetwork {
+    RingNetwork::new_ccr_edf(bench_config(16))
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "reference_n16_u080",
+        build: reference,
+    },
+    Scenario {
+        name: "idle_sparse_n16",
+        build: idle_sparse,
+    },
+    Scenario {
+        name: "pure_idle_n16",
+        build: pure_idle,
+    },
+];
+
+fn measure(s: &Scenario) -> f64 {
+    let mut net = (s.build)();
+    // Warm-up: let buffers reach steady-state capacity before timing.
+    net.run_slots(10_000);
+    let before = net.throughput();
+    net.run_slots(SLOTS);
+    let after = net.throughput();
+    let slots = after.slots - before.slots;
+    let nanos = after.wall_nanos - before.wall_nanos;
+    slots as f64 * 1e9 / nanos as f64
+}
+
+/// Extract the `"baseline": { ... }` object from a previous report, if any.
+fn existing_baseline(text: &str) -> Option<String> {
+    let key = "\"baseline\":";
+    let start = text.find(key)? + key.len();
+    let open = start + text[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn section(results: &[(&str, f64)]) -> String {
+    let body: Vec<String> = results
+        .iter()
+        .map(|(name, v)| format!("    \"{name}\": {v:.0}"))
+        .collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+/// Pull one `"name": value` number out of a JSON object string.
+fn field(obj: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let start = obj.find(&key)? + key.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    for s in SCENARIOS {
+        eprintln!("running {} ({SLOTS} slots)…", s.name);
+        let rate = measure(s);
+        eprintln!("  {:>12.0} slots/s", rate);
+        results.push((s.name, rate));
+    }
+
+    let current = section(&results);
+    let baseline = std::fs::read_to_string(OUT_FILE)
+        .ok()
+        .and_then(|t| existing_baseline(&t))
+        .unwrap_or_else(|| current.clone());
+
+    let speedups: Vec<String> = results
+        .iter()
+        .filter_map(|(name, cur)| {
+            let base = field(&baseline, name)?;
+            Some(format!("    \"{name}\": {:.2}", cur / base))
+        })
+        .collect();
+
+    let report = format!(
+        "{{\n  \"bench\": \"slot_engine\",\n  \"unit\": \"slots_per_wall_second\",\n  \
+         \"slots_per_scenario\": {SLOTS},\n  \"baseline\": {baseline},\n  \
+         \"current\": {current},\n  \"speedup_vs_baseline\": {{\n{}\n  }}\n}}\n",
+        speedups.join(",\n")
+    );
+    std::fs::write(OUT_FILE, &report).expect("write report");
+    println!("{report}");
+}

@@ -1,10 +1,17 @@
-//! # ccr-bench — shared helpers for the Criterion benchmark harness.
+//! # ccr-bench — shared helpers and the benchmark harness.
 //!
 //! One bench target per reproduced table/figure (`benches/eXX_*.rs`) plus
 //! protocol microbenchmarks (`benches/microbench.rs`). Each experiment
 //! bench times the computational kernel that regenerates the corresponding
 //! table; the tables themselves are produced by the `ccr-experiments`
 //! binary (see EXPERIMENTS.md).
+//!
+//! The [`harness`] module is a minimal, dependency-free replacement for the
+//! Criterion API surface the benches use (the workspace builds with no
+//! registry access): `Criterion`, benchmark groups, `iter`/`iter_batched`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+
+pub mod harness;
 
 use ccr_edf::config::NetworkConfig;
 use ccr_edf::connection::ConnectionSpec;

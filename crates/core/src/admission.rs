@@ -13,11 +13,11 @@ use crate::analysis::AnalyticModel;
 use crate::connection::{ConnectionId, ConnectionSpec};
 use crate::dbf;
 use ccr_phys::RingTopology;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Which feasibility test the controller runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AdmissionPolicy {
     /// The paper's Equation 5 utilisation test. Exact for implicit
     /// deadlines (D = P); **unsound** for constrained deadlines (D < P),
@@ -31,7 +31,8 @@ pub enum AdmissionPolicy {
 }
 
 /// Why a connection request was rejected.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AdmissionError {
     /// Admitting would push utilisation above `U_max`.
     Overload {
@@ -247,10 +248,7 @@ mod tests {
     fn invalid_spec_rejected() {
         let mut c = controller();
         let bad = ConnectionSpec::unicast(NodeId(0), NodeId(0));
-        assert!(matches!(
-            c.admit(&bad),
-            Err(AdmissionError::InvalidSpec(_))
-        ));
+        assert!(matches!(c.admit(&bad), Err(AdmissionError::InvalidSpec(_))));
     }
 
     #[test]
@@ -295,11 +293,8 @@ mod tests {
         util.admit(&tight(1)).unwrap();
         util.admit(&tight(2)).unwrap();
         // …the demand-bound policy refuses the second.
-        let mut dbf_ctl = AdmissionController::with_policy(
-            model,
-            cfg.topology(),
-            AdmissionPolicy::DemandBound,
-        );
+        let mut dbf_ctl =
+            AdmissionController::with_policy(model, cfg.topology(), AdmissionPolicy::DemandBound);
         assert_eq!(dbf_ctl.policy(), AdmissionPolicy::DemandBound);
         dbf_ctl.admit(&tight(1)).unwrap();
         let err = dbf_ctl.admit(&tight(2)).unwrap_err();
@@ -319,11 +314,8 @@ mod tests {
                 .period(slot * 20)
                 .size_slots(2) // u = 0.1
         };
-        let mut ctl = AdmissionController::with_policy(
-            model,
-            cfg.topology(),
-            AdmissionPolicy::DemandBound,
-        );
+        let mut ctl =
+            AdmissionController::with_policy(model, cfg.topology(), AdmissionPolicy::DemandBound);
         for _ in 0..8 {
             ctl.admit(&mk()).unwrap(); // up to 0.8 — fine under both tests
         }

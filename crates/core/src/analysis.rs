@@ -18,10 +18,10 @@ use crate::config::NetworkConfig;
 use crate::connection::ConnectionSpec;
 use ccr_phys::TimingModel;
 use ccr_sim::TimeDelta;
-use serde::{Deserialize, Serialize};
 
 /// Analytic model for one network configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyticModel {
     timing: TimingModel,
     slot: TimeDelta,

@@ -9,13 +9,13 @@
 //! master never uses. This is what removes the priority inversion of
 //! CC-FPR (Section 1).
 
-use crate::mac::{Desire, Grant, MacProtocol, SlotPlan};
+use crate::mac::{ArbScratch, Desire, Grant, MacProtocol, SlotPlan};
 use crate::wire::Request;
 use ccr_phys::{LinkSet, NodeId, RingTopology};
-use serde::{Deserialize, Serialize};
 
 /// The CCR-EDF medium access protocol.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CcrEdfMac;
 
 impl CcrEdfMac {
@@ -23,42 +23,54 @@ impl CcrEdfMac {
     /// "the requests are processed … sorted … In the event priority ties
     /// the index of the node resolves the tie."
     pub fn sorted_requesters(requests: &[Request]) -> Vec<NodeId> {
-        let mut order: Vec<NodeId> = requests
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.wants_tx())
-            .map(|(i, _)| NodeId(i as u16))
-            .collect();
-        order.sort_by(|a, b| {
+        let mut order = Vec::new();
+        Self::sorted_requesters_into(requests, &mut order);
+        order
+    }
+
+    /// Allocation-free variant of [`CcrEdfMac::sorted_requesters`]: fills
+    /// `order` in place, reusing its capacity. `sort_unstable_by` keeps the
+    /// sort itself off the heap (the stable sort allocates a merge buffer).
+    pub fn sorted_requesters_into(requests: &[Request], order: &mut Vec<NodeId>) {
+        order.clear();
+        order.extend(
+            requests
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.wants_tx())
+                .map(|(i, _)| NodeId(i as u16)),
+        );
+        order.sort_unstable_by(|a, b| {
             requests[b.idx()]
                 .priority
                 .cmp(&requests[a.idx()].priority)
                 .then(a.0.cmp(&b.0))
         });
-        order
     }
 }
 
 /// Shared grant routine: given requesters in arbitration order, hand the
 /// clock to the first and grant greedily under the clock-break and
 /// disjointness constraints.
-fn grant_in_order(
+fn grant_in_order_into(
     order: &[NodeId],
     requests: &[Request],
     current_master: NodeId,
     topo: RingTopology,
     spatial_reuse: bool,
-) -> SlotPlan {
+    out: &mut SlotPlan,
+) {
     let Some(&hp) = order.first() else {
         // Nobody has anything to send: the master keeps the clock.
-        return SlotPlan::idle(current_master);
+        out.reset_idle(current_master);
+        return;
     };
 
     // Clock break of the coming slot: the link entering the new master
     // carries no clock, so no granted transmission may use it.
     let break_link = topo.ingress(hp);
     let mut used = LinkSet::single(break_link);
-    let mut grants = Vec::new();
+    out.grants.clear();
 
     for &n in order {
         let r = &requests[n.idx()];
@@ -67,7 +79,7 @@ fn grant_in_order(
             "transmission request without links from {n}"
         );
         if r.links.is_disjoint(used) {
-            grants.push(Grant {
+            out.grants.push(Grant {
                 node: n,
                 links: r.links,
                 dests: r.dests,
@@ -80,16 +92,13 @@ fn grant_in_order(
     }
 
     debug_assert_eq!(
-        grants.first().map(|g| g.node),
+        out.grants.first().map(|g| g.node),
         Some(hp),
         "highest-priority request must always be granted"
     );
 
-    SlotPlan {
-        grants,
-        next_master: hp,
-        hp_node: Some(hp),
-    }
+    out.next_master = hp;
+    out.hp_node = Some(hp);
 }
 
 impl MacProtocol for CcrEdfMac {
@@ -119,8 +128,37 @@ impl MacProtocol for CcrEdfMac {
         topo: RingTopology,
         spatial_reuse: bool,
     ) -> SlotPlan {
-        let order = Self::sorted_requesters(requests);
-        grant_in_order(&order, requests, current_master, topo, spatial_reuse)
+        let mut out = SlotPlan::idle(current_master);
+        let mut scratch = ArbScratch::default();
+        self.arbitrate_into(
+            requests,
+            current_master,
+            topo,
+            spatial_reuse,
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
+    fn arbitrate_into(
+        &self,
+        requests: &[Request],
+        current_master: NodeId,
+        topo: RingTopology,
+        spatial_reuse: bool,
+        scratch: &mut ArbScratch,
+        out: &mut SlotPlan,
+    ) {
+        Self::sorted_requesters_into(requests, &mut scratch.order);
+        grant_in_order_into(
+            &scratch.order,
+            requests,
+            current_master,
+            topo,
+            spatial_reuse,
+            out,
+        );
     }
 }
 
@@ -131,26 +169,44 @@ impl MacProtocol for CcrEdfMac {
 /// equal-priority requests collide; rotating the tie-break with the master
 /// restores long-run fairness at zero wire cost (the master already knows
 /// its own position).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CcrEdfRotatingMac;
 
 impl CcrEdfRotatingMac {
     /// Sort requesting nodes by (priority desc, downstream distance from
     /// the current master asc).
-    pub fn sorted_requesters(requests: &[Request], master: NodeId, topo: RingTopology) -> Vec<NodeId> {
-        let mut order: Vec<NodeId> = requests
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.wants_tx())
-            .map(|(i, _)| NodeId(i as u16))
-            .collect();
-        order.sort_by(|a, b| {
+    pub fn sorted_requesters(
+        requests: &[Request],
+        master: NodeId,
+        topo: RingTopology,
+    ) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        Self::sorted_requesters_into(requests, master, topo, &mut order);
+        order
+    }
+
+    /// Allocation-free variant of [`CcrEdfRotatingMac::sorted_requesters`].
+    pub fn sorted_requesters_into(
+        requests: &[Request],
+        master: NodeId,
+        topo: RingTopology,
+        order: &mut Vec<NodeId>,
+    ) {
+        order.clear();
+        order.extend(
+            requests
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.wants_tx())
+                .map(|(i, _)| NodeId(i as u16)),
+        );
+        order.sort_unstable_by(|a, b| {
             requests[b.idx()]
                 .priority
                 .cmp(&requests[a.idx()].priority)
                 .then(topo.hops(master, *a).cmp(&topo.hops(master, *b)))
         });
-        order
     }
 }
 
@@ -177,8 +233,37 @@ impl MacProtocol for CcrEdfRotatingMac {
         topo: RingTopology,
         spatial_reuse: bool,
     ) -> SlotPlan {
-        let order = Self::sorted_requesters(requests, current_master, topo);
-        grant_in_order(&order, requests, current_master, topo, spatial_reuse)
+        let mut out = SlotPlan::idle(current_master);
+        let mut scratch = ArbScratch::default();
+        self.arbitrate_into(
+            requests,
+            current_master,
+            topo,
+            spatial_reuse,
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
+    fn arbitrate_into(
+        &self,
+        requests: &[Request],
+        current_master: NodeId,
+        topo: RingTopology,
+        spatial_reuse: bool,
+        scratch: &mut ArbScratch,
+        out: &mut SlotPlan,
+    ) {
+        Self::sorted_requesters_into(requests, current_master, topo, &mut scratch.order);
+        grant_in_order_into(
+            &scratch.order,
+            requests,
+            current_master,
+            topo,
+            spatial_reuse,
+            out,
+        );
     }
 }
 

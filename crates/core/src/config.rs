@@ -13,11 +13,11 @@ use crate::priority::MapperKind;
 use crate::wire::{self, ServiceWireConfig};
 use ccr_phys::{LinkId, NodeId, PhysParams, RingTopology, TimingModel};
 use ccr_sim::TimeDelta;
-use serde::{Deserialize, Serialize};
 
 /// Fault-injection parameters (Section 8 "future work", implemented here as
 /// an extension — see DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultConfig {
     /// Probability that a slot's distribution packet is lost (clock/token
     /// loss). Recovered by the designated restart node after
@@ -90,7 +90,8 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Complete, validated configuration of one ring network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkConfig {
     /// Number of nodes (2..=64).
     pub n_nodes: u16,
@@ -401,9 +402,15 @@ mod tests {
 
     #[test]
     fn too_short_slot_rejected_with_fix() {
-        let err = NetworkConfig::builder(16).slot_bytes(10).build().unwrap_err();
+        let err = NetworkConfig::builder(16)
+            .slot_bytes(10)
+            .build()
+            .unwrap_err();
         match err {
-            ConfigError::SlotTooShort { got_bytes, need_bytes } => {
+            ConfigError::SlotTooShort {
+                got_bytes,
+                need_bytes,
+            } => {
                 assert_eq!(got_bytes, 10);
                 assert!(need_bytes > 10);
                 // and the suggested size works
@@ -419,7 +426,10 @@ mod tests {
 
     #[test]
     fn build_auto_slot_fixes_size() {
-        let cfg = NetworkConfig::builder(32).slot_bytes(1).build_auto_slot().unwrap();
+        let cfg = NetworkConfig::builder(32)
+            .slot_bytes(1)
+            .build_auto_slot()
+            .unwrap();
         assert_eq!(cfg.slot_bytes, cfg.min_feasible_slot_bytes());
     }
 
@@ -456,8 +466,14 @@ mod tests {
 
     #[test]
     fn longer_links_need_longer_slots() {
-        let short = NetworkConfig::builder(8).link_length_m(1.0).build().unwrap();
-        let long = NetworkConfig::builder(8).link_length_m(500.0).build_auto_slot().unwrap();
+        let short = NetworkConfig::builder(8)
+            .link_length_m(1.0)
+            .build()
+            .unwrap();
+        let long = NetworkConfig::builder(8)
+            .link_length_m(500.0)
+            .build_auto_slot()
+            .unwrap();
         assert!(long.min_feasible_slot_bytes() > short.min_feasible_slot_bytes());
     }
 

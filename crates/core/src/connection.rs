@@ -9,14 +9,15 @@
 use crate::message::Destination;
 use ccr_phys::{NodeId, RingTopology};
 use ccr_sim::{SimTime, TimeDelta};
-use serde::{Deserialize, Serialize};
 
 /// Identity of an admitted logical real-time connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnectionId(pub u64);
 
 /// The parameters a user supplies when requesting a connection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConnectionSpec {
     /// Sending node.
     pub src: NodeId,
@@ -132,7 +133,8 @@ impl ConnectionSpec {
 }
 
 /// An admitted, active connection with its release bookkeeping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Connection {
     /// Identity assigned at admission.
     pub id: ConnectionId,
@@ -201,14 +203,16 @@ mod tests {
         let ok = ConnectionSpec::unicast(NodeId(0), NodeId(2));
         assert!(ok.validate(t).is_ok());
         assert!(ok.clone().size_slots(0).validate(t).is_err());
-        assert!(ok
-            .clone()
-            .period(TimeDelta::ZERO)
+        assert!(ok.clone().period(TimeDelta::ZERO).validate(t).is_err());
+        assert!(ConnectionSpec::unicast(NodeId(0), NodeId(0))
             .validate(t)
             .is_err());
-        assert!(ConnectionSpec::unicast(NodeId(0), NodeId(0)).validate(t).is_err());
-        assert!(ConnectionSpec::unicast(NodeId(7), NodeId(0)).validate(t).is_err());
-        assert!(ConnectionSpec::multicast(NodeId(0), vec![]).validate(t).is_err());
+        assert!(ConnectionSpec::unicast(NodeId(7), NodeId(0))
+            .validate(t)
+            .is_err());
+        assert!(ConnectionSpec::multicast(NodeId(0), vec![])
+            .validate(t)
+            .is_err());
         assert!(ConnectionSpec::broadcast(NodeId(3)).validate(t).is_ok());
     }
 
@@ -216,9 +220,21 @@ mod tests {
     fn constrained_deadline_validation() {
         let t = RingTopology::new(4);
         let base = ConnectionSpec::unicast(NodeId(0), NodeId(2)).period(TimeDelta::from_us(100));
-        assert!(base.clone().deadline(TimeDelta::from_us(50)).validate(t).is_ok());
-        assert!(base.clone().deadline(TimeDelta::from_us(100)).validate(t).is_ok());
-        assert!(base.clone().deadline(TimeDelta::from_us(101)).validate(t).is_err());
+        assert!(base
+            .clone()
+            .deadline(TimeDelta::from_us(50))
+            .validate(t)
+            .is_ok());
+        assert!(base
+            .clone()
+            .deadline(TimeDelta::from_us(100))
+            .validate(t)
+            .is_ok());
+        assert!(base
+            .clone()
+            .deadline(TimeDelta::from_us(101))
+            .validate(t)
+            .is_err());
         assert!(base.clone().deadline(TimeDelta::ZERO).validate(t).is_err());
         assert_eq!(base.effective_deadline(), TimeDelta::from_us(100));
         assert_eq!(

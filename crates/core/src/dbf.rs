@@ -226,7 +226,11 @@ mod tests {
     fn constrained_but_spread_deadlines_feasible() {
         // Same utilisation, but the deadlines are staggered wide enough.
         let set = vec![spec(20, 5, Some(10)), spec(20, 5, Some(20))];
-        assert!(feasible(&model(), &set).is_feasible(), "{:?}", feasible(&model(), &set));
+        assert!(
+            feasible(&model(), &set).is_feasible(),
+            "{:?}",
+            feasible(&model(), &set)
+        );
     }
 
     #[test]
@@ -262,7 +266,12 @@ mod tests {
             .size_slots(1);
         let v = feasible(&m, std::slice::from_ref(&s));
         assert!(
-            matches!(v, DbfVerdict::HorizonTooLarge | DbfVerdict::UtilisationExceeded | DbfVerdict::Overrun { .. }),
+            matches!(
+                v,
+                DbfVerdict::HorizonTooLarge
+                    | DbfVerdict::UtilisationExceeded
+                    | DbfVerdict::Overrun { .. }
+            ),
             "expected conservative outcome, got {v:?}"
         );
     }

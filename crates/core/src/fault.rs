@@ -10,10 +10,10 @@
 //! empty slot.
 
 use ccr_phys::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// State machine for clock-loss recovery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClockRecovery {
     /// Normal operation.
     #[default]

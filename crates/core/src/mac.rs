@@ -17,11 +17,11 @@
 use crate::priority::Priority;
 use crate::wire::{NodeSet, Request};
 use ccr_phys::{LinkSet, NodeId, RingTopology};
-use serde::{Deserialize, Serialize};
 
 /// What a node wants to transmit in the next slot (derived from the head of
 /// its queues by [`crate::node::Node::desire`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Desire {
     /// Mapped request priority (Table 1).
     pub priority: Priority,
@@ -32,7 +32,8 @@ pub struct Desire {
 }
 
 /// One granted transmission for the coming slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grant {
     /// The transmitting node.
     pub node: NodeId,
@@ -43,7 +44,8 @@ pub struct Grant {
 }
 
 /// The master's decision for the coming slot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlotPlan {
     /// Granted transmissions, in grant order (highest priority first).
     pub grants: Vec<Grant>,
@@ -64,10 +66,26 @@ impl SlotPlan {
         }
     }
 
+    /// Reset in place to the idle plan, keeping the grant buffer's
+    /// capacity (the allocation-free counterpart of [`SlotPlan::idle`]).
+    pub fn reset_idle(&mut self, master: NodeId) {
+        self.grants.clear();
+        self.next_master = master;
+        self.hp_node = None;
+    }
+
     /// The grant for `node`, if present.
     pub fn grant_for(&self, node: NodeId) -> Option<&Grant> {
         self.grants.iter().find(|g| g.node == node)
     }
+}
+
+/// Reusable working memory for [`MacProtocol::arbitrate_into`], owned by
+/// the slot engine so steady-state arbitration performs no allocations.
+#[derive(Debug, Default)]
+pub struct ArbScratch {
+    /// Requesting nodes in arbitration order (filled by the protocol).
+    pub order: Vec<NodeId>,
 }
 
 /// A medium-access protocol for the fibre-ribbon ring.
@@ -100,6 +118,23 @@ pub trait MacProtocol: std::fmt::Debug + Send {
         topo: RingTopology,
         spatial_reuse: bool,
     ) -> SlotPlan;
+
+    /// Allocation-free arbitration: write the decision into `out`, using
+    /// `scratch` for working memory. The slot engine calls this every slot
+    /// with reused buffers; protocols should override it to avoid heap
+    /// traffic on the hot path. The default delegates to
+    /// [`MacProtocol::arbitrate`] (correct, but allocates a fresh plan).
+    fn arbitrate_into(
+        &self,
+        requests: &[Request],
+        current_master: NodeId,
+        topo: RingTopology,
+        spatial_reuse: bool,
+        _scratch: &mut ArbScratch,
+        out: &mut SlotPlan,
+    ) {
+        *out = self.arbitrate(requests, current_master, topo, spatial_reuse);
+    }
 
     /// The pre-determined next master, when the protocol rotates the clock
     /// independently of traffic (CC-FPR). `None` means "decided by

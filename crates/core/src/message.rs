@@ -9,10 +9,10 @@
 use crate::connection::ConnectionId;
 use ccr_phys::{NodeId, RingTopology};
 use ccr_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// The three user-traffic classes of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficClass {
     /// Messages of an admitted logical real-time connection (levels 17–31).
     RealTime,
@@ -34,11 +34,13 @@ impl TrafficClass {
 }
 
 /// Unique message identity (assigned by the network on submission).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MessageId(pub u64);
 
 /// Where a message is going.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Destination {
     /// One receiver.
     Unicast(NodeId),
@@ -58,13 +60,26 @@ impl Destination {
         }
     }
 
+    /// The receivers as a bitmask — the allocation-free counterpart of
+    /// [`Destination::receivers`], used on the per-slot hot path.
+    pub fn dest_set(&self, topo: RingTopology, src: NodeId) -> crate::wire::NodeSet {
+        use crate::wire::NodeSet;
+        match self {
+            Destination::Unicast(d) => NodeSet::single(*d),
+            Destination::Multicast(ds) => ds.iter().copied().collect(),
+            Destination::Broadcast => {
+                let n = topo.n_nodes();
+                let all = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+                NodeSet(all & !(1u64 << src.0))
+            }
+        }
+    }
+
     /// Number of downstream hops to the furthest receiver.
     pub fn span_hops(&self, topo: RingTopology, src: NodeId) -> u16 {
         match self {
             Destination::Unicast(d) => topo.hops(src, *d),
-            Destination::Multicast(ds) => {
-                ds.iter().map(|d| topo.hops(src, *d)).max().unwrap_or(0)
-            }
+            Destination::Multicast(ds) => ds.iter().map(|d| topo.hops(src, *d)).max().unwrap_or(0),
             Destination::Broadcast => topo.n_nodes() - 1,
         }
     }
@@ -74,7 +89,10 @@ impl Destination {
     pub fn validate(&self, topo: RingTopology, src: NodeId) -> Result<(), String> {
         let check = |d: &NodeId| -> Result<(), String> {
             if d.0 >= topo.n_nodes() {
-                Err(format!("destination {d} outside ring of {}", topo.n_nodes()))
+                Err(format!(
+                    "destination {d} outside ring of {}",
+                    topo.n_nodes()
+                ))
             } else if *d == src {
                 Err(format!("destination {d} equals source"))
             } else {
@@ -83,9 +101,7 @@ impl Destination {
         };
         match self {
             Destination::Unicast(d) => check(d),
-            Destination::Multicast(ds) if ds.is_empty() => {
-                Err("empty multicast set".to_string())
-            }
+            Destination::Multicast(ds) if ds.is_empty() => Err("empty multicast set".to_string()),
             Destination::Multicast(ds) => ds.iter().try_for_each(check),
             Destination::Broadcast => Ok(()),
         }
@@ -93,7 +109,8 @@ impl Destination {
 }
 
 /// A message queued for transmission.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Message {
     /// Identity (set by the network; `MessageId(u64::MAX)` until submitted).
     pub id: MessageId,
@@ -230,10 +247,7 @@ mod tests {
             Destination::Unicast(NodeId(3)).receivers(t, NodeId(1)),
             vec![NodeId(3)]
         );
-        assert_eq!(
-            Destination::Broadcast.receivers(t, NodeId(0)).len(),
-            5
-        );
+        assert_eq!(Destination::Broadcast.receivers(t, NodeId(0)).len(), 5);
         let mc = Destination::Multicast(vec![NodeId(2), NodeId(4)]);
         assert_eq!(mc.receivers(t, NodeId(0)).len(), 2);
     }
@@ -252,25 +266,29 @@ mod tests {
     #[test]
     fn validation_rejects_bad_destinations() {
         let t = topo();
-        assert!(Destination::Unicast(NodeId(9)).validate(t, NodeId(0)).is_err());
-        assert!(Destination::Unicast(NodeId(0)).validate(t, NodeId(0)).is_err());
-        assert!(Destination::Multicast(vec![]).validate(t, NodeId(0)).is_err());
+        assert!(Destination::Unicast(NodeId(9))
+            .validate(t, NodeId(0))
+            .is_err());
+        assert!(Destination::Unicast(NodeId(0))
+            .validate(t, NodeId(0))
+            .is_err());
+        assert!(Destination::Multicast(vec![])
+            .validate(t, NodeId(0))
+            .is_err());
         assert!(Destination::Multicast(vec![NodeId(1), NodeId(0)])
             .validate(t, NodeId(0))
             .is_err());
         assert!(Destination::Broadcast.validate(t, NodeId(0)).is_ok());
-        assert!(Destination::Unicast(NodeId(5)).validate(t, NodeId(0)).is_ok());
+        assert!(Destination::Unicast(NodeId(5))
+            .validate(t, NodeId(0))
+            .is_ok());
     }
 
     #[test]
     fn message_validation() {
         let t = topo();
-        let mut m = Message::non_real_time(
-            NodeId(0),
-            Destination::Unicast(NodeId(1)),
-            1,
-            SimTime::ZERO,
-        );
+        let mut m =
+            Message::non_real_time(NodeId(0), Destination::Unicast(NodeId(1)), 1, SimTime::ZERO);
         assert!(m.validate(t).is_ok());
         m.size_slots = 0;
         assert!(m.validate(t).is_err());
@@ -298,8 +316,7 @@ mod tests {
         // deadline passed → laxity 0
         assert_eq!(m.laxity_slots(SimTime::from_us(11), slot), 0);
         // NRT has unbounded laxity
-        let nrt =
-            Message::non_real_time(NodeId(0), Destination::Broadcast, 1, SimTime::ZERO);
+        let nrt = Message::non_real_time(NodeId(0), Destination::Broadcast, 1, SimTime::ZERO);
         assert_eq!(nrt.laxity_slots(SimTime::from_ms(5), slot), u64::MAX);
     }
 

@@ -11,7 +11,7 @@ use ccr_sim::{SimTime, TimeDelta};
 use std::collections::HashMap;
 
 /// Per-connection delivery statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConnStats {
     /// Messages delivered.
     pub delivered: Counter,
@@ -47,7 +47,14 @@ impl Delivery {
 }
 
 /// Aggregated metrics of one simulation run.
-#[derive(Debug)]
+///
+/// `Metrics` is purely a function of the simulated schedule — it contains
+/// no wall-clock state — so two runs of the same scenario must compare
+/// equal with `==` regardless of how fast they executed. The differential
+/// tests rely on this to prove the idle-slot fast-forward path is
+/// bit-identical to slot-by-slot execution. Wall-clock throughput lives in
+/// the separate [`ThroughputGauge`].
+#[derive(Debug, PartialEq)]
 pub struct Metrics {
     /// Slots executed.
     pub slots: Counter,
@@ -271,7 +278,46 @@ impl Metrics {
 
     /// RT deadline-miss ratio.
     pub fn rt_miss_ratio(&self) -> f64 {
-        self.rt_deadline_misses.fraction_of_counter(&self.delivered_rt)
+        self.rt_deadline_misses
+            .fraction_of_counter(&self.delivered_rt)
+    }
+}
+
+/// Wall-clock throughput of the slot engine itself (simulator performance,
+/// not a property of the simulated network).
+///
+/// Kept outside [`Metrics`] so that `Metrics` stays deterministic and
+/// comparable with `==` across runs; wall time never is.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThroughputGauge {
+    /// Wall-clock nanoseconds spent executing slots.
+    pub wall_nanos: u64,
+    /// Simulated slots executed in that time (fast-forwarded idle slots
+    /// count individually — they are the point of the optimisation).
+    pub slots: u64,
+    /// Slots skipped by the idle fast-forward (a subset of `slots`).
+    /// Deterministic for a fixed scenario and run pattern, so tests can
+    /// assert the fast path actually engaged.
+    pub fast_forwarded: u64,
+}
+
+impl ThroughputGauge {
+    /// Fresh, zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account `slots` simulated slots executed over `wall` elapsed time.
+    pub fn record(&mut self, slots: u64, wall: std::time::Duration) {
+        self.slots += slots;
+        self.wall_nanos = self.wall_nanos.saturating_add(wall.as_nanos() as u64);
+    }
+
+    /// Simulated slots per wall-clock second, or `None` before any
+    /// measured work.
+    pub fn slots_per_sec(&self) -> Option<f64> {
+        (self.wall_nanos > 0 && self.slots > 0)
+            .then(|| self.slots as f64 * 1e9 / self.wall_nanos as f64)
     }
 }
 
@@ -347,9 +393,15 @@ mod tests {
     #[test]
     fn be_and_nrt_deliveries() {
         let mut m = Metrics::new();
-        m.record_delivery(&delivery(TrafficClass::BestEffort, 0, 10, 20), TimeDelta::ZERO);
+        m.record_delivery(
+            &delivery(TrafficClass::BestEffort, 0, 10, 20),
+            TimeDelta::ZERO,
+        );
         assert_eq!(m.be_deadline_misses.get(), 1);
-        m.record_delivery(&delivery(TrafficClass::NonRealTime, 0, 0, 30), TimeDelta::ZERO);
+        m.record_delivery(
+            &delivery(TrafficClass::NonRealTime, 0, 0, 30),
+            TimeDelta::ZERO,
+        );
         assert_eq!(m.delivered_nrt.get(), 1);
         // NRT never misses (deadline = MAX)
         assert_eq!(m.rt_deadline_misses.get(), 0);
@@ -384,5 +436,26 @@ mod tests {
         m.slots.add(10);
         m.idle_slots.add(4);
         assert!((m.busy_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_gauge_rates() {
+        let mut g = ThroughputGauge::new();
+        assert_eq!(g.slots_per_sec(), None);
+        g.record(1_000, std::time::Duration::from_millis(2));
+        g.record(1_000, std::time::Duration::from_millis(2));
+        // 2000 slots in 4 ms → 500k slots/s
+        assert!((g.slots_per_sec().unwrap() - 500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metrics_equality_ignores_wall_clock() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.slots.add(5);
+        b.slots.add(5);
+        assert_eq!(a, b);
+        b.idle_slots.incr();
+        assert_ne!(a, b);
     }
 }

@@ -34,20 +34,17 @@ use crate::arbitration::CcrEdfMac;
 use crate::config::NetworkConfig;
 use crate::connection::{Connection, ConnectionId, ConnectionSpec};
 use crate::fault::ClockRecovery;
-use crate::mac::{MacProtocol, SlotPlan};
+use crate::mac::{ArbScratch, MacProtocol, SlotPlan};
 use crate::message::{Message, MessageId};
-use crate::metrics::{Delivery, Metrics};
+use crate::metrics::{Delivery, Metrics, ThroughputGauge};
 use crate::node::Node;
 use crate::queues::SentOutcome;
 use crate::services::short_msg::ShortDelivery;
 use crate::services::{barrier, reduce, ReduceOp, RELIABLE_TIMEOUT_SLOTS};
-use crate::wire::{
-    self, AckWire, CollectionPacket, DistributionPacket, NodeSet, Request,
-};
+use crate::wire::{self, AckWire, CollectionPacket, DistributionPacket, Request};
 use ccr_phys::{LinkSet, NodeId, RingTopology};
+use ccr_sim::rng::DetRng;
 use ccr_sim::{EventQueue, SimTime, TimeDelta};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// A release queued for the future.
@@ -113,13 +110,27 @@ pub struct RingNetwork<P: MacProtocol = CcrEdfMac> {
     recovery: ClockRecovery,
     reduce_op: ReduceOp,
     metrics: Metrics,
-    rng: StdRng,
+    throughput: ThroughputGauge,
+    rng: DetRng,
     next_msg_id: u64,
     outcome: SlotOutcome,
     /// Acks produced during this slot's data phase; eligible to ride the
     /// *next* slot's collection (the data arrives after the collection
     /// packet has passed the receiver).
     staged_acks: Vec<(NodeId, AckWire)>,
+    // Reusable scratch buffers: steady-state `step_slot` writes into these
+    // instead of allocating, so a warmed-up engine runs allocation-free.
+    /// The plan being decided this slot (swapped with `plan` at slot end —
+    /// double buffering instead of a fresh `SlotPlan` per slot).
+    next_plan: SlotPlan,
+    /// Collection-phase requests, indexed by absolute node id.
+    requests: Vec<Request>,
+    /// Arbitration working memory handed to [`MacProtocol::arbitrate_into`].
+    arb_scratch: ArbScratch,
+    /// Distribution-packet buffer refilled each slot.
+    dist_scratch: DistributionPacket,
+    /// Drain buffer swapped with `staged_acks` at slot start.
+    staged_scratch: Vec<(NodeId, AckWire)>,
     // cached derived quantities
     t_slot: TimeDelta,
     t_node: TimeDelta,
@@ -149,7 +160,7 @@ impl<P: MacProtocol> RingNetwork<P> {
         let model = AnalyticModel::new(&cfg);
         let nodes = topo.nodes().map(Node::new).collect();
         let admission = AdmissionController::with_policy(model, topo, cfg.admission_policy);
-        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_CAFE);
+        let rng = DetRng::new(cfg.seed ^ 0x5EED_CAFE);
         let t_slot = cfg.slot_time();
         let t_node = cfg.t_node();
         let link_props: Vec<TimeDelta> = topo.links().map(|l| cfg.link_prop_of(l)).collect();
@@ -171,10 +182,16 @@ impl<P: MacProtocol> RingNetwork<P> {
             recovery: ClockRecovery::default(),
             reduce_op: ReduceOp::default(),
             metrics: Metrics::new(),
+            throughput: ThroughputGauge::new(),
             rng,
             next_msg_id: 0,
             outcome: SlotOutcome::default(),
             staged_acks: Vec::new(),
+            next_plan: SlotPlan::idle(NodeId(0)),
+            requests: Vec::new(),
+            arb_scratch: ArbScratch::default(),
+            dist_scratch: DistributionPacket::default(),
+            staged_scratch: Vec::new(),
             t_slot,
             t_node,
             link_props,
@@ -215,6 +232,13 @@ impl<P: MacProtocol> RingNetwork<P> {
     /// Accumulated metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Wall-clock throughput of the slot engine, accumulated by
+    /// [`RingNetwork::run_slots`] / [`RingNetwork::run_until`] (direct
+    /// [`RingNetwork::step_slot`] calls are not timed).
+    pub fn throughput(&self) -> ThroughputGauge {
+        self.throughput
     }
 
     /// Current master node.
@@ -325,28 +349,156 @@ impl<P: MacProtocol> RingNetwork<P> {
 
     /// Queue a short message from `src` to `dest`.
     pub fn short_send(&mut self, src: NodeId, dest: NodeId, payload: u16) {
-        assert!(self.cfg.services.short_msg, "short-message service disabled");
+        assert!(
+            self.cfg.services.short_msg,
+            "short-message service disabled"
+        );
         assert_ne!(src, dest, "short message to self");
         let now = self.now();
-        self.nodes[src.idx()].services.short_out.send(dest, payload, now);
+        self.nodes[src.idx()]
+            .services
+            .short_out
+            .send(dest, payload, now);
     }
 
     // ------------------------------------------------------------------
     // The slot loop
     // ------------------------------------------------------------------
 
-    /// Run `k` slots.
+    /// Run `k` slots, fast-forwarding through provably idle stretches.
     pub fn run_slots(&mut self, k: u64) {
-        for _ in 0..k {
-            self.step_slot();
+        let wall = std::time::Instant::now();
+        let target = self.slot_index + k;
+        while self.slot_index < target {
+            let remaining = target - self.slot_index;
+            if self.fast_forward_idle(remaining) == 0 {
+                self.step_slot();
+            }
         }
+        self.throughput.record(k, wall.elapsed());
     }
 
-    /// Run until simulated time reaches at least `t`.
+    /// Run until simulated time reaches at least `t`, fast-forwarding
+    /// through provably idle stretches.
     pub fn run_until(&mut self, t: SimTime) {
+        let wall = std::time::Instant::now();
+        let start_index = self.slot_index;
         while self.slot_start < t {
-            self.step_slot();
+            // The number of idle slots stepping would take to reach `t`
+            // (idle slots have a zero hand-over gap, so each advances time
+            // by exactly `t_slot`).
+            let remaining_ps = t.saturating_since(self.slot_start).as_ps();
+            let want = remaining_ps.div_ceil(self.slot_ps).max(1);
+            if self.fast_forward_idle(want) == 0 {
+                self.step_slot();
+            }
         }
+        self.throughput
+            .record(self.slot_index - start_index, wall.elapsed());
+    }
+
+    /// Advance up to `max_slots` slots in O(1) when the network is provably
+    /// idle, updating metrics exactly as `max_slots` calls to
+    /// [`RingNetwork::step_slot`] would have. Returns the number of slots
+    /// skipped (0 when any activity — queued traffic, pending service
+    /// state, staged grants, fault injection, a rotating-master protocol,
+    /// or an imminent release — forces slot-by-slot execution).
+    ///
+    /// The skipped stretch is safe because an idle CCR-EDF slot is a pure
+    /// no-op: no grants execute, every node stays silent (so the master and
+    /// the hand-over gap of zero are unchanged), the fault RNG draws
+    /// nothing (`token_loss_prob` must be exactly 0.0 — the draw is
+    /// probability-gated), and no release becomes visible before the last
+    /// skipped slot ends.
+    fn fast_forward_idle(&mut self, max_slots: u64) -> u64 {
+        if max_slots == 0 {
+            return 0;
+        }
+        // Engine-state guards: any of these makes the next slot non-trivial.
+        if self.cfg.faults.token_loss_prob != 0.0
+            || self.recovery.recovering()
+            || !self.plan.grants.is_empty()
+            || self.plan.next_master != self.master
+            || !self.staged_acks.is_empty()
+            || self.mac.fixed_rotation(self.master, self.topo).is_some()
+        {
+            return 0;
+        }
+        // Node-state guards: queued messages or pending service traffic.
+        if self.nodes.iter().any(|nd| {
+            !nd.queues.is_empty()
+                || nd.services.barrier.waiting()
+                || nd.services.reduce.operand().is_some()
+                || nd.services.short_out.peek().is_some()
+                || !nd.services.acks_out.is_empty()
+        }) {
+            return 0;
+        }
+        // How many whole slots fit before the next release becomes visible?
+        // A release at T is first seen by a slot whose decision times can
+        // reach it, i.e. the first slot that *ends* at or after T; slots
+        // ending strictly before T are unaffected (all collection decision
+        // times precede the slot end).
+        let k = match self.releases.peek_time() {
+            None => max_slots,
+            Some(t) => {
+                let avail = t.saturating_since(self.slot_start).as_ps();
+                if avail <= self.slot_ps {
+                    return 0;
+                }
+                ((avail - 1) / self.slot_ps).min(max_slots)
+            }
+        };
+        if k == 0 {
+            return 0;
+        }
+
+        // Bulk metric updates, bit-identical to k idle step_slot calls.
+        let t0 = self.slot_start;
+        if self.metrics.slots.get() == 0 {
+            self.metrics.started_at = t0;
+        }
+        self.metrics.slots.add(k);
+        self.metrics.idle_slots.add(k);
+        // Welford running stats have no closed-form bulk update that is
+        // bit-identical to k sequential samples — loop (cheap: one branch
+        // and a handful of flops per slot, no heap).
+        for _ in 0..k {
+            self.metrics.grants_per_slot.record(0.0);
+        }
+        self.metrics
+            .control_bits
+            .add(k * (self.collection_bits as u64 + self.distribution_bits as u64));
+        self.metrics.handover_gap.record_n(0, k);
+        self.metrics.handover_hops.record_n(0, k);
+
+        // Outcome mirrors the last skipped slot.
+        let last_start = t0 + self.t_slot * (k - 1);
+        let last_end = last_start + self.t_slot;
+        self.outcome.slot_index = self.slot_index + k - 1;
+        self.outcome.slot_start = last_start;
+        self.outcome.slot_end = last_end;
+        self.outcome.master = self.master;
+        self.outcome.grant_count = 0;
+        self.outcome.deliveries.clear();
+        self.outcome.short_deliveries.clear();
+        self.outcome.barrier_completed = false;
+        self.outcome.reduce_result = None;
+        self.outcome.next_master = self.master;
+        self.outcome.handover_hops = 0;
+        self.outcome.gap = TimeDelta::ZERO;
+        self.outcome.recovering = false;
+
+        self.metrics.ended_at = last_end;
+        self.slot_start = last_end; // idle hand-over gap is zero
+        self.slot_index += k;
+        self.throughput.fast_forwarded += k;
+        k
+    }
+
+    /// The outcome of the most recently executed (or fast-forwarded) slot.
+    pub fn last_outcome(&self) -> &SlotOutcome {
+        &self.outcome
     }
 
     /// Execute one slot and return what happened. The returned reference's
@@ -375,15 +527,15 @@ impl<P: MacProtocol> RingNetwork<P> {
         // Acks staged during the *previous* slot's data phase become
         // available to ride this slot's requests (the data packet reaches
         // its receiver only around the previous slot's end — after that
-        // slot's collection packet had already passed it).
-        let staged = std::mem::take(&mut self.staged_acks);
-        for (node, ack) in staged {
+        // slot's collection packet had already passed it). Swapping with the
+        // scratch vector keeps both buffers' capacity alive.
+        std::mem::swap(&mut self.staged_acks, &mut self.staged_scratch);
+        for (node, ack) in self.staged_scratch.drain(..) {
             self.nodes[node.idx()].services.acks_out.push_back(ack);
         }
 
         // ---- 1. data phase (grants decided last slot) -------------------
-        let plan = std::mem::replace(&mut self.plan, SlotPlan::idle(self.master));
-        let granted = plan.grants.len();
+        let granted = self.plan.grants.len();
         self.outcome.grant_count = granted;
         self.metrics.slots.incr();
         self.metrics.grants.add(granted as u64);
@@ -391,7 +543,8 @@ impl<P: MacProtocol> RingNetwork<P> {
         if granted == 0 {
             self.metrics.idle_slots.incr();
         }
-        for g in &plan.grants {
+        for i in 0..granted {
+            let g = self.plan.grants[i];
             self.metrics.record_links(g.links, self.cfg.n_nodes);
             self.transmit(g.node, slot_end);
         }
@@ -400,7 +553,8 @@ impl<P: MacProtocol> RingNetwork<P> {
         let n = self.cfg.n_nodes;
         let next_hint = self.mac.fixed_rotation(self.master, self.topo);
         let mut booked = LinkSet::EMPTY;
-        let mut requests = vec![Request::IDLE; n as usize];
+        self.requests.clear();
+        self.requests.resize(n as usize, Request::IDLE);
         let mut hop_delay = TimeDelta::ZERO; // accumulated per-link propagation
         for pos in 0..n {
             let nid = self.topo.downstream(self.master, pos);
@@ -413,13 +567,9 @@ impl<P: MacProtocol> RingNetwork<P> {
                 self.topo,
                 self.cfg.mapper,
             );
-            let mut req = self.mac.make_request(
-                nid,
-                desire.map(|(d, _)| d),
-                booked,
-                next_hint,
-                self.topo,
-            );
+            let mut req =
+                self.mac
+                    .make_request(nid, desire.map(|(d, _)| d), booked, next_hint, self.topo);
             let node = &mut self.nodes[nid.idx()];
             node.requested = if req.wants_tx() {
                 desire.map(|(_, id)| id)
@@ -442,7 +592,7 @@ impl<P: MacProtocol> RingNetwork<P> {
             if req.wants_tx() {
                 booked = booked.union(req.links);
             }
-            requests[nid.idx()] = req;
+            self.requests[nid.idx()] = req;
         }
         self.metrics.control_bits.add(self.collection_bits as u64);
 
@@ -450,7 +600,7 @@ impl<P: MacProtocol> RingNetwork<P> {
             let pkt = CollectionPacket {
                 // wire order is ring order from the master
                 requests: (0..n)
-                    .map(|p| requests[self.topo.downstream(self.master, p).idx()])
+                    .map(|p| self.requests[self.topo.downstream(self.master, p).idx()])
                     .collect(),
             };
             let bytes = pkt.encode(n, self.cfg.services);
@@ -460,33 +610,43 @@ impl<P: MacProtocol> RingNetwork<P> {
         }
 
         // ---- 3. arbitration ---------------------------------------------
-        let new_plan = self
-            .mac
-            .arbitrate(&requests, self.master, self.topo, self.cfg.spatial_reuse);
+        self.mac.arbitrate_into(
+            &self.requests,
+            self.master,
+            self.topo,
+            self.cfg.spatial_reuse,
+            &mut self.arb_scratch,
+            &mut self.next_plan,
+        );
 
         // ---- 4. distribution + token-loss fault ---------------------------
         self.metrics.control_bits.add(self.distribution_bits as u64);
         let token_lost = self.cfg.faults.token_loss_prob > 0.0
-            && self.rng.gen::<f64>() < self.cfg.faults.token_loss_prob;
+            && self.rng.gen_f64() < self.cfg.faults.token_loss_prob;
         if token_lost {
             self.metrics.tokens_lost.incr();
             self.recovery
                 .token_lost(self.cfg.faults.recovery_timeout_slots);
             // Nobody learns the grants or the next master: next slot is
             // dead time, clock restart handled by the recovery machine.
-            self.plan = SlotPlan::idle(self.master);
-            self.finish_slot(slot_end, self.master);
+            let master = self.master;
+            self.plan.reset_idle(master);
+            self.finish_slot(slot_end, master);
             return &self.outcome;
         }
 
-        let dist = self.build_distribution(&requests, &new_plan);
+        self.fill_distribution();
         if self.cfg.wire_check {
-            let bytes = dist.encode(n, self.cfg.services);
+            let bytes = self.dist_scratch.encode(n, self.cfg.services);
             let back = DistributionPacket::decode(&bytes, n, self.cfg.services)
                 .expect("distribution packet must decode");
-            assert_eq!(back, dist, "distribution wire round-trip");
+            assert_eq!(back, self.dist_scratch, "distribution wire round-trip");
         }
+        // Move the packet out for the duration of the borrow-heavy
+        // processing, then put it back so its buffers are reused.
+        let dist = std::mem::take(&mut self.dist_scratch);
         self.process_distribution(&dist, slot_end);
+        self.dist_scratch = dist;
 
         // ---- 5. reliable time-outs ----------------------------------------
         if self.cfg.services.reliable {
@@ -494,7 +654,7 @@ impl<P: MacProtocol> RingNetwork<P> {
         }
 
         // ---- 6. hand-over --------------------------------------------------
-        self.plan = new_plan;
+        std::mem::swap(&mut self.plan, &mut self.next_plan);
         let next_master = self.plan.next_master;
         self.finish_slot(slot_end, next_master);
         &self.outcome
@@ -512,8 +672,9 @@ impl<P: MacProtocol> RingNetwork<P> {
         if let Some(restart) = self.recovery.tick() {
             self.master = restart;
         }
-        self.plan = SlotPlan::idle(self.master);
-        self.finish_slot(slot_end, self.master);
+        let master = self.master;
+        self.plan.reset_idle(master);
+        self.finish_slot(slot_end, master);
         &self.outcome
     }
 
@@ -544,7 +705,7 @@ impl<P: MacProtocol> RingNetwork<P> {
             return;
         };
         let lost = self.cfg.faults.data_loss_prob > 0.0
-            && self.rng.gen::<f64>() < self.cfg.faults.data_loss_prob;
+            && self.rng.gen_f64() < self.cfg.faults.data_loss_prob;
 
         let (reliable, span_hops, dest_node) = {
             let qm = self.nodes[sender.idx()]
@@ -661,29 +822,35 @@ impl<P: MacProtocol> RingNetwork<P> {
         }
     }
 
-    /// Build the distribution packet from the requests and the new plan.
-    fn build_distribution(&self, requests: &[Request], plan: &SlotPlan) -> DistributionPacket {
+    /// Refill the distribution-packet scratch buffer from this slot's
+    /// requests and the freshly arbitrated plan (`next_plan`), reusing the
+    /// echo vectors' capacity.
+    fn fill_distribution(&mut self) {
         let n = self.cfg.n_nodes as usize;
-        let grants: NodeSet = plan.grants.iter().map(|g| g.node).collect();
-        DistributionPacket {
-            grants,
-            hp_node: plan.hp_node.unwrap_or(plan.next_master),
-            barrier_done: self.cfg.services.barrier && barrier::barrier_complete(requests),
-            reduce_result: if self.cfg.services.reduction {
-                reduce::reduce_complete(requests, self.reduce_op)
-            } else {
-                None
-            },
-            short_msgs: if self.cfg.services.short_msg {
-                requests.iter().map(|r| r.short_msg).collect()
-            } else {
-                vec![None; n]
-            },
-            acks: if self.cfg.services.reliable {
-                requests.iter().map(|r| r.ack).collect()
-            } else {
-                vec![None; n]
-            },
+        self.dist_scratch.grants = self.next_plan.grants.iter().map(|g| g.node).collect();
+        self.dist_scratch.hp_node = self.next_plan.hp_node.unwrap_or(self.next_plan.next_master);
+        self.dist_scratch.barrier_done =
+            self.cfg.services.barrier && barrier::barrier_complete(&self.requests);
+        self.dist_scratch.reduce_result = if self.cfg.services.reduction {
+            reduce::reduce_complete(&self.requests, self.reduce_op)
+        } else {
+            None
+        };
+        self.dist_scratch.short_msgs.clear();
+        if self.cfg.services.short_msg {
+            self.dist_scratch
+                .short_msgs
+                .extend(self.requests.iter().map(|r| r.short_msg));
+        } else {
+            self.dist_scratch.short_msgs.resize(n, None);
+        }
+        self.dist_scratch.acks.clear();
+        if self.cfg.services.reliable {
+            self.dist_scratch
+                .acks
+                .extend(self.requests.iter().map(|r| r.ack));
+        } else {
+            self.dist_scratch.acks.resize(n, None);
         }
     }
 
@@ -776,7 +943,9 @@ impl<P: MacProtocol> RingNetwork<P> {
                     node.queues
                         .get(id)
                         .and_then(|qm| qm.awaiting_ack_since)
-                        .is_some_and(|since| slot_idx.saturating_sub(since) >= RELIABLE_TIMEOUT_SLOTS)
+                        .is_some_and(|since| {
+                            slot_idx.saturating_sub(since) >= RELIABLE_TIMEOUT_SLOTS
+                        })
                 })
                 .map(|(&seq, &id)| (seq, id))
                 .collect();
@@ -905,7 +1074,11 @@ mod tests {
         net.open_connection(spec).unwrap();
         net.run_slots(20_000);
         let m = net.metrics();
-        assert!(m.delivered_rt.get() > 900, "delivered {}", m.delivered_rt.get());
+        assert!(
+            m.delivered_rt.get() > 900,
+            "delivered {}",
+            m.delivered_rt.get()
+        );
         assert_eq!(m.rt_deadline_misses.get(), 0);
         assert_eq!(m.rt_bound_violations.get(), 0);
     }
@@ -1051,7 +1224,11 @@ mod tests {
             net.barrier_enter(NodeId(i));
         }
         net.run_slots(5);
-        assert_eq!(net.metrics().barriers_completed.get(), 0, "one node missing");
+        assert_eq!(
+            net.metrics().barriers_completed.get(),
+            0,
+            "one node missing"
+        );
         net.barrier_enter(NodeId(3));
         let out = net.step_slot();
         assert!(out.barrier_completed);
@@ -1094,7 +1271,10 @@ mod tests {
         let out = net.step_slot();
         assert_eq!(out.short_deliveries.len(), 1);
         let sd = out.short_deliveries[0];
-        assert_eq!((sd.src, sd.dest, sd.payload), (NodeId(1), NodeId(3), 0xCAFE));
+        assert_eq!(
+            (sd.src, sd.dest, sd.payload),
+            (NodeId(1), NodeId(3), 0xCAFE)
+        );
         assert_eq!(net.metrics().short_delivered.get(), 1);
     }
 

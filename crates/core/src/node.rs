@@ -57,7 +57,7 @@ impl Node {
         let hops = m.dest.span_hops(topo, m.src);
         debug_assert!(hops > 0, "message with zero span");
         let links = topo.segment_hops(m.src, hops);
-        let dests: NodeSet = m.dest.receivers(topo, m.src).into_iter().collect();
+        let dests: NodeSet = m.dest.dest_set(topo, m.src);
         Some((
             Desire {
                 priority,
@@ -141,7 +141,12 @@ mod tests {
             .0
             .priority;
         let late = n
-            .desire(SimTime::from_us(99), slot_ps(), topo, MapperKind::Logarithmic)
+            .desire(
+                SimTime::from_us(99),
+                slot_ps(),
+                topo,
+                MapperKind::Logarithmic,
+            )
             .unwrap()
             .0
             .priority;

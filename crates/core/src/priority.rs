@@ -20,8 +20,6 @@
 //! trait with the paper's logarithmic map as default and a linear map as an
 //! ablation (experiment E11).
 
-use serde::{Deserialize, Serialize};
-
 /// Number of urgency levels inside each deadline-scheduled band.
 pub const LEVELS_PER_BAND: u64 = 15;
 
@@ -37,7 +35,8 @@ pub const NRT_LEVEL: u8 = 1;
 pub const IDLE_LEVEL: u8 = 0;
 
 /// A 5-bit request priority as carried in the collection-phase packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Priority(u8);
 
 impl Priority {
@@ -108,7 +107,8 @@ pub trait PriorityMapper: std::fmt::Debug + Send + Sync {
 /// clamped to the band. Resolution is finest near the deadline — laxities
 /// 0, 1, 2–3, 4–7, … share successive levels — exactly the "higher
 /// resolution … closer to its deadline" property of Section 3.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LogarithmicMapper;
 
 impl PriorityMapper for LogarithmicMapper {
@@ -122,7 +122,8 @@ impl PriorityMapper for LogarithmicMapper {
 /// Ablation mapper: linear quantisation of laxity over a fixed horizon.
 /// Wastes resolution far from the deadline and saturates early — used by
 /// experiment E11 to show why the paper picks a logarithmic map.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinearMapper {
     /// Laxity (in slots) mapped to the least-urgent level; larger laxities
     /// saturate there.
@@ -145,7 +146,8 @@ impl PriorityMapper for LinearMapper {
 }
 
 /// Which mapper a network uses (config-level enum to stay `Copy`/serde).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MapperKind {
     /// The paper's logarithmic map.
     #[default]

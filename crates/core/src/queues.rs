@@ -10,11 +10,19 @@
 //! granted and sent; progress is tracked per message. Because the grant for
 //! slot *k+1* answers the request made during slot *k*, the network pins the
 //! requested message by id and later needs id-based access — hence the
-//! `BTreeMap` + index representation rather than a plain binary heap.
+//! key-sorted representation plus an id index rather than a plain binary
+//! heap.
+//!
+//! Each class queue is a `Vec<(Key, QueuedMessage)>` kept sorted by key
+//! (deadline, arrival sequence), with inserts and removals by binary
+//! search. Unlike a `BTreeMap` — which allocates tree nodes on every
+//! insert — the vectors and the id index retain their capacity across the
+//! queue/dequeue cycles of steady-state operation, so a warmed-up network
+//! enqueues and dequeues without touching the heap.
 
 use crate::message::{Message, MessageId, TrafficClass};
 use ccr_sim::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Ordering key inside a class queue: (deadline, arrival sequence).
 type Key = (SimTime, u64);
@@ -61,15 +69,46 @@ pub enum SentOutcome {
     Progress,
     /// That was the last packet; the message has left the queue (returned
     /// with its full bookkeeping, e.g. lost-packet count).
-    Finished(Box<QueuedMessage>),
+    Finished(QueuedMessage),
+}
+
+/// One deadline-sorted class queue.
+#[derive(Debug, Default)]
+struct ClassQueue {
+    entries: Vec<(Key, QueuedMessage)>,
+}
+
+impl ClassQueue {
+    /// Position of `key`, or the insertion point keeping `entries` sorted.
+    /// Keys are unique (the arrival sequence is), so `Ok` is an exact hit.
+    fn search(&self, key: Key) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(&key))
+    }
+
+    fn insert(&mut self, key: Key, qm: QueuedMessage) {
+        let pos = self.search(key).unwrap_err();
+        self.entries.insert(pos, (key, qm));
+    }
+
+    fn get(&self, key: Key) -> Option<&QueuedMessage> {
+        self.search(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    fn get_mut(&mut self, key: Key) -> Option<&mut QueuedMessage> {
+        self.search(key).ok().map(|i| &mut self.entries[i].1)
+    }
+
+    fn remove(&mut self, key: Key) -> Option<QueuedMessage> {
+        self.search(key).ok().map(|i| self.entries.remove(i).1)
+    }
 }
 
 /// The three class queues of one node.
 #[derive(Debug, Default)]
 pub struct NodeQueues {
-    rt: BTreeMap<Key, QueuedMessage>,
-    be: BTreeMap<Key, QueuedMessage>,
-    nrt: BTreeMap<Key, QueuedMessage>,
+    rt: ClassQueue,
+    be: ClassQueue,
+    nrt: ClassQueue,
     index: HashMap<MessageId, (TrafficClass, Key)>,
     next_seq: u64,
 }
@@ -80,7 +119,7 @@ impl NodeQueues {
         Self::default()
     }
 
-    fn queue(&self, class: TrafficClass) -> &BTreeMap<Key, QueuedMessage> {
+    fn queue(&self, class: TrafficClass) -> &ClassQueue {
         match class {
             TrafficClass::RealTime => &self.rt,
             TrafficClass::BestEffort => &self.be,
@@ -88,7 +127,7 @@ impl NodeQueues {
         }
     }
 
-    fn queue_mut(&mut self, class: TrafficClass) -> &mut BTreeMap<Key, QueuedMessage> {
+    fn queue_mut(&mut self, class: TrafficClass) -> &mut ClassQueue {
         match class {
             TrafficClass::RealTime => &mut self.rt,
             TrafficClass::BestEffort => &mut self.be,
@@ -112,21 +151,24 @@ impl NodeQueues {
     /// highest non-empty class, skipping messages stalled on an
     /// acknowledgement.
     pub fn head(&self) -> Option<&QueuedMessage> {
-        [&self.rt, &self.be, &self.nrt]
-            .into_iter()
-            .find_map(|q| q.values().find(|m| m.awaiting_ack_since.is_none()))
+        [&self.rt, &self.be, &self.nrt].into_iter().find_map(|q| {
+            q.entries
+                .iter()
+                .map(|(_, m)| m)
+                .find(|m| m.awaiting_ack_since.is_none())
+        })
     }
 
     /// Look up a queued message by id.
     pub fn get(&self, id: MessageId) -> Option<&QueuedMessage> {
         let (class, key) = self.index.get(&id)?;
-        self.queue(*class).get(key)
+        self.queue(*class).get(*key)
     }
 
     /// Mutable lookup by id.
     pub fn get_mut(&mut self, id: MessageId) -> Option<&mut QueuedMessage> {
         let (class, key) = *self.index.get(&id)?;
-        self.queue_mut(class).get_mut(&key)
+        self.queue_mut(class).get_mut(key)
     }
 
     /// Account one successfully sent packet of message `id`; removes the
@@ -140,8 +182,8 @@ impl NodeQueues {
         qm.awaiting_ack_since = None;
         if qm.remaining() == 0 {
             let (class, key) = self.index.remove(&id).expect("present");
-            let qm = self.queue_mut(class).remove(&key).expect("present");
-            SentOutcome::Finished(Box::new(qm))
+            let qm = self.queue_mut(class).remove(key).expect("present");
+            SentOutcome::Finished(qm)
         } else {
             SentOutcome::Progress
         }
@@ -150,12 +192,12 @@ impl NodeQueues {
     /// Remove a message outright (e.g. connection torn down), returning it.
     pub fn remove(&mut self, id: MessageId) -> Option<Message> {
         let (class, key) = self.index.remove(&id)?;
-        self.queue_mut(class).remove(&key).map(|qm| qm.msg)
+        self.queue_mut(class).remove(key).map(|qm| qm.msg)
     }
 
     /// Queue depth across all classes.
     pub fn len(&self) -> usize {
-        self.rt.len() + self.be.len() + self.nrt.len()
+        self.rt.entries.len() + self.be.entries.len() + self.nrt.entries.len()
     }
 
     /// True when nothing is queued.
@@ -165,15 +207,17 @@ impl NodeQueues {
 
     /// Queue depth of one class.
     pub fn class_len(&self, class: TrafficClass) -> usize {
-        self.queue(class).len()
+        self.queue(class).entries.len()
     }
 
     /// Iterate all queued messages (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = &QueuedMessage> {
         self.rt
-            .values()
-            .chain(self.be.values())
-            .chain(self.nrt.values())
+            .entries
+            .iter()
+            .chain(self.be.entries.iter())
+            .chain(self.nrt.entries.iter())
+            .map(|(_, m)| m)
     }
 }
 
@@ -200,9 +244,12 @@ mod tests {
                 SimTime::ZERO,
                 SimTime::from_us(deadline_us),
             ),
-            TrafficClass::NonRealTime => {
-                Message::non_real_time(NodeId(0), Destination::Unicast(NodeId(1)), size, SimTime::ZERO)
-            }
+            TrafficClass::NonRealTime => Message::non_real_time(
+                NodeId(0),
+                Destination::Unicast(NodeId(1)),
+                size,
+                SimTime::ZERO,
+            ),
         };
         m.id = MessageId(id);
         m

@@ -10,11 +10,11 @@
 
 use crate::wire::Request;
 use ccr_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Reduction operator (associative + commutative, so master order is
 /// irrelevant).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReduceOp {
     /// Wrapping 32-bit sum.
     #[default]
@@ -123,10 +123,7 @@ mod tests {
         s.submit(42, SimTime::from_us(3));
         assert_eq!(s.operand(), Some(42));
         assert_eq!(s.on_distribution(None), None);
-        assert_eq!(
-            s.on_distribution(Some(99)),
-            Some((99, SimTime::from_us(3)))
-        );
+        assert_eq!(s.on_distribution(Some(99)), Some((99, SimTime::from_us(3))));
         assert_eq!(s.operand(), None);
     }
 

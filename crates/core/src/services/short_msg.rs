@@ -73,7 +73,10 @@ mod tests {
         assert_eq!(ob.len(), 2);
         assert_eq!(ob.peek().unwrap().payload, 0xAAAA);
         let (m, t) = ob.pop().unwrap();
-        assert_eq!((m.dest, m.payload, t), (NodeId(1), 0xAAAA, SimTime::from_us(1)));
+        assert_eq!(
+            (m.dest, m.payload, t),
+            (NodeId(1), 0xAAAA, SimTime::from_us(1))
+        );
         assert_eq!(ob.peek().unwrap().payload, 0xBBBB);
         ob.pop();
         assert!(ob.pop().is_none());

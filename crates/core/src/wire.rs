@@ -17,12 +17,11 @@
 //! (`⌈log2 N⌉` bits), plus "other fields" (acknowledgement/service echoes).
 
 use crate::priority::Priority;
-use bytes::{BufMut, BytesMut};
 use ccr_phys::{LinkSet, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A set of nodes as an N-bit mask (the destination field of a request).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct NodeSet(pub u64);
 
 impl NodeSet {
@@ -84,7 +83,8 @@ impl FromIterator<NodeId> for NodeSet {
 /// Enabling a service widens every request (and the distribution packet),
 /// which lengthens `t_node` and hence the minimum slot (Equation 2) — the
 /// trade-off explored by experiment E3/E9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceWireConfig {
     /// Barrier-synchronisation flag bit in each request + done bit in the
     /// distribution packet.
@@ -173,7 +173,8 @@ pub fn distribution_bits(n_nodes: u16, services: ServiceWireConfig) -> u32 {
 }
 
 /// A piggy-backed short message (service of ref \[11]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShortMsgWire {
     /// Receiver.
     pub dest: NodeId,
@@ -182,7 +183,8 @@ pub struct ShortMsgWire {
 }
 
 /// A piggy-backed acknowledgement for the reliable-transmission service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AckWire {
     /// The node whose packet is being acknowledged.
     pub src: NodeId,
@@ -191,7 +193,8 @@ pub struct AckWire {
 }
 
 /// One node's request in the collection phase (Figure 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// 5-bit priority; [`Priority::IDLE`] means "nothing to send".
     pub priority: Priority,
@@ -240,7 +243,8 @@ impl Request {
 
 /// The decoded collection packet: the start bit plus one request per node,
 /// in ring order starting with the master.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectionPacket {
     /// Requests indexed by *ring position from the master* — position 0 is
     /// the master's own request.
@@ -248,7 +252,8 @@ pub struct CollectionPacket {
 }
 
 /// The decoded distribution packet (Figure 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistributionPacket {
     /// Grant bit per node (by absolute node index).
     pub grants: NodeSet,
@@ -265,14 +270,29 @@ pub struct DistributionPacket {
     pub acks: Vec<Option<AckWire>>,
 }
 
+impl Default for DistributionPacket {
+    /// An empty packet (no grants, master index 0) — the starting point for
+    /// the slot engine's reusable distribution scratch buffer.
+    fn default() -> Self {
+        DistributionPacket {
+            grants: NodeSet::EMPTY,
+            hp_node: NodeId(0),
+            barrier_done: false,
+            reduce_result: None,
+            short_msgs: Vec::new(),
+            acks: Vec::new(),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Bit-level codec
 // ---------------------------------------------------------------------------
 
-/// MSB-first bit writer over a [`BytesMut`].
+/// MSB-first bit writer over a plain `Vec<u8>`.
 #[derive(Debug, Default)]
 pub struct BitWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
     cur: u8,
     used: u32,
     bits: u64,
@@ -287,13 +307,16 @@ impl BitWriter {
     /// Append the low `width` bits of `value`, MSB first.
     pub fn put(&mut self, value: u64, width: u32) {
         debug_assert!(width <= 64);
-        debug_assert!(width == 64 || value < (1u64 << width), "value overflows width");
+        debug_assert!(
+            width == 64 || value < (1u64 << width),
+            "value overflows width"
+        );
         for i in (0..width).rev() {
             let bit = ((value >> i) & 1) as u8;
             self.cur = (self.cur << 1) | bit;
             self.used += 1;
             if self.used == 8 {
-                self.buf.put_u8(self.cur);
+                self.buf.push(self.cur);
                 self.cur = 0;
                 self.used = 0;
             }
@@ -312,9 +335,9 @@ impl BitWriter {
     }
 
     /// Finish, padding the final byte with zeros.
-    pub fn finish(mut self) -> BytesMut {
+    pub fn finish(mut self) -> Vec<u8> {
         if self.used > 0 {
-            self.buf.put_u8(self.cur << (8 - self.used));
+            self.buf.push(self.cur << (8 - self.used));
         }
         self.buf
     }
@@ -465,7 +488,7 @@ fn get_request(
 
 impl CollectionPacket {
     /// Encode to wire bytes (Figure 4 layout).
-    pub fn encode(&self, n: u16, svc: ServiceWireConfig) -> BytesMut {
+    pub fn encode(&self, n: u16, svc: ServiceWireConfig) -> Vec<u8> {
         debug_assert_eq!(self.requests.len(), n as usize);
         let mut w = BitWriter::new();
         w.put(1, 1); // start bit
@@ -492,7 +515,7 @@ impl CollectionPacket {
 
 impl DistributionPacket {
     /// Encode to wire bytes (Figure 5 layout).
-    pub fn encode(&self, n: u16, svc: ServiceWireConfig) -> BytesMut {
+    pub fn encode(&self, n: u16, svc: ServiceWireConfig) -> Vec<u8> {
         let idx = log2_ceil(n);
         let mut w = BitWriter::new();
         w.put(1, 1); // start bit
@@ -609,10 +632,7 @@ mod tests {
     fn figure4_request_size_without_services() {
         // Figure 4: priority 5 bits + link reservation N + destination N.
         assert_eq!(request_bits(8, ServiceWireConfig::default()), 5 + 16);
-        assert_eq!(
-            collection_bits(8, ServiceWireConfig::default()),
-            1 + 8 * 21
-        );
+        assert_eq!(collection_bits(8, ServiceWireConfig::default()), 1 + 8 * 21);
     }
 
     #[test]
@@ -689,10 +709,7 @@ mod tests {
             };
             let svc = ServiceWireConfig::ALL;
             let bytes = pkt.encode(n, svc);
-            assert_eq!(
-                bytes.len(),
-                (collection_bits(n, svc) as usize).div_ceil(8)
-            );
+            assert_eq!(bytes.len(), (collection_bits(n, svc) as usize).div_ceil(8));
             let back = CollectionPacket::decode(&bytes, n, svc).unwrap();
             assert_eq!(back, pkt);
         }

@@ -120,9 +120,7 @@ fn admitted_traffic_guaranteed_on_heterogeneous_ring() {
     let u_each = model.u_max() * 0.1;
     for i in 0..8u16 {
         let spec = ConnectionSpec::unicast(NodeId(i % 6), NodeId((i % 6 + 2) % 6))
-            .period(TimeDelta::from_ps(
-                (slot.as_ps() as f64 / u_each) as u64,
-            ))
+            .period(TimeDelta::from_ps((slot.as_ps() as f64 / u_each) as u64))
             .size_slots(1);
         net.open_connection(spec).unwrap();
     }

@@ -1,4 +1,9 @@
-//! Property-based tests for the CCR-EDF protocol invariants.
+//! Randomised tests for the CCR-EDF protocol invariants.
+//!
+//! Formerly `proptest` properties; now driven by the seeded [`DetRng`]
+//! from `ccr-sim` so the workspace needs no external dependencies. Each
+//! case is derived deterministically from a master seed, so a failing
+//! case reproduces exactly from the test name alone.
 
 use ccr_edf::arbitration::CcrEdfMac;
 use ccr_edf::mac::MacProtocol;
@@ -10,206 +15,209 @@ use ccr_edf::wire::{
     Request, ServiceWireConfig, ShortMsgWire,
 };
 use ccr_edf::{LinkSet, NodeId, RingTopology, SimTime};
-use proptest::prelude::*;
-use proptest::strategy::ValueTree;
+use ccr_sim::rng::DetRng;
+use ccr_sim::SeedSequence;
 
-/// Strategy: an arbitrary valid request *from node `src`* on an n-node
-/// ring (a real request's segment always starts at the requester's own
-/// egress link — that is what makes the hp-never-crosses-its-own-break
-/// property of the protocol hold).
-fn arb_request(n: u16, src: u16) -> impl Strategy<Value = Request> {
-    (
-        0u8..=31,
-        1u16..n,
-        any::<bool>(),
-        prop::option::of(any::<u32>()),
-        prop::option::of((0..n, any::<u16>())),
-        prop::option::of((0..n, any::<u8>())),
-    )
-        .prop_map(move |(prio, hops, barrier, reduce, short, ack)| {
-            let topo = RingTopology::new(n);
-            let src = NodeId(src);
-            if prio == 0 {
-                let mut r = Request::IDLE;
-                r.barrier = barrier;
-                r.reduce = reduce;
-                r.short_msg = short.map(|(d, p)| ShortMsgWire {
-                    dest: NodeId(d),
-                    payload: p,
-                });
-                r.ack = ack.map(|(s, q)| AckWire {
-                    src: NodeId(s),
-                    seq: q,
-                });
-                return r;
-            }
-            let mut r = Request::transmission(
-                Priority::new(prio),
-                topo.segment_hops(src, hops),
-                NodeSet::single(topo.downstream(src, hops)),
-            );
-            r.barrier = barrier;
-            r.reduce = reduce;
-            r.short_msg = short.map(|(d, p)| ShortMsgWire {
-                dest: NodeId(d),
-                payload: p,
-            });
-            r.ack = ack.map(|(s, q)| AckWire {
-                src: NodeId(s),
-                seq: q,
-            });
-            r
-        })
+/// An arbitrary valid request *from node `src`* on an n-node ring (a real
+/// request's segment always starts at the requester's own egress link —
+/// that is what makes the hp-never-crosses-its-own-break property of the
+/// protocol hold).
+fn arb_request(rng: &mut DetRng, n: u16, src: u16) -> Request {
+    let topo = RingTopology::new(n);
+    let src = NodeId(src);
+    let prio = rng.gen_range(0u64..=31) as u8;
+    let hops = rng.gen_range(1u16..n);
+    let barrier = rng.gen_bool(0.5);
+    let reduce = rng.gen_bool(0.5).then(|| rng.next_u64() as u32);
+    let short = rng
+        .gen_bool(0.5)
+        .then(|| (rng.gen_range(0..n), rng.next_u64() as u16));
+    let ack = rng
+        .gen_bool(0.5)
+        .then(|| (rng.gen_range(0..n), rng.next_u64() as u8));
+    let mut r = if prio == 0 {
+        Request::IDLE
+    } else {
+        Request::transmission(
+            Priority::new(prio),
+            topo.segment_hops(src, hops),
+            NodeSet::single(topo.downstream(src, hops)),
+        )
+    };
+    r.barrier = barrier;
+    r.reduce = reduce;
+    r.short_msg = short.map(|(d, p)| ShortMsgWire {
+        dest: NodeId(d),
+        payload: p,
+    });
+    r.ack = ack.map(|(s, q)| AckWire {
+        src: NodeId(s),
+        seq: q,
+    });
+    r
 }
 
-fn arb_requests(n: u16) -> impl Strategy<Value = Vec<Request>> {
-    (0..n).map(|i| arb_request(n, i)).collect::<Vec<_>>()
+fn arb_requests(rng: &mut DetRng, n: u16) -> Vec<Request> {
+    (0..n).map(|i| arb_request(rng, n, i)).collect()
 }
 
-proptest! {
-    /// Wire round-trip: encode ∘ decode = id for any request vector, any
-    /// service mix, and the encoded length matches the bit formulas.
-    #[test]
-    fn collection_roundtrip(
-        n in 2u16..=64,
-        svc_bits in 0u8..16,
-        seed in any::<u64>(),
-    ) {
+/// Wire round-trip: encode ∘ decode = id for any request vector, any
+/// service mix, and the encoded length matches the bit formulas.
+#[test]
+fn collection_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = SeedSequence::new(0xC0DE).stream("coll", case);
+        let n = rng.gen_range(2u16..=64);
+        let svc_bits = rng.gen_range(0u64..16) as u8;
         let svc = ServiceWireConfig {
             barrier: svc_bits & 1 != 0,
             reduction: svc_bits & 2 != 0,
             short_msg: svc_bits & 4 != 0,
             reliable: svc_bits & 8 != 0,
         };
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        // derive a request vector from the seed deterministically
-        let _ = seed;
-        let reqs = arb_requests(n)
-            .new_tree(&mut runner)
-            .unwrap()
-            .current();
         // strip fields the wire doesn't carry for this service mix
-        let reqs: Vec<Request> = reqs
+        let reqs: Vec<Request> = arb_requests(&mut rng, n)
             .into_iter()
             .map(|mut r| {
-                if !svc.barrier { r.barrier = false; }
-                if !svc.reduction { r.reduce = None; }
-                if !svc.short_msg { r.short_msg = None; }
-                if !svc.reliable { r.ack = None; }
+                if !svc.barrier {
+                    r.barrier = false;
+                }
+                if !svc.reduction {
+                    r.reduce = None;
+                }
+                if !svc.short_msg {
+                    r.short_msg = None;
+                }
+                if !svc.reliable {
+                    r.ack = None;
+                }
                 r
             })
             .collect();
         let pkt = CollectionPacket { requests: reqs };
         let bytes = pkt.encode(n, svc);
-        prop_assert_eq!(bytes.len(), (collection_bits(n, svc) as usize).div_ceil(8));
+        assert_eq!(bytes.len(), (collection_bits(n, svc) as usize).div_ceil(8));
         let back = CollectionPacket::decode(&bytes, n, svc).unwrap();
-        prop_assert_eq!(back, pkt);
+        assert_eq!(back, pkt);
     }
+}
 
-    /// Distribution round-trip for arbitrary grant masks and hp index.
-    #[test]
-    fn distribution_roundtrip(
-        n in 2u16..=64,
-        grants in any::<u64>(),
-        hp in 0u16..64,
-        barrier in any::<bool>(),
-        reduce in prop::option::of(any::<u32>()),
-    ) {
-        let svc = ServiceWireConfig { barrier: true, reduction: true, ..Default::default() };
+/// Distribution round-trip for arbitrary grant masks and hp index.
+#[test]
+fn distribution_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = SeedSequence::new(0xD157).stream("dist", case);
+        let n = rng.gen_range(2u16..=64);
+        let svc = ServiceWireConfig {
+            barrier: true,
+            reduction: true,
+            ..Default::default()
+        };
         let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         let pkt = DistributionPacket {
-            grants: NodeSet(grants & mask),
-            hp_node: NodeId(hp % n),
-            barrier_done: barrier,
-            reduce_result: reduce,
+            grants: NodeSet(rng.next_u64() & mask),
+            hp_node: NodeId(rng.gen_range(0u16..64) % n),
+            barrier_done: rng.gen_bool(0.5),
+            reduce_result: rng.gen_bool(0.5).then(|| rng.next_u64() as u32),
             short_msgs: vec![None; n as usize],
             acks: vec![None; n as usize],
         };
         let bytes = pkt.encode(n, svc);
-        prop_assert_eq!(bytes.len(), (distribution_bits(n, svc) as usize).div_ceil(8));
+        assert_eq!(
+            bytes.len(),
+            (distribution_bits(n, svc) as usize).div_ceil(8)
+        );
         let back = DistributionPacket::decode(&bytes, n, svc).unwrap();
-        prop_assert_eq!(back, pkt);
+        assert_eq!(back, pkt);
     }
 }
 
-proptest! {
-    /// Arbitration invariants, for any request population:
-    /// 1. all granted link sets are pairwise disjoint;
-    /// 2. no grant uses the link entering the next master (the clock break);
-    /// 3. the highest-priority requester is granted and becomes master;
-    /// 4. without spatial reuse there is at most one grant;
-    /// 5. grants are a subset of the requesters.
-    #[test]
-    fn arbitration_invariants(
-        n in 2u16..=32,
-        reqs_seed in any::<u64>(),
-        master in 0u16..32,
-        reuse in any::<bool>(),
-    ) {
+/// Arbitration invariants, for any request population:
+/// 1. all granted link sets are pairwise disjoint;
+/// 2. no grant uses the link entering the next master (the clock break);
+/// 3. the highest-priority requester is granted and becomes master;
+/// 4. without spatial reuse there is at most one grant;
+/// 5. grants are a subset of the requesters.
+#[test]
+fn arbitration_invariants() {
+    for case in 0..256u64 {
+        let mut rng = SeedSequence::new(0xA5B1).stream("arb", case);
+        let n = rng.gen_range(2u16..=32);
+        let master = NodeId(rng.gen_range(0u16..32) % n);
+        let reuse = rng.gen_bool(0.5);
         let topo = RingTopology::new(n);
-        let master = NodeId(master % n);
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let _ = reqs_seed;
-        let requests = arb_requests(n).new_tree(&mut runner).unwrap().current();
+        let requests = arb_requests(&mut rng, n);
         let plan = CcrEdfMac.arbitrate(&requests, master, topo, reuse);
 
         // 5 & grant sanity
         for g in &plan.grants {
-            prop_assert!(requests[g.node.idx()].wants_tx());
-            prop_assert_eq!(g.links, requests[g.node.idx()].links);
+            assert!(requests[g.node.idx()].wants_tx());
+            assert_eq!(g.links, requests[g.node.idx()].links);
         }
         // 1: pairwise disjoint
         let mut acc = LinkSet::EMPTY;
         for g in &plan.grants {
-            prop_assert!(g.links.is_disjoint(acc));
+            assert!(g.links.is_disjoint(acc));
             acc = acc.union(g.links);
         }
         // 2: clock break untouched
         let break_link = topo.ingress(plan.next_master);
-        prop_assert!(!acc.contains(break_link));
+        assert!(!acc.contains(break_link));
         // 3: hp granted + master
         let order = CcrEdfMac::sorted_requesters(&requests);
         match order.first() {
             Some(&hp) => {
-                prop_assert_eq!(plan.next_master, hp);
-                prop_assert_eq!(plan.grants.first().map(|g| g.node), Some(hp));
+                assert_eq!(plan.next_master, hp);
+                assert_eq!(plan.grants.first().map(|g| g.node), Some(hp));
             }
             None => {
-                prop_assert_eq!(plan.next_master, master);
-                prop_assert!(plan.grants.is_empty());
+                assert_eq!(plan.next_master, master);
+                assert!(plan.grants.is_empty());
             }
         }
         // 4: no-reuse cap
         if !reuse {
-            prop_assert!(plan.grants.len() <= 1);
+            assert!(plan.grants.len() <= 1);
         }
     }
+}
 
-    /// Priority mapping: monotone non-increasing in laxity, always inside
-    /// the right band, for both mappers.
-    #[test]
-    fn mapping_monotone_and_banded(
-        lax_a in 0u64..1_000_000,
-        lax_b in 0u64..1_000_000,
-        horizon in 15u64..100_000,
-    ) {
-        for m in [MapperKind::Logarithmic, MapperKind::Linear { horizon_slots: horizon }] {
+/// Priority mapping: monotone non-increasing in laxity, always inside
+/// the right band, for both mappers.
+#[test]
+fn mapping_monotone_and_banded() {
+    let mut rng = SeedSequence::new(0x3A9).stream("map", 0);
+    for _ in 0..512 {
+        let lax_a = rng.gen_range(0u64..1_000_000);
+        let lax_b = rng.gen_range(0u64..1_000_000);
+        let horizon = rng.gen_range(15u64..100_000);
+        for m in [
+            MapperKind::Logarithmic,
+            MapperKind::Linear {
+                horizon_slots: horizon,
+            },
+        ] {
             let (lo, hi) = (lax_a.min(lax_b), lax_a.max(lax_b));
-            prop_assert!(m.real_time(lo) >= m.real_time(hi));
-            prop_assert!(m.best_effort(lo) >= m.best_effort(hi));
+            assert!(m.real_time(lo) >= m.real_time(hi));
+            assert!(m.best_effort(lo) >= m.best_effort(hi));
             let rt = m.real_time(lax_a);
             let be = m.best_effort(lax_a);
-            prop_assert!((17..=31).contains(&rt.level()));
-            prop_assert!((2..=16).contains(&be.level()));
-            prop_assert!(rt > be);
+            assert!((17..=31).contains(&rt.level()));
+            assert!((2..=16).contains(&be.level()));
+            assert!(rt > be);
         }
     }
+}
 
-    /// Queue head is always the earliest deadline of the strongest
-    /// non-empty class, and draining yields deadlines in EDF order per
-    /// class.
-    #[test]
-    fn queue_edf_order(deadlines in prop::collection::vec(1u64..1_000_000, 1..100)) {
+/// Queue head is always the earliest deadline of the strongest
+/// non-empty class, and draining yields deadlines in EDF order per
+/// class.
+#[test]
+fn queue_edf_order() {
+    for case in 0..128u64 {
+        let mut rng = SeedSequence::new(0xEDF0).stream("q", case);
+        let len = rng.gen_range(1usize..100);
+        let deadlines: Vec<u64> = (0..len).map(|_| rng.gen_range(1u64..1_000_000)).collect();
         let mut q = NodeQueues::new();
         for (i, &d) in deadlines.iter().enumerate() {
             let mut m = Message::best_effort(
@@ -224,30 +232,34 @@ proptest! {
         }
         let mut drained: Vec<SimTime> = vec![];
         while let Some(h) = q.head() {
-            prop_assert_eq!(h.msg.class, TrafficClass::BestEffort);
+            assert_eq!(h.msg.class, TrafficClass::BestEffort);
             let id = h.msg.id;
             drained.push(h.msg.deadline);
             let _ = q.record_sent_slot(id);
         }
-        prop_assert_eq!(drained.len(), deadlines.len());
-        prop_assert!(drained.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(drained.len(), deadlines.len());
+        assert!(drained.windows(2).all(|w| w[0] <= w[1]));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Soundness of the demand-bound admission extension: any random
-    /// constrained-deadline set the dbf test admits runs without a single
-    /// deadline miss — against the *constrained* deadlines.
-    #[test]
-    fn dbf_admitted_sets_never_miss(
-        seed in any::<u64>(),
-        params in prop::collection::vec(
-            (30u64..300, 1u32..6, 20u64..100), // (period_slots, e, tightness %)
-            1..10,
-        ),
-    ) {
+/// Soundness of the demand-bound admission extension: any random
+/// constrained-deadline set the dbf test admits runs without a single
+/// deadline miss — against the *constrained* deadlines.
+#[test]
+fn dbf_admitted_sets_never_miss() {
+    for case in 0..24u64 {
+        let mut rng = SeedSequence::new(0xDBF).stream("dbf", case);
+        let seed = rng.next_u64();
+        let n_params = rng.gen_range(1usize..10);
+        let params: Vec<(u64, u32, u64)> = (0..n_params)
+            .map(|_| {
+                (
+                    rng.gen_range(30u64..300),
+                    rng.gen_range(1u32..6),
+                    rng.gen_range(20u64..100),
+                )
+            })
+            .collect();
         use ccr_edf::admission::AdmissionPolicy;
         let cfg = ccr_edf::config::NetworkConfig::builder(8)
             .slot_bytes(2048)
@@ -261,9 +273,8 @@ proptest! {
             let src = NodeId(((seed as usize + i) % 8) as u16);
             let dst = NodeId((src.0 + 1 + (i as u16 % 6)) % 8);
             let period = slot * p_slots;
-            let d = ccr_sim::TimeDelta::from_ps(
-                (period.as_ps() * tight_pct / 100).max(slot.as_ps()),
-            );
+            let d =
+                ccr_sim::TimeDelta::from_ps((period.as_ps() * tight_pct / 100).max(slot.as_ps()));
             let spec = ccr_edf::connection::ConnectionSpec::unicast(src, dst)
                 .period(period)
                 .size_slots(e)
@@ -275,18 +286,20 @@ proptest! {
         net.run_slots(20_000);
         let m = net.metrics();
         if admitted > 0 {
-            prop_assert!(m.delivered_rt.get() > 0);
+            assert!(m.delivered_rt.get() > 0);
         }
-        prop_assert_eq!(m.rt_deadline_misses.get(), 0, "dbf admitted a missing set");
+        assert_eq!(m.rt_deadline_misses.get(), 0, "dbf admitted a missing set");
     }
+}
 
-    /// The demand-bound test never admits more than the utilisation test.
-    #[test]
-    fn dbf_is_at_most_util(
-        p_slots in 10u64..500,
-        e in 1u32..8,
-        tight_pct in 10u64..100,
-    ) {
+/// The demand-bound test never admits more than the utilisation test.
+#[test]
+fn dbf_is_at_most_util() {
+    for case in 0..64u64 {
+        let mut rng = SeedSequence::new(0xDBF).stream("dbf_util", case);
+        let p_slots = rng.gen_range(10u64..500);
+        let e = rng.gen_range(1u32..8);
+        let tight_pct = rng.gen_range(10u64..100);
         use ccr_edf::admission::{AdmissionController, AdmissionPolicy};
         use ccr_edf::analysis::AnalyticModel;
         let cfg = ccr_edf::config::NetworkConfig::builder(8)
@@ -303,15 +316,12 @@ proptest! {
                 (period.as_ps() * tight_pct / 100).max(1),
             ));
         let mut util = AdmissionController::new(model, cfg.topology());
-        let mut dbfc = AdmissionController::with_policy(
-            model,
-            cfg.topology(),
-            AdmissionPolicy::DemandBound,
-        );
+        let mut dbfc =
+            AdmissionController::with_policy(model, cfg.topology(), AdmissionPolicy::DemandBound);
         loop {
             let u_ok = util.admit(&spec).is_ok();
             let d_ok = dbfc.admit(&spec).is_ok();
-            prop_assert!(u_ok || !d_ok, "dbf admitted what util refused");
+            assert!(u_ok || !d_ok, "dbf admitted what util refused");
             if !u_ok {
                 break;
             }
@@ -319,16 +329,18 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(dbfc.admitted_count() <= util.admitted_count());
+        assert!(dbfc.admitted_count() <= util.admitted_count());
     }
+}
 
-    /// End-to-end conservation: everything submitted is eventually either
-    /// delivered or still queued; nothing is duplicated or lost (no faults).
-    #[test]
-    fn message_conservation(
-        n in 3u16..=12,
-        msgs in prop::collection::vec((0u16..12, 1u16..12, 1u32..4), 1..40),
-    ) {
+/// End-to-end conservation: everything submitted is eventually either
+/// delivered or still queued; nothing is duplicated or lost (no faults).
+#[test]
+fn message_conservation() {
+    for case in 0..24u64 {
+        let mut rng = SeedSequence::new(0xC04).stream("conserve", case);
+        let n = rng.gen_range(3u16..=12);
+        let n_msgs = rng.gen_range(1usize..40);
         let cfg = ccr_edf::config::NetworkConfig::builder(n)
             .slot_bytes(2048)
             .build_auto_slot()
@@ -336,8 +348,10 @@ proptest! {
         let mut net = ccr_edf::network::RingNetwork::new_ccr_edf(cfg);
         let mut submitted = 0u64;
         let mut total_slots = 0u64;
-        for (src, hop, size) in msgs {
-            let src = NodeId(src % n);
+        for _ in 0..n_msgs {
+            let src = NodeId(rng.gen_range(0u16..12) % n);
+            let hop = rng.gen_range(1u16..12);
+            let size = rng.gen_range(1u32..4);
             let dst = ccr_edf::RingTopology::new(n).downstream(src, 1 + hop % (n - 1));
             net.submit_message(
                 SimTime::ZERO,
@@ -349,8 +363,8 @@ proptest! {
         // enough slots to drain everything serially, plus pipeline slack
         net.run_slots(total_slots * 2 + 10);
         let m = net.metrics();
-        prop_assert_eq!(m.delivered.get(), submitted);
-        prop_assert_eq!(net.queued_messages(), 0);
-        prop_assert_eq!(m.grants.get(), total_slots);
+        assert_eq!(m.delivered.get(), submitted);
+        assert_eq!(net.queued_messages(), 0);
+        assert_eq!(m.grants.get(), total_slots);
     }
 }

@@ -176,10 +176,7 @@ fn all_services_on_under_traffic_with_wire_check() {
         net.barrier_enter(NodeId(i));
     }
     net.short_send(NodeId(2), NodeId(7), 0xABCD);
-    net.submit_message(
-        SimTime::ZERO,
-        nrt(3, 6, 2).with_reliable(),
-    );
+    net.submit_message(SimTime::ZERO, nrt(3, 6, 2).with_reliable());
     net.run_slots(3_000);
     let m = net.metrics();
     assert!(m.delivered_rt.get() > 10);
@@ -202,10 +199,7 @@ fn several_reliable_messages_from_one_node_interleave() {
         .unwrap();
     let mut net = RingNetwork::new_ccr_edf(c);
     for k in 0..5u16 {
-        net.submit_message(
-            SimTime::ZERO,
-            nrt(0, 1 + (k % 5), 2).with_reliable(),
-        );
+        net.submit_message(SimTime::ZERO, nrt(0, 1 + (k % 5), 2).with_reliable());
     }
     net.run_slots(400);
     let m = net.metrics();

@@ -39,12 +39,18 @@ fn print_model(nodes: u16, slot_bytes: u32, link_m: f64) {
                 .link_length_m(link_m)
                 .build_auto_slot()
                 .expect("auto slot");
-            eprintln!("using the minimum feasible slot instead: {} B", c.slot_bytes);
+            eprintln!(
+                "using the minimum feasible slot instead: {} B",
+                c.slot_bytes
+            );
             c
         }
     };
     let a = AnalyticModel::new(&cfg);
-    println!("configuration: N = {}, slot = {} B, links = {link_m} m", cfg.n_nodes, cfg.slot_bytes);
+    println!(
+        "configuration: N = {}, slot = {} B, links = {link_m} m",
+        cfg.n_nodes, cfg.slot_bytes
+    );
     println!("t_slot               : {}", cfg.slot_time());
     println!("t_node               : {}", cfg.t_node());
     println!("collection (Eq. 2)   : {}", cfg.collection_time());
@@ -53,7 +59,10 @@ fn print_model(nodes: u16, slot_bytes: u32, link_m: f64) {
     println!("t_handover max (Eq.1): {}", cfg.timing().max_handover());
     println!("t_latency (Eq. 4)    : {}", a.worst_latency());
     println!("U_max (Eq. 6)        : {:.4}", a.u_max());
-    println!("data bandwidth       : {:.2} Gbit/s", cfg.phys.data_bandwidth_bps() / 1e9);
+    println!(
+        "data bandwidth       : {:.2} Gbit/s",
+        cfg.phys.data_bandwidth_bps() / 1e9
+    );
 }
 
 struct Args {
@@ -77,13 +86,22 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--nodes" => {
-                nodes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--slot-bytes" => {
-                slot_bytes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                slot_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--link-m" => {
-                link_m = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                link_m = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage());

@@ -14,10 +14,7 @@ pub fn run(_opts: &ExpOptions) -> ExperimentResult {
     );
     t1.row(&["0".into(), "Nothing to send".into()]);
     t1.row(&[format!("{NRT_LEVEL}"), "Non-real time".into()]);
-    t1.row(&[
-        format!("{}-{}", BE_BASE, RT_BASE - 1),
-        "Best effort".into(),
-    ]);
+    t1.row(&[format!("{}-{}", BE_BASE, RT_BASE - 1), "Best effort".into()]);
     t1.row(&[
         format!("{}-{}", RT_BASE, MAX_LEVEL),
         "Logical real-time connection".into(),
@@ -42,7 +39,22 @@ pub fn run(_opts: &ExpOptions) -> ExperimentResult {
         "E1b — logarithmic laxity mapping (laxity in slots → RT level)",
         &["laxity_slots", "rt_level", "be_level"],
     );
-    for lax in [0u64, 1, 2, 3, 4, 7, 8, 15, 16, 63, 64, 1_023, 16_383, 1 << 20] {
+    for lax in [
+        0u64,
+        1,
+        2,
+        3,
+        4,
+        7,
+        8,
+        15,
+        16,
+        63,
+        64,
+        1_023,
+        16_383,
+        1 << 20,
+    ] {
         t2.row(&[
             lax.to_string(),
             m.real_time(lax).level().to_string(),

@@ -82,9 +82,11 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
             .link_length_m(link_m)
             .build_auto_slot()
             .unwrap();
-        let mut rng = seq.subsequence("e2b", n as u64).stream("traffic", link_m as u64);
-        let set = PeriodicSetBuilder::new(n, (n as usize) * 2, 0.5, cfg.slot_time())
-            .generate(&mut rng);
+        let mut rng = seq
+            .subsequence("e2b", n as u64)
+            .stream("traffic", link_m as u64);
+        let set =
+            PeriodicSetBuilder::new(n, (n as usize) * 2, 0.5, cfg.slot_time()).generate(&mut rng);
         let analytic_max = cfg.timing().max_handover();
         let mut net = RingNetwork::new_ccr_edf(cfg);
         for spec in set {
@@ -96,7 +98,9 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
             n,
             link_m,
             m.handover_gap.mean().unwrap_or(f64::NAN) / 1e3,
-            m.handover_gap.quantile(0.99).map_or(f64::NAN, |v| v as f64 / 1e3),
+            m.handover_gap
+                .quantile(0.99)
+                .map_or(f64::NAN, |v| v as f64 / 1e3),
             m.handover_gap.max().map_or(f64::NAN, |v| v as f64 / 1e3),
             analytic_max.as_ns_f64(),
             m.master_changes.get(),

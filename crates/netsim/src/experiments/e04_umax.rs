@@ -24,13 +24,19 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
     // ---- Part A: the bound itself ----------------------------------------
     let mut ta = Table::new(
         "E4a — U_max (Equation 6) across N, slot length and link length",
-        &["n_nodes", "slot_bytes", "link_m", "t_slot_us", "h_max_us", "u_max"],
+        &[
+            "n_nodes",
+            "slot_bytes",
+            "link_m",
+            "t_slot_us",
+            "h_max_us",
+            "u_max",
+        ],
     );
     for &n in &ring_sizes(opts) {
         for slot_bytes in [512u32, 2_048, 8_192] {
             for link_m in [5.0, 50.0] {
-                let Ok(cfg) = base_config(n, slot_bytes).link_length_m(link_m).build()
-                else {
+                let Ok(cfg) = base_config(n, slot_bytes).link_length_m(link_m).build() else {
                     continue; // infeasible (slot below Eq. 2 minimum)
                 };
                 let a = AnalyticModel::new(&cfg);
@@ -49,7 +55,13 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
     // ---- Part B: admission boundary ---------------------------------------
     let mut tb = Table::new(
         "E4b — admission fills exactly to U_max (Equation 5 test)",
-        &["n_nodes", "u_max", "admitted_u", "admitted_conns", "first_reject_at_u"],
+        &[
+            "n_nodes",
+            "u_max",
+            "admitted_u",
+            "admitted_conns",
+            "first_reject_at_u",
+        ],
     );
     for &n in &ring_sizes(opts) {
         let cfg = base_config(n, 2_048).build_auto_slot().unwrap();
@@ -60,7 +72,7 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
         let u_step = a.u_max() / 40.0;
         let spec = ConnectionSpec::unicast(NodeId(0), NodeId(1))
             .period(TimeDelta::from_ps(
-                (slot.as_ps() as f64 / u_step).round() as u64,
+                (slot.as_ps() as f64 / u_step).round() as u64
             ))
             .size_slots(1);
         let mut admitted = 0u32;

@@ -34,7 +34,9 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
     let loads: Vec<f64> = if opts.quick {
         vec![0.4, 0.9, 1.3]
     } else {
-        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4]
+        vec![
+            0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4,
+        ]
     };
     let reps = opts.reps(3);
     let slots = opts.slots(150_000);
@@ -50,30 +52,29 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
     // (one message per slot), where U_max is the true capacity and the
     // crossover is sharp; the reuse runs show run-time behaviour, where
     // spatial reuse gives both protocols extra headroom.
-    let results: Vec<(Point, [RunSummary; 4])> =
-        parallel_map(points, opts.threads, |&p| {
-            let target = p.load_frac * model.u_max();
-            let mut rng = seq
-                .subsequence("e6", (p.load_frac * 1000.0) as u64)
-                .stream("traffic", p.rep);
-            // Tight periods (deadline = period, Section 5) are what separate
-            // the protocols: CC-FPR's rotating clock break blocks a message
-            // for up to N slots, which only matters when deadlines leave
-            // little slack.
-            let set = PeriodicSetBuilder::new(n, n as usize * 3, target, cfg_ref.slot_time())
-                .periods(10, 300)
-                .generate(&mut rng);
-            let workload = Workload::raw(set);
-            let mut no_reuse = cfg_ref.clone();
-            no_reuse.spatial_reuse = false;
-            let runs = [
-                run_with_mac(cfg_ref.clone(), CcrEdfMac, &workload, slots),
-                run_with_mac(cfg_ref.clone(), CcFprMac, &workload, slots),
-                run_with_mac(no_reuse.clone(), CcrEdfMac, &workload, slots),
-                run_with_mac(no_reuse, CcFprMac, &workload, slots),
-            ];
-            (p, runs)
-        });
+    let results: Vec<(Point, [RunSummary; 4])> = parallel_map(points, opts.threads, |&p| {
+        let target = p.load_frac * model.u_max();
+        let mut rng = seq
+            .subsequence("e6", (p.load_frac * 1000.0) as u64)
+            .stream("traffic", p.rep);
+        // Tight periods (deadline = period, Section 5) are what separate
+        // the protocols: CC-FPR's rotating clock break blocks a message
+        // for up to N slots, which only matters when deadlines leave
+        // little slack.
+        let set = PeriodicSetBuilder::new(n, n as usize * 3, target, cfg_ref.slot_time())
+            .periods(10, 300)
+            .generate(&mut rng);
+        let workload = Workload::raw(set);
+        let mut no_reuse = cfg_ref.clone();
+        no_reuse.spatial_reuse = false;
+        let runs = [
+            run_with_mac(cfg_ref.clone(), CcrEdfMac, &workload, slots),
+            run_with_mac(cfg_ref.clone(), CcFprMac, &workload, slots),
+            run_with_mac(no_reuse.clone(), CcrEdfMac, &workload, slots),
+            run_with_mac(no_reuse, CcFprMac, &workload, slots),
+        ];
+        (p, runs)
+    });
 
     // Aggregate per load across reps.
     let mut t_reuse = Table::new(
@@ -107,9 +108,8 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
             .filter(|(p, _)| (p.load_frac - load).abs() < 1e-9)
             .collect();
         let k = runs.len() as f64;
-        let avg = |f: &dyn Fn(&[RunSummary; 4]) -> f64| {
-            runs.iter().map(|(_, r)| f(r)).sum::<f64>() / k
-        };
+        let avg =
+            |f: &dyn Fn(&[RunSummary; 4]) -> f64| runs.iter().map(|(_, r)| f(r)).sum::<f64>() / k;
         t_reuse.row(&[
             fmt_f64(load, 2),
             fmt_pct(avg(&|r| r[0].rt_miss_ratio)),

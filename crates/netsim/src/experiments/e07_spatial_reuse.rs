@@ -14,7 +14,6 @@ use ccr_edf::network::RingNetwork;
 use ccr_edf::{NodeId, SimTime};
 use ccr_sim::report::{fmt_f64, Table};
 use ccr_sim::SeedSequence;
-use rand::Rng;
 
 /// Run E7.
 pub fn run(opts: &ExpOptions) -> ExperimentResult {
@@ -39,7 +38,9 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
             .spatial_reuse(reuse)
             .build_auto_slot()
             .unwrap();
-        let mut rng = seq.subsequence("e7", i as u64).stream("traffic", reuse as u64);
+        let mut rng = seq
+            .subsequence("e7", i as u64)
+            .stream("traffic", reuse as u64);
         let mut net = RingNetwork::new_ccr_edf(cfg);
         // Saturate: every node keeps a backlog of one NRT message per slot
         // of the horizon, so the queues never run dry.

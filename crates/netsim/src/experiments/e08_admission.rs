@@ -14,7 +14,6 @@ use ccr_edf::network::RingNetwork;
 use ccr_edf::{NodeId, TimeDelta};
 use ccr_sim::report::{fmt_f64, Table};
 use ccr_sim::SeedSequence;
-use rand::Rng;
 
 /// Run E8.
 pub fn run(opts: &ExpOptions) -> ExperimentResult {
@@ -42,7 +41,7 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
             let src = NodeId(rng.gen_range(0..n));
             let hops = rng.gen_range(1..n);
             let dst = NodeId((src.0 + hops) % n);
-            let jitter = 0.5 + rng.gen::<f64>(); // u in [0.5, 1.5]·u_step
+            let jitter = 0.5 + rng.gen_f64(); // u in [0.5, 1.5]·u_step
             let period_ps = (slot.as_ps() as f64 / (u_step * jitter)).round() as u64;
             let spec = ConnectionSpec::unicast(src, dst)
                 .period(TimeDelta::from_ps(period_ps))
@@ -88,8 +87,7 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
     ta.row(&[
         "decision latency mean (slots)".into(),
         fmt_f64(
-            app.stats.decision_latency.mean().unwrap_or(f64::NAN)
-                / slot.as_ps() as f64,
+            app.stats.decision_latency.mean().unwrap_or(f64::NAN) / slot.as_ps() as f64,
             2,
         ),
     ]);

@@ -63,7 +63,9 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
             size_slots,
             model.u_max(),
             m.latency_be.mean().unwrap_or(f64::NAN) / 1e6,
-            m.latency_be.quantile(0.99).map_or(f64::NAN, |v| v as f64 / 1e6),
+            m.latency_be
+                .quantile(0.99)
+                .map_or(f64::NAN, |v| v as f64 / 1e6),
             slot.as_us_f64(),
             m.delivered.get(),
             count as u64,

@@ -32,10 +32,7 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
                 horizon_slots: 1 << 14,
             },
         ),
-        (
-            "linear narrow",
-            MapperKind::Linear { horizon_slots: 64 },
-        ),
+        ("linear narrow", MapperKind::Linear { horizon_slots: 64 }),
     ];
     let loads: Vec<f64> = if opts.quick {
         vec![0.8, 1.0]

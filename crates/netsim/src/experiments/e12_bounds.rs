@@ -73,7 +73,12 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
     });
     let mut tb = Table::new(
         "E12b — measured miss ratios at the analytic operating points (N = 16)",
-        &["operating point", "utilisation", "ccr-edf_miss", "cc-fpr_miss"],
+        &[
+            "operating point",
+            "utilisation",
+            "ccr-edf_miss",
+            "cc-fpr_miss",
+        ],
     );
     for (label, u, edf_miss, fpr_miss) in &rows {
         tb.row(&[

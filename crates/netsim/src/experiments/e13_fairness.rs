@@ -32,11 +32,7 @@ fn symmetric_specs(n: u16, period: TimeDelta) -> Vec<ConnectionSpec> {
         .collect()
 }
 
-fn run_mac<P: MacProtocol>(
-    mac: P,
-    n: u16,
-    slots: u64,
-) -> (Vec<f64>, f64) {
+fn run_mac<P: MacProtocol>(mac: P, n: u16, slots: u64) -> (Vec<f64>, f64) {
     let cfg = base_config(n, 2_048).build_auto_slot().unwrap();
     let slot = cfg.slot_time();
     // period: N+4 slots → offered utilisation ≈ N/(N+4) of the slot supply

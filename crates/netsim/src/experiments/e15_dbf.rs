@@ -20,13 +20,13 @@ use ccr_edf::connection::ConnectionSpec;
 use ccr_edf::network::RingNetwork;
 use ccr_edf::{NodeId, TimeDelta};
 use ccr_sim::report::{fmt_f64, fmt_pct, Table};
+use ccr_sim::rng::DetRng;
 use ccr_sim::SeedSequence;
-use rand::Rng;
 
 /// Build a random constrained-deadline set: n_conns connections at total
 /// utilisation `u`, each with deadline `D = tightness · P`.
 fn constrained_set(
-    rng: &mut impl Rng,
+    rng: &mut DetRng,
     n: u16,
     n_conns: usize,
     u_total: f64,

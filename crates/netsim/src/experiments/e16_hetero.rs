@@ -18,7 +18,6 @@ use ccr_edf::network::RingNetwork;
 use ccr_sim::report::{fmt_f64, Table};
 use ccr_sim::SeedSequence;
 use ccr_traffic::PeriodicSetBuilder;
-use rand::Rng;
 
 /// Run E16.
 pub fn run(opts: &ExpOptions) -> ExperimentResult {
@@ -30,9 +29,7 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
     let rows = parallel_map(reps, opts.threads, |&rep| {
         let mut rng = seq.subsequence("e16", rep).stream("lengths", 0);
         // log-uniform lengths in [3, 30] m, mean ≈ 10 m
-        let lengths: Vec<f64> = (0..n)
-            .map(|_| 3.0 * 10f64.powf(rng.gen::<f64>()))
-            .collect();
+        let lengths: Vec<f64> = (0..n).map(|_| 3.0 * 10f64.powf(rng.gen_f64())).collect();
         let mean_len = lengths.iter().sum::<f64>() / n as f64;
         let hetero = base_config(n, 2_048)
             .link_lengths_m(lengths)
@@ -121,8 +118,7 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
         rows.len()
     ));
     notes.push(
-        "admitted traffic at 0.8 of the hetero-aware u_max: zero misses on every ring"
-            .into(),
+        "admitted traffic at 0.8 of the hetero-aware u_max: zero misses on every ring".into(),
     );
 
     ExperimentResult {

@@ -7,7 +7,6 @@ use ccr_edf::message::Message;
 use ccr_edf::metrics::Metrics;
 use ccr_edf::network::RingNetwork;
 use ccr_edf::{SimTime, TimeDelta};
-use serde::{Deserialize, Serialize};
 
 /// Synthetic connection ids used when periodic traffic bypasses admission
 /// (overload experiments); kept far from real ids to avoid collisions.
@@ -61,7 +60,14 @@ pub fn expand_periodic(
         let deadline = t + spec.period;
         out.push((
             t,
-            Message::real_time(spec.src, spec.dest.clone(), spec.size_slots, t, deadline, conn),
+            Message::real_time(
+                spec.src,
+                spec.dest.clone(),
+                spec.size_slots,
+                t,
+                deadline,
+                conn,
+            ),
         ));
         t += spec.period;
     }
@@ -69,7 +75,8 @@ pub fn expand_periodic(
 }
 
 /// The serialisable result of one run — one row of an experiment table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// MAC protocol name.
     pub protocol: String,
@@ -115,6 +122,9 @@ pub struct RunSummary {
     pub rejected_connections: u64,
     /// Messages still queued at the end (backlog).
     pub backlog: u64,
+    /// Simulated slots per wall-clock second (engine speed, not a network
+    /// property; 0.0 when nothing was timed).
+    pub slots_per_sec: f64,
 }
 
 impl RunSummary {
@@ -125,10 +135,7 @@ impl RunSummary {
         rejected: u64,
     ) -> Self {
         let m: &Metrics = net.metrics();
-        let sim_seconds = m
-            .ended_at
-            .saturating_since(m.started_at)
-            .as_secs_f64();
+        let sim_seconds = m.ended_at.saturating_since(m.started_at).as_secs_f64();
         RunSummary {
             protocol: protocol.to_string(),
             n_nodes: net.config().n_nodes,
@@ -141,7 +148,10 @@ impl RunSummary {
             rt_bound_violations: m.rt_bound_violations.get(),
             be_misses: m.be_deadline_misses.get(),
             rt_latency_mean_us: m.latency_rt.mean().unwrap_or(f64::NAN) / 1e6,
-            rt_latency_p99_us: m.latency_rt.quantile(0.99).map_or(f64::NAN, |v| v as f64 / 1e6),
+            rt_latency_p99_us: m
+                .latency_rt
+                .quantile(0.99)
+                .map_or(f64::NAN, |v| v as f64 / 1e6),
             rt_latency_max_us: m.latency_rt.max().map_or(f64::NAN, |v| v as f64 / 1e6),
             gap_mean_ns: m.handover_gap.mean().unwrap_or(f64::NAN) / 1e3,
             gap_max_ns: m.handover_gap.max().map_or(f64::NAN, |v| v as f64 / 1e3),
@@ -152,6 +162,7 @@ impl RunSummary {
             admitted_utilisation: net.admission().admitted_utilisation(),
             rejected_connections: rejected,
             backlog: net.queued_messages() as u64,
+            slots_per_sec: net.throughput().slots_per_sec().unwrap_or(0.0),
         }
     }
 }

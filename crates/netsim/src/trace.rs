@@ -7,11 +7,11 @@
 use ccr_edf::network::SlotOutcome;
 use ccr_edf::{NodeId, SimTime, TimeDelta};
 use ccr_sim::report::Table;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// One slot's condensed trace record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlotRecord {
     /// Slot index.
     pub slot: u64,

@@ -9,10 +9,10 @@
 //! each bit in the control-packets").
 
 use ccr_sim::time::TimeDelta;
-use serde::{Deserialize, Serialize};
 
 /// Physical constants of the ring.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhysParams {
     /// Clock period: time for one byte on the data channel / one bit on the
     /// control channel. Default 2.5 ns (400 MHz, OPTOBUS-class).

@@ -7,22 +7,19 @@
 //! spatial reuse (several simultaneous transmissions in non-overlapping
 //! segments) possible.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum number of nodes supported by the [`LinkSet`] bitmask.
 pub const MAX_NODES: u16 = 64;
 
 /// Identifies a node on the ring (0-based index).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u16);
 
 /// Identifies a unidirectional link: link `i` runs node `i` → node `i+1 mod N`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LinkId(pub u16);
 
 impl fmt::Display for NodeId {
@@ -54,7 +51,8 @@ impl LinkId {
 }
 
 /// A set of ring links, stored as a bitmask (hence `N ≤ 64`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct LinkSet(pub u64);
 
 impl LinkSet {
@@ -135,7 +133,8 @@ impl FromIterator<LinkId> for LinkSet {
 }
 
 /// The unidirectional ring of `N` nodes (Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingTopology {
     n: u16,
 }
@@ -220,7 +219,11 @@ impl RingTopology {
 
     /// Links occupied by a transmission of `hops` hops starting at `from`.
     pub fn segment_hops(self, from: NodeId, hops: u16) -> LinkSet {
-        debug_assert!(hops < self.n, "segment of {hops} hops on an {}-ring", self.n);
+        debug_assert!(
+            hops < self.n,
+            "segment of {hops} hops on an {}-ring",
+            self.n
+        );
         let mut set = LinkSet::EMPTY;
         for k in 0..hops {
             set.insert(LinkId((from.0 + k) % self.n));
@@ -235,7 +238,11 @@ impl RingTopology {
     ///
     /// Returns `LinkSet::EMPTY` when `dests` is empty or contains only
     /// `from` itself.
-    pub fn multicast_segment(self, from: NodeId, dests: impl IntoIterator<Item = NodeId>) -> LinkSet {
+    pub fn multicast_segment(
+        self,
+        from: NodeId,
+        dests: impl IntoIterator<Item = NodeId>,
+    ) -> LinkSet {
         let max_hops = dests
             .into_iter()
             .map(|d| self.hops(from, d))

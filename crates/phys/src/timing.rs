@@ -16,10 +16,10 @@
 use crate::params::PhysParams;
 use crate::ring::RingTopology;
 use ccr_sim::time::TimeDelta;
-use serde::{Deserialize, Serialize};
 
 /// Timing calculator for a concrete ring instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingModel {
     /// Physical constants.
     pub phys: PhysParams,

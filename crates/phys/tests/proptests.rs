@@ -1,117 +1,155 @@
-//! Property-based tests for ring geometry and timing invariants.
+//! Randomised tests for ring geometry and timing invariants.
+//!
+//! Formerly `proptest` properties; now driven by the seeded [`DetRng`]
+//! from `ccr-sim` so the workspace needs no external dependencies.
 
 use ccr_phys::{LinkSet, NodeId, PhysParams, RingTopology, TimingModel};
-use proptest::prelude::*;
+use ccr_sim::rng::DetRng;
+use ccr_sim::SeedSequence;
 
-fn ring_and_nodes() -> impl Strategy<Value = (u16, u16, u16)> {
-    (2u16..=64).prop_flat_map(|n| (Just(n), 0..n, 0..n))
+const CASES: u64 = 256;
+
+fn ring_and_nodes(rng: &mut DetRng) -> (u16, u16, u16) {
+    let n = rng.gen_range(2u16..=64);
+    (n, rng.gen_range(0..n), rng.gen_range(0..n))
 }
 
-proptest! {
-    /// hops(a,b) + hops(b,a) is 0 (same node) or N.
-    #[test]
-    fn hops_antisymmetric((n, a, b) in ring_and_nodes()) {
+/// hops(a,b) + hops(b,a) is 0 (same node) or N.
+#[test]
+fn hops_antisymmetric() {
+    let mut rng = SeedSequence::new(0x9407).stream("hops", 0);
+    for _ in 0..CASES {
+        let (n, a, b) = ring_and_nodes(&mut rng);
         let t = RingTopology::new(n);
         let ab = t.hops(NodeId(a), NodeId(b));
         let ba = t.hops(NodeId(b), NodeId(a));
         if a == b {
-            prop_assert_eq!(ab + ba, 0);
+            assert_eq!(ab + ba, 0);
         } else {
-            prop_assert_eq!(ab + ba, n);
+            assert_eq!(ab + ba, n);
         }
     }
+}
 
-    /// downstream/upstream are inverses.
-    #[test]
-    fn down_up_inverse((n, a, k) in ring_and_nodes()) {
+/// downstream/upstream are inverses.
+#[test]
+fn down_up_inverse() {
+    let mut rng = SeedSequence::new(0x9407).stream("updown", 0);
+    for _ in 0..CASES {
+        let (n, a, k) = ring_and_nodes(&mut rng);
         let t = RingTopology::new(n);
         let down = t.downstream(NodeId(a), k);
-        prop_assert_eq!(t.upstream(down, k), NodeId(a));
+        assert_eq!(t.upstream(down, k), NodeId(a));
     }
+}
 
-    /// A segment of h hops has exactly h links, starts at the egress link
-    /// and never contains the sender's ingress link.
-    #[test]
-    fn segment_shape((n, a, _b) in ring_and_nodes(), h in 0u16..64) {
+/// A segment of h hops has exactly h links, starts at the egress link
+/// and never contains the sender's ingress link.
+#[test]
+fn segment_shape() {
+    let mut rng = SeedSequence::new(0x9407).stream("seg", 0);
+    for _ in 0..CASES {
+        let (n, a, _) = ring_and_nodes(&mut rng);
+        let h = rng.gen_range(0u16..64) % n;
         let t = RingTopology::new(n);
-        let h = h % n;
         let seg = t.segment_hops(NodeId(a), h);
-        prop_assert_eq!(seg.len(), h as u32);
+        assert_eq!(seg.len(), h as u32);
         if h > 0 {
-            prop_assert!(seg.contains(t.egress(NodeId(a))));
+            assert!(seg.contains(t.egress(NodeId(a))));
         }
-        prop_assert!(!seg.contains(t.ingress(NodeId(a))) || h == n, "h={h} n={n}");
+        assert!(!seg.contains(t.ingress(NodeId(a))) || h == n, "h={h} n={n}");
     }
+}
 
-    /// Two segments are disjoint iff their link sets do not intersect —
-    /// and the bitmask operations agree with a naive set model.
-    #[test]
-    fn linkset_matches_naive_model(
-        n in 2u16..=64,
-        xs in prop::collection::vec(0u16..64, 0..20),
-        ys in prop::collection::vec(0u16..64, 0..20),
-    ) {
-        use std::collections::BTreeSet;
-        let xs: Vec<u16> = xs.into_iter().map(|x| x % n).collect();
-        let ys: Vec<u16> = ys.into_iter().map(|y| y % n).collect();
+/// Two segments are disjoint iff their link sets do not intersect —
+/// and the bitmask operations agree with a naive set model.
+#[test]
+fn linkset_matches_naive_model() {
+    use std::collections::BTreeSet;
+    let mut rng = SeedSequence::new(0x9407).stream("linkset", 0);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2u16..=64);
+        let xs: Vec<u16> = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.gen_range(0u16..64) % n)
+            .collect();
+        let ys: Vec<u16> = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.gen_range(0u16..64) % n)
+            .collect();
         let a: LinkSet = xs.iter().map(|&x| ccr_phys::LinkId(x)).collect();
         let b: LinkSet = ys.iter().map(|&y| ccr_phys::LinkId(y)).collect();
         let sa: BTreeSet<u16> = xs.iter().copied().collect();
         let sb: BTreeSet<u16> = ys.iter().copied().collect();
-        prop_assert_eq!(a.len() as usize, sa.len());
-        prop_assert_eq!(a.is_disjoint(b), sa.is_disjoint(&sb));
-        prop_assert_eq!(a.union(b).len() as usize, sa.union(&sb).count());
-        prop_assert_eq!(a.intersection(b).len() as usize, sa.intersection(&sb).count());
+        assert_eq!(a.len() as usize, sa.len());
+        assert_eq!(a.is_disjoint(b), sa.is_disjoint(&sb));
+        assert_eq!(a.union(b).len() as usize, sa.union(&sb).count());
+        assert_eq!(
+            a.intersection(b).len() as usize,
+            sa.intersection(&sb).count()
+        );
         let listed: Vec<u16> = a.iter().map(|l| l.0).collect();
         let expect: Vec<u16> = sa.iter().copied().collect();
-        prop_assert_eq!(listed, expect);
+        assert_eq!(listed, expect);
     }
+}
 
-    /// Equation 1 is linear: handover(a) + handover(b) = handover(a+b).
-    #[test]
-    fn handover_linear(n in 2u16..=64, len_m in 1.0f64..500.0, a in 0u16..32, b in 0u16..32) {
+/// Equation 1 is linear: handover(a) + handover(b) = handover(a+b).
+#[test]
+fn handover_linear() {
+    let mut rng = SeedSequence::new(0x9407).stream("handover", 0);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2u16..=64);
+        let len_m = rng.gen_range(1.0f64..500.0);
+        let a = rng.gen_range(0u16..32) % n;
+        let b = rng.gen_range(0u16..32) % n;
+        if a + b >= n {
+            continue;
+        }
         let m = TimingModel::new(PhysParams::with_link_length(len_m), n);
-        let a = a % n;
-        let b = b % n;
-        prop_assume!(a + b < n);
         let lhs = m.handover_time(a) + m.handover_time(b);
-        prop_assert_eq!(lhs, m.handover_time(a + b));
+        assert_eq!(lhs, m.handover_time(a + b));
     }
+}
 
-    /// Equation 2 grows monotonically in N and t_node, and the minimum
-    /// feasible slot bytes always produce a feasible slot.
-    #[test]
-    fn min_slot_monotone(n in 2u16..=63, len_m in 1.0f64..100.0, tn_ns in 1u64..500) {
+/// Equation 2 grows monotonically in N and t_node, and the minimum
+/// feasible slot bytes always produce a feasible slot.
+#[test]
+fn min_slot_monotone() {
+    let mut rng = SeedSequence::new(0x9407).stream("minslot", 0);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2u16..=63);
+        let len_m = rng.gen_range(1.0f64..100.0);
+        let tn_ns = rng.gen_range(1u64..500);
         let t_node = ccr_sim::TimeDelta::from_ns(tn_ns);
         let small = TimingModel::new(PhysParams::with_link_length(len_m), n);
         let large = TimingModel::new(PhysParams::with_link_length(len_m), n + 1);
-        prop_assert!(small.min_slot(t_node) < large.min_slot(t_node));
+        assert!(small.min_slot(t_node) < large.min_slot(t_node));
         let bytes = small.min_slot_bytes(t_node);
-        prop_assert!(small.slot_time(bytes) >= small.min_slot(t_node));
+        assert!(small.slot_time(bytes) >= small.min_slot(t_node));
         if bytes > 0 {
-            prop_assert!(small.slot_time(bytes - 1) < small.min_slot(t_node));
+            assert!(small.slot_time(bytes - 1) < small.min_slot(t_node));
         }
     }
+}
 
-    /// Multicast segments cover the segment of every member destination.
-    #[test]
-    fn multicast_covers_members(
-        n in 3u16..=64,
-        src in 0u16..64,
-        dests in prop::collection::vec(0u16..64, 1..8),
-    ) {
-        let t = RingTopology::new(n);
-        let src = NodeId(src % n);
-        let dests: Vec<NodeId> = dests
-            .into_iter()
-            .map(|d| NodeId(d % n))
+/// Multicast segments cover the segment of every member destination.
+#[test]
+fn multicast_covers_members() {
+    let mut rng = SeedSequence::new(0x9407).stream("mcast", 0);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3u16..=64);
+        let src = NodeId(rng.gen_range(0u16..64) % n);
+        let dests: Vec<NodeId> = (0..rng.gen_range(1usize..8))
+            .map(|_| NodeId(rng.gen_range(0u16..64) % n))
             .filter(|&d| d != src)
             .collect();
-        prop_assume!(!dests.is_empty());
+        if dests.is_empty() {
+            continue;
+        }
+        let t = RingTopology::new(n);
         let seg = t.multicast_segment(src, dests.clone());
         for d in dests {
             let sub = t.segment(src, d);
-            prop_assert_eq!(sub.intersection(seg), sub, "member segment not covered");
+            assert_eq!(sub.intersection(seg), sub, "member segment not covered");
         }
     }
 }

@@ -1,9 +1,8 @@
 //! Named event counters.
 
-use serde::{Deserialize, Serialize};
-
 /// A simple saturating event counter with rate helpers.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {

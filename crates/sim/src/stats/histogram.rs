@@ -6,10 +6,9 @@
 //! `2^-precision`, independent of the value range, at O(64 · 2^precision)
 //! memory — ideal for latency distributions that span ns..ms.
 
-use serde::{Deserialize, Serialize};
-
 /// A streaming histogram over `u64` values (typically picoseconds).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     precision: u32,
     buckets: Vec<u64>,
@@ -183,7 +182,18 @@ mod tests {
     #[test]
     fn index_low_roundtrip_brackets_value() {
         let h = Histogram::new(5);
-        for &v in &[0u64, 1, 31, 32, 33, 100, 1_000, 65_535, 1 << 40, u64::MAX / 3] {
+        for &v in &[
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            65_535,
+            1 << 40,
+            u64::MAX / 3,
+        ] {
             let idx = h.bucket_index(v);
             let low = h.bucket_low(idx);
             assert!(low <= v, "low {low} > value {v}");

@@ -4,10 +4,9 @@
 //! meant for the *aggregated* outputs of an experiment (one point per sweep
 //! setting), not for per-event samples.
 
-use serde::{Deserialize, Serialize};
-
 /// An ordered collection of labelled (x, y) points.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Series {
     /// Series name, used as a column/legend label.
     pub name: String,

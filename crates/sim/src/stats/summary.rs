@@ -1,13 +1,12 @@
 //! Single-pass moment summary (Welford's algorithm).
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean / variance / min / max over `f64` samples.
 ///
 /// Uses Welford's numerically stable online update; merging two summaries
 /// uses the parallel (Chan et al.) combination rule so partial results from
 /// parallel experiment shards can be folded together.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,

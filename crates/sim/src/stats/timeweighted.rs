@@ -5,14 +5,14 @@
 //! point.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Integrates a piecewise-constant signal over simulated time.
 ///
 /// Call [`TimeWeighted::set`] whenever the signal changes; the value is
 /// assumed to hold from that instant until the next change (or until
 /// [`TimeWeighted::mean_until`] is read).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     start: SimTime,
     last_t: SimTime,

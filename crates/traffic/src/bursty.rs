@@ -7,7 +7,7 @@
 
 use ccr_edf::message::{Destination, Message};
 use ccr_edf::{NodeId, SimTime, TimeDelta};
-use rand::Rng;
+use ccr_sim::rng::DetRng;
 
 /// On/off burst generator for one (src, dst) stream.
 #[derive(Debug, Clone)]
@@ -29,15 +29,15 @@ pub struct BurstyGen {
 }
 
 impl BurstyGen {
-    fn exp_draw(rng: &mut impl Rng, mean_ps: f64) -> TimeDelta {
-        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    fn exp_draw(rng: &mut DetRng, mean_ps: f64) -> TimeDelta {
+        let u = rng.gen_range(f64::MIN_POSITIVE..1.0);
         TimeDelta::from_ps((-u.ln() * mean_ps).round() as u64)
     }
 
     /// Generate arrivals over `[start, start + horizon)`.
     pub fn schedule(
         &self,
-        rng: &mut impl Rng,
+        rng: &mut DetRng,
         start: SimTime,
         horizon: TimeDelta,
     ) -> Vec<(SimTime, Message)> {

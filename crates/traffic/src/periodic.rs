@@ -8,7 +8,7 @@
 use crate::uunifast::uunifast;
 use ccr_edf::connection::ConnectionSpec;
 use ccr_edf::{NodeId, TimeDelta};
-use rand::Rng;
+use ccr_sim::rng::DetRng;
 
 /// Builder for random periodic connection sets.
 #[derive(Debug, Clone)]
@@ -61,7 +61,7 @@ impl PeriodicSetBuilder {
     /// rounding of sizes/periods (each connection's size is at least 1
     /// slot, so very small shares round *up*; callers that need an exact
     /// cap should check with [`ccr_edf::analysis::AnalyticModel`]).
-    pub fn generate(&self, rng: &mut impl Rng) -> Vec<ConnectionSpec> {
+    pub fn generate(&self, rng: &mut DetRng) -> Vec<ConnectionSpec> {
         assert!(self.n_nodes >= 2, "need at least 2 nodes");
         let shares = uunifast(rng, self.n_conns, self.total_utilisation);
         let (lo, hi) = self.period_slots_range;
@@ -76,10 +76,9 @@ impl PeriodicSetBuilder {
                 let hops = rng.gen_range(1..=hops_limit.min(self.n_nodes - 1));
                 let dst = NodeId((src.0 + hops) % self.n_nodes);
                 // log-uniform period
-                let p_slots = (log_lo + rng.gen::<f64>() * (log_hi - log_lo)).exp();
+                let p_slots = (log_lo + rng.gen_f64() * (log_hi - log_lo)).exp();
                 // size from share: u = e * slot / P  →  e = u * P_slots
-                let e = ((u * p_slots).round() as u32)
-                    .clamp(1, self.max_size_slots);
+                let e = ((u * p_slots).round() as u32).clamp(1, self.max_size_slots);
                 // re-derive the period so the utilisation share is honoured
                 // with the clamped integral size: P = e * slot / u.
                 let period_ps = if u > 0.0 {
@@ -90,15 +89,13 @@ impl PeriodicSetBuilder {
                 ConnectionSpec::unicast(src, dst)
                     .period(TimeDelta::from_ps(period_ps.max(self.slot.as_ps())))
                     .size_slots(e)
-                    .phase(TimeDelta::from_ps(
-                        rng.gen_range(0..period_ps.max(1)),
-                    ))
+                    .phase(TimeDelta::from_ps(rng.gen_range(0..period_ps.max(1))))
             })
             .collect()
     }
 
     /// Generate and report the achieved utilisation (after rounding).
-    pub fn generate_with_util(&self, rng: &mut impl Rng) -> (Vec<ConnectionSpec>, f64) {
+    pub fn generate_with_util(&self, rng: &mut DetRng) -> (Vec<ConnectionSpec>, f64) {
         let set = self.generate(rng);
         let u = set.iter().map(|s| s.utilisation(self.slot)).sum();
         (set, u)

@@ -2,7 +2,7 @@
 
 use ccr_edf::message::{Destination, Message};
 use ccr_edf::{NodeId, SimTime, TimeDelta};
-use rand::Rng;
+use ccr_sim::rng::DetRng;
 
 /// Generates messages with exponential inter-arrival times, uniformly
 /// random (src, dst) pairs, geometric-ish sizes and uniform relative
@@ -43,8 +43,8 @@ impl PoissonGen {
     }
 
     /// Draw one exponential inter-arrival gap.
-    fn gap(&self, rng: &mut impl Rng) -> TimeDelta {
-        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    fn gap(&self, rng: &mut DetRng) -> TimeDelta {
+        let u = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let secs = -u.ln() / self.rate_per_s;
         TimeDelta::from_ps((secs * 1e12).round() as u64)
     }
@@ -53,7 +53,7 @@ impl PoissonGen {
     /// `(release, message)` pairs, sorted by release time.
     pub fn schedule(
         &self,
-        rng: &mut impl Rng,
+        rng: &mut DetRng,
         start: SimTime,
         horizon: TimeDelta,
     ) -> Vec<(SimTime, Message)> {
@@ -98,7 +98,10 @@ mod tests {
         let arr = g.schedule(&mut rng, SimTime::ZERO, TimeDelta::from_ms(50));
         // expect ~5000 arrivals; loose 3-sigma bound
         let n = arr.len() as f64;
-        assert!((n - 5_000.0).abs() < 3.0 * 5_000.0_f64.sqrt() + 50.0, "n {n}");
+        assert!(
+            (n - 5_000.0).abs() < 3.0 * 5_000.0_f64.sqrt() + 50.0,
+            "n {n}"
+        );
     }
 
     #[test]
@@ -108,24 +111,30 @@ mod tests {
         let start = SimTime::from_ms(1);
         let arr = g.schedule(&mut rng, start, TimeDelta::from_ms(2));
         assert!(arr.windows(2).all(|w| w[0].0 <= w[1].0));
-        assert!(arr.iter().all(|(t, _)| *t >= start && *t < start + TimeDelta::from_ms(2)));
+        assert!(arr
+            .iter()
+            .all(|(t, _)| *t >= start && *t < start + TimeDelta::from_ms(2)));
     }
 
     #[test]
     fn messages_valid_and_classed() {
         let topo = ccr_phys::RingTopology::new(8);
         let mut rng = SeedSequence::new(5).stream("poi", 2);
-        for (t, m) in PoissonGen::best_effort(8, 10_000.0)
-            .schedule(&mut rng, SimTime::ZERO, TimeDelta::from_ms(10))
-        {
+        for (t, m) in PoissonGen::best_effort(8, 10_000.0).schedule(
+            &mut rng,
+            SimTime::ZERO,
+            TimeDelta::from_ms(10),
+        ) {
             m.validate(topo).unwrap();
             assert_eq!(m.class, ccr_edf::message::TrafficClass::BestEffort);
             assert_eq!(m.released, t);
             assert!(m.deadline > t);
         }
-        for (_, m) in PoissonGen::non_real_time(8, 10_000.0)
-            .schedule(&mut rng, SimTime::ZERO, TimeDelta::from_ms(5))
-        {
+        for (_, m) in PoissonGen::non_real_time(8, 10_000.0).schedule(
+            &mut rng,
+            SimTime::ZERO,
+            TimeDelta::from_ms(5),
+        ) {
             assert_eq!(m.class, ccr_edf::message::TrafficClass::NonRealTime);
             assert_eq!(m.deadline, SimTime::MAX);
         }

@@ -14,10 +14,10 @@
 use crate::bursty::BurstyGen;
 use ccr_edf::connection::ConnectionSpec;
 use ccr_edf::{NodeId, TimeDelta};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the radar pipeline scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadarScenario {
     /// Nodes in the ring (pipeline stages occupy nodes `0..stages`).
     pub n_nodes: u16,
@@ -61,10 +61,7 @@ impl RadarScenario {
 
     /// Total utilisation of the pipeline at slot length `slot`.
     pub fn utilisation(&self, slot: TimeDelta) -> f64 {
-        self.connections()
-            .iter()
-            .map(|c| c.utilisation(slot))
-            .sum()
+        self.connections().iter().map(|c| c.utilisation(slot)).sum()
     }
 }
 
@@ -104,7 +101,11 @@ impl MultimediaScenario {
             .map(|i| {
                 let src = NodeId(i as u16 % n);
                 let dst = NodeId((src.0 + n / 2).max(src.0 + 1) % n);
-                let dst = if dst == src { NodeId((src.0 + 1) % n) } else { dst };
+                let dst = if dst == src {
+                    NodeId((src.0 + 1) % n)
+                } else {
+                    dst
+                };
                 ConnectionSpec::unicast(src, dst)
                     .period(self.voice_period)
                     .size_slots(1)

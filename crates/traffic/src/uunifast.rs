@@ -5,14 +5,14 @@
 //! schedulability experiments. Used by [`crate::periodic`] to build
 //! connection sets at a precise offered load.
 
-use rand::Rng;
+use ccr_sim::rng::DetRng;
 
 /// Partition `u_total` into `n` utilisations, uniformly distributed over
 /// the simplex. Returns an empty vec for `n = 0`.
 ///
 /// # Panics
 /// Panics if `u_total` is negative or not finite.
-pub fn uunifast(rng: &mut impl Rng, n: usize, u_total: f64) -> Vec<f64> {
+pub fn uunifast(rng: &mut DetRng, n: usize, u_total: f64) -> Vec<f64> {
     assert!(u_total >= 0.0 && u_total.is_finite(), "bad utilisation");
     if n == 0 {
         return Vec::new();
@@ -20,7 +20,7 @@ pub fn uunifast(rng: &mut impl Rng, n: usize, u_total: f64) -> Vec<f64> {
     let mut out = Vec::with_capacity(n);
     let mut sum = u_total;
     for i in 1..n {
-        let next = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        let next = sum * rng.gen_f64().powf(1.0 / (n - i) as f64);
         out.push(sum - next);
         sum = next;
     }

@@ -26,10 +26,7 @@ fn drive(policy: AdmissionPolicy) -> (u32, u64, u64) {
     let mut net = RingNetwork::new_ccr_edf(cfg);
     let mut admitted = 0u32;
     for i in 0..8u16 {
-        if net
-            .open_connection(control_loop(i, (i + 3) % 8))
-            .is_ok()
-        {
+        if net.open_connection(control_loop(i, (i + 3) % 8)).is_ok() {
             admitted += 1;
         }
     }
@@ -62,7 +59,9 @@ fn main() {
     let (d_adm, d_del, d_miss) = drive(AdmissionPolicy::DemandBound);
 
     println!("policy       admitted  delivered  misses");
-    println!("utilisation  {u_adm:>8}  {u_del:>9}  {u_miss:>6}   <- paper's Eq. 5: unsound for D < P");
+    println!(
+        "utilisation  {u_adm:>8}  {u_del:>9}  {u_miss:>6}   <- paper's Eq. 5: unsound for D < P"
+    );
     println!("demand-bound {d_adm:>8}  {d_del:>9}  {d_miss:>6}   <- ccr_edf::dbf extension");
 
     assert!(u_miss > 0, "utilisation policy should overcommit here");

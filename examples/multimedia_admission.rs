@@ -62,8 +62,7 @@ fn main() {
     );
     println!(
         "decision latency: mean {:.1} slots",
-        app.stats.decision_latency.mean().unwrap_or(0.0)
-            / net.config().slot_time().as_ps() as f64
+        app.stats.decision_latency.mean().unwrap_or(0.0) / net.config().slot_time().as_ps() as f64
     );
 
     println!("\n--- traffic ---");
@@ -80,7 +79,10 @@ fn main() {
     );
 
     assert!(app.stats.accepted.get() > 0);
-    assert!(app.stats.rejected.get() > 0, "overload should refuse someone");
+    assert!(
+        app.stats.rejected.get() > 0,
+        "overload should refuse someone"
+    );
     assert_eq!(m.rt_bound_violations.get(), 0);
     assert!(net.admission().admitted_utilisation() <= u_max + 1e-9);
     println!("\nOK: the ring filled to U_max and refused the rest — guarantees held.");

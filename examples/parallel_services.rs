@@ -99,7 +99,10 @@ fn main() {
 
     assert_eq!(m.reductions_completed.get() as u32, supersteps);
     assert_eq!(m.barriers_completed.get() as u32, supersteps);
-    assert_eq!(m.delivered_nrt.get() as u32, supersteps * n as u32,
-        "every reliable message must arrive despite loss");
+    assert_eq!(
+        m.delivered_nrt.get() as u32,
+        supersteps * n as u32,
+        "every reliable message must arrive despite loss"
+    );
     println!("\nOK: all supersteps completed; loss was absorbed by retransmission.");
 }

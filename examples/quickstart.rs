@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ccr_edf_suite::prelude::*;
 use ccr_edf_suite::edf::message::{Destination, Message};
+use ccr_edf_suite::prelude::*;
 
 fn main() {
     // 1. Configure the ring: 8 nodes, 10 m fibre-ribbon links, 2 KiB slots.
@@ -16,7 +16,11 @@ fn main() {
         .expect("valid configuration");
 
     println!("ring            : {} nodes", cfg.n_nodes);
-    println!("slot            : {} B = {}", cfg.slot_bytes, cfg.slot_time());
+    println!(
+        "slot            : {} B = {}",
+        cfg.slot_bytes,
+        cfg.slot_time()
+    );
     println!("collection phase: {}", cfg.collection_time());
 
     let mut net = RingNetwork::new_ccr_edf(cfg);
@@ -57,10 +61,17 @@ fn main() {
     // 5. Inspect the outcome.
     let m = net.metrics();
     println!("\n--- after {} slots ({}) ---", m.slots.get(), net.now());
-    println!("delivered        : {} (RT {}, BE {})",
-        m.delivered.get(), m.delivered_rt.get(), m.delivered_be.get());
+    println!(
+        "delivered        : {} (RT {}, BE {})",
+        m.delivered.get(),
+        m.delivered_rt.get(),
+        m.delivered_be.get()
+    );
     println!("RT misses        : {}", m.rt_deadline_misses.get());
-    println!("RT bound violations (Eq. 3): {}", m.rt_bound_violations.get());
+    println!(
+        "RT bound violations (Eq. 3): {}",
+        m.rt_bound_violations.get()
+    );
     println!(
         "RT latency       : mean {:.2} µs, max {:.2} µs",
         m.latency_rt.mean().unwrap_or(0.0) / 1e6,
@@ -72,6 +83,10 @@ fn main() {
         analytic.timing().max_handover().as_ns_f64()
     );
 
-    assert_eq!(m.rt_deadline_misses.get(), 0, "admitted traffic never misses");
+    assert_eq!(
+        m.rt_deadline_misses.get(),
+        0,
+        "admitted traffic never misses"
+    );
     println!("\nOK: guaranteed traffic met every deadline.");
 }

@@ -23,7 +23,10 @@ fn main() {
     radar.cube_slots = 24; // ~96 KiB cubes at 4 KiB slots
     radar.cpi = TimeDelta::from_ms(1);
 
-    println!("radar pipeline  : {} stages, CPI {}", radar.stages, radar.cpi);
+    println!(
+        "radar pipeline  : {} stages, CPI {}",
+        radar.stages, radar.cpi
+    );
     println!(
         "pipeline demand : {:.4} of capacity (U_max {:.4})",
         radar.utilisation(slot),

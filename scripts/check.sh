@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: everything CI would run, offline.
+#   scripts/check.sh          # build + tests + clippy + fmt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "OK: all checks passed"

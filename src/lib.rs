@@ -32,8 +32,8 @@ pub use ccr_traffic as traffic;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use cc_fpr::{new_cc_fpr, new_tdma, CcFprAnalysis, CcFprMac, TdmaMac};
-    pub use ccr_edf::prelude::*;
     pub use ccr_edf::admission::AdmissionPolicy;
+    pub use ccr_edf::prelude::*;
     pub use ccr_netsim::admission_app::AdmissionApp;
     pub use ccr_netsim::trace::TraceRecorder;
     pub use ccr_netsim::{expand_periodic, run_with_mac, RunSummary, Workload};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_count-92fc2c9edfaefc9b.d: crates/core/tests/alloc_count.rs
+
+/root/repo/target/debug/deps/alloc_count-92fc2c9edfaefc9b: crates/core/tests/alloc_count.rs
+
+crates/core/tests/alloc_count.rs:

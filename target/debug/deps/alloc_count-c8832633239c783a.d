@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_count-c8832633239c783a.d: crates/core/tests/alloc_count.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_count-c8832633239c783a.rmeta: crates/core/tests/alloc_count.rs Cargo.toml
+
+crates/core/tests/alloc_count.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cc_fpr-5861358ef8ecd154.d: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+/root/repo/target/debug/deps/libcc_fpr-5861358ef8ecd154.rlib: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+/root/repo/target/debug/deps/libcc_fpr-5861358ef8ecd154.rmeta: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/analysis.rs:
+crates/baseline/src/mac.rs:
+crates/baseline/src/tdma.rs:

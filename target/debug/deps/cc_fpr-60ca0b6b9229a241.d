@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cc_fpr-60ca0b6b9229a241.d: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcc_fpr-60ca0b6b9229a241.rmeta: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/analysis.rs:
+crates/baseline/src/mac.rs:
+crates/baseline/src/tdma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cc_fpr-a5ff79d378594702.d: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+/root/repo/target/debug/deps/libcc_fpr-a5ff79d378594702.rmeta: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/analysis.rs:
+crates/baseline/src/mac.rs:
+crates/baseline/src/tdma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cc_fpr_network-c309a91b6facd516.d: crates/baseline/tests/cc_fpr_network.rs
+
+/root/repo/target/debug/deps/cc_fpr_network-c309a91b6facd516: crates/baseline/tests/cc_fpr_network.rs
+
+crates/baseline/tests/cc_fpr_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cc_fpr_network-f16f041f3a9c713f.d: crates/baseline/tests/cc_fpr_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcc_fpr_network-f16f041f3a9c713f.rmeta: crates/baseline/tests/cc_fpr_network.rs Cargo.toml
+
+crates/baseline/tests/cc_fpr_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

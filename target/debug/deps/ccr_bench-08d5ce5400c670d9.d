@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ccr_bench-08d5ce5400c670d9.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libccr_bench-08d5ce5400c670d9.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

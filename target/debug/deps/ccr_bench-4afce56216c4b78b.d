@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ccr_bench-4afce56216c4b78b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libccr_bench-4afce56216c4b78b.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libccr_bench-4afce56216c4b78b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

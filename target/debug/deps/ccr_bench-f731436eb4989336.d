@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ccr_bench-f731436eb4989336.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/ccr_bench-f731436eb4989336: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

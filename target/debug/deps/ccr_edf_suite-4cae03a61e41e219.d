@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ccr_edf_suite-4cae03a61e41e219.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libccr_edf_suite-4cae03a61e41e219.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

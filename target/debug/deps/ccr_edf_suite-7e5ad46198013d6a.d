@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccr_edf_suite-7e5ad46198013d6a.d: src/lib.rs
+
+/root/repo/target/debug/deps/ccr_edf_suite-7e5ad46198013d6a: src/lib.rs
+
+src/lib.rs:

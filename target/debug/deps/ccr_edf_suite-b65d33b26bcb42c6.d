@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccr_edf_suite-b65d33b26bcb42c6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libccr_edf_suite-b65d33b26bcb42c6.rmeta: src/lib.rs
+
+src/lib.rs:

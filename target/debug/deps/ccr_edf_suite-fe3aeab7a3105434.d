@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ccr_edf_suite-fe3aeab7a3105434.d: src/lib.rs
+
+/root/repo/target/debug/deps/libccr_edf_suite-fe3aeab7a3105434.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libccr_edf_suite-fe3aeab7a3105434.rmeta: src/lib.rs
+
+src/lib.rs:

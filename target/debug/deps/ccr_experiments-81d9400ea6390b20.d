@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccr_experiments-81d9400ea6390b20.d: crates/netsim/src/bin/ccr_experiments.rs
+
+/root/repo/target/debug/deps/ccr_experiments-81d9400ea6390b20: crates/netsim/src/bin/ccr_experiments.rs
+
+crates/netsim/src/bin/ccr_experiments.rs:

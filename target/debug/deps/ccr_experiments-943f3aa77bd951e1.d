@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccr_experiments-943f3aa77bd951e1.d: crates/netsim/src/bin/ccr_experiments.rs
+
+/root/repo/target/debug/deps/libccr_experiments-943f3aa77bd951e1.rmeta: crates/netsim/src/bin/ccr_experiments.rs
+
+crates/netsim/src/bin/ccr_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ccr_experiments-acc05d3f676fad9c.d: crates/netsim/src/bin/ccr_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libccr_experiments-acc05d3f676fad9c.rmeta: crates/netsim/src/bin/ccr_experiments.rs Cargo.toml
+
+crates/netsim/src/bin/ccr_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/ccr_netsim-21a33f51ad804a8c.d: crates/netsim/src/lib.rs crates/netsim/src/admission_app.rs crates/netsim/src/experiments/mod.rs crates/netsim/src/experiments/e01_priority.rs crates/netsim/src/experiments/e02_handover.rs crates/netsim/src/experiments/e03_slot_length.rs crates/netsim/src/experiments/e04_umax.rs crates/netsim/src/experiments/e05_latency_bound.rs crates/netsim/src/experiments/e06_shootout.rs crates/netsim/src/experiments/e07_spatial_reuse.rs crates/netsim/src/experiments/e08_admission.rs crates/netsim/src/experiments/e09_services.rs crates/netsim/src/experiments/e10_slot_sweep.rs crates/netsim/src/experiments/e11_mapping.rs crates/netsim/src/experiments/e12_bounds.rs crates/netsim/src/experiments/e13_fairness.rs crates/netsim/src/experiments/e14_three_way.rs crates/netsim/src/experiments/e15_dbf.rs crates/netsim/src/experiments/e16_hetero.rs crates/netsim/src/runner.rs crates/netsim/src/sweep.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/ccr_netsim-21a33f51ad804a8c: crates/netsim/src/lib.rs crates/netsim/src/admission_app.rs crates/netsim/src/experiments/mod.rs crates/netsim/src/experiments/e01_priority.rs crates/netsim/src/experiments/e02_handover.rs crates/netsim/src/experiments/e03_slot_length.rs crates/netsim/src/experiments/e04_umax.rs crates/netsim/src/experiments/e05_latency_bound.rs crates/netsim/src/experiments/e06_shootout.rs crates/netsim/src/experiments/e07_spatial_reuse.rs crates/netsim/src/experiments/e08_admission.rs crates/netsim/src/experiments/e09_services.rs crates/netsim/src/experiments/e10_slot_sweep.rs crates/netsim/src/experiments/e11_mapping.rs crates/netsim/src/experiments/e12_bounds.rs crates/netsim/src/experiments/e13_fairness.rs crates/netsim/src/experiments/e14_three_way.rs crates/netsim/src/experiments/e15_dbf.rs crates/netsim/src/experiments/e16_hetero.rs crates/netsim/src/runner.rs crates/netsim/src/sweep.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/admission_app.rs:
+crates/netsim/src/experiments/mod.rs:
+crates/netsim/src/experiments/e01_priority.rs:
+crates/netsim/src/experiments/e02_handover.rs:
+crates/netsim/src/experiments/e03_slot_length.rs:
+crates/netsim/src/experiments/e04_umax.rs:
+crates/netsim/src/experiments/e05_latency_bound.rs:
+crates/netsim/src/experiments/e06_shootout.rs:
+crates/netsim/src/experiments/e07_spatial_reuse.rs:
+crates/netsim/src/experiments/e08_admission.rs:
+crates/netsim/src/experiments/e09_services.rs:
+crates/netsim/src/experiments/e10_slot_sweep.rs:
+crates/netsim/src/experiments/e11_mapping.rs:
+crates/netsim/src/experiments/e12_bounds.rs:
+crates/netsim/src/experiments/e13_fairness.rs:
+crates/netsim/src/experiments/e14_three_way.rs:
+crates/netsim/src/experiments/e15_dbf.rs:
+crates/netsim/src/experiments/e16_hetero.rs:
+crates/netsim/src/runner.rs:
+crates/netsim/src/sweep.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ccr_phys-0ff8891549c060bb.d: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+/root/repo/target/debug/deps/ccr_phys-0ff8891549c060bb: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+crates/phys/src/lib.rs:
+crates/phys/src/params.rs:
+crates/phys/src/ring.rs:
+crates/phys/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ccr_phys-a264c37bcba8846d.d: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+/root/repo/target/debug/deps/libccr_phys-a264c37bcba8846d.rmeta: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+crates/phys/src/lib.rs:
+crates/phys/src/params.rs:
+crates/phys/src/ring.rs:
+crates/phys/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ccr_phys-bbaf5e9cc7df5678.d: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+/root/repo/target/debug/deps/libccr_phys-bbaf5e9cc7df5678.rmeta: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+crates/phys/src/lib.rs:
+crates/phys/src/params.rs:
+crates/phys/src/ring.rs:
+crates/phys/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ccr_phys-ecd105e3c1b51d93.d: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libccr_phys-ecd105e3c1b51d93.rmeta: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs Cargo.toml
+
+crates/phys/src/lib.rs:
+crates/phys/src/params.rs:
+crates/phys/src/ring.rs:
+crates/phys/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

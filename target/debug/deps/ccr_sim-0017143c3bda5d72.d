@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ccr_sim-0017143c3bda5d72.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats/mod.rs crates/sim/src/stats/counter.rs crates/sim/src/stats/histogram.rs crates/sim/src/stats/series.rs crates/sim/src/stats/summary.rs crates/sim/src/stats/timeweighted.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libccr_sim-0017143c3bda5d72.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats/mod.rs crates/sim/src/stats/counter.rs crates/sim/src/stats/histogram.rs crates/sim/src/stats/series.rs crates/sim/src/stats/summary.rs crates/sim/src/stats/timeweighted.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats/mod.rs:
+crates/sim/src/stats/counter.rs:
+crates/sim/src/stats/histogram.rs:
+crates/sim/src/stats/series.rs:
+crates/sim/src/stats/summary.rs:
+crates/sim/src/stats/timeweighted.rs:
+crates/sim/src/time.rs:

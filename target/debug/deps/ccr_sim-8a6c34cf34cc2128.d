@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ccr_sim-8a6c34cf34cc2128.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats/mod.rs crates/sim/src/stats/counter.rs crates/sim/src/stats/histogram.rs crates/sim/src/stats/series.rs crates/sim/src/stats/summary.rs crates/sim/src/stats/timeweighted.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libccr_sim-8a6c34cf34cc2128.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats/mod.rs crates/sim/src/stats/counter.rs crates/sim/src/stats/histogram.rs crates/sim/src/stats/series.rs crates/sim/src/stats/summary.rs crates/sim/src/stats/timeweighted.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libccr_sim-8a6c34cf34cc2128.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats/mod.rs crates/sim/src/stats/counter.rs crates/sim/src/stats/histogram.rs crates/sim/src/stats/series.rs crates/sim/src/stats/summary.rs crates/sim/src/stats/timeweighted.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats/mod.rs:
+crates/sim/src/stats/counter.rs:
+crates/sim/src/stats/histogram.rs:
+crates/sim/src/stats/series.rs:
+crates/sim/src/stats/summary.rs:
+crates/sim/src/stats/timeweighted.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ccr_sim-ad762a6493b9e955.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats/mod.rs crates/sim/src/stats/counter.rs crates/sim/src/stats/histogram.rs crates/sim/src/stats/series.rs crates/sim/src/stats/summary.rs crates/sim/src/stats/timeweighted.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libccr_sim-ad762a6493b9e955.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats/mod.rs crates/sim/src/stats/counter.rs crates/sim/src/stats/histogram.rs crates/sim/src/stats/series.rs crates/sim/src/stats/summary.rs crates/sim/src/stats/timeweighted.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats/mod.rs:
+crates/sim/src/stats/counter.rs:
+crates/sim/src/stats/histogram.rs:
+crates/sim/src/stats/series.rs:
+crates/sim/src/stats/summary.rs:
+crates/sim/src/stats/timeweighted.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

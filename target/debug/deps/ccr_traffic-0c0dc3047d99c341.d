@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ccr_traffic-0c0dc3047d99c341.d: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libccr_traffic-0c0dc3047d99c341.rmeta: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/bursty.rs:
+crates/traffic/src/periodic.rs:
+crates/traffic/src/poisson.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/uunifast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ccr_traffic-cc6c8eead1e0a99b.d: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+/root/repo/target/debug/deps/libccr_traffic-cc6c8eead1e0a99b.rlib: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+/root/repo/target/debug/deps/libccr_traffic-cc6c8eead1e0a99b.rmeta: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/bursty.rs:
+crates/traffic/src/periodic.rs:
+crates/traffic/src/poisson.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/uunifast.rs:

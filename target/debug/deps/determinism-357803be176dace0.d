@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-357803be176dace0.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-357803be176dace0: tests/determinism.rs
+
+tests/determinism.rs:

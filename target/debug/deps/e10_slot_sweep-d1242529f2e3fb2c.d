@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_slot_sweep-d1242529f2e3fb2c.d: crates/bench/benches/e10_slot_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_slot_sweep-d1242529f2e3fb2c.rmeta: crates/bench/benches/e10_slot_sweep.rs Cargo.toml
+
+crates/bench/benches/e10_slot_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_slot_sweep-d1c81711b38bd705.d: crates/bench/benches/e10_slot_sweep.rs
+
+/root/repo/target/debug/deps/libe10_slot_sweep-d1c81711b38bd705.rmeta: crates/bench/benches/e10_slot_sweep.rs
+
+crates/bench/benches/e10_slot_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_mapping_ablation-89329e5b6a546687.d: crates/bench/benches/e11_mapping_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_mapping_ablation-89329e5b6a546687.rmeta: crates/bench/benches/e11_mapping_ablation.rs Cargo.toml
+
+crates/bench/benches/e11_mapping_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_mapping_ablation-da125cabdbb4c5e2.d: crates/bench/benches/e11_mapping_ablation.rs
+
+/root/repo/target/debug/deps/libe11_mapping_ablation-da125cabdbb4c5e2.rmeta: crates/bench/benches/e11_mapping_ablation.rs
+
+crates/bench/benches/e11_mapping_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_bounds-ed03b0d493a7181f.d: crates/bench/benches/e12_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_bounds-ed03b0d493a7181f.rmeta: crates/bench/benches/e12_bounds.rs Cargo.toml
+
+crates/bench/benches/e12_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_bounds-efb4a26336a6ad6a.d: crates/bench/benches/e12_bounds.rs
+
+/root/repo/target/debug/deps/libe12_bounds-efb4a26336a6ad6a.rmeta: crates/bench/benches/e12_bounds.rs
+
+crates/bench/benches/e12_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_fairness-792a6fe385610a99.d: crates/bench/benches/e13_fairness.rs
+
+/root/repo/target/debug/deps/libe13_fairness-792a6fe385610a99.rmeta: crates/bench/benches/e13_fairness.rs
+
+crates/bench/benches/e13_fairness.rs:

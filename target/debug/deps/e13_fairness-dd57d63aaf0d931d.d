@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_fairness-dd57d63aaf0d931d.d: crates/bench/benches/e13_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_fairness-dd57d63aaf0d931d.rmeta: crates/bench/benches/e13_fairness.rs Cargo.toml
+
+crates/bench/benches/e13_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

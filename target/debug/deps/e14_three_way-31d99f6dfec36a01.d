@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e14_three_way-31d99f6dfec36a01.d: crates/bench/benches/e14_three_way.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe14_three_way-31d99f6dfec36a01.rmeta: crates/bench/benches/e14_three_way.rs Cargo.toml
+
+crates/bench/benches/e14_three_way.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_three_way-648f2029319c2e65.d: crates/bench/benches/e14_three_way.rs
+
+/root/repo/target/debug/deps/libe14_three_way-648f2029319c2e65.rmeta: crates/bench/benches/e14_three_way.rs
+
+crates/bench/benches/e14_three_way.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_dbf-2270ce0a5b13a308.d: crates/bench/benches/e15_dbf.rs
+
+/root/repo/target/debug/deps/libe15_dbf-2270ce0a5b13a308.rmeta: crates/bench/benches/e15_dbf.rs
+
+crates/bench/benches/e15_dbf.rs:

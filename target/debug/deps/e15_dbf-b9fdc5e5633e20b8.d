@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e15_dbf-b9fdc5e5633e20b8.d: crates/bench/benches/e15_dbf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe15_dbf-b9fdc5e5633e20b8.rmeta: crates/bench/benches/e15_dbf.rs Cargo.toml
+
+crates/bench/benches/e15_dbf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

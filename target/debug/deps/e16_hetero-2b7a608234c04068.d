@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e16_hetero-2b7a608234c04068.d: crates/bench/benches/e16_hetero.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe16_hetero-2b7a608234c04068.rmeta: crates/bench/benches/e16_hetero.rs Cargo.toml
+
+crates/bench/benches/e16_hetero.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e16_hetero-36790c27c4d5ea84.d: crates/bench/benches/e16_hetero.rs
+
+/root/repo/target/debug/deps/libe16_hetero-36790c27c4d5ea84.rmeta: crates/bench/benches/e16_hetero.rs
+
+crates/bench/benches/e16_hetero.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_priority_table-188df393d028af8f.d: crates/bench/benches/e1_priority_table.rs
+
+/root/repo/target/debug/deps/libe1_priority_table-188df393d028af8f.rmeta: crates/bench/benches/e1_priority_table.rs
+
+crates/bench/benches/e1_priority_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_priority_table-f421e1124a2533f5.d: crates/bench/benches/e1_priority_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_priority_table-f421e1124a2533f5.rmeta: crates/bench/benches/e1_priority_table.rs Cargo.toml
+
+crates/bench/benches/e1_priority_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

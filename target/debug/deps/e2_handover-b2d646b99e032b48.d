@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_handover-b2d646b99e032b48.d: crates/bench/benches/e2_handover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_handover-b2d646b99e032b48.rmeta: crates/bench/benches/e2_handover.rs Cargo.toml
+
+crates/bench/benches/e2_handover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_handover-fb97ab82f3dd0538.d: crates/bench/benches/e2_handover.rs
+
+/root/repo/target/debug/deps/libe2_handover-fb97ab82f3dd0538.rmeta: crates/bench/benches/e2_handover.rs
+
+crates/bench/benches/e2_handover.rs:

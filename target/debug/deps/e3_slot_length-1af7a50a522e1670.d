@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_slot_length-1af7a50a522e1670.d: crates/bench/benches/e3_slot_length.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_slot_length-1af7a50a522e1670.rmeta: crates/bench/benches/e3_slot_length.rs Cargo.toml
+
+crates/bench/benches/e3_slot_length.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

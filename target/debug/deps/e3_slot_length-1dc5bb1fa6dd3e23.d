@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_slot_length-1dc5bb1fa6dd3e23.d: crates/bench/benches/e3_slot_length.rs
+
+/root/repo/target/debug/deps/libe3_slot_length-1dc5bb1fa6dd3e23.rmeta: crates/bench/benches/e3_slot_length.rs
+
+crates/bench/benches/e3_slot_length.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_umax-508e3c247db8b7da.d: crates/bench/benches/e4_umax.rs
+
+/root/repo/target/debug/deps/libe4_umax-508e3c247db8b7da.rmeta: crates/bench/benches/e4_umax.rs
+
+crates/bench/benches/e4_umax.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_umax-743cc8b6af5ea558.d: crates/bench/benches/e4_umax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_umax-743cc8b6af5ea558.rmeta: crates/bench/benches/e4_umax.rs Cargo.toml
+
+crates/bench/benches/e4_umax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

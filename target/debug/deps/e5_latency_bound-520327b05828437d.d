@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_latency_bound-520327b05828437d.d: crates/bench/benches/e5_latency_bound.rs
+
+/root/repo/target/debug/deps/libe5_latency_bound-520327b05828437d.rmeta: crates/bench/benches/e5_latency_bound.rs
+
+crates/bench/benches/e5_latency_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_latency_bound-d9b6b2bb17ad0d98.d: crates/bench/benches/e5_latency_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_latency_bound-d9b6b2bb17ad0d98.rmeta: crates/bench/benches/e5_latency_bound.rs Cargo.toml
+
+crates/bench/benches/e5_latency_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_shootout-15a224ac2a81d763.d: crates/bench/benches/e6_shootout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_shootout-15a224ac2a81d763.rmeta: crates/bench/benches/e6_shootout.rs Cargo.toml
+
+crates/bench/benches/e6_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_shootout-49bfb6eed878b752.d: crates/bench/benches/e6_shootout.rs
+
+/root/repo/target/debug/deps/libe6_shootout-49bfb6eed878b752.rmeta: crates/bench/benches/e6_shootout.rs
+
+crates/bench/benches/e6_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_spatial_reuse-7d835a1b77cb074d.d: crates/bench/benches/e7_spatial_reuse.rs
+
+/root/repo/target/debug/deps/libe7_spatial_reuse-7d835a1b77cb074d.rmeta: crates/bench/benches/e7_spatial_reuse.rs
+
+crates/bench/benches/e7_spatial_reuse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_spatial_reuse-c3b645fc15697e87.d: crates/bench/benches/e7_spatial_reuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_spatial_reuse-c3b645fc15697e87.rmeta: crates/bench/benches/e7_spatial_reuse.rs Cargo.toml
+
+crates/bench/benches/e7_spatial_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

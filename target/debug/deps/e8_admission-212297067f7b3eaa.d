@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_admission-212297067f7b3eaa.d: crates/bench/benches/e8_admission.rs
+
+/root/repo/target/debug/deps/libe8_admission-212297067f7b3eaa.rmeta: crates/bench/benches/e8_admission.rs
+
+crates/bench/benches/e8_admission.rs:

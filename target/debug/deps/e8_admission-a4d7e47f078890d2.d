@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_admission-a4d7e47f078890d2.d: crates/bench/benches/e8_admission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_admission-a4d7e47f078890d2.rmeta: crates/bench/benches/e8_admission.rs Cargo.toml
+
+crates/bench/benches/e8_admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_services-34db43db1dc0059b.d: crates/bench/benches/e9_services.rs
+
+/root/repo/target/debug/deps/libe9_services-34db43db1dc0059b.rmeta: crates/bench/benches/e9_services.rs
+
+crates/bench/benches/e9_services.rs:

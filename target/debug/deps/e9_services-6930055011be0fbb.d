@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_services-6930055011be0fbb.d: crates/bench/benches/e9_services.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_services-6930055011be0fbb.rmeta: crates/bench/benches/e9_services.rs Cargo.toml
+
+crates/bench/benches/e9_services.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

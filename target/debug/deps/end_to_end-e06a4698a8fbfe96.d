@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e06a4698a8fbfe96.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e06a4698a8fbfe96: tests/end_to_end.rs
+
+tests/end_to_end.rs:

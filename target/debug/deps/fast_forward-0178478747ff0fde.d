@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fast_forward-0178478747ff0fde.d: crates/core/tests/fast_forward.rs
+
+/root/repo/target/debug/deps/fast_forward-0178478747ff0fde: crates/core/tests/fast_forward.rs
+
+crates/core/tests/fast_forward.rs:

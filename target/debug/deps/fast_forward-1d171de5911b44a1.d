@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fast_forward-1d171de5911b44a1.d: crates/core/tests/fast_forward.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfast_forward-1d171de5911b44a1.rmeta: crates/core/tests/fast_forward.rs Cargo.toml
+
+crates/core/tests/fast_forward.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-27feed358345ea14.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-27feed358345ea14: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guarantees-81c9f9df20046a26.d: tests/guarantees.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguarantees-81c9f9df20046a26.rmeta: tests/guarantees.rs Cargo.toml
+
+tests/guarantees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

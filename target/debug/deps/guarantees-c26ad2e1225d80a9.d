@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guarantees-c26ad2e1225d80a9.d: tests/guarantees.rs
+
+/root/repo/target/debug/deps/guarantees-c26ad2e1225d80a9: tests/guarantees.rs
+
+tests/guarantees.rs:

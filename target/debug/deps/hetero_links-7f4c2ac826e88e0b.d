@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_links-7f4c2ac826e88e0b.d: crates/core/tests/hetero_links.rs
+
+/root/repo/target/debug/deps/hetero_links-7f4c2ac826e88e0b: crates/core/tests/hetero_links.rs
+
+crates/core/tests/hetero_links.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetero_links-900f26a22739dad2.d: crates/core/tests/hetero_links.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetero_links-900f26a22739dad2.rmeta: crates/core/tests/hetero_links.rs Cargo.toml
+
+crates/core/tests/hetero_links.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-8bbd9221612a02b9.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/libmicrobench-8bbd9221612a02b9.rmeta: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

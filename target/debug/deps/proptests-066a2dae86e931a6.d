@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-066a2dae86e931a6.d: crates/sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-066a2dae86e931a6.rmeta: crates/sim/tests/proptests.rs Cargo.toml
+
+crates/sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

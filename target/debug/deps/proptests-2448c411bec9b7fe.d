@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2448c411bec9b7fe.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2448c411bec9b7fe: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-85596a400e55fdca.d: crates/phys/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-85596a400e55fdca.rmeta: crates/phys/tests/proptests.rs Cargo.toml
+
+crates/phys/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

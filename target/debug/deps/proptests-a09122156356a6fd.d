@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a09122156356a6fd.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a09122156356a6fd: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cc3f796585d7d866.d: crates/phys/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cc3f796585d7d866: crates/phys/tests/proptests.rs
+
+crates/phys/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_behaviour-48a7b18527197093.d: crates/core/tests/protocol_behaviour.rs
+
+/root/repo/target/debug/deps/protocol_behaviour-48a7b18527197093: crates/core/tests/protocol_behaviour.rs
+
+crates/core/tests/protocol_behaviour.rs:

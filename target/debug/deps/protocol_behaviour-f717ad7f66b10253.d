@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_behaviour-f717ad7f66b10253.d: crates/core/tests/protocol_behaviour.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_behaviour-f717ad7f66b10253.rmeta: crates/core/tests/protocol_behaviour.rs Cargo.toml
+
+crates/core/tests/protocol_behaviour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

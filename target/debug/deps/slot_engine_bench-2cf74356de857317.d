@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slot_engine_bench-2cf74356de857317.d: crates/bench/src/bin/slot_engine_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslot_engine_bench-2cf74356de857317.rmeta: crates/bench/src/bin/slot_engine_bench.rs Cargo.toml
+
+crates/bench/src/bin/slot_engine_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slot_engine_bench-5872473d0381ed25.d: crates/bench/src/bin/slot_engine_bench.rs
+
+/root/repo/target/debug/deps/slot_engine_bench-5872473d0381ed25: crates/bench/src/bin/slot_engine_bench.rs
+
+crates/bench/src/bin/slot_engine_bench.rs:

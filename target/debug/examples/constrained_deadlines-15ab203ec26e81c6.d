@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/constrained_deadlines-15ab203ec26e81c6.d: examples/constrained_deadlines.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconstrained_deadlines-15ab203ec26e81c6.rmeta: examples/constrained_deadlines.rs Cargo.toml
+
+examples/constrained_deadlines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

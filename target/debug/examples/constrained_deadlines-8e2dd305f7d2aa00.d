@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/constrained_deadlines-8e2dd305f7d2aa00.d: examples/constrained_deadlines.rs
+
+/root/repo/target/debug/examples/constrained_deadlines-8e2dd305f7d2aa00: examples/constrained_deadlines.rs
+
+examples/constrained_deadlines.rs:

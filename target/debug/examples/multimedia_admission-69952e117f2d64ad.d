@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multimedia_admission-69952e117f2d64ad.d: examples/multimedia_admission.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultimedia_admission-69952e117f2d64ad.rmeta: examples/multimedia_admission.rs Cargo.toml
+
+examples/multimedia_admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

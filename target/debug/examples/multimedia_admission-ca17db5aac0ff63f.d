@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multimedia_admission-ca17db5aac0ff63f.d: examples/multimedia_admission.rs
+
+/root/repo/target/debug/examples/multimedia_admission-ca17db5aac0ff63f: examples/multimedia_admission.rs
+
+examples/multimedia_admission.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_services-78158cdffbe3554c.d: examples/parallel_services.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_services-78158cdffbe3554c.rmeta: examples/parallel_services.rs Cargo.toml
+
+examples/parallel_services.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

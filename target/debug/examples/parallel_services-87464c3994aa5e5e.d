@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_services-87464c3994aa5e5e.d: examples/parallel_services.rs
+
+/root/repo/target/debug/examples/parallel_services-87464c3994aa5e5e: examples/parallel_services.rs
+
+examples/parallel_services.rs:

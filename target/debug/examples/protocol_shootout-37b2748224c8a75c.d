@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_shootout-37b2748224c8a75c.d: examples/protocol_shootout.rs
+
+/root/repo/target/debug/examples/protocol_shootout-37b2748224c8a75c: examples/protocol_shootout.rs
+
+examples/protocol_shootout.rs:

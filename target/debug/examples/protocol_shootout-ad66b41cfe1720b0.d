@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protocol_shootout-ad66b41cfe1720b0.d: examples/protocol_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotocol_shootout-ad66b41cfe1720b0.rmeta: examples/protocol_shootout.rs Cargo.toml
+
+examples/protocol_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f23aa7063a298cbe.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f23aa7063a298cbe: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/radar_pipeline-232c60caf578672c.d: examples/radar_pipeline.rs
+
+/root/repo/target/debug/examples/radar_pipeline-232c60caf578672c: examples/radar_pipeline.rs
+
+examples/radar_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/radar_pipeline-5551a9d2f3b3137c.d: examples/radar_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libradar_pipeline-5551a9d2f3b3137c.rmeta: examples/radar_pipeline.rs Cargo.toml
+
+examples/radar_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alloc_count-ee707bb2cd18e049.d: crates/core/tests/alloc_count.rs
+
+/root/repo/target/release/deps/alloc_count-ee707bb2cd18e049: crates/core/tests/alloc_count.rs
+
+crates/core/tests/alloc_count.rs:

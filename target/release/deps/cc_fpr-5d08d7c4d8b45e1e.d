@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cc_fpr-5d08d7c4d8b45e1e.d: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+/root/repo/target/release/deps/cc_fpr-5d08d7c4d8b45e1e: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/analysis.rs:
+crates/baseline/src/mac.rs:
+crates/baseline/src/tdma.rs:

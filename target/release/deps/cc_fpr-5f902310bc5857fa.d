@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cc_fpr-5f902310bc5857fa.d: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+/root/repo/target/release/deps/libcc_fpr-5f902310bc5857fa.rlib: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+/root/repo/target/release/deps/libcc_fpr-5f902310bc5857fa.rmeta: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/analysis.rs:
+crates/baseline/src/mac.rs:
+crates/baseline/src/tdma.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cc_fpr-ac194a617aef753d.d: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+/root/repo/target/release/deps/libcc_fpr-ac194a617aef753d.rlib: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+/root/repo/target/release/deps/libcc_fpr-ac194a617aef753d.rmeta: crates/baseline/src/lib.rs crates/baseline/src/analysis.rs crates/baseline/src/mac.rs crates/baseline/src/tdma.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/analysis.rs:
+crates/baseline/src/mac.rs:
+crates/baseline/src/tdma.rs:

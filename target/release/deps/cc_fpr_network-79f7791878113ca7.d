@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cc_fpr_network-79f7791878113ca7.d: crates/baseline/tests/cc_fpr_network.rs
+
+/root/repo/target/release/deps/cc_fpr_network-79f7791878113ca7: crates/baseline/tests/cc_fpr_network.rs
+
+crates/baseline/tests/cc_fpr_network.rs:

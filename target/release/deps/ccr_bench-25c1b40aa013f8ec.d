@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ccr_bench-25c1b40aa013f8ec.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libccr_bench-25c1b40aa013f8ec.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libccr_bench-25c1b40aa013f8ec.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ccr_bench-d3a76ec5ca0ad7dd.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/ccr_bench-d3a76ec5ca0ad7dd: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ccr_bench-fb685e74ef8b25e8.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libccr_bench-fb685e74ef8b25e8.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libccr_bench-fb685e74ef8b25e8.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/ccr_edf-f958c7580767aa43.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/analysis.rs crates/core/src/arbitration.rs crates/core/src/config.rs crates/core/src/connection.rs crates/core/src/dbf.rs crates/core/src/fault.rs crates/core/src/mac.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/network.rs crates/core/src/node.rs crates/core/src/priority.rs crates/core/src/queues.rs crates/core/src/services/mod.rs crates/core/src/services/barrier.rs crates/core/src/services/reduce.rs crates/core/src/services/reliable.rs crates/core/src/services/short_msg.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/ccr_edf-f958c7580767aa43: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/analysis.rs crates/core/src/arbitration.rs crates/core/src/config.rs crates/core/src/connection.rs crates/core/src/dbf.rs crates/core/src/fault.rs crates/core/src/mac.rs crates/core/src/message.rs crates/core/src/metrics.rs crates/core/src/network.rs crates/core/src/node.rs crates/core/src/priority.rs crates/core/src/queues.rs crates/core/src/services/mod.rs crates/core/src/services/barrier.rs crates/core/src/services/reduce.rs crates/core/src/services/reliable.rs crates/core/src/services/short_msg.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/analysis.rs:
+crates/core/src/arbitration.rs:
+crates/core/src/config.rs:
+crates/core/src/connection.rs:
+crates/core/src/dbf.rs:
+crates/core/src/fault.rs:
+crates/core/src/mac.rs:
+crates/core/src/message.rs:
+crates/core/src/metrics.rs:
+crates/core/src/network.rs:
+crates/core/src/node.rs:
+crates/core/src/priority.rs:
+crates/core/src/queues.rs:
+crates/core/src/services/mod.rs:
+crates/core/src/services/barrier.rs:
+crates/core/src/services/reduce.rs:
+crates/core/src/services/reliable.rs:
+crates/core/src/services/short_msg.rs:
+crates/core/src/wire.rs:

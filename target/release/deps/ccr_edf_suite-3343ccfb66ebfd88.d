@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ccr_edf_suite-3343ccfb66ebfd88.d: src/lib.rs
+
+/root/repo/target/release/deps/ccr_edf_suite-3343ccfb66ebfd88: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ccr_edf_suite-ed97edc16f49951a.d: src/lib.rs
+
+/root/repo/target/release/deps/libccr_edf_suite-ed97edc16f49951a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libccr_edf_suite-ed97edc16f49951a.rmeta: src/lib.rs
+
+src/lib.rs:

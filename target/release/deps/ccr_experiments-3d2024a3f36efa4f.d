@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ccr_experiments-3d2024a3f36efa4f.d: crates/netsim/src/bin/ccr_experiments.rs
+
+/root/repo/target/release/deps/ccr_experiments-3d2024a3f36efa4f: crates/netsim/src/bin/ccr_experiments.rs
+
+crates/netsim/src/bin/ccr_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ccr_experiments-a09c76079260f2d9.d: crates/netsim/src/bin/ccr_experiments.rs
+
+/root/repo/target/release/deps/ccr_experiments-a09c76079260f2d9: crates/netsim/src/bin/ccr_experiments.rs
+
+crates/netsim/src/bin/ccr_experiments.rs:

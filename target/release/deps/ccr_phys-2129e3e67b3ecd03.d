@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ccr_phys-2129e3e67b3ecd03.d: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+/root/repo/target/release/deps/libccr_phys-2129e3e67b3ecd03.rlib: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+/root/repo/target/release/deps/libccr_phys-2129e3e67b3ecd03.rmeta: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+crates/phys/src/lib.rs:
+crates/phys/src/params.rs:
+crates/phys/src/ring.rs:
+crates/phys/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ccr_phys-aa7000c6174d6843.d: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+/root/repo/target/release/deps/ccr_phys-aa7000c6174d6843: crates/phys/src/lib.rs crates/phys/src/params.rs crates/phys/src/ring.rs crates/phys/src/timing.rs
+
+crates/phys/src/lib.rs:
+crates/phys/src/params.rs:
+crates/phys/src/ring.rs:
+crates/phys/src/timing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ccr_sim-6e4acb6705482e09.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats/mod.rs crates/sim/src/stats/counter.rs crates/sim/src/stats/histogram.rs crates/sim/src/stats/series.rs crates/sim/src/stats/summary.rs crates/sim/src/stats/timeweighted.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/ccr_sim-6e4acb6705482e09: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/report.rs crates/sim/src/rng.rs crates/sim/src/stats/mod.rs crates/sim/src/stats/counter.rs crates/sim/src/stats/histogram.rs crates/sim/src/stats/series.rs crates/sim/src/stats/summary.rs crates/sim/src/stats/timeweighted.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/report.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats/mod.rs:
+crates/sim/src/stats/counter.rs:
+crates/sim/src/stats/histogram.rs:
+crates/sim/src/stats/series.rs:
+crates/sim/src/stats/summary.rs:
+crates/sim/src/stats/timeweighted.rs:
+crates/sim/src/time.rs:

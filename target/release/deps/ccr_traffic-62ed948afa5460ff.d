@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ccr_traffic-62ed948afa5460ff.d: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+/root/repo/target/release/deps/libccr_traffic-62ed948afa5460ff.rlib: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+/root/repo/target/release/deps/libccr_traffic-62ed948afa5460ff.rmeta: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/bursty.rs:
+crates/traffic/src/periodic.rs:
+crates/traffic/src/poisson.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/uunifast.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ccr_traffic-951038cc8bfbdbf9.d: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+/root/repo/target/release/deps/libccr_traffic-951038cc8bfbdbf9.rlib: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+/root/repo/target/release/deps/libccr_traffic-951038cc8bfbdbf9.rmeta: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/bursty.rs:
+crates/traffic/src/periodic.rs:
+crates/traffic/src/poisson.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/uunifast.rs:

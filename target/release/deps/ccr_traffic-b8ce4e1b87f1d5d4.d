@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ccr_traffic-b8ce4e1b87f1d5d4.d: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+/root/repo/target/release/deps/ccr_traffic-b8ce4e1b87f1d5d4: crates/traffic/src/lib.rs crates/traffic/src/bursty.rs crates/traffic/src/periodic.rs crates/traffic/src/poisson.rs crates/traffic/src/scenarios.rs crates/traffic/src/uunifast.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/bursty.rs:
+crates/traffic/src/periodic.rs:
+crates/traffic/src/poisson.rs:
+crates/traffic/src/scenarios.rs:
+crates/traffic/src/uunifast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-b8339226d4b062bf.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-b8339226d4b062bf: tests/determinism.rs
+
+tests/determinism.rs:

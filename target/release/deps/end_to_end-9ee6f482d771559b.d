@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-9ee6f482d771559b.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-9ee6f482d771559b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

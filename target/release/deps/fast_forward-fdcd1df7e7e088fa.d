@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fast_forward-fdcd1df7e7e088fa.d: crates/core/tests/fast_forward.rs
+
+/root/repo/target/release/deps/fast_forward-fdcd1df7e7e088fa: crates/core/tests/fast_forward.rs
+
+crates/core/tests/fast_forward.rs:

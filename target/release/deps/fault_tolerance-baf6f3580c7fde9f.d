@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-baf6f3580c7fde9f.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-baf6f3580c7fde9f: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

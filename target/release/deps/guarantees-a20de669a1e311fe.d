@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/guarantees-a20de669a1e311fe.d: tests/guarantees.rs
+
+/root/repo/target/release/deps/guarantees-a20de669a1e311fe: tests/guarantees.rs
+
+tests/guarantees.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hetero_links-341377d0bc5468af.d: crates/core/tests/hetero_links.rs
+
+/root/repo/target/release/deps/hetero_links-341377d0bc5468af: crates/core/tests/hetero_links.rs
+
+crates/core/tests/hetero_links.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-c1e264f6abdf24b7.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/release/deps/microbench-c1e264f6abdf24b7: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-6fabf4936a912587.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-6fabf4936a912587: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-71644397ec704f7d.d: crates/phys/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-71644397ec704f7d: crates/phys/tests/proptests.rs
+
+crates/phys/tests/proptests.rs:

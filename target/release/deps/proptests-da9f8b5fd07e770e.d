@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-da9f8b5fd07e770e.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-da9f8b5fd07e770e: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

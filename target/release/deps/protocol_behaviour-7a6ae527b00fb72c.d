@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_behaviour-7a6ae527b00fb72c.d: crates/core/tests/protocol_behaviour.rs
+
+/root/repo/target/release/deps/protocol_behaviour-7a6ae527b00fb72c: crates/core/tests/protocol_behaviour.rs
+
+crates/core/tests/protocol_behaviour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slot_engine_bench-0c4b15a10183727f.d: crates/bench/src/bin/slot_engine_bench.rs
+
+/root/repo/target/release/deps/slot_engine_bench-0c4b15a10183727f: crates/bench/src/bin/slot_engine_bench.rs
+
+crates/bench/src/bin/slot_engine_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slot_engine_bench-3722114c187cc9b8.d: crates/bench/src/bin/slot_engine_bench.rs
+
+/root/repo/target/release/deps/slot_engine_bench-3722114c187cc9b8: crates/bench/src/bin/slot_engine_bench.rs
+
+crates/bench/src/bin/slot_engine_bench.rs:

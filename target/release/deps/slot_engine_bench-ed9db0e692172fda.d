@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slot_engine_bench-ed9db0e692172fda.d: crates/bench/src/bin/slot_engine_bench.rs
+
+/root/repo/target/release/deps/slot_engine_bench-ed9db0e692172fda: crates/bench/src/bin/slot_engine_bench.rs
+
+crates/bench/src/bin/slot_engine_bench.rs:

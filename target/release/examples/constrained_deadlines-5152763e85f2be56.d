@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/constrained_deadlines-5152763e85f2be56.d: examples/constrained_deadlines.rs
+
+/root/repo/target/release/examples/constrained_deadlines-5152763e85f2be56: examples/constrained_deadlines.rs
+
+examples/constrained_deadlines.rs:

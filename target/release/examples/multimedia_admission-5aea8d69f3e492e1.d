@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multimedia_admission-5aea8d69f3e492e1.d: examples/multimedia_admission.rs
+
+/root/repo/target/release/examples/multimedia_admission-5aea8d69f3e492e1: examples/multimedia_admission.rs
+
+examples/multimedia_admission.rs:

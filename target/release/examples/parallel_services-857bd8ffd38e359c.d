@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_services-857bd8ffd38e359c.d: examples/parallel_services.rs
+
+/root/repo/target/release/examples/parallel_services-857bd8ffd38e359c: examples/parallel_services.rs
+
+examples/parallel_services.rs:

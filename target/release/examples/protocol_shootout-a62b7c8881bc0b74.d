@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/protocol_shootout-a62b7c8881bc0b74.d: examples/protocol_shootout.rs
+
+/root/repo/target/release/examples/protocol_shootout-a62b7c8881bc0b74: examples/protocol_shootout.rs
+
+examples/protocol_shootout.rs:

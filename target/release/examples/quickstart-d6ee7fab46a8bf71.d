@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d6ee7fab46a8bf71.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d6ee7fab46a8bf71: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/radar_pipeline-3c12d4b698ea3d08.d: examples/radar_pipeline.rs
+
+/root/repo/target/release/examples/radar_pipeline-3c12d4b698ea3d08: examples/radar_pipeline.rs
+
+examples/radar_pipeline.rs:

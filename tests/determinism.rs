@@ -30,7 +30,10 @@ fn full_pipeline(seed: u64) -> (u64, u64, f64, String) {
         s.delivered,
         s.rt_misses,
         s.goodput_gbps,
-        format!("{:.9}|{:.9}|{}", s.gap_mean_ns, s.rt_latency_mean_us, s.backlog),
+        format!(
+            "{:.9}|{:.9}|{}",
+            s.gap_mean_ns, s.rt_latency_mean_us, s.backlog
+        ),
     )
 }
 

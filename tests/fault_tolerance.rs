@@ -82,8 +82,7 @@ fn unreliable_messages_are_corrupted_by_loss_but_reliable_ones_survive() {
         for i in 0..150u64 {
             let src = NodeId((i % 6) as u16);
             let dst = NodeId(((i + 2) % 6) as u16);
-            let msg =
-                Message::non_real_time(src, Destination::Unicast(dst), 3, SimTime::ZERO);
+            let msg = Message::non_real_time(src, Destination::Unicast(dst), 3, SimTime::ZERO);
             let msg = if reliable { msg.with_reliable() } else { msg };
             net.submit_message(SimTime::ZERO, msg);
         }
@@ -102,7 +101,10 @@ fn unreliable_messages_are_corrupted_by_loss_but_reliable_ones_survive() {
     };
 
     let (plain_delivered, plain_corrupted, plain_retx) = build(false);
-    assert!(plain_corrupted > 0, "8% loss must corrupt some plain messages");
+    assert!(
+        plain_corrupted > 0,
+        "8% loss must corrupt some plain messages"
+    );
     assert_eq!(plain_delivered + plain_corrupted, 150);
     assert_eq!(plain_retx, 0);
 
@@ -137,13 +139,8 @@ fn reliable_and_guaranteed_traffic_coexist_under_loss() {
     for i in 0..100u64 {
         net.submit_message(
             SimTime::ZERO,
-            Message::non_real_time(
-                NodeId(4),
-                Destination::Unicast(NodeId(6)),
-                2,
-                SimTime::ZERO,
-            )
-            .with_reliable(),
+            Message::non_real_time(NodeId(4), Destination::Unicast(NodeId(6)), 2, SimTime::ZERO)
+                .with_reliable(),
         );
         let _ = i;
     }

@@ -64,10 +64,9 @@ fn guarantee_holds_without_spatial_reuse() {
         .unwrap();
     let model = AnalyticModel::new(&cfg);
     let mut rng = SeedSequence::new(5).stream("g", 0);
-    let set =
-        PeriodicSetBuilder::new(10, 20, 0.85 * model.u_max(), cfg.slot_time())
-            .periods(20, 1_500)
-            .generate(&mut rng);
+    let set = PeriodicSetBuilder::new(10, 20, 0.85 * model.u_max(), cfg.slot_time())
+        .periods(20, 1_500)
+        .generate(&mut rng);
     let mut net = RingNetwork::new_ccr_edf(cfg);
     for spec in set {
         let _ = net.open_connection(spec);
