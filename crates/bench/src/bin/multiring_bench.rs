@@ -1,0 +1,176 @@
+//! Multi-ring fabric throughput: measures fabric slots per wall-clock
+//! second, serial vs parallel per-ring stepping, and records the numbers
+//! in `BENCH_multiring.json` at the repository root.
+//!
+//! Two fabric sizes (3×8 and 6×16 ring chains), each stepped with one
+//! worker thread and with four, under a cross-ring connection load. A
+//! *fabric slot* advances every ring by one MAC slot, so the ideal
+//! parallel speedup equals the ring count; bridge exchange and injection
+//! between slots are serial (Amdahl's share).
+//!
+//! Same file convention as `BENCH_slot_engine.json`: a `baseline` section
+//! recorded once and kept forever, a `current` section refreshed on every
+//! run, and `speedup_vs_baseline` ratios. JSON is read and written by
+//! hand — the workspace carries no serde by default.
+
+use ccr_multiring::prelude::*;
+use ccr_sim::TimeDelta;
+use std::time::Instant;
+
+const SLOTS: u64 = 100_000;
+const OUT_FILE: &str = "BENCH_multiring.json";
+
+struct Scenario {
+    name: &'static str,
+    rings: u16,
+    nodes: u16,
+    threads: usize,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "chain3x8_serial",
+        rings: 3,
+        nodes: 8,
+        threads: 1,
+    },
+    Scenario {
+        name: "chain3x8_threads4",
+        rings: 3,
+        nodes: 8,
+        threads: 4,
+    },
+    Scenario {
+        name: "chain6x16_serial",
+        rings: 6,
+        nodes: 16,
+        threads: 1,
+    },
+    Scenario {
+        name: "chain6x16_threads4",
+        rings: 6,
+        nodes: 16,
+        threads: 4,
+    },
+];
+
+fn build(s: &Scenario) -> Fabric {
+    let topo = FabricTopology::chain(s.rings, s.nodes);
+    let cfg = FabricConfig::uniform(topo, 2_048, 42)
+        .expect("uniform fabric config")
+        .threads(s.threads);
+    let mut fabric = Fabric::new(cfg).expect("fabric builds");
+    let slot = fabric.segment_envs()[0].slot;
+    // One crossing connection per adjacent ring pair in each direction,
+    // plus a full-chain connection — enough to keep every bridge busy.
+    for r in 0..s.rings - 1 {
+        for (src, dst, p) in [
+            (GlobalNodeId::new(r, 1), GlobalNodeId::new(r + 1, 2), 150u64),
+            (GlobalNodeId::new(r + 1, 3), GlobalNodeId::new(r, 2), 170),
+        ] {
+            fabric
+                .open_connection(FabricConnectionSpec::unicast(src, dst).period(slot.times(p)))
+                .expect("bench load admits");
+        }
+    }
+    fabric
+        .open_connection(
+            FabricConnectionSpec::unicast(
+                GlobalNodeId::new(0, 2),
+                GlobalNodeId::new(s.rings - 1, 1),
+            )
+            .period(slot.times(400)),
+        )
+        .expect("chain-spanning connection admits");
+    let _ = TimeDelta::ZERO;
+    fabric
+}
+
+fn measure(s: &Scenario) -> f64 {
+    let mut fabric = build(s);
+    fabric.run_slots(2_000); // warm-up
+    let t0 = Instant::now();
+    fabric.run_slots(SLOTS);
+    let nanos = t0.elapsed().as_nanos().max(1);
+    assert!(
+        fabric.metrics().e2e_delivered.get() > 0,
+        "bench scenario must carry cross-ring traffic"
+    );
+    SLOTS as f64 * 1e9 / nanos as f64
+}
+
+/// Extract the `"baseline": { ... }` object from a previous report, if any.
+fn existing_baseline(text: &str) -> Option<String> {
+    let key = "\"baseline\":";
+    let start = text.find(key)? + key.len();
+    let open = start + text[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn section(results: &[(&str, f64)]) -> String {
+    let body: Vec<String> = results
+        .iter()
+        .map(|(name, v)| format!("    \"{name}\": {v:.0}"))
+        .collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+/// Pull one `"name": value` number out of a JSON object string.
+fn field(obj: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let start = obj.find(&key)? + key.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    for s in SCENARIOS {
+        eprintln!(
+            "running {} ({} rings × {} nodes, {} thread(s), {SLOTS} fabric slots)…",
+            s.name, s.rings, s.nodes, s.threads
+        );
+        let rate = measure(s);
+        eprintln!("  {rate:>12.0} fabric slots/s");
+        results.push((s.name, rate));
+    }
+
+    let current = section(&results);
+    let baseline = std::fs::read_to_string(OUT_FILE)
+        .ok()
+        .and_then(|t| existing_baseline(&t))
+        .unwrap_or_else(|| current.clone());
+
+    let speedups: Vec<String> = results
+        .iter()
+        .filter_map(|(name, cur)| {
+            let base = field(&baseline, name)?;
+            Some(format!("    \"{name}\": {:.2}", cur / base))
+        })
+        .collect();
+
+    let report = format!(
+        "{{\n  \"bench\": \"multiring\",\n  \"unit\": \"fabric_slots_per_wall_second\",\n  \
+         \"slots_per_scenario\": {SLOTS},\n  \"baseline\": {baseline},\n  \
+         \"current\": {current},\n  \"speedup_vs_baseline\": {{\n{}\n  }}\n}}\n",
+        speedups.join(",\n")
+    );
+    std::fs::write(OUT_FILE, &report).expect("write report");
+    println!("{report}");
+}

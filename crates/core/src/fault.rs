@@ -32,10 +32,18 @@ pub const RESTART_NODE: NodeId = NodeId(0);
 impl ClockRecovery {
     /// Signal that this slot's distribution packet was lost; recovery
     /// starts with the configured timeout.
+    ///
+    /// A loss reported while already `Recovering` does **not** restart the
+    /// timeout: the restart node's silence timer has been running since the
+    /// first loss, so the shorter remaining count is kept. (During recovery
+    /// no distribution packet is sent at all, but callers may re-report a
+    /// loss — e.g. a fabric layer observing the same dead ring twice.)
     pub fn token_lost(&mut self, timeout_slots: u32) {
-        *self = ClockRecovery::Recovering {
-            remaining: timeout_slots,
+        let remaining = match *self {
+            ClockRecovery::Healthy => timeout_slots,
+            ClockRecovery::Recovering { remaining } => remaining.min(timeout_slots),
         };
+        *self = ClockRecovery::Recovering { remaining };
     }
 
     /// Advance one slot. Returns `Some(RESTART_NODE)` when the timeout has
@@ -99,12 +107,21 @@ mod tests {
     }
 
     #[test]
-    fn repeated_loss_restarts_timer() {
+    fn repeated_loss_keeps_shorter_remaining() {
         let mut r = ClockRecovery::default();
         r.token_lost(2);
-        assert_eq!(r.tick(), None);
-        r.token_lost(2); // lost again mid-recovery
-        assert_eq!(r.tick(), None);
+        assert_eq!(r.tick(), None); // 1 left
+        r.token_lost(2); // lost again mid-recovery: keep the 1, not 2
+        assert_eq!(r.tick(), Some(RESTART_NODE));
+        assert!(!r.recovering());
+    }
+
+    #[test]
+    fn mid_recovery_loss_with_shorter_timeout_tightens() {
+        let mut r = ClockRecovery::default();
+        r.token_lost(10);
+        assert_eq!(r.tick(), None); // 9 left
+        r.token_lost(1); // a tighter timeout wins
         assert_eq!(r.tick(), Some(RESTART_NODE));
     }
 }

@@ -54,7 +54,7 @@ impl Delivery {
 /// tests rely on this to prove the idle-slot fast-forward path is
 /// bit-identical to slot-by-slot execution. Wall-clock throughput lives in
 /// the separate [`ThroughputGauge`].
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     /// Slots executed.
     pub slots: Counter,

@@ -319,8 +319,27 @@ impl<P: MacProtocol> RingNetwork<P> {
         Ok(id)
     }
 
-    /// Tear down a connection, releasing its utilisation. Messages already
-    /// queued drain normally. Returns `false` for unknown ids.
+    /// Reserve guaranteed capacity for a connection whose messages are
+    /// injected externally — e.g. forwarded into this ring by a bridge node
+    /// of a multi-ring fabric — instead of being released by this network's
+    /// periodic machinery.
+    ///
+    /// Runs exactly the admission test of [`RingNetwork::open_connection`]
+    /// (so the utilisation/DBF guarantee covers the forwarded traffic), but
+    /// schedules no releases. Submit the traffic with
+    /// [`RingNetwork::submit_message`], tagging each message with the
+    /// returned id so per-connection metrics accumulate. Tear down with
+    /// [`RingNetwork::close_connection`].
+    pub fn reserve_connection(
+        &mut self,
+        spec: ConnectionSpec,
+    ) -> Result<ConnectionId, AdmissionError> {
+        self.admission.admit(&spec)
+    }
+
+    /// Tear down a connection (opened *or* reserved), releasing its
+    /// utilisation. Messages already queued drain normally. Returns `false`
+    /// for unknown ids.
     pub fn close_connection(&mut self, id: ConnectionId) -> bool {
         self.connections.remove(&id);
         self.admission.remove(id)

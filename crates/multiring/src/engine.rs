@@ -1,0 +1,826 @@
+//! The fabric engine: lockstep per-ring stepping with deterministic
+//! inter-ring bridge exchange.
+//!
+//! One *fabric slot* advances every ring by exactly one MAC slot. The step
+//! has three phases:
+//!
+//! 1. **Ring phase** (parallel) — every ring executes
+//!    [`ccr_edf::network::RingNetwork::step_slot`] independently. Rings
+//!    share no state within a slot (bridge traffic only moves *between*
+//!    slots), so the phase fans out over a persistent [`RingPool`]: worker
+//!    threads spawned once per fabric, each owning a fixed round-robin
+//!    subset of the rings. (A first implementation re-used the sweeps'
+//!    [`ccr_sim::parallel::parallel_map_chunked`], but spawning scoped
+//!    threads every slot costs tens of microseconds while a fabric slot's
+//!    ring work is itself microsecond-scale — the per-slot spawn made the
+//!    parallel path ~100× *slower* than serial; see DESIGN.md.) Each ring
+//!    is stepped by exactly one worker and the deliveries are re-ordered
+//!    by ring index before the exchange phase, so the phase is
+//!    deterministic for any thread count — the differential tests assert
+//!    the resulting metrics are bit-identical (`==`) between serial and
+//!    parallel runs.
+//! 2. **Exchange phase** (serial) — deliveries are scanned in ring-index
+//!    then delivery order. A delivery at a bridge port whose connection has
+//!    further segments is re-queued on the bridge's egress
+//!    [`crate::bridge::BridgeQueue`]; a delivery at its final destination
+//!    closes the end-to-end record.
+//! 3. **Injection phase** (serial) — each queue, in index order, pops up to
+//!    [`crate::bridge::BridgeConfig::forward_per_slot`] earliest-deadline
+//!    forwards and submits them into the egress ring.
+//!
+//! ## Clocks
+//!
+//! Rings are synchronised by fabric slot *count*, not by simulated time:
+//! each ring's clock advances by its own slot-plus-handover-gap sequence,
+//! so ring-local clocks drift apart by sub-slot amounts per slot. The
+//! engine therefore never compares instants from different rings. All
+//! end-to-end quantities are sums of single-ring differences: a segment's
+//! latency runs from the message's entry timestamp (release, or bridge
+//! hand-off, both on the segment's own clock) to its delivery, and the
+//! end-to-end latency is the sum of segment latencies (bridge queueing is
+//! included in the next segment's span). The e2e deadline check compares
+//! that relative sum against the connection's relative e2e deadline.
+
+use crate::admission::{
+    plan_connection, ConnectionPlan, FabricAdmissionError, FabricConnectionId,
+    FabricConnectionSpec, SegmentEnv,
+};
+use crate::bridge::{BridgeConfig, BridgeQueue, PendingForward};
+use crate::metrics::FabricMetrics;
+use crate::topology::{FabricTopology, RingId};
+use ccr_edf::config::{ConfigError, NetworkConfig};
+use ccr_edf::connection::ConnectionId;
+use ccr_edf::message::{Destination, Message};
+use ccr_edf::metrics::{Delivery, Metrics};
+use ccr_edf::network::RingNetwork;
+use ccr_sim::{SimTime, TimeDelta};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Why a fabric could not be constructed.
+#[derive(Debug)]
+pub enum FabricBuildError {
+    /// `ring_configs.len()` does not match the topology's ring count.
+    RingCountMismatch {
+        /// Rings in the topology.
+        expected: u16,
+        /// Configurations supplied.
+        got: usize,
+    },
+    /// A ring's configured node count differs from the topology.
+    RingSizeMismatch {
+        /// The offending ring.
+        ring: RingId,
+        /// Node count per the topology.
+        expected: u16,
+        /// Node count per the configuration.
+        got: u16,
+    },
+    /// A ring's slot time differs from ring 0's. Lockstep stepping keeps
+    /// cross-ring skew sub-slot only when nominal slot times agree.
+    UnequalSlotTimes {
+        /// The offending ring.
+        ring: RingId,
+    },
+    /// A per-ring configuration failed validation.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for FabricBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricBuildError::RingCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "topology has {expected} rings but {got} configs supplied"
+                )
+            }
+            FabricBuildError::RingSizeMismatch {
+                ring,
+                expected,
+                got,
+            } => write!(
+                f,
+                "ring {ring}: topology says {expected} nodes, config says {got}"
+            ),
+            FabricBuildError::UnequalSlotTimes { ring } => {
+                write!(
+                    f,
+                    "ring {ring}: slot time differs from ring 0 (lockstep requires equal slots)"
+                )
+            }
+            FabricBuildError::Config(e) => write!(f, "ring config invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricBuildError {}
+
+impl From<ConfigError> for FabricBuildError {
+    fn from(e: ConfigError) -> Self {
+        FabricBuildError::Config(e)
+    }
+}
+
+/// Complete configuration of a fabric.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// The validated topology.
+    pub topology: FabricTopology,
+    /// One ring configuration per topology ring, in ring-id order.
+    pub ring_configs: Vec<NetworkConfig>,
+    /// Bridge buffer policy (shared by every bridge direction).
+    pub bridge: BridgeConfig,
+    /// Worker threads for the ring phase (1 = serial). More threads than
+    /// rings are never spawned.
+    pub threads: usize,
+}
+
+impl FabricConfig {
+    /// Uniform fabric: every ring gets the same slot size and a seed
+    /// derived from `seed` and its ring id.
+    pub fn uniform(
+        topology: FabricTopology,
+        slot_bytes: u32,
+        seed: u64,
+    ) -> Result<Self, FabricBuildError> {
+        let mut ring_configs = Vec::with_capacity(topology.n_rings() as usize);
+        for r in 0..topology.n_rings() {
+            let cfg = NetworkConfig::builder(topology.ring_size(RingId(r)))
+                .slot_bytes(slot_bytes)
+                .seed(
+                    seed.wrapping_add(r as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+                .build_auto_slot()?;
+            ring_configs.push(cfg);
+        }
+        Ok(FabricConfig {
+            topology,
+            ring_configs,
+            bridge: BridgeConfig::default(),
+            threads: 1,
+        })
+    }
+
+    /// Set the ring-phase thread count.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// Set the bridge buffer policy.
+    pub fn bridge(mut self, b: BridgeConfig) -> Self {
+        self.bridge = b;
+        self
+    }
+}
+
+/// An admitted end-to-end connection.
+#[derive(Debug)]
+struct ActiveConnection {
+    plan: ConnectionPlan,
+    /// Per-segment ring-level connection ids (opened on segment 0,
+    /// reserved on the rest).
+    ring_conns: Vec<ConnectionId>,
+    /// Bridge-queue index crossed *after* each non-final segment.
+    queue_after: Vec<usize>,
+}
+
+/// Bookkeeping for a forward sitting in (or just popped from) a queue.
+#[derive(Debug, Clone, Copy)]
+struct ForwardMeta {
+    fid: FabricConnectionId,
+    /// Segment the message is about to traverse.
+    seg_idx: usize,
+    /// End-to-end latency accumulated over the previous segments.
+    accumulated: TimeDelta,
+}
+
+/// A message in flight on segment `seg_idx` of a connection, awaiting its
+/// delivery record. FIFO per (connection, segment): successive messages of
+/// one connection carry strictly increasing deadlines, so EDF preserves
+/// their order on every ring and queue.
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    /// Segment-entry timestamp on the segment ring's clock (the bridge
+    /// hand-off instant, so the segment span includes queueing delay).
+    entered: SimTime,
+    accumulated: TimeDelta,
+}
+
+/// A persistent worker pool for the ring phase.
+///
+/// Scoped fork-join (spawn N threads, step, join) costs tens of
+/// microseconds per slot — more than the ring work it distributes. The
+/// pool amortises that: workers are spawned once per fabric and park on a
+/// channel between slots. Worker `w` of `t` owns rings `{i : i mod t = w}`
+/// — a static assignment, so every ring is stepped by exactly one worker
+/// and no two workers contend on a ring lock. Results carry their ring
+/// index and are re-ordered by the caller, which makes the phase
+/// deterministic regardless of scheduling.
+struct RingPool {
+    /// One command channel per worker; a `()` means "step your rings".
+    /// Dropping the senders shuts the workers down.
+    cmd_txs: Vec<mpsc::Sender<()>>,
+    /// Shared result channel: `(ring index, that slot's deliveries)`.
+    result_rx: mpsc::Receiver<(usize, Vec<Delivery>)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RingPool {
+    fn spawn(rings: &Arc<Vec<Mutex<RingNetwork>>>, threads: usize) -> Self {
+        let (result_tx, result_rx) = mpsc::channel();
+        let mut cmd_txs = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<()>();
+            let rings = Arc::clone(rings);
+            let result_tx = result_tx.clone();
+            let mine: Vec<usize> = (w..rings.len()).step_by(threads).collect();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ring-pool-{w}"))
+                    .spawn(move || {
+                        while cmd_rx.recv().is_ok() {
+                            for &i in &mine {
+                                let deliveries = {
+                                    let mut ring = rings[i].lock().expect("ring lock");
+                                    ring.step_slot().deliveries.clone()
+                                };
+                                if result_tx.send((i, deliveries)).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn ring worker"),
+            );
+            cmd_txs.push(cmd_tx);
+        }
+        RingPool {
+            cmd_txs,
+            result_rx,
+            handles,
+        }
+    }
+
+    /// Step every ring once, returning deliveries in ring-index order.
+    fn step_all(&self, n_rings: usize, out: &mut Vec<Vec<Delivery>>) {
+        out.clear();
+        out.resize(n_rings, Vec::new());
+        for tx in &self.cmd_txs {
+            tx.send(()).expect("ring worker alive");
+        }
+        for _ in 0..n_rings {
+            let (i, deliveries) = self
+                .result_rx
+                .recv_timeout(std::time::Duration::from_secs(120))
+                .expect("ring worker finished its slot");
+            out[i] = deliveries;
+        }
+    }
+}
+
+impl Drop for RingPool {
+    fn drop(&mut self) {
+        self.cmd_txs.clear(); // hang up: workers exit their recv loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A multi-ring CCR-EDF fabric.
+pub struct Fabric {
+    topo: FabricTopology,
+    rings: Arc<Vec<Mutex<RingNetwork>>>,
+    envs: Vec<SegmentEnv>,
+    bridge_cfg: BridgeConfig,
+    /// Two queues per bridge: `2·b` carries a→b traffic, `2·b + 1` b→a.
+    queues: Vec<BridgeQueue>,
+    /// Egress ring index of each queue.
+    queue_egress: Vec<usize>,
+    /// Connections currently reserving a buffer slot in each queue.
+    queue_resident: Vec<usize>,
+    connections: HashMap<FabricConnectionId, ActiveConnection>,
+    by_ring_conn: HashMap<(u16, ConnectionId), (FabricConnectionId, usize)>,
+    inflight: HashMap<(FabricConnectionId, usize), VecDeque<Inflight>>,
+    fwd_meta: HashMap<u64, ForwardMeta>,
+    metrics: FabricMetrics,
+    next_fid: u64,
+    fwd_seq: u64,
+    /// Ring-phase workers; `None` steps the rings serially in-place.
+    pool: Option<RingPool>,
+    // scratch reused across slots
+    delivery_buf: Vec<Vec<Delivery>>,
+}
+
+impl Fabric {
+    /// Build a fabric from a validated configuration.
+    pub fn new(cfg: FabricConfig) -> Result<Self, FabricBuildError> {
+        let n_rings = cfg.topology.n_rings();
+        if cfg.ring_configs.len() != n_rings as usize {
+            return Err(FabricBuildError::RingCountMismatch {
+                expected: n_rings,
+                got: cfg.ring_configs.len(),
+            });
+        }
+        for (r, rc) in cfg.ring_configs.iter().enumerate() {
+            rc.validate()?;
+            let expected = cfg.topology.ring_size(RingId(r as u16));
+            if rc.n_nodes != expected {
+                return Err(FabricBuildError::RingSizeMismatch {
+                    ring: RingId(r as u16),
+                    expected,
+                    got: rc.n_nodes,
+                });
+            }
+            if rc.slot_time() != cfg.ring_configs[0].slot_time() {
+                return Err(FabricBuildError::UnequalSlotTimes {
+                    ring: RingId(r as u16),
+                });
+            }
+        }
+        let rings: Arc<Vec<Mutex<RingNetwork>>> = Arc::new(
+            cfg.ring_configs
+                .iter()
+                .map(|rc| Mutex::new(RingNetwork::new_ccr_edf(rc.clone())))
+                .collect(),
+        );
+        let envs: Vec<SegmentEnv> = rings
+            .iter()
+            .map(|r| {
+                let r = r.lock().expect("ring lock");
+                let a = r.analytic();
+                SegmentEnv {
+                    slot: a.slot(),
+                    worst_latency: a.worst_latency(),
+                }
+            })
+            .collect();
+        let n_queues = cfg.topology.bridges().len() * 2;
+        let queue_egress: Vec<usize> = (0..n_queues)
+            .map(|q| {
+                let br = &cfg.topology.bridges()[q / 2];
+                // queue 2b carries a→b (egress ring = b's), 2b+1 carries b→a
+                if q % 2 == 0 {
+                    br.b.ring.0 as usize
+                } else {
+                    br.a.ring.0 as usize
+                }
+            })
+            .collect();
+        let threads = cfg.threads.clamp(1, rings.len());
+        let pool = (threads > 1).then(|| RingPool::spawn(&rings, threads));
+        Ok(Fabric {
+            topo: cfg.topology,
+            rings,
+            envs,
+            bridge_cfg: cfg.bridge,
+            queues: (0..n_queues).map(|_| BridgeQueue::new()).collect(),
+            queue_egress,
+            queue_resident: vec![0; n_queues],
+            connections: HashMap::new(),
+            by_ring_conn: HashMap::new(),
+            inflight: HashMap::new(),
+            fwd_meta: HashMap::new(),
+            metrics: FabricMetrics::new(),
+            next_fid: 1,
+            fwd_seq: 0,
+            pool,
+            delivery_buf: Vec::new(),
+        })
+    }
+
+    /// The fabric topology.
+    pub fn topology(&self) -> &FabricTopology {
+        &self.topo
+    }
+
+    /// End-to-end metrics.
+    pub fn metrics(&self) -> &FabricMetrics {
+        &self.metrics
+    }
+
+    /// Snapshot of ring `r`'s metrics (cloned out of the ring lock).
+    pub fn ring_metrics(&self, r: RingId) -> Metrics {
+        self.rings[r.0 as usize]
+            .lock()
+            .expect("ring lock")
+            .metrics()
+            .clone()
+    }
+
+    /// Per-ring timing environments (indexed by ring id).
+    pub fn segment_envs(&self) -> &[SegmentEnv] {
+        &self.envs
+    }
+
+    /// Inspect ring `r` under its lock (e.g. to read
+    /// [`RingNetwork::last_outcome`] for slot tracing between fabric
+    /// steps).
+    pub fn with_ring<T>(&self, r: RingId, f: impl FnOnce(&RingNetwork) -> T) -> T {
+        f(&self.rings[r.0 as usize].lock().expect("ring lock"))
+    }
+
+    /// Number of admitted end-to-end connections.
+    pub fn active_connections(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Total occupancy of all bridge buffers right now.
+    pub fn bridge_occupancy(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// The bridge-queue index crossed when leaving `segment` over bridge
+    /// `bridge` (an index into the topology's bridge list).
+    fn queue_index(&self, bridge: usize, from_ring: RingId) -> usize {
+        let br = &self.topo.bridges()[bridge];
+        if br.a.ring == from_ring {
+            2 * bridge
+        } else {
+            2 * bridge + 1
+        }
+    }
+
+    /// Admit an end-to-end connection: plan the per-segment decomposition,
+    /// check bridge-buffer headroom, then admit every segment on its ring —
+    /// opening the source segment (periodic releases) and reserving
+    /// capacity on the downstream ones. All-or-nothing: a rejection at any
+    /// hop rolls the earlier hops back.
+    pub fn open_connection(
+        &mut self,
+        spec: FabricConnectionSpec,
+    ) -> Result<FabricConnectionId, FabricAdmissionError> {
+        let plan = plan_connection(&self.topo, &spec, &self.envs)?;
+        // Bridge-buffer feasibility: each resident connection reserves one
+        // buffer slot per crossing (one message per period in flight at a
+        // bridge is the steady state under met deadlines).
+        let crossings: Vec<usize> = plan
+            .segments
+            .iter()
+            .filter_map(|s| {
+                s.segment
+                    .bridge
+                    .map(|b| self.queue_index(b, s.segment.ring))
+            })
+            .collect();
+        for &q in &crossings {
+            if self.queue_resident[q] >= self.bridge_cfg.capacity {
+                return Err(FabricAdmissionError::BridgeOverload { bridge: q / 2 });
+            }
+        }
+        // Per-ring admission with rollback.
+        let mut ring_conns: Vec<ConnectionId> = Vec::with_capacity(plan.segments.len());
+        for (i, seg) in plan.segments.iter().enumerate() {
+            let ring_idx = seg.segment.ring.0 as usize;
+            let mut ring = self.rings[ring_idx].lock().expect("ring lock");
+            let res = if i == 0 {
+                ring.open_connection(seg.spec.clone())
+            } else {
+                ring.reserve_connection(seg.spec.clone())
+            };
+            drop(ring);
+            match res {
+                Ok(id) => ring_conns.push(id),
+                Err(error) => {
+                    for (j, id) in ring_conns.into_iter().enumerate() {
+                        let rj = plan.segments[j].segment.ring.0 as usize;
+                        self.rings[rj]
+                            .lock()
+                            .expect("ring lock")
+                            .close_connection(id);
+                    }
+                    return Err(FabricAdmissionError::SegmentRejected { segment: i, error });
+                }
+            }
+        }
+        let fid = FabricConnectionId(self.next_fid);
+        self.next_fid += 1;
+        for (i, (&rc, seg)) in ring_conns.iter().zip(plan.segments.iter()).enumerate() {
+            self.by_ring_conn.insert((seg.segment.ring.0, rc), (fid, i));
+        }
+        for &q in &crossings {
+            self.queue_resident[q] += 1;
+        }
+        self.connections.insert(
+            fid,
+            ActiveConnection {
+                plan,
+                ring_conns,
+                queue_after: crossings,
+            },
+        );
+        Ok(fid)
+    }
+
+    /// Tear down an end-to-end connection, releasing every ring's capacity
+    /// and the bridge-buffer reservations. Returns `false` for unknown ids.
+    pub fn close_connection(&mut self, fid: FabricConnectionId) -> bool {
+        let Some(active) = self.connections.remove(&fid) else {
+            return false;
+        };
+        for (i, (&rc, seg)) in active
+            .ring_conns
+            .iter()
+            .zip(active.plan.segments.iter())
+            .enumerate()
+        {
+            let ring_idx = seg.segment.ring.0 as usize;
+            self.rings[ring_idx]
+                .lock()
+                .expect("ring lock")
+                .close_connection(rc);
+            self.by_ring_conn.remove(&(seg.segment.ring.0, rc));
+            self.inflight.remove(&(fid, i));
+        }
+        for &q in &active.queue_after {
+            self.queue_resident[q] -= 1;
+        }
+        true
+    }
+
+    /// Execute one fabric slot (every ring advances one MAC slot).
+    pub fn step_slot(&mut self) {
+        // Phase 1 — ring stepping. With a pool, each ring is stepped by its
+        // owning worker and deliveries are re-ordered by ring index; the
+        // serial path steps rings in index order directly.
+        let n = self.rings.len();
+        let mut delivered = std::mem::take(&mut self.delivery_buf);
+        match &self.pool {
+            Some(pool) => pool.step_all(n, &mut delivered),
+            None => {
+                delivered.clear();
+                for i in 0..n {
+                    let mut ring = self.rings[i].lock().expect("ring lock");
+                    delivered.push(ring.step_slot().deliveries.clone());
+                }
+            }
+        }
+
+        // Phase 2 — serial exchange: ring-index order, then delivery order.
+        for (ring_idx, deliveries) in delivered.iter().enumerate() {
+            for d in deliveries {
+                self.handle_delivery(ring_idx as u16, d);
+            }
+        }
+        self.delivery_buf = delivered;
+
+        // Phase 3 — serial injection, queue-index order.
+        for qi in 0..self.queues.len() {
+            for _ in 0..self.bridge_cfg.forward_per_slot {
+                let Some(pf) = self.queues[qi].pop_earliest() else {
+                    break;
+                };
+                let meta = self
+                    .fwd_meta
+                    .remove(&pf.seq)
+                    .expect("every queued forward has metadata");
+                let ring_idx = self.queue_egress[qi];
+                let mut ring = self.rings[ring_idx].lock().expect("ring lock");
+                let now = ring.now();
+                let wait = now.saturating_since(pf.enqueued);
+                ring.submit_message(now, pf.msg);
+                drop(ring);
+                self.metrics.record_forward(wait);
+                self.inflight
+                    .entry((meta.fid, meta.seg_idx))
+                    .or_default()
+                    .push_back(Inflight {
+                        entered: pf.enqueued,
+                        accumulated: meta.accumulated,
+                    });
+            }
+        }
+
+        let peak = self
+            .queues
+            .iter()
+            .map(|q| q.peak_occupancy as u64)
+            .max()
+            .unwrap_or(0);
+        self.metrics.peak_bridge_occupancy = self.metrics.peak_bridge_occupancy.max(peak);
+        self.metrics.slots.incr();
+    }
+
+    /// Run `k` fabric slots.
+    pub fn run_slots(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step_slot();
+        }
+    }
+
+    fn handle_delivery(&mut self, ring: u16, d: &Delivery) {
+        let Some(conn) = d.msg.connection else {
+            return;
+        };
+        let Some(&(fid, seg_idx)) = self.by_ring_conn.get(&(ring, conn)) else {
+            return;
+        };
+        // Pull out everything needed from the plan before mutating metrics.
+        let (n_segs, e2e_deadline, next) = {
+            let active = &self.connections[&fid];
+            let n = active.plan.segments.len();
+            let next = if seg_idx + 1 < n {
+                let ns = &active.plan.segments[seg_idx + 1];
+                let cross = active.plan.segments[seg_idx]
+                    .segment
+                    .bridge
+                    .expect("non-final segment ends at a bridge");
+                Some((
+                    self.queue_index(cross, active.plan.segments[seg_idx].segment.ring),
+                    ns.segment.ring.0 as usize,
+                    ns.segment.from,
+                    ns.segment.to,
+                    ns.spec.effective_deadline(),
+                    active.ring_conns[seg_idx + 1],
+                ))
+            } else {
+                None
+            };
+            (n, active.plan.spec.e2e_deadline, next)
+        };
+        let (entered, accumulated) = if seg_idx == 0 {
+            (d.msg.released, TimeDelta::ZERO)
+        } else {
+            // FIFO matching — see `Inflight`.
+            let Some(rec) = self
+                .inflight
+                .get_mut(&(fid, seg_idx))
+                .and_then(|q| q.pop_front())
+            else {
+                return; // stray delivery of a since-closed connection
+            };
+            (rec.entered, rec.accumulated)
+        };
+        let seg_latency = d.completed.saturating_since(entered);
+        let total = accumulated + seg_latency;
+        self.metrics.record_segment(seg_idx, seg_latency);
+        match next {
+            None => {
+                debug_assert_eq!(seg_idx + 1, n_segs);
+                self.metrics.record_e2e(total, total <= e2e_deadline);
+            }
+            Some((qi, egress_ring, from, to, rel_deadline, egress_conn)) => {
+                // Hand off to the bridge: timestamp and sub-deadline on the
+                // egress ring's clock.
+                let now = self.rings[egress_ring].lock().expect("ring lock").now();
+                let size = d.msg.size_slots;
+                let msg = Message::real_time(
+                    from,
+                    Destination::Unicast(to),
+                    size,
+                    now,
+                    now + rel_deadline,
+                    egress_conn,
+                );
+                let seq = self.fwd_seq;
+                self.fwd_seq += 1;
+                self.fwd_meta.insert(
+                    seq,
+                    ForwardMeta {
+                        fid,
+                        seg_idx: seg_idx + 1,
+                        accumulated: total,
+                    },
+                );
+                let dropped = self.queues[qi].push(
+                    PendingForward {
+                        msg,
+                        enqueued: now,
+                        seq,
+                    },
+                    &self.bridge_cfg,
+                );
+                if let Some(dp) = dropped {
+                    self.fwd_meta.remove(&dp.seq);
+                    self.metrics.bridge_drops.incr();
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("rings", &self.rings.len())
+            .field("bridges", &self.topo.bridges().len())
+            .field("connections", &self.connections.len())
+            .field("slots", &self.metrics.slots.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::GlobalNodeId;
+
+    #[test]
+    fn uniform_config_builds() {
+        let topo = FabricTopology::chain(3, 6);
+        let cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        assert_eq!(cfg.ring_configs.len(), 3);
+        let fabric = Fabric::new(cfg).unwrap();
+        assert_eq!(fabric.topology().n_rings(), 3);
+        assert_eq!(fabric.queues.len(), 4); // 2 bridges × 2 directions
+    }
+
+    #[test]
+    fn mismatched_ring_configs_rejected() {
+        let topo = FabricTopology::chain(2, 6);
+        let mut cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        cfg.ring_configs.pop();
+        assert!(matches!(
+            Fabric::new(cfg),
+            Err(FabricBuildError::RingCountMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+
+        let topo = FabricTopology::chain(2, 6);
+        let mut cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        cfg.ring_configs[1] = NetworkConfig::builder(9)
+            .slot_bytes(2048)
+            .build_auto_slot()
+            .unwrap();
+        assert!(matches!(
+            Fabric::new(cfg),
+            Err(FabricBuildError::RingSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bridge_buffer_reservation_bounds_admission() {
+        let topo = FabricTopology::chain(2, 6);
+        let mut cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        cfg.bridge.capacity = 2;
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let spec = |src: u16, dst: u16| {
+            FabricConnectionSpec::unicast(GlobalNodeId::new(0, src), GlobalNodeId::new(1, dst))
+                .period(TimeDelta::from_ms(2))
+        };
+        fabric.open_connection(spec(0, 2)).unwrap();
+        fabric.open_connection(spec(1, 3)).unwrap();
+        let err = fabric.open_connection(spec(2, 4)).unwrap_err();
+        assert_eq!(err, FabricAdmissionError::BridgeOverload { bridge: 0 });
+        // closing releases the reservation
+        let ids: Vec<FabricConnectionId> = fabric.connections.keys().copied().collect();
+        fabric.close_connection(ids[0]);
+        assert!(fabric.open_connection(spec(2, 4)).is_ok());
+    }
+
+    #[test]
+    fn rollback_on_segment_rejection() {
+        let topo = FabricTopology::chain(2, 6);
+        let cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        // Saturate ring 1 locally (utilisation-wise) so the second segment
+        // of a cross-ring connection is refused: open 0.05-utilisation
+        // connections until one bounces, leaving headroom < 0.05.
+        let slot = fabric.segment_envs()[1].slot;
+        let period = slot.times(20);
+        {
+            let mut r1 = fabric.rings[1].lock().unwrap();
+            while r1
+                .open_connection(
+                    ccr_edf::connection::ConnectionSpec::unicast(
+                        ccr_phys::NodeId(2),
+                        ccr_phys::NodeId(4),
+                    )
+                    .period(period)
+                    .size_slots(1),
+                )
+                .is_ok()
+            {}
+        }
+        let before: usize = {
+            let r0 = fabric.rings[0].lock().unwrap();
+            r0.admission().admitted_count()
+        };
+        let err = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 2))
+                    .period(period),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FabricAdmissionError::SegmentRejected { segment: 1, .. }
+            ),
+            "unexpected: {err:?}"
+        );
+        let after: usize = {
+            let r0 = fabric.rings[0].lock().unwrap();
+            r0.admission().admitted_count()
+        };
+        assert_eq!(before, after, "ring 0's admission rolled back");
+        assert_eq!(fabric.active_connections(), 0);
+    }
+}

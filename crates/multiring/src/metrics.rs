@@ -1,0 +1,129 @@
+//! End-to-end fabric metrics.
+//!
+//! Like [`ccr_edf::metrics::Metrics`], [`FabricMetrics`] is purely a
+//! function of the simulated schedule — no wall-clock state — so two runs
+//! of the same fabric scenario must compare equal with `==` regardless of
+//! thread count. The determinism tests rely on this to prove parallel
+//! per-ring stepping is bit-identical to serial stepping.
+
+use ccr_sim::stats::{Counter, Histogram};
+use ccr_sim::TimeDelta;
+
+/// Aggregated end-to-end metrics of one fabric run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricMetrics {
+    /// Fabric slots executed (every ring advances one slot per fabric slot).
+    pub slots: Counter,
+    /// Messages delivered at their *final* destination.
+    pub e2e_delivered: Counter,
+    /// Final deliveries that met the end-to-end deadline.
+    pub e2e_met: Counter,
+    /// Final deliveries that missed the end-to-end deadline.
+    pub e2e_missed: Counter,
+    /// Release-at-source → delivery-at-destination latency (ns).
+    pub e2e_latency: Histogram,
+    /// Messages handed across any bridge (one count per crossing).
+    pub forwarded: Counter,
+    /// Messages dropped at a full bridge buffer.
+    pub bridge_drops: Counter,
+    /// Time messages spent queued inside bridge buffers (ns).
+    pub bridge_wait: Histogram,
+    /// Per-hop latency by segment index along the route (ns): entry into
+    /// the segment's ring → delivery at the segment exit. Grown on demand
+    /// to the longest route observed.
+    pub segment_latency: Vec<Histogram>,
+    /// High-water mark across all bridge buffers.
+    pub peak_bridge_occupancy: u64,
+}
+
+impl Default for FabricMetrics {
+    fn default() -> Self {
+        FabricMetrics {
+            slots: Counter::default(),
+            e2e_delivered: Counter::default(),
+            e2e_met: Counter::default(),
+            e2e_missed: Counter::default(),
+            e2e_latency: Histogram::for_latency(),
+            forwarded: Counter::default(),
+            bridge_drops: Counter::default(),
+            bridge_wait: Histogram::for_latency(),
+            segment_latency: Vec::new(),
+            peak_bridge_occupancy: 0,
+        }
+    }
+}
+
+impl FabricMetrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a final delivery with its end-to-end latency.
+    pub fn record_e2e(&mut self, latency: TimeDelta, met_deadline: bool) {
+        self.e2e_delivered.incr();
+        if met_deadline {
+            self.e2e_met.incr();
+        } else {
+            self.e2e_missed.incr();
+        }
+        self.e2e_latency.record(latency.as_ps() / 1_000);
+    }
+
+    /// Record one segment traversal at hop position `index`.
+    pub fn record_segment(&mut self, index: usize, latency: TimeDelta) {
+        while self.segment_latency.len() <= index {
+            self.segment_latency.push(Histogram::for_latency());
+        }
+        self.segment_latency[index].record(latency.as_ps() / 1_000);
+    }
+
+    /// Record one bridge crossing with its queueing delay.
+    pub fn record_forward(&mut self, wait: TimeDelta) {
+        self.forwarded.incr();
+        self.bridge_wait.record(wait.as_ps() / 1_000);
+    }
+
+    /// Fraction of final deliveries that missed their e2e deadline.
+    pub fn e2e_miss_ratio(&self) -> f64 {
+        self.e2e_missed.fraction_of_counter(&self.e2e_delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2e_accounting() {
+        let mut m = FabricMetrics::new();
+        m.record_e2e(TimeDelta::from_us(10), true);
+        m.record_e2e(TimeDelta::from_us(20), true);
+        m.record_e2e(TimeDelta::from_us(90), false);
+        assert_eq!(m.e2e_delivered.get(), 3);
+        assert_eq!(m.e2e_met.get(), 2);
+        assert_eq!(m.e2e_missed.get(), 1);
+        assert!((m.e2e_miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.e2e_latency.count(), 3);
+    }
+
+    #[test]
+    fn segment_histograms_grow_on_demand() {
+        let mut m = FabricMetrics::new();
+        m.record_segment(2, TimeDelta::from_us(5));
+        assert_eq!(m.segment_latency.len(), 3);
+        assert_eq!(m.segment_latency[2].count(), 1);
+        assert_eq!(m.segment_latency[0].count(), 0);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let mut a = FabricMetrics::new();
+        let mut b = FabricMetrics::new();
+        assert_eq!(a, b);
+        a.record_e2e(TimeDelta::from_us(10), true);
+        assert_ne!(a, b);
+        b.record_e2e(TimeDelta::from_us(10), true);
+        assert_eq!(a, b);
+    }
+}

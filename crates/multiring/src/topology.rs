@@ -1,0 +1,551 @@
+//! Fabric topology: rings, bridge nodes, and the validated static routing
+//! table.
+//!
+//! A *fabric* interconnects several CCR-EDF rings through **bridge nodes**
+//! — a bridge is one physical station with a port on each of two rings. The
+//! topology is static: routes (sequences of ring segments) are computed
+//! once at build time by breadth-first search over the *ring graph* (rings
+//! are vertices, bridges are edges) with a deterministic tie-break, so the
+//! same fabric always routes the same way.
+//!
+//! Cyclic inter-ring dependencies — a cycle in the ring graph — are the
+//! hard case of Amari & Mifdaoui ("Enhancing Performance Bounds of
+//! Multiple-Ring Networks with Cyclic Dependencies based on Network
+//! Calculus"): per-segment bounds no longer compose by simple summation.
+//! The builder therefore **rejects** cyclic fabrics by default; callers
+//! that accept the weaker (simulation-only, not analytically bounded)
+//! guarantees can opt in with [`FabricTopologyBuilder::allow_cycles`], and
+//! the flag is preserved as [`FabricTopology::is_cyclic`] so admission and
+//! reporting layers can surface it.
+
+use ccr_phys::NodeId;
+use std::collections::HashMap;
+
+/// Identity of one ring in the fabric.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RingId(pub u16);
+
+impl std::fmt::Display for RingId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A node addressed fabric-wide: ring plus position on that ring.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalNodeId {
+    /// The ring the node sits on.
+    pub ring: RingId,
+    /// The node's position on that ring.
+    pub node: NodeId,
+}
+
+impl GlobalNodeId {
+    /// Shorthand constructor.
+    pub fn new(ring: u16, node: u16) -> Self {
+        GlobalNodeId {
+            ring: RingId(ring),
+            node: NodeId(node),
+        }
+    }
+}
+
+impl std::fmt::Display for GlobalNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.ring, self.node)
+    }
+}
+
+/// A bridge: one station present on two (distinct) rings.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bridge {
+    /// First port.
+    pub a: GlobalNodeId,
+    /// Second port.
+    pub b: GlobalNodeId,
+}
+
+impl Bridge {
+    /// The bridge's port on `ring`, if it has one.
+    pub fn port_on(&self, ring: RingId) -> Option<NodeId> {
+        if self.a.ring == ring {
+            Some(self.a.node)
+        } else if self.b.ring == ring {
+            Some(self.b.node)
+        } else {
+            None
+        }
+    }
+
+    /// The ring on the far side of the bridge from `ring`.
+    pub fn other_ring(&self, ring: RingId) -> Option<RingId> {
+        if self.a.ring == ring {
+            Some(self.b.ring)
+        } else if self.b.ring == ring {
+            Some(self.a.ring)
+        } else {
+            None
+        }
+    }
+}
+
+/// An inter-ring route: the rings visited and the bridges crossed between
+/// them (`rings.len() == bridges.len() + 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Rings visited, source ring first.
+    pub rings: Vec<RingId>,
+    /// Indices into [`FabricTopology::bridges`], one per crossing.
+    pub bridges: Vec<usize>,
+}
+
+/// One ring traversal of an end-to-end path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The ring this segment runs on.
+    pub ring: RingId,
+    /// Entry node (the original source, or the ingress bridge port).
+    pub from: NodeId,
+    /// Exit node (the egress bridge port, or the final destination).
+    pub to: NodeId,
+    /// The bridge crossed *after* this segment (`None` on the last one).
+    pub bridge: Option<usize>,
+}
+
+/// Why a topology failed to validate, or a path could not be formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A bridge references a ring that does not exist.
+    UnknownRing(RingId),
+    /// A bridge port lies outside its ring.
+    PortOutOfRange(GlobalNodeId),
+    /// A bridge joins a ring to itself.
+    SelfBridge(RingId),
+    /// The ring graph contains a cycle and cycles were not allowed.
+    CyclicFabric {
+        /// The bridge whose addition closed the cycle.
+        closing_bridge: usize,
+    },
+    /// No bridge path connects the two rings.
+    NoRoute(RingId, RingId),
+    /// A path segment would start and end on the same node (the source or
+    /// destination coincides with a bridge port in a way that leaves a
+    /// zero-length ring traversal).
+    DegenerateSegment {
+        /// The ring of the degenerate segment.
+        ring: RingId,
+        /// The coinciding node.
+        node: NodeId,
+    },
+    /// Source and destination are the same node.
+    SelfConnection(GlobalNodeId),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::UnknownRing(r) => write!(f, "bridge references unknown ring {r}"),
+            TopologyError::PortOutOfRange(g) => write!(f, "bridge port {g} outside its ring"),
+            TopologyError::SelfBridge(r) => write!(f, "bridge joins ring {r} to itself"),
+            TopologyError::CyclicFabric { closing_bridge } => write!(
+                f,
+                "bridge #{closing_bridge} closes a ring-graph cycle (cyclic inter-ring \
+                 dependencies are rejected unless allow_cycles is set)"
+            ),
+            TopologyError::NoRoute(a, b) => write!(f, "no bridge path from {a} to {b}"),
+            TopologyError::DegenerateSegment { ring, node } => write!(
+                f,
+                "degenerate segment on {ring}: entry and exit are both {node}"
+            ),
+            TopologyError::SelfConnection(g) => write!(f, "connection from {g} to itself"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Builder for [`FabricTopology`].
+#[derive(Debug, Default)]
+pub struct FabricTopologyBuilder {
+    ring_sizes: Vec<u16>,
+    bridges: Vec<Bridge>,
+    allow_cycles: bool,
+}
+
+impl FabricTopologyBuilder {
+    /// Add one ring of `n_nodes` nodes; returns its id.
+    pub fn ring(&mut self, n_nodes: u16) -> RingId {
+        self.ring_sizes.push(n_nodes);
+        RingId(self.ring_sizes.len() as u16 - 1)
+    }
+
+    /// Add a bridge between two ports.
+    pub fn bridge(&mut self, a: GlobalNodeId, b: GlobalNodeId) -> &mut Self {
+        self.bridges.push(Bridge { a, b });
+        self
+    }
+
+    /// Accept ring-graph cycles (flagged, not analytically bounded).
+    pub fn allow_cycles(&mut self, allow: bool) -> &mut Self {
+        self.allow_cycles = allow;
+        self
+    }
+
+    /// Validate and freeze the topology, computing the routing table.
+    pub fn build(&self) -> Result<FabricTopology, TopologyError> {
+        let n_rings = self.ring_sizes.len() as u16;
+        // Validate bridges.
+        for br in &self.bridges {
+            for port in [br.a, br.b] {
+                if port.ring.0 >= n_rings {
+                    return Err(TopologyError::UnknownRing(port.ring));
+                }
+                if port.node.0 >= self.ring_sizes[port.ring.0 as usize] {
+                    return Err(TopologyError::PortOutOfRange(port));
+                }
+            }
+            if br.a.ring == br.b.ring {
+                return Err(TopologyError::SelfBridge(br.a.ring));
+            }
+        }
+        // Cycle detection by union-find over the ring graph: an edge whose
+        // endpoints are already connected closes a cycle (this also catches
+        // two parallel bridges between the same ring pair).
+        let mut parent: Vec<usize> = (0..n_rings as usize).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut cyclic = false;
+        for (i, br) in self.bridges.iter().enumerate() {
+            let (ra, rb) = (
+                find(&mut parent, br.a.ring.0 as usize),
+                find(&mut parent, br.b.ring.0 as usize),
+            );
+            if ra == rb {
+                cyclic = true;
+                if !self.allow_cycles {
+                    return Err(TopologyError::CyclicFabric { closing_bridge: i });
+                }
+            } else {
+                parent[ra] = rb;
+            }
+        }
+        // All-pairs shortest routes over the ring graph, BFS from every
+        // ring. Neighbours are scanned in bridge-index order, so the
+        // tie-break (fewest crossings, then lowest bridge indices) is
+        // deterministic.
+        let mut routes = HashMap::new();
+        for src in 0..n_rings {
+            let mut prev: Vec<Option<(u16, usize)>> = vec![None; n_rings as usize];
+            let mut seen = vec![false; n_rings as usize];
+            let mut queue = std::collections::VecDeque::new();
+            seen[src as usize] = true;
+            queue.push_back(src);
+            while let Some(r) = queue.pop_front() {
+                for (bi, br) in self.bridges.iter().enumerate() {
+                    let Some(next) = br.other_ring(RingId(r)) else {
+                        continue;
+                    };
+                    if !seen[next.0 as usize] {
+                        seen[next.0 as usize] = true;
+                        prev[next.0 as usize] = Some((r, bi));
+                        queue.push_back(next.0);
+                    }
+                }
+            }
+            for dst in 0..n_rings {
+                if dst == src || !seen[dst as usize] {
+                    continue;
+                }
+                let mut rings = vec![RingId(dst)];
+                let mut bridges = Vec::new();
+                let mut cur = dst;
+                while let Some((p, bi)) = prev[cur as usize] {
+                    bridges.push(bi);
+                    rings.push(RingId(p));
+                    cur = p;
+                }
+                rings.reverse();
+                bridges.reverse();
+                routes.insert((RingId(src), RingId(dst)), Route { rings, bridges });
+            }
+        }
+        Ok(FabricTopology {
+            ring_sizes: self.ring_sizes.clone(),
+            bridges: self.bridges.clone(),
+            routes,
+            cyclic,
+        })
+    }
+}
+
+/// The validated, frozen fabric topology with its static routing table.
+#[derive(Debug, Clone)]
+pub struct FabricTopology {
+    ring_sizes: Vec<u16>,
+    bridges: Vec<Bridge>,
+    routes: HashMap<(RingId, RingId), Route>,
+    cyclic: bool,
+}
+
+impl FabricTopology {
+    /// Start building a topology.
+    pub fn builder() -> FabricTopologyBuilder {
+        FabricTopologyBuilder::default()
+    }
+
+    /// A chain of `n_rings` rings of `nodes_per_ring` nodes each, bridged
+    /// ring *i* node `n−1` ↔ ring *i+1* node `0` — the canonical acyclic
+    /// fabric used by experiments and benchmarks.
+    pub fn chain(n_rings: u16, nodes_per_ring: u16) -> FabricTopology {
+        let mut b = Self::builder();
+        for _ in 0..n_rings {
+            b.ring(nodes_per_ring);
+        }
+        for i in 0..n_rings.saturating_sub(1) {
+            b.bridge(
+                GlobalNodeId::new(i, nodes_per_ring - 1),
+                GlobalNodeId::new(i + 1, 0),
+            );
+        }
+        b.build().expect("chain fabric is always valid")
+    }
+
+    /// Number of rings.
+    pub fn n_rings(&self) -> u16 {
+        self.ring_sizes.len() as u16
+    }
+
+    /// Node count of ring `r`.
+    pub fn ring_size(&self, r: RingId) -> u16 {
+        self.ring_sizes[r.0 as usize]
+    }
+
+    /// The bridges, in declaration order.
+    pub fn bridges(&self) -> &[Bridge] {
+        &self.bridges
+    }
+
+    /// True when the ring graph contains a cycle (only possible when the
+    /// builder was told to allow them).
+    pub fn is_cyclic(&self) -> bool {
+        self.cyclic
+    }
+
+    /// The precomputed route between two distinct rings, if connected.
+    pub fn route(&self, from: RingId, to: RingId) -> Option<&Route> {
+        self.routes.get(&(from, to))
+    }
+
+    /// Expand an end-to-end path into its ring segments.
+    pub fn segments(
+        &self,
+        src: GlobalNodeId,
+        dst: GlobalNodeId,
+    ) -> Result<Vec<Segment>, TopologyError> {
+        if src == dst {
+            return Err(TopologyError::SelfConnection(src));
+        }
+        if src.ring == dst.ring {
+            return Ok(vec![Segment {
+                ring: src.ring,
+                from: src.node,
+                to: dst.node,
+                bridge: None,
+            }]);
+        }
+        let route = self
+            .route(src.ring, dst.ring)
+            .ok_or(TopologyError::NoRoute(src.ring, dst.ring))?;
+        let mut segs = Vec::with_capacity(route.rings.len());
+        let mut entry = src.node;
+        for (i, &ring) in route.rings.iter().enumerate() {
+            let (exit, bridge) = if i < route.bridges.len() {
+                let bi = route.bridges[i];
+                let port = self.bridges[bi].port_on(ring).expect("route port");
+                (port, Some(bi))
+            } else {
+                (dst.node, None)
+            };
+            if entry == exit {
+                return Err(TopologyError::DegenerateSegment { ring, node: entry });
+            }
+            segs.push(Segment {
+                ring,
+                from: entry,
+                to: exit,
+                bridge,
+            });
+            if let Some(bi) = bridge {
+                let next_ring = route.rings[i + 1];
+                entry = self.bridges[bi].port_on(next_ring).expect("route port");
+            }
+        }
+        Ok(segs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_routes_end_to_end() {
+        let t = FabricTopology::chain(3, 4);
+        assert_eq!(t.n_rings(), 3);
+        assert_eq!(t.bridges().len(), 2);
+        assert!(!t.is_cyclic());
+        let r = t.route(RingId(0), RingId(2)).unwrap();
+        assert_eq!(r.rings, vec![RingId(0), RingId(1), RingId(2)]);
+        assert_eq!(r.bridges, vec![0, 1]);
+        // reverse direction too
+        let r = t.route(RingId(2), RingId(0)).unwrap();
+        assert_eq!(r.rings, vec![RingId(2), RingId(1), RingId(0)]);
+    }
+
+    #[test]
+    fn segments_expand_with_bridge_ports() {
+        let t = FabricTopology::chain(3, 4);
+        let segs = t
+            .segments(GlobalNodeId::new(0, 1), GlobalNodeId::new(2, 2))
+            .unwrap();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(
+            segs[0],
+            Segment {
+                ring: RingId(0),
+                from: NodeId(1),
+                to: NodeId(3),
+                bridge: Some(0),
+            }
+        );
+        assert_eq!(
+            segs[1],
+            Segment {
+                ring: RingId(1),
+                from: NodeId(0),
+                to: NodeId(3),
+                bridge: Some(1),
+            }
+        );
+        assert_eq!(
+            segs[2],
+            Segment {
+                ring: RingId(2),
+                from: NodeId(0),
+                to: NodeId(2),
+                bridge: None,
+            }
+        );
+    }
+
+    #[test]
+    fn same_ring_is_one_segment() {
+        let t = FabricTopology::chain(2, 4);
+        let segs = t
+            .segments(GlobalNodeId::new(1, 0), GlobalNodeId::new(1, 3))
+            .unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].bridge, None);
+    }
+
+    #[test]
+    fn cycle_rejected_by_default_flagged_when_allowed() {
+        let mut b = FabricTopology::builder();
+        let r0 = b.ring(4);
+        let r1 = b.ring(4);
+        let r2 = b.ring(4);
+        b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+        b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
+        b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1)); // closes the cycle
+        let err = b.build().unwrap_err();
+        assert_eq!(err, TopologyError::CyclicFabric { closing_bridge: 2 });
+        b.allow_cycles(true);
+        let t = b.build().unwrap();
+        assert!(t.is_cyclic());
+        // routes still defined (shortest path, one crossing each)
+        assert_eq!(t.route(r0, r1).unwrap().bridges.len(), 1);
+        assert_eq!(t.route(r0, r2).unwrap().bridges.len(), 1);
+        let _ = (r0, r1, r2);
+    }
+
+    #[test]
+    fn parallel_bridges_count_as_cycle() {
+        let mut b = FabricTopology::builder();
+        b.ring(4);
+        b.ring(4);
+        b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+        b.bridge(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 2));
+        assert!(matches!(
+            b.build(),
+            Err(TopologyError::CyclicFabric { closing_bridge: 1 })
+        ));
+    }
+
+    #[test]
+    fn disconnected_rings_have_no_route() {
+        let mut b = FabricTopology::builder();
+        b.ring(4);
+        b.ring(4);
+        let t = b.build().unwrap();
+        assert!(t.route(RingId(0), RingId(1)).is_none());
+        assert_eq!(
+            t.segments(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 1)),
+            Err(TopologyError::NoRoute(RingId(0), RingId(1)))
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut b = FabricTopology::builder();
+        b.ring(4);
+        b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::UnknownRing(RingId(1))
+        );
+
+        let mut b = FabricTopology::builder();
+        b.ring(4);
+        b.ring(4);
+        b.bridge(GlobalNodeId::new(0, 9), GlobalNodeId::new(1, 0));
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::PortOutOfRange(GlobalNodeId::new(0, 9))
+        );
+
+        let mut b = FabricTopology::builder();
+        b.ring(4);
+        b.ring(4);
+        b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(0, 2));
+        assert_eq!(b.build().unwrap_err(), TopologyError::SelfBridge(RingId(0)));
+    }
+
+    #[test]
+    fn degenerate_segment_detected() {
+        let t = FabricTopology::chain(2, 4);
+        // source IS the bridge port on ring 0 → zero-length first segment
+        let err = t
+            .segments(GlobalNodeId::new(0, 3), GlobalNodeId::new(1, 2))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::DegenerateSegment {
+                ring: RingId(0),
+                node: NodeId(3)
+            }
+        );
+        // self connection
+        assert!(matches!(
+            t.segments(GlobalNodeId::new(0, 1), GlobalNodeId::new(0, 1)),
+            Err(TopologyError::SelfConnection(_))
+        ));
+    }
+}

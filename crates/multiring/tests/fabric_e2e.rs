@@ -1,0 +1,171 @@
+//! End-to-end fabric acceptance tests: bridge-crossing delivery within
+//! decomposed deadlines, admission rejection of infeasible sets, and
+//! bit-identical serial-vs-parallel stepping.
+
+use ccr_multiring::prelude::*;
+
+fn chain_fabric(rings: u16, nodes: u16, threads: usize, seed: u64) -> Fabric {
+    let topo = FabricTopology::chain(rings, nodes);
+    let cfg = FabricConfig::uniform(topo, 2048, seed)
+        .unwrap()
+        .threads(threads);
+    Fabric::new(cfg).unwrap()
+}
+
+#[test]
+fn two_ring_smoke_crosses_the_bridge_within_deadline() {
+    let mut fabric = chain_fabric(2, 6, 1, 101);
+    let slot = fabric.segment_envs()[0].slot;
+    fabric
+        .open_connection(
+            FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+                .period(slot.times(200)),
+        )
+        .unwrap();
+    fabric.run_slots(5_000);
+    let m = fabric.metrics();
+    assert!(
+        m.e2e_delivered.get() >= 20,
+        "cross-ring traffic flows: {m:?}"
+    );
+    assert_eq!(
+        m.e2e_missed.get(),
+        0,
+        "a lone light connection meets every decomposed deadline"
+    );
+    assert!(m.forwarded.get() >= m.e2e_delivered.get());
+    assert_eq!(m.bridge_drops.get(), 0);
+    // both segments saw traffic
+    assert!(m.segment_latency.len() == 2);
+    assert!(m.segment_latency[0].count() > 0 && m.segment_latency[1].count() > 0);
+}
+
+#[test]
+fn three_ring_two_bridge_set_admits_and_meets_deadlines() {
+    let mut fabric = chain_fabric(3, 8, 1, 202);
+    let slot = fabric.segment_envs()[0].slot;
+    // A cross-ring set spanning one and two bridges, plus a local stream.
+    let set = [
+        FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(2, 3))
+            .period(slot.times(400)), // crosses both bridges
+        FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 4))
+            .period(slot.times(300)), // crosses bridge 0
+        FabricConnectionSpec::unicast(GlobalNodeId::new(1, 2), GlobalNodeId::new(2, 5))
+            .period(slot.times(300)), // crosses bridge 1
+        FabricConnectionSpec::unicast(GlobalNodeId::new(2, 1), GlobalNodeId::new(2, 6))
+            .period(slot.times(250)), // stays on ring 2
+    ];
+    for spec in set {
+        fabric.open_connection(spec).expect("feasible set admits");
+    }
+    assert_eq!(fabric.active_connections(), 4);
+    fabric.run_slots(20_000);
+    let m = fabric.metrics();
+    assert!(m.e2e_delivered.get() >= 200, "all streams deliver: {m:?}");
+    assert_eq!(m.e2e_missed.get(), 0, "decomposed deadlines all met: {m:?}");
+    assert_eq!(m.bridge_drops.get(), 0);
+    // three-segment routes populate three per-hop histograms
+    assert_eq!(m.segment_latency.len(), 3);
+    assert!(m.peak_bridge_occupancy >= 1, "bridges actually buffered");
+}
+
+#[test]
+fn infeasible_set_rejected_at_admission() {
+    let mut fabric = chain_fabric(2, 6, 1, 303);
+    let slot = fabric.segment_envs()[0].slot;
+    // Deadline below the segment floors: rejected before touching a ring.
+    let too_tight = FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+        .period(slot.times(100))
+        .e2e_deadline(slot.times(2));
+    assert!(matches!(
+        fabric.open_connection(too_tight),
+        Err(FabricAdmissionError::DeadlineTooTight { .. })
+    ));
+    // Utilisation overload: greedily admit until a segment bounces, and
+    // verify the rejection is all-or-nothing (no residue on either ring).
+    let mut admitted = 0u32;
+    let err = loop {
+        let spec = FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+            .period(slot.times(12));
+        match fabric.open_connection(spec) {
+            Ok(_) => admitted += 1,
+            Err(e) => break e,
+        }
+        assert!(admitted < 1_000, "admission never saturated");
+    };
+    assert!(
+        matches!(
+            err,
+            FabricAdmissionError::SegmentRejected { .. }
+                | FabricAdmissionError::BridgeOverload { .. }
+        ),
+        "unexpected rejection: {err:?}"
+    );
+    assert!(admitted >= 1, "some connections fit before saturation");
+    assert_eq!(fabric.active_connections() as u32, admitted);
+}
+
+#[test]
+fn parallel_stepping_is_bit_identical_to_serial() {
+    let run = |threads: usize| {
+        let mut fabric = chain_fabric(3, 8, threads, 404);
+        let slot = fabric.segment_envs()[0].slot;
+        let set = [
+            FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(2, 3))
+                .period(slot.times(150)),
+            FabricConnectionSpec::unicast(GlobalNodeId::new(1, 3), GlobalNodeId::new(0, 2))
+                .period(slot.times(170)),
+            FabricConnectionSpec::unicast(GlobalNodeId::new(2, 4), GlobalNodeId::new(1, 1))
+                .period(slot.times(190)),
+        ];
+        for spec in set {
+            fabric.open_connection(spec).unwrap();
+        }
+        fabric.run_slots(8_000);
+        let per_ring: Vec<_> = (0..3).map(|r| fabric.ring_metrics(RingId(r))).collect();
+        (fabric.metrics().clone(), per_ring)
+    };
+    let (serial, serial_rings) = run(1);
+    assert!(serial.e2e_delivered.get() > 0, "scenario produces traffic");
+    for threads in [2usize, 4, 8] {
+        let (parallel, parallel_rings) = run(threads);
+        assert_eq!(
+            serial, parallel,
+            "fabric metrics diverge at {threads} threads"
+        );
+        assert_eq!(
+            serial_rings, parallel_rings,
+            "per-ring metrics diverge at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn faulty_rings_keep_fabric_deterministic() {
+    // Token-loss fault injection exercises each ring's RNG; determinism
+    // must still hold because every ring owns an independent seeded RNG.
+    let run = |threads: usize| {
+        let topo = FabricTopology::chain(2, 6);
+        let mut cfg = FabricConfig::uniform(topo, 2048, 505)
+            .unwrap()
+            .threads(threads);
+        for rc in &mut cfg.ring_configs {
+            rc.faults.token_loss_prob = 0.02;
+            rc.faults.recovery_timeout_slots = 3;
+        }
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let slot = fabric.segment_envs()[0].slot;
+        fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+                    .period(slot.times(100)),
+            )
+            .unwrap();
+        fabric.run_slots(6_000);
+        fabric.metrics().clone()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel);
+    assert!(serial.e2e_delivered.get() > 0);
+}

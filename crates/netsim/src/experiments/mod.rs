@@ -21,6 +21,7 @@ pub mod e13_fairness;
 pub mod e14_three_way;
 pub mod e15_dbf;
 pub mod e16_hetero;
+pub mod e17_multiring;
 
 use ccr_edf::config::{NetworkConfig, NetworkConfigBuilder};
 use ccr_sim::report::Table;
@@ -169,6 +170,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "e16",
             "Extension: heterogeneous link lengths",
             e16_hetero::run,
+        ),
+        (
+            "e17",
+            "Extension: multi-ring fabric with end-to-end EDF admission",
+            e17_multiring::run,
         ),
     ]
 }

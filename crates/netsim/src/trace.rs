@@ -99,6 +99,36 @@ impl TraceRecorder {
         self.records.iter().filter(|r| r.handover_hops > 0)
     }
 
+    /// Render the retained trace as [JSON Lines](https://jsonlines.org/):
+    /// one self-describing JSON object per slot, oldest first, `\n`
+    /// separated with a trailing newline. Hand-rolled (the workspace
+    /// carries no serde by default); every field is a number or boolean so
+    /// no string escaping is needed. Times are picoseconds.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 160);
+        for r in &self.records {
+            out.push_str(&format!(
+                concat!(
+                    "{{\"slot\":{},\"start_ps\":{},\"master\":{},\"grants\":{},",
+                    "\"deliveries\":{},\"next_master\":{},\"handover_hops\":{},",
+                    "\"gap_ps\":{},\"recovering\":{},\"barrier\":{},\"reduce\":{}}}\n"
+                ),
+                r.slot,
+                r.start.as_ps(),
+                r.master.0,
+                r.grants,
+                r.deliveries,
+                r.next_master.0,
+                r.handover_hops,
+                r.gap.as_ps(),
+                r.recovering,
+                r.barrier,
+                r.reduce,
+            ));
+        }
+        out
+    }
+
     /// Render the retained trace as a timeline table.
     pub fn render(&self) -> String {
         let mut t = Table::new(
@@ -196,5 +226,26 @@ mod tests {
     #[should_panic(expected = "zero-capacity")]
     fn zero_capacity_rejected() {
         let _ = TraceRecorder::new(0);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_valid_object_per_slot() {
+        let tr = traced_run(12, 8);
+        let txt = tr.to_jsonl();
+        assert!(txt.ends_with('\n'));
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 8, "one line per retained record");
+        for (line, rec) in lines.iter().zip(tr.records()) {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            // braces balance and all fields present with the right values
+            assert_eq!(line.matches('{').count(), 1);
+            assert!(line.contains(&format!("\"slot\":{}", rec.slot)));
+            assert!(line.contains(&format!("\"start_ps\":{}", rec.start.as_ps())));
+            assert!(line.contains(&format!("\"master\":{}", rec.master.0)));
+            assert!(line.contains(&format!("\"gap_ps\":{}", rec.gap.as_ps())));
+            assert!(line.contains("\"recovering\":false"));
+        }
+        // eviction respected: first line is slot 4
+        assert!(lines[0].contains("\"slot\":4,"));
     }
 }

@@ -18,12 +18,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod parallel;
 pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{EventQueue, ScheduledEvent};
+pub use parallel::{parallel_map, parallel_map_chunked};
 pub use rng::SeedSequence;
 pub use time::{SimTime, TimeDelta};
 

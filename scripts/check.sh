@@ -1,19 +1,30 @@
 #!/usr/bin/env bash
 # Full verification gate: everything CI would run, offline.
 #   scripts/check.sh          # build + tests + clippy + fmt
+# Each step reports its wall-clock time; the summary lists all of them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --workspace --release
+TIMINGS=()
 
-echo "==> cargo test"
-cargo test -q --workspace
+step() {
+  local name="$1"
+  shift
+  echo "==> $name"
+  local t0
+  t0=$(date +%s)
+  "$@"
+  local dt=$(( $(date +%s) - t0 ))
+  TIMINGS+=("$(printf '%4ss  %s' "$dt" "$name")")
+}
 
-echo "==> cargo clippy"
-cargo clippy --workspace --all-targets -- -D warnings
+step "cargo build --release" cargo build --workspace --release
+step "cargo test"            cargo test -q --workspace
+step "cargo clippy"          cargo clippy --workspace --all-targets -- -D warnings
+step "cargo fmt --check"     cargo fmt --all -- --check
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
-
+echo
 echo "OK: all checks passed"
+for t in "${TIMINGS[@]}"; do
+  echo "  $t"
+done

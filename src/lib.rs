@@ -9,7 +9,9 @@
 //! * [`edf`] — the CCR-EDF protocol, scheduling framework and services;
 //! * [`fpr`] — the CC-FPR baseline protocol;
 //! * [`traffic`] — workload generators;
-//! * [`netsim`] — the experiment harness (E1–E12).
+//! * [`multiring`] — bridged multi-ring fabrics with end-to-end EDF
+//!   admission (DESIGN.md §8);
+//! * [`netsim`] — the experiment harness (E1–E17).
 //!
 //! ```
 //! use ccr_edf_suite::prelude::*;
@@ -24,6 +26,7 @@
 
 pub use cc_fpr as fpr;
 pub use ccr_edf as edf;
+pub use ccr_multiring as multiring;
 pub use ccr_netsim as netsim;
 pub use ccr_phys as phys;
 pub use ccr_sim as sim;
@@ -34,6 +37,9 @@ pub mod prelude {
     pub use cc_fpr::{new_cc_fpr, new_tdma, CcFprAnalysis, CcFprMac, TdmaMac};
     pub use ccr_edf::admission::AdmissionPolicy;
     pub use ccr_edf::prelude::*;
+    pub use ccr_multiring::{
+        Fabric, FabricConfig, FabricConnectionSpec, FabricTopology, GlobalNodeId,
+    };
     pub use ccr_netsim::admission_app::AdmissionApp;
     pub use ccr_netsim::trace::TraceRecorder;
     pub use ccr_netsim::{expand_periodic, run_with_mac, RunSummary, Workload};

@@ -2,9 +2,50 @@
 //! the reliable-transmission service under data-packet loss.
 
 use ccr_edf_suite::edf::config::FaultConfig;
+use ccr_edf_suite::edf::fault::{ClockRecovery, RESTART_NODE};
 use ccr_edf_suite::edf::message::{Destination, Message};
 use ccr_edf_suite::edf::wire::ServiceWireConfig;
 use ccr_edf_suite::prelude::*;
+
+#[test]
+fn back_to_back_token_losses_do_not_restart_the_timeout() {
+    // Regression: a loss reported while already `Recovering` used to reset
+    // the countdown to the full timeout, so a burst of k losses stretched
+    // the dead time to k × timeout instead of the single silence window the
+    // Section 8 sketch describes. The shorter remaining count must win.
+    let mut r = ClockRecovery::default();
+    r.token_lost(3);
+    assert!(r.recovering());
+    assert_eq!(r.tick(), None); // 2 left
+    r.token_lost(3); // back-to-back loss, one slot later
+    assert_eq!(r.tick(), None); // still 1 left — NOT reset to 3
+    r.token_lost(3); // and again
+    assert_eq!(
+        r.tick(),
+        Some(RESTART_NODE),
+        "restart after the original timeout"
+    );
+    assert!(!r.recovering());
+
+    // A burst of losses every slot can never hold recovery beyond the
+    // first loss's timeout.
+    let timeout = 5u32;
+    let mut r = ClockRecovery::default();
+    r.token_lost(timeout);
+    let mut slots_until_restart = 0u32;
+    loop {
+        slots_until_restart += 1;
+        r.token_lost(timeout); // adversarial: re-report a loss every slot
+        if r.tick().is_some() {
+            break;
+        }
+        assert!(
+            slots_until_restart <= timeout,
+            "recovery wedged past the timeout"
+        );
+    }
+    assert_eq!(slots_until_restart, timeout);
+}
 
 #[test]
 fn token_loss_recovers_and_traffic_resumes() {
