@@ -12,7 +12,8 @@
 use crate::analysis::AnalyticModel;
 use crate::connection::{ConnectionId, ConnectionSpec};
 use crate::dbf;
-use ccr_phys::RingTopology;
+use crate::message::Destination;
+use ccr_phys::{NodeId, RingTopology};
 use std::collections::HashMap;
 
 /// Which feasibility test the controller runs.
@@ -86,6 +87,9 @@ pub struct AdmissionController {
     specs: HashMap<ConnectionId, ConnectionSpec>,
     total: f64,
     next_id: u64,
+    /// Degraded-mode scaling of `U_max` in `[0, 1]` — 1.0 when the ring is
+    /// healthy; lowered after capacity loss (see [`Self::revalidate`]).
+    capacity_factor: f64,
 }
 
 impl AdmissionController {
@@ -104,6 +108,7 @@ impl AdmissionController {
             specs: HashMap::new(),
             total: 0.0,
             next_id: 1,
+            capacity_factor: 1.0,
         }
     }
 
@@ -112,9 +117,76 @@ impl AdmissionController {
         self.policy
     }
 
-    /// The bound of Equation 6.
+    /// The bound of Equation 6, scaled by the degraded-mode capacity
+    /// factor.
     pub fn u_max(&self) -> f64 {
-        self.model.u_max()
+        self.model.u_max() * self.capacity_factor
+    }
+
+    /// The current degraded-mode capacity factor.
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// Scale the admissible utilisation bound (degraded mode after
+    /// capacity loss); clamped to `[0, 1]`. This only moves the bound —
+    /// call [`Self::revalidate`] to shed load until the admitted set fits
+    /// under it again.
+    pub fn set_capacity_factor(&mut self, factor: f64) {
+        self.capacity_factor = if factor.is_nan() {
+            1.0
+        } else {
+            factor.clamp(0.0, 1.0)
+        };
+    }
+
+    /// Re-run the utilisation test over the admitted set after a capacity
+    /// change, revoking connections until `ΣU ≤ U_max` holds again.
+    ///
+    /// Revocation order is EDF-inspired: the connection with the *latest*
+    /// effective deadline goes first (it has the most slack and therefore
+    /// the weakest claim to the remaining capacity), ties broken by the
+    /// larger (younger) id — a total order, so the result is deterministic
+    /// even though the admitted set lives in a `HashMap`. Returns the
+    /// revoked ids in revocation order.
+    pub fn revalidate(&mut self) -> Vec<ConnectionId> {
+        let mut revoked = Vec::new();
+        while self.total > self.u_max() + 1e-12 {
+            let victim = self
+                .specs
+                .iter()
+                .max_by(|(ida, sa), (idb, sb)| {
+                    sa.effective_deadline()
+                        .cmp(&sb.effective_deadline())
+                        .then(ida.cmp(idb))
+                })
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    self.remove(id);
+                    revoked.push(id);
+                }
+                None => break, // nothing left to shed
+            }
+        }
+        revoked
+    }
+
+    /// Ids of admitted connections that source at `node` or unicast into
+    /// it — the set that can no longer flow once the node is bypassed.
+    /// Sorted ascending, so the result is deterministic despite the
+    /// `HashMap` backing store. Covers reserved connections too.
+    pub fn connections_touching(&self, node: NodeId) -> Vec<ConnectionId> {
+        let mut ids: Vec<ConnectionId> = self
+            .specs
+            .iter()
+            .filter(|(_, s)| {
+                s.src == node || matches!(s.dest, Destination::Unicast(d) if d == node)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Utilisation of the currently admitted set.
@@ -125,6 +197,12 @@ impl AdmissionController {
     /// Number of admitted connections.
     pub fn admitted_count(&self) -> usize {
         self.admitted.len()
+    }
+
+    /// True while `id` is still admitted (or reserved) — fault layers use
+    /// this to detect sub-connections shed by degraded-mode revalidation.
+    pub fn is_admitted(&self, id: ConnectionId) -> bool {
+        self.specs.contains_key(&id)
     }
 
     /// Headroom left under `U_max`.
@@ -319,6 +397,75 @@ mod tests {
         for _ in 0..8 {
             ctl.admit(&mk()).unwrap(); // up to 0.8 — fine under both tests
         }
+    }
+
+    #[test]
+    fn capacity_factor_scales_bound_and_gates_new_admissions() {
+        let mut c = controller();
+        let full = c.u_max();
+        c.set_capacity_factor(0.5);
+        assert!((c.u_max() - full * 0.5).abs() < 1e-12);
+        // A connection that fits the full ring no longer fits half of it.
+        let big = spec_with_util(&c, full * 0.8);
+        assert!(matches!(
+            c.admit(&big),
+            Err(AdmissionError::Overload { .. })
+        ));
+        c.set_capacity_factor(1.0);
+        c.admit(&big).unwrap();
+        // Out-of-range factors clamp instead of corrupting the bound.
+        c.set_capacity_factor(7.0);
+        assert!((c.u_max() - full).abs() < 1e-12);
+        c.set_capacity_factor(f64::NAN);
+        assert!((c.u_max() - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revalidate_sheds_latest_deadline_first_until_feasible() {
+        let mut c = controller();
+        let u_max = c.u_max();
+        let slot = c.model.slot();
+        // Equal-utilisation connections (u_max/4 each) with distinct
+        // constrained deadlines inside the shared period.
+        let period = TimeDelta::from_ps((slot.as_ps() as f64 * 4.0 / u_max).round() as u64);
+        let mk = |num: u64, den: u64| {
+            ConnectionSpec::unicast(NodeId(0), NodeId(1))
+                .period(period)
+                .size_slots(1)
+                .deadline(TimeDelta::from_ps(period.as_ps() * num / den))
+        };
+        let id_tight = c.admit(&mk(1, 4)).unwrap(); // tightest deadline
+        let id_mid = c.admit(&mk(1, 2)).unwrap();
+        let id_loose = c.admit(&mk(1, 1)).unwrap(); // most slack
+        assert!(c.revalidate().is_empty(), "healthy ring revokes nothing");
+
+        // Half the capacity gone: ~0.75·U_max admitted > 0.5·U_max.
+        c.set_capacity_factor(0.5);
+        let revoked = c.revalidate();
+        assert!(!revoked.is_empty());
+        assert_eq!(revoked[0], id_loose, "latest deadline goes first");
+        if revoked.len() > 1 {
+            assert_eq!(revoked[1], id_mid);
+        }
+        assert!(!revoked.contains(&id_tight), "tightest deadline survives");
+        assert!(c.admitted_utilisation() <= c.u_max() + 1e-12);
+    }
+
+    #[test]
+    fn revalidate_ties_break_by_younger_id() {
+        let mut c = controller();
+        let u_max = c.u_max();
+        let spec = spec_with_util(&c, u_max / 3.0);
+        let a = c.admit(&spec).unwrap();
+        let b = c.admit(&spec).unwrap();
+        let d = c.admit(&spec).unwrap();
+        assert!(a < b && b < d);
+        c.set_capacity_factor(0.4);
+        let revoked = c.revalidate();
+        // Identical deadlines: the youngest (largest id) is shed first.
+        assert_eq!(revoked[0], d);
+        assert_eq!(revoked.get(1), Some(&b));
+        assert!(c.admitted_count() >= 1);
     }
 
     #[test]

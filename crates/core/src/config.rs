@@ -9,6 +9,7 @@
 //! within slot N).
 
 use crate::admission::AdmissionPolicy;
+use crate::fault::FaultScript;
 use crate::priority::MapperKind;
 use crate::wire::{self, ServiceWireConfig};
 use ccr_phys::{LinkId, NodeId, PhysParams, RingTopology, TimingModel};
@@ -26,27 +27,42 @@ pub struct FaultConfig {
     /// Probability that one data packet is corrupted/lost in transit
     /// (exercises the reliable-transmission service).
     pub data_loss_prob: f64,
-    /// Slots a lost token takes to recover (timeout at node 0).
+    /// Probability that a control-channel bit error hits one node's
+    /// collection entry in a slot (the victim is drawn uniformly). With
+    /// CRC enabled the master drops that request; without CRC the error is
+    /// modelled the same way (the entry is unusable either way).
+    pub control_error_prob: f64,
+    /// Slots a lost token takes to recover (timeout at the restart node).
+    ///
+    /// Must be ≥ 1 whenever clock faults are possible: a zero timeout would
+    /// silently alias to 1 inside `ClockRecovery::token_lost`, so `validate`
+    /// rejects the combination instead.
     pub recovery_timeout_slots: u32,
 }
 
 impl FaultConfig {
-    /// Validate probabilities.
+    /// Validate probabilities and the recovery timeout.
     fn validate(&self) -> Result<(), ConfigError> {
         for (p, what) in [
             (self.token_loss_prob, "token_loss_prob"),
             (self.data_loss_prob, "data_loss_prob"),
+            (self.control_error_prob, "control_error_prob"),
         ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err(ConfigError::BadProbability(what));
             }
         }
+        if self.recovery_timeout_slots == 0
+            && (self.token_loss_prob > 0.0 || self.control_error_prob > 0.0)
+        {
+            return Err(ConfigError::ZeroRecoveryTimeout);
+        }
         Ok(())
     }
 
-    /// True when any fault injection is active.
+    /// True when any stochastic fault injection is active.
     pub fn any(&self) -> bool {
-        self.token_loss_prob > 0.0 || self.data_loss_prob > 0.0
+        self.token_loss_prob > 0.0 || self.data_loss_prob > 0.0 || self.control_error_prob > 0.0
     }
 }
 
@@ -63,6 +79,9 @@ pub enum ConfigError {
     },
     /// A probability was outside `[0, 1]`.
     BadProbability(&'static str),
+    /// Clock faults are enabled (stochastically or via script) but
+    /// `recovery_timeout_slots` is 0, which would alias to 1 at run time.
+    ZeroRecoveryTimeout,
     /// Zero-byte slots are meaningless.
     EmptySlot,
     /// The per-link length vector is malformed.
@@ -81,6 +100,11 @@ impl std::fmt::Display for ConfigError {
                  need at least {need_bytes} B (Equation 2)"
             ),
             ConfigError::BadProbability(w) => write!(f, "{w} outside [0,1]"),
+            ConfigError::ZeroRecoveryTimeout => write!(
+                f,
+                "recovery_timeout_slots must be >= 1 when clock faults \
+                 (token loss, control errors, or scripted faults) are enabled"
+            ),
             ConfigError::EmptySlot => write!(f, "slot_bytes must be > 0"),
             ConfigError::BadLinkLengths(why) => write!(f, "bad link lengths: {why}"),
         }
@@ -111,8 +135,11 @@ pub struct NetworkConfig {
     pub spatial_reuse: bool,
     /// Which services ride the control channel.
     pub services: ServiceWireConfig,
-    /// Fault injection.
+    /// Stochastic fault injection.
     pub faults: FaultConfig,
+    /// Scripted fault injection: a slot-indexed schedule of discrete
+    /// fault events, replayed deterministically. Empty by default.
+    pub fault_script: FaultScript,
     /// Optional per-link lengths in metres (extension — the paper assumes
     /// all links equal, `phys.link_length_m`). When set, must have exactly
     /// `n_nodes` entries; hand-over gaps, propagation and the Eq. 2/6
@@ -140,6 +167,7 @@ impl NetworkConfig {
                 spatial_reuse: true,
                 services: ServiceWireConfig::default(),
                 faults: FaultConfig::default(),
+                fault_script: FaultScript::default(),
                 link_lengths_m: None,
                 seed: 0xCC_EDF,
                 wire_check: false,
@@ -258,6 +286,9 @@ impl NetworkConfig {
             return Err(ConfigError::EmptySlot);
         }
         self.faults.validate()?;
+        if self.faults.recovery_timeout_slots == 0 && self.fault_script.has_clock_faults() {
+            return Err(ConfigError::ZeroRecoveryTimeout);
+        }
         if let Some(ls) = &self.link_lengths_m {
             if ls.len() != self.n_nodes as usize {
                 return Err(ConfigError::BadLinkLengths(format!(
@@ -334,9 +365,15 @@ impl NetworkConfigBuilder {
         self
     }
 
-    /// Configure fault injection.
+    /// Configure stochastic fault injection.
     pub fn faults(mut self, f: FaultConfig) -> Self {
         self.cfg.faults = f;
+        self
+    }
+
+    /// Install a deterministic fault script.
+    pub fn fault_script(mut self, s: FaultScript) -> Self {
+        self.cfg.fault_script = s;
         self
     }
 
@@ -451,6 +488,55 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, ConfigError::BadProbability("token_loss_prob"));
+    }
+
+    #[test]
+    fn zero_recovery_timeout_with_clock_faults_rejected() {
+        use crate::fault::{FaultKind, FaultScript};
+        // token_loss_prob > 0 with timeout 0 would silently alias to 1.
+        let err = NetworkConfig::builder(4)
+            .faults(FaultConfig {
+                token_loss_prob: 0.1,
+                recovery_timeout_slots: 0,
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroRecoveryTimeout);
+        // Same for stochastic control errors…
+        let err = NetworkConfig::builder(4)
+            .faults(FaultConfig {
+                control_error_prob: 0.1,
+                recovery_timeout_slots: 0,
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroRecoveryTimeout);
+        // …and for scripted clock faults.
+        let err = NetworkConfig::builder(4)
+            .fault_script(FaultScript::new().at(10, FaultKind::LoseToken))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroRecoveryTimeout);
+        assert!(err.to_string().contains("recovery_timeout_slots"));
+        // With a timeout the same configs are fine; data loss alone never
+        // needs a timeout.
+        NetworkConfig::builder(4)
+            .faults(FaultConfig {
+                token_loss_prob: 0.1,
+                recovery_timeout_slots: 1,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        NetworkConfig::builder(4)
+            .faults(FaultConfig {
+                data_loss_prob: 0.1,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
     }
 
     #[test]

@@ -5,10 +5,126 @@
 //! spatial-reuse statistics, and per-connection summaries.
 
 use crate::connection::ConnectionId;
+use crate::fault::FaultKind;
 use crate::message::{Message, TrafficClass};
 use ccr_sim::stats::{Counter, Histogram, Summary};
 use ccr_sim::{SimTime, TimeDelta};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// One fault event as experienced by the engine, with its recovery
+/// bookkeeping — the per-event observability record the chaos experiments
+/// report (time-to-recovery, collateral losses, revocations).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEventRecord {
+    /// Slot index at which the fault struck.
+    pub slot: u64,
+    /// What struck (scripted events keep their kind; a stochastic token
+    /// loss is recorded as [`FaultKind::LoseToken`], a stochastic control
+    /// bit error as [`FaultKind::CorruptCollection`]).
+    pub kind: FaultKind,
+    /// Slot index at which the network was back in service; `None` while
+    /// recovery is still in progress. Instantaneous faults (a corrupted
+    /// collection entry, a bypassed non-master node) recover in place and
+    /// carry their own slot here.
+    pub recovered_at: Option<u64>,
+    /// Queued messages lost as a direct consequence (node-failure teardown).
+    pub messages_lost: u64,
+    /// Connections revoked to restore admission feasibility.
+    pub connections_revoked: u32,
+}
+
+impl FaultEventRecord {
+    /// Slots from impact to restored service, when recovery has completed.
+    pub fn time_to_recovery(&self) -> Option<u64> {
+        self.recovered_at.map(|r| r.saturating_sub(self.slot))
+    }
+}
+
+/// Bounded log of fault events. Pre-allocates its full capacity so that
+/// recording on the slot path never touches the heap (the oldest record is
+/// evicted once the log is full — `evicted()` says how many).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultLog {
+    events: VecDeque<FaultEventRecord>,
+    evicted: u64,
+    cap: usize,
+}
+
+impl Default for FaultLog {
+    fn default() -> Self {
+        FaultLog::with_capacity(1024)
+    }
+}
+
+impl FaultLog {
+    /// A log retaining at most `cap` most-recent records.
+    pub fn with_capacity(cap: usize) -> Self {
+        FaultLog {
+            events: VecDeque::with_capacity(cap.max(1)),
+            evicted: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn record(&mut self, rec: FaultEventRecord) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(rec);
+    }
+
+    /// Close every still-open record: the clock is back as of `slot`.
+    pub fn mark_recovered(&mut self, slot: u64) {
+        // A closed record can sit between open ones (e.g. an instantaneous
+        // collection corruption logged while a token loss was pending), so
+        // walk the whole bounded log rather than stopping at the first
+        // closed entry.
+        for e in self.events.iter_mut().rev() {
+            if e.recovered_at.is_none() {
+                e.recovered_at = Some(slot);
+            }
+        }
+    }
+
+    /// Add collateral losses to the most recent record.
+    pub fn add_losses(&mut self, messages_lost: u64, connections_revoked: u32) {
+        if let Some(e) = self.events.back_mut() {
+            e.messages_lost += messages_lost;
+            e.connections_revoked += connections_revoked;
+        }
+    }
+
+    /// Retained records, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FaultEventRecord> {
+        self.events.iter()
+    }
+
+    /// Records evicted because the log was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Every fault ever recorded (retained + evicted).
+    pub fn total(&self) -> u64 {
+        self.evicted + self.events.len() as u64
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Largest completed time-to-recovery among retained records, in slots.
+    pub fn max_time_to_recovery(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| e.time_to_recovery())
+            .max()
+    }
+}
 
 /// Per-connection delivery statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -97,14 +213,31 @@ pub struct Metrics {
     pub control_bits: Counter,
     /// Data packets lost to injected faults.
     pub data_lost: Counter,
+    /// Subset of `data_lost`: losses hitting *unreliable* traffic, which
+    /// nothing retransmits — the packet is simply gone.
+    pub data_lost_unreliable: Counter,
     /// Non-reliable messages that completed with at least one lost packet.
     pub messages_corrupted: Counter,
     /// Reliable-service retransmissions.
     pub retransmissions: Counter,
     /// Distribution packets (tokens) lost to injected faults.
     pub tokens_lost: Counter,
+    /// Collection entries dropped by control-channel corruption (the
+    /// victim's request never reaches arbitration that slot).
+    pub control_corrupted: Counter,
+    /// Distribution packets corrupted by control-channel bit errors
+    /// (handled as token loss; also counted in `tokens_lost`).
+    pub distributions_corrupted: Counter,
+    /// Nodes failed and optically bypassed.
+    pub nodes_failed: Counter,
+    /// Connections revoked by degraded-mode admission or node teardown.
+    pub connections_revoked: Counter,
+    /// Queued messages dropped by fault handling (node-failure teardown).
+    pub fault_dropped_messages: Counter,
     /// Slots spent in clock recovery.
     pub recovery_slots: Counter,
+    /// Per-fault-event records (bounded; see [`FaultLog`]).
+    pub fault_log: FaultLog,
     /// Barrier completions.
     pub barriers_completed: Counter,
     /// Barrier latency (entry of the *last* participant → release), ps.
@@ -149,10 +282,17 @@ impl Default for Metrics {
             data_bytes: Counter::new(),
             control_bits: Counter::new(),
             data_lost: Counter::new(),
+            data_lost_unreliable: Counter::new(),
             messages_corrupted: Counter::new(),
             retransmissions: Counter::new(),
             tokens_lost: Counter::new(),
+            control_corrupted: Counter::new(),
+            distributions_corrupted: Counter::new(),
+            nodes_failed: Counter::new(),
+            connections_revoked: Counter::new(),
+            fault_dropped_messages: Counter::new(),
             recovery_slots: Counter::new(),
+            fault_log: FaultLog::default(),
             barriers_completed: Counter::new(),
             barrier_latency: Histogram::for_latency(),
             reductions_completed: Counter::new(),
@@ -280,6 +420,13 @@ impl Metrics {
     pub fn rt_miss_ratio(&self) -> f64 {
         self.rt_deadline_misses
             .fraction_of_counter(&self.delivered_rt)
+    }
+
+    /// Availability: fraction of executed slots in which the ring was in
+    /// service (not dead time waiting out clock recovery). 1.0 on a
+    /// fault-free run.
+    pub fn availability(&self) -> f64 {
+        1.0 - self.recovery_slots.fraction_of_counter(&self.slots)
     }
 }
 
@@ -446,6 +593,88 @@ mod tests {
         g.record(1_000, std::time::Duration::from_millis(2));
         // 2000 slots in 4 ms → 500k slots/s
         assert!((g.slots_per_sec().unwrap() - 500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn availability_tracks_recovery_slots() {
+        let mut m = Metrics::new();
+        assert_eq!(m.availability(), 1.0, "no slots yet: fully available");
+        m.slots.add(100);
+        assert_eq!(m.availability(), 1.0);
+        m.recovery_slots.add(25);
+        assert!((m.availability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_log_records_and_marks_recovery() {
+        let mut log = FaultLog::with_capacity(8);
+        assert!(log.is_empty());
+        log.record(FaultEventRecord {
+            slot: 10,
+            kind: FaultKind::LoseToken,
+            recovered_at: None,
+            messages_lost: 0,
+            connections_revoked: 0,
+        });
+        log.record(FaultEventRecord {
+            slot: 11,
+            kind: FaultKind::CorruptCollection {
+                victim: ccr_phys::NodeId(2),
+            },
+            recovered_at: Some(11), // instantaneous
+            messages_lost: 0,
+            connections_revoked: 0,
+        });
+        log.record(FaultEventRecord {
+            slot: 12,
+            kind: FaultKind::CorruptDistribution,
+            recovered_at: None,
+            messages_lost: 0,
+            connections_revoked: 0,
+        });
+        log.mark_recovered(15);
+        let recs: Vec<_> = log.events().collect();
+        assert_eq!(recs[0].recovered_at, Some(15));
+        assert_eq!(recs[0].time_to_recovery(), Some(5));
+        assert_eq!(recs[1].recovered_at, Some(11));
+        assert_eq!(recs[2].time_to_recovery(), Some(3));
+        assert_eq!(log.max_time_to_recovery(), Some(5));
+        assert_eq!(log.total(), 3);
+        assert_eq!(log.evicted(), 0);
+    }
+
+    #[test]
+    fn fault_log_evicts_oldest_when_full() {
+        let mut log = FaultLog::with_capacity(2);
+        for slot in 0..5u64 {
+            log.record(FaultEventRecord {
+                slot,
+                kind: FaultKind::LoseToken,
+                recovered_at: Some(slot),
+                messages_lost: 0,
+                connections_revoked: 0,
+            });
+        }
+        assert_eq!(log.total(), 5);
+        assert_eq!(log.evicted(), 3);
+        let slots: Vec<u64> = log.events().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![3, 4]);
+    }
+
+    #[test]
+    fn fault_log_add_losses_targets_latest() {
+        let mut log = FaultLog::default();
+        log.record(FaultEventRecord {
+            slot: 1,
+            kind: FaultKind::FailNode(ccr_phys::NodeId(3)),
+            recovered_at: Some(1),
+            messages_lost: 0,
+            connections_revoked: 0,
+        });
+        log.add_losses(4, 2);
+        let e = log.events().next().unwrap();
+        assert_eq!(e.messages_lost, 4);
+        assert_eq!(e.connections_revoked, 2);
     }
 
     #[test]

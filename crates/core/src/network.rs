@@ -33,15 +33,15 @@ use crate::analysis::AnalyticModel;
 use crate::arbitration::CcrEdfMac;
 use crate::config::NetworkConfig;
 use crate::connection::{Connection, ConnectionId, ConnectionSpec};
-use crate::fault::ClockRecovery;
+use crate::fault::{elect_restart_node, ClockRecovery, FaultKind};
 use crate::mac::{ArbScratch, MacProtocol, SlotPlan};
 use crate::message::{Message, MessageId};
-use crate::metrics::{Delivery, Metrics, ThroughputGauge};
+use crate::metrics::{Delivery, FaultEventRecord, Metrics, ThroughputGauge};
 use crate::node::Node;
 use crate::queues::SentOutcome;
 use crate::services::short_msg::ShortDelivery;
 use crate::services::{barrier, reduce, ReduceOp, RELIABLE_TIMEOUT_SLOTS};
-use crate::wire::{self, AckWire, CollectionPacket, DistributionPacket, Request};
+use crate::wire::{self, AckWire, CollectionPacket, DistributionPacket, NodeSet, Request};
 use ccr_phys::{LinkSet, NodeId, RingTopology};
 use ccr_sim::rng::DetRng;
 use ccr_sim::{EventQueue, SimTime, TimeDelta};
@@ -86,6 +86,14 @@ pub struct SlotOutcome {
     pub gap: TimeDelta,
     /// True when this slot was dead time due to clock-loss recovery.
     pub recovering: bool,
+    /// Did the slot end in clock loss (token lost, or a distribution
+    /// packet corrupted beyond use)? The next slots are recovery dead time.
+    pub token_lost: bool,
+    /// Collection entries dropped this slot by control-channel corruption.
+    pub corrupt_entries: u16,
+    /// Unreliable data-phase packets lost this slot (no retransmission
+    /// covers them — the receiver sees a corrupted message).
+    pub unreliable_lost: u32,
 }
 
 /// The simulated ring network.
@@ -108,6 +116,12 @@ pub struct RingNetwork<P: MacProtocol = CcrEdfMac> {
     connections: HashMap<ConnectionId, Connection>,
     admission: AdmissionController,
     recovery: ClockRecovery,
+    /// Cursor into `cfg.fault_script` (slot-ordered; never rewinds).
+    script_cursor: usize,
+    /// Transient scripted-fault state for the slot being executed.
+    scripted_token_loss: bool,
+    scripted_dist_corrupt: bool,
+    scripted_corrupt_victims: NodeSet,
     reduce_op: ReduceOp,
     metrics: Metrics,
     throughput: ThroughputGauge,
@@ -180,6 +194,10 @@ impl<P: MacProtocol> RingNetwork<P> {
             connections: HashMap::new(),
             admission,
             recovery: ClockRecovery::default(),
+            script_cursor: 0,
+            scripted_token_loss: false,
+            scripted_dist_corrupt: false,
+            scripted_corrupt_victims: NodeSet::EMPTY,
             reduce_op: ReduceOp::default(),
             metrics: Metrics::new(),
             throughput: ThroughputGauge::new(),
@@ -269,6 +287,16 @@ impl<P: MacProtocol> RingNetwork<P> {
     /// Total messages currently queued across all nodes.
     pub fn queued_messages(&self) -> usize {
         self.nodes.iter().map(|n| n.queues.len()).sum()
+    }
+
+    /// Is `node` still alive (not failed and optically bypassed)?
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.idx()].alive
+    }
+
+    /// Number of live (non-bypassed) nodes.
+    pub fn live_nodes(&self) -> u16 {
+        self.nodes.iter().filter(|n| n.alive).count() as u16
     }
 
     /// Set the global-reduction operator (default [`ReduceOp::Sum`]).
@@ -381,6 +409,116 @@ impl<P: MacProtocol> RingNetwork<P> {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection & self-healing
+    // ------------------------------------------------------------------
+
+    /// Fail `node`, engaging its optical bypass: the node stops requesting
+    /// and transmitting, its queued messages are lost, and every admitted
+    /// connection that sources at or unicasts into it is torn down
+    /// (releasing capacity). The admissible utilisation bound is then
+    /// scaled to the surviving node fraction and the admitted set
+    /// re-validated, shedding latest-deadline-first until it fits again
+    /// (degraded-mode admission).
+    ///
+    /// Failing the current master is a clock loss: its pending grants are
+    /// void, recovery dead time begins, and the restart election picks the
+    /// nearest live successor of the designated restart node.
+    ///
+    /// Returns `false` when the node was already down.
+    pub fn fail_node(&mut self, node: NodeId) -> bool {
+        assert!(node.0 < self.cfg.n_nodes, "node out of range");
+        if !self.nodes[node.idx()].alive {
+            return false;
+        }
+        let slot = self.slot_index;
+        let nd = &mut self.nodes[node.idx()];
+        nd.alive = false;
+        nd.requested = None;
+        let dropped = nd.queues.clear() as u64;
+        self.metrics.nodes_failed.incr();
+        self.metrics.fault_dropped_messages.add(dropped);
+
+        // Tear down connections that can no longer flow, then shed load
+        // until the admitted set fits under the degraded bound.
+        let mut revoked = self.admission.connections_touching(node);
+        for id in &revoked {
+            self.close_connection(*id);
+        }
+        let live = self.nodes.iter().filter(|n| n.alive).count();
+        self.admission
+            .set_capacity_factor(live as f64 / self.cfg.n_nodes as f64);
+        let shed = self.admission.revalidate();
+        for id in &shed {
+            self.connections.remove(id); // admission entry already released
+        }
+        revoked.extend_from_slice(&shed);
+        self.metrics.connections_revoked.add(revoked.len() as u64);
+
+        // A dead master cannot generate the slot clock.
+        let is_master = node == self.master;
+        if is_master {
+            self.metrics.tokens_lost.incr();
+            self.recovery
+                .token_lost(self.cfg.faults.recovery_timeout_slots);
+            let master = self.master;
+            self.plan.reset_idle(master);
+        }
+        self.metrics.fault_log.record(FaultEventRecord {
+            slot,
+            kind: FaultKind::FailNode(node),
+            // The bypass itself is instantaneous; a master death only
+            // heals once recovery elects a live successor.
+            recovered_at: if is_master { None } else { Some(slot) },
+            messages_lost: dropped,
+            connections_revoked: revoked.len() as u32,
+        });
+        true
+    }
+
+    /// Apply every scripted fault event scheduled at or before the current
+    /// slot. Transient events (token loss, control corruption) landing on
+    /// a slot that is already recovery dead time are no-ops — there is no
+    /// token to lose and no control packet to corrupt.
+    fn apply_scripted_faults(&mut self) {
+        while self.script_cursor < self.cfg.fault_script.len() {
+            let ev = self.cfg.fault_script.events()[self.script_cursor];
+            if ev.slot > self.slot_index {
+                break;
+            }
+            self.script_cursor += 1;
+            match ev.kind {
+                FaultKind::LoseToken => self.scripted_token_loss = true,
+                FaultKind::CorruptDistribution => self.scripted_dist_corrupt = true,
+                FaultKind::CorruptCollection { victim } => {
+                    self.scripted_corrupt_victims.insert(victim);
+                }
+                FaultKind::FailNode(node) => {
+                    self.fail_node(node);
+                }
+            }
+        }
+    }
+
+    /// Drop `victim`'s collection entry for the current slot: the master's
+    /// CRC check failed, so the node's request and its service piggybacks
+    /// simply vanish from this round of arbitration. Link bookings made by
+    /// nodes downstream of the victim stand — on the real wire corruption
+    /// is only detected at the master, after every node has appended.
+    fn corrupt_collection_entry(&mut self, victim: NodeId) {
+        self.requests[victim.idx()] = Request::IDLE;
+        self.nodes[victim.idx()].requested = None;
+        self.metrics.control_corrupted.incr();
+        self.outcome.corrupt_entries += 1;
+        self.metrics.fault_log.record(FaultEventRecord {
+            slot: self.slot_index,
+            kind: FaultKind::CorruptCollection { victim },
+            recovered_at: Some(self.slot_index), // lasts exactly one slot
+            messages_lost: 0,
+            connections_revoked: 0,
+        });
+    }
+
+    // ------------------------------------------------------------------
     // The slot loop
     // ------------------------------------------------------------------
 
@@ -435,6 +573,8 @@ impl<P: MacProtocol> RingNetwork<P> {
         }
         // Engine-state guards: any of these makes the next slot non-trivial.
         if self.cfg.faults.token_loss_prob != 0.0
+            || self.cfg.faults.control_error_prob != 0.0
+            || self.script_cursor < self.cfg.fault_script.len()
             || self.recovery.recovering()
             || !self.plan.grants.is_empty()
             || self.plan.next_master != self.master
@@ -507,6 +647,9 @@ impl<P: MacProtocol> RingNetwork<P> {
         self.outcome.handover_hops = 0;
         self.outcome.gap = TimeDelta::ZERO;
         self.outcome.recovering = false;
+        self.outcome.token_lost = false;
+        self.outcome.corrupt_entries = 0;
+        self.outcome.unreliable_lost = 0;
 
         self.metrics.ended_at = last_end;
         self.slot_start = last_end; // idle hand-over gap is zero
@@ -538,6 +681,16 @@ impl<P: MacProtocol> RingNetwork<P> {
         self.outcome.barrier_completed = false;
         self.outcome.reduce_result = None;
         self.outcome.recovering = false;
+        self.outcome.token_lost = false;
+        self.outcome.corrupt_entries = 0;
+        self.outcome.unreliable_lost = 0;
+
+        // Scripted faults land at the start of their slot: a node that
+        // dies at slot k is already bypassed for slot k's collection.
+        self.scripted_token_loss = false;
+        self.scripted_dist_corrupt = false;
+        self.scripted_corrupt_victims = NodeSet::EMPTY;
+        self.apply_scripted_faults();
 
         if self.recovery.recovering() {
             return self.recovery_slot(slot_end);
@@ -554,7 +707,14 @@ impl<P: MacProtocol> RingNetwork<P> {
         }
 
         // ---- 1. data phase (grants decided last slot) -------------------
-        let granted = self.plan.grants.len();
+        // A grant issued to a node that has since died is void — the
+        // bypassed node transmits nothing.
+        let granted = self
+            .plan
+            .grants
+            .iter()
+            .filter(|g| self.nodes[g.node.idx()].alive)
+            .count();
         self.outcome.grant_count = granted;
         self.metrics.slots.incr();
         self.metrics.grants.add(granted as u64);
@@ -562,8 +722,11 @@ impl<P: MacProtocol> RingNetwork<P> {
         if granted == 0 {
             self.metrics.idle_slots.incr();
         }
-        for i in 0..granted {
+        for i in 0..self.plan.grants.len() {
             let g = self.plan.grants[i];
+            if !self.nodes[g.node.idx()].alive {
+                continue;
+            }
             self.metrics.record_links(g.links, self.cfg.n_nodes);
             self.transmit(g.node, slot_end);
         }
@@ -580,6 +743,9 @@ impl<P: MacProtocol> RingNetwork<P> {
             let decision_time = t0 + self.t_node * pos as u64 + hop_delay;
             hop_delay += self.link_props[nid.idx()];
             self.drain_releases(decision_time);
+            if !self.nodes[nid.idx()].alive {
+                continue; // bypassed: light passes through, entry stays IDLE
+            }
             let desire = self.nodes[nid.idx()].desire(
                 decision_time,
                 self.slot_ps,
@@ -615,6 +781,23 @@ impl<P: MacProtocol> RingNetwork<P> {
         }
         self.metrics.control_bits.add(self.collection_bits as u64);
 
+        // Control-channel corruption: a collection entry whose CRC check
+        // fails at the master is dropped for this slot. Stochastic errors
+        // pick a uniform victim; scripted events name theirs.
+        if self.cfg.faults.control_error_prob > 0.0
+            && self.rng.gen_f64() < self.cfg.faults.control_error_prob
+        {
+            let victim = NodeId(self.rng.gen_range(0..n));
+            self.corrupt_collection_entry(victim);
+        }
+        if !self.scripted_corrupt_victims.is_empty() {
+            for victim in self.scripted_corrupt_victims.iter() {
+                if victim.0 < n {
+                    self.corrupt_collection_entry(victim);
+                }
+            }
+        }
+
         if self.cfg.wire_check {
             let pkt = CollectionPacket {
                 // wire order is ring order from the master
@@ -640,10 +823,30 @@ impl<P: MacProtocol> RingNetwork<P> {
 
         // ---- 4. distribution + token-loss fault ---------------------------
         self.metrics.control_bits.add(self.distribution_bits as u64);
-        let token_lost = self.cfg.faults.token_loss_prob > 0.0
-            && self.rng.gen_f64() < self.cfg.faults.token_loss_prob;
-        if token_lost {
-            self.metrics.tokens_lost.incr();
+        let token_lost = self.scripted_token_loss
+            || (self.cfg.faults.token_loss_prob > 0.0
+                && self.rng.gen_f64() < self.cfg.faults.token_loss_prob);
+        if token_lost || self.scripted_dist_corrupt {
+            if token_lost {
+                self.metrics.tokens_lost.incr();
+            } else {
+                // The packet went out but arrived garbled everywhere (CRC
+                // failure at every node): no node learns the grants or the
+                // next master — operationally identical to token loss.
+                self.metrics.distributions_corrupted.incr();
+            }
+            self.metrics.fault_log.record(FaultEventRecord {
+                slot: self.slot_index,
+                kind: if token_lost {
+                    FaultKind::LoseToken
+                } else {
+                    FaultKind::CorruptDistribution
+                },
+                recovered_at: None, // closed when recovery restarts the clock
+                messages_lost: 0,
+                connections_revoked: 0,
+            });
+            self.outcome.token_lost = true;
             self.recovery
                 .token_lost(self.cfg.faults.recovery_timeout_slots);
             // Nobody learns the grants or the next master: next slot is
@@ -688,8 +891,15 @@ impl<P: MacProtocol> RingNetwork<P> {
         self.outcome.recovering = true;
         self.outcome.grant_count = 0;
         self.drain_releases(slot_end);
-        if let Some(restart) = self.recovery.tick() {
-            self.master = restart;
+        if let Some(designated) = self.recovery.tick() {
+            // The designated restart node may itself be dead — the nearest
+            // live downstream successor restarts the clock instead of the
+            // ring deadlocking on a bypassed node.
+            let n = self.cfg.n_nodes;
+            if let Some(live) = elect_restart_node(designated, n, |id| self.nodes[id.idx()].alive) {
+                self.master = live;
+            }
+            self.metrics.fault_log.mark_recovered(self.slot_index);
         }
         let master = self.master;
         self.plan.reset_idle(master);
@@ -755,6 +965,8 @@ impl<P: MacProtocol> RingNetwork<P> {
 
         if lost {
             self.metrics.data_lost.incr();
+            self.metrics.data_lost_unreliable.incr();
+            self.outcome.unreliable_lost += 1;
             let qm = self.nodes[sender.idx()]
                 .queues
                 .get_mut(id)
@@ -983,7 +1195,12 @@ impl<P: MacProtocol> RingNetwork<P> {
         while let Some((at, ev)) = self.releases.pop_until(until) {
             match ev {
                 ReleaseEvent::Msg(msg) => {
-                    self.nodes[msg.src.idx()].queues.push(*msg);
+                    if self.nodes[msg.src.idx()].alive {
+                        self.nodes[msg.src.idx()].queues.push(*msg);
+                    } else {
+                        // Source died before release: the message is lost.
+                        self.metrics.fault_dropped_messages.incr();
+                    }
                 }
                 ReleaseEvent::Conn(cid) => {
                     let Some(conn) = self.connections.get_mut(&cid) else {
@@ -1295,6 +1512,144 @@ mod tests {
             (NodeId(1), NodeId(3), 0xCAFE)
         );
         assert_eq!(net.metrics().short_delivered.get(), 1);
+    }
+
+    #[test]
+    fn scripted_token_loss_matches_stochastic_semantics() {
+        use crate::fault::{FaultKind, FaultScript};
+        let cfg = NetworkConfig::builder(6)
+            .slot_bytes(1024)
+            .fault_script(FaultScript::new().at(5, FaultKind::LoseToken))
+            .faults(crate::config::FaultConfig {
+                recovery_timeout_slots: 4,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let mut net = RingNetwork::new_ccr_edf(cfg);
+        let spec = ConnectionSpec::unicast(NodeId(1), NodeId(4))
+            .period(TimeDelta::from_us(20))
+            .size_slots(1);
+        net.open_connection(spec).unwrap();
+        net.run_slots(200);
+        let m = net.metrics();
+        assert_eq!(m.tokens_lost.get(), 1);
+        // default recovery timeout applies, then traffic resumes
+        assert_eq!(
+            m.recovery_slots.get(),
+            net.config().faults.recovery_timeout_slots as u64
+        );
+        assert!(m.delivered_rt.get() > 0);
+        let rec = m.fault_log.events().next().unwrap();
+        assert_eq!(rec.slot, 5);
+        assert!(rec.time_to_recovery().is_some());
+    }
+
+    #[test]
+    fn scripted_distribution_corruption_acts_as_token_loss() {
+        use crate::fault::{FaultKind, FaultScript};
+        let cfg = NetworkConfig::builder(4)
+            .slot_bytes(1024)
+            .fault_script(FaultScript::new().at(3, FaultKind::CorruptDistribution))
+            .faults(crate::config::FaultConfig {
+                recovery_timeout_slots: 4,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let mut net = RingNetwork::new_ccr_edf(cfg);
+        net.run_slots(50);
+        let m = net.metrics();
+        assert_eq!(m.distributions_corrupted.get(), 1);
+        assert_eq!(m.tokens_lost.get(), 0);
+        assert_eq!(
+            m.recovery_slots.get(),
+            net.config().faults.recovery_timeout_slots as u64
+        );
+        assert!(m.availability() < 1.0);
+    }
+
+    #[test]
+    fn corrupted_collection_entry_drops_the_request() {
+        use crate::fault::{FaultKind, FaultScript};
+        // Victim requests in slot 0; its entry is corrupted, so the grant
+        // never happens and the message goes out one slot late.
+        let cfg = NetworkConfig::builder(4)
+            .slot_bytes(1024)
+            .fault_script(
+                FaultScript::new().at(0, FaultKind::CorruptCollection { victim: NodeId(1) }),
+            )
+            .build()
+            .unwrap();
+        let mut net = RingNetwork::new_ccr_edf(cfg);
+        net.submit_message(
+            SimTime::ZERO,
+            Message::non_real_time(NodeId(1), Destination::Unicast(NodeId(3)), 1, SimTime::ZERO),
+        );
+        let out0 = net.step_slot();
+        assert_eq!(out0.corrupt_entries, 1);
+        assert_eq!(out0.next_master, NodeId(0), "dropped request wins nothing");
+        let out1 = net.step_slot();
+        assert!(out1.deliveries.is_empty(), "grant was suppressed");
+        net.run_slots(3);
+        assert_eq!(net.metrics().delivered.get(), 1, "retried next slot");
+        assert_eq!(net.metrics().control_corrupted.get(), 1);
+    }
+
+    #[test]
+    fn failed_node_is_bypassed_and_capacity_shed() {
+        let mut net = net(8);
+        let victim_conn = ConnectionSpec::unicast(NodeId(2), NodeId(6))
+            .period(TimeDelta::from_us(50))
+            .size_slots(1);
+        let other_conn = ConnectionSpec::unicast(NodeId(1), NodeId(5))
+            .period(TimeDelta::from_us(50))
+            .size_slots(1);
+        net.open_connection(victim_conn).unwrap();
+        net.open_connection(other_conn).unwrap();
+        net.run_slots(100);
+        assert!(net.fail_node(NodeId(2)));
+        assert!(!net.fail_node(NodeId(2)), "already down");
+        assert!(!net.node_alive(NodeId(2)));
+        assert_eq!(net.live_nodes(), 7);
+        assert_eq!(net.admission().admitted_count(), 1);
+        assert!((net.admission().capacity_factor() - 7.0 / 8.0).abs() < 1e-12);
+        let before = net.metrics().delivered_rt.get();
+        net.run_slots(1_000);
+        let m = net.metrics();
+        assert!(m.delivered_rt.get() > before, "survivor keeps flowing");
+        assert_eq!(m.rt_deadline_misses.get(), 0);
+        assert_eq!(m.nodes_failed.get(), 1);
+        assert!(m.connections_revoked.get() >= 1);
+    }
+
+    #[test]
+    fn killing_node_zero_elects_live_restart_successor() {
+        use crate::fault::{FaultKind, FaultScript};
+        // Node 0 is the designated restart node; killing it while it is
+        // master must not wedge recovery on a dead node.
+        let cfg = NetworkConfig::builder(5)
+            .slot_bytes(1024)
+            .fault_script(FaultScript::new().at(10, FaultKind::FailNode(NodeId(0))))
+            .faults(crate::config::FaultConfig {
+                recovery_timeout_slots: 4,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let mut net = RingNetwork::new_ccr_edf(cfg);
+        net.run_slots(8);
+        assert_eq!(net.master(), NodeId(0), "idle ring: master still node 0");
+        net.run_slots(50);
+        assert_eq!(net.master(), NodeId(1), "nearest live successor restarts");
+        // The healed ring still moves traffic.
+        let at = net.now();
+        net.submit_message(
+            at,
+            Message::non_real_time(NodeId(2), Destination::Unicast(NodeId(4)), 1, at),
+        );
+        net.run_slots(5);
+        assert_eq!(net.metrics().delivered.get(), 1);
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct Node {
     pub requested: Option<crate::message::MessageId>,
     /// Service-layer state (barrier, reduction, short messages, acks).
     pub services: NodeServiceState,
+    /// False once the node has failed and been optically bypassed: it no
+    /// longer requests, transmits, or sources traffic (light passes
+    /// through its 2×2 switch untouched).
+    pub alive: bool,
 }
 
 impl Node {
@@ -32,6 +36,7 @@ impl Node {
             queues: NodeQueues::new(),
             requested: None,
             services: NodeServiceState::default(),
+            alive: true,
         }
     }
 

@@ -195,6 +195,17 @@ impl NodeQueues {
         self.queue_mut(class).remove(key).map(|qm| qm.msg)
     }
 
+    /// Drop everything (node failed and is bypassed), returning how many
+    /// messages were discarded. Capacity is retained.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.len();
+        self.rt.entries.clear();
+        self.be.entries.clear();
+        self.nrt.entries.clear();
+        self.index.clear();
+        dropped
+    }
+
     /// Queue depth across all classes.
     pub fn len(&self) -> usize {
         self.rt.entries.len() + self.be.entries.len() + self.nrt.entries.len()
@@ -340,6 +351,21 @@ mod tests {
         q.push(msg(2, TrafficClass::BestEffort, 100, 1));
         q.push(msg(3, TrafficClass::NonRealTime, 0, 1));
         assert_eq!(q.iter().count(), 3);
+    }
+
+    #[test]
+    fn clear_drops_everything_and_reports_count() {
+        let mut q = NodeQueues::new();
+        q.push(msg(1, TrafficClass::RealTime, 100, 1));
+        q.push(msg(2, TrafficClass::BestEffort, 100, 1));
+        q.push(msg(3, TrafficClass::NonRealTime, 0, 2));
+        assert_eq!(q.clear(), 3);
+        assert!(q.is_empty());
+        assert!(q.get(MessageId(1)).is_none());
+        assert_eq!(q.clear(), 0);
+        // Queues stay usable after a clear.
+        q.push(msg(4, TrafficClass::RealTime, 50, 1));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

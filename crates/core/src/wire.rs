@@ -98,16 +98,30 @@ pub struct ServiceWireConfig {
     /// Reliable-transmission acknowledgement per request: flag + source
     /// index + 8-bit sequence number; echoed in the distribution packet.
     pub reliable: bool,
+    /// CRC protection of the control channel: an 8-bit CRC (poly 0x07)
+    /// appended to every collection entry and a 16-bit CRC-CCITT
+    /// (poly 0x1021) appended to the distribution packet. Off by default —
+    /// the paper's Figures 4/5 carry no checksum; enabling it widens the
+    /// control packets and therefore `t_node` and the minimum slot.
+    pub crc: bool,
 }
 
 impl ServiceWireConfig {
-    /// All services enabled.
+    /// All paper services enabled (CRC stays off — it is a robustness
+    /// extension, not one of the paper's Figure 4/5 services).
     pub const ALL: ServiceWireConfig = ServiceWireConfig {
         barrier: true,
         reduction: true,
         short_msg: true,
         reliable: true,
+        crc: false,
     };
+
+    /// Same configuration with CRC protection enabled.
+    pub const fn with_crc(mut self) -> Self {
+        self.crc = true;
+        self
+    }
 
     /// Extra bits appended to one request.
     pub fn request_extra_bits(&self, n_nodes: u16) -> u32 {
@@ -124,6 +138,9 @@ impl ServiceWireConfig {
         }
         if self.reliable {
             bits += 1 + idx + 8;
+        }
+        if self.crc {
+            bits += 8;
         }
         bits
     }
@@ -144,6 +161,9 @@ impl ServiceWireConfig {
         }
         if self.reliable {
             bits += n * (1 + idx + 8);
+        }
+        if self.crc {
+            bits += 16;
         }
         bits
     }
@@ -289,6 +309,91 @@ impl Default for DistributionPacket {
 // Bit-level codec
 // ---------------------------------------------------------------------------
 
+/// Anything field bits can be streamed into, MSB first. Implemented by
+/// [`BitWriter`] (producing wire bytes) and by the CRC accumulators
+/// ([`Crc8`], [`Crc16`]) — so the checksum is computed by replaying the
+/// *same* field-serialisation code that produced (or would reproduce) the
+/// wire bits, keeping the two layouts impossible to desynchronise.
+pub trait BitSink {
+    /// Append the low `width` bits of `value`, MSB first.
+    fn put(&mut self, value: u64, width: u32);
+
+    /// Append one flag bit.
+    fn put_bool(&mut self, b: bool) {
+        self.put(b as u64, 1);
+    }
+}
+
+/// Bit-serial CRC-8 accumulator, polynomial x⁸+x²+x+1 (0x07), init 0.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Crc8 {
+    crc: u8,
+}
+
+impl Crc8 {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The checksum over everything streamed so far.
+    pub fn value(&self) -> u8 {
+        self.crc
+    }
+}
+
+impl BitSink for Crc8 {
+    fn put(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        for i in (0..width).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            let top = (self.crc >> 7) ^ bit;
+            self.crc <<= 1;
+            if top != 0 {
+                self.crc ^= 0x07;
+            }
+        }
+    }
+}
+
+/// Bit-serial CRC-16-CCITT accumulator, polynomial 0x1021, init 0xFFFF.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc16 {
+    crc: u16,
+}
+
+impl Default for Crc16 {
+    fn default() -> Self {
+        Crc16 { crc: 0xFFFF }
+    }
+}
+
+impl Crc16 {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The checksum over everything streamed so far.
+    pub fn value(&self) -> u16 {
+        self.crc
+    }
+}
+
+impl BitSink for Crc16 {
+    fn put(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        for i in (0..width).rev() {
+            let bit = ((value >> i) & 1) as u16;
+            let top = (self.crc >> 15) ^ bit;
+            self.crc <<= 1;
+            if top != 0 {
+                self.crc ^= 0x1021;
+            }
+        }
+    }
+}
+
 /// MSB-first bit writer over a plain `Vec<u8>`.
 #[derive(Debug, Default)]
 pub struct BitWriter {
@@ -340,6 +445,12 @@ impl BitWriter {
             self.buf.push(self.cur << (8 - self.used));
         }
         self.buf
+    }
+}
+
+impl BitSink for BitWriter {
+    fn put(&mut self, value: u64, width: u32) {
+        BitWriter::put(self, value, width);
     }
 }
 
@@ -401,9 +512,17 @@ impl<'a> BitReader<'a> {
     pub fn bit_pos(&self) -> u64 {
         self.pos
     }
+
+    /// Position the cursor at an absolute bit offset (used to resynchronise
+    /// on the next fixed-width field after a corrupted one).
+    pub fn seek(&mut self, bit_pos: u64) {
+        self.pos = bit_pos;
+    }
 }
 
-fn put_request(w: &mut BitWriter, r: &Request, n: u16, svc: ServiceWireConfig) {
+/// Stream one request's fields (everything except the trailing CRC, which
+/// is computed *over* these bits) into any [`BitSink`].
+fn put_request_fields<S: BitSink>(w: &mut S, r: &Request, n: u16, svc: ServiceWireConfig) {
     let idx = log2_ceil(n);
     w.put(r.priority.level() as u64, 5);
     w.put(r.links.0, n as u32);
@@ -432,6 +551,20 @@ fn put_request(w: &mut BitWriter, r: &Request, n: u16, svc: ServiceWireConfig) {
         });
         w.put(a.src.0 as u64, idx);
         w.put(a.seq as u64, 8);
+    }
+}
+
+/// CRC-8 over one request's field bits.
+fn request_crc(r: &Request, n: u16, svc: ServiceWireConfig) -> u8 {
+    let mut c = Crc8::new();
+    put_request_fields(&mut c, r, n, svc);
+    c.value()
+}
+
+fn put_request(w: &mut BitWriter, r: &Request, n: u16, svc: ServiceWireConfig) {
+    put_request_fields(w, r, n, svc);
+    if svc.crc {
+        BitSink::put(w, request_crc(r, n, svc) as u64, 8);
     }
 }
 
@@ -475,7 +608,7 @@ fn get_request(
     } else {
         None
     };
-    Ok(Request {
+    let req = Request {
         priority,
         links,
         dests,
@@ -483,7 +616,18 @@ fn get_request(
         reduce,
         short_msg,
         ack,
-    })
+    };
+    if svc.crc {
+        // The encoder zeroes every gated-off optional field, so replaying
+        // the decoded values through the same serialiser reproduces the
+        // exact protected bits; any flip in them (or in the CRC itself)
+        // mismatches here.
+        let wire_crc = rd.get(8)? as u8;
+        if wire_crc != request_crc(&req, n, svc) {
+            return Err(WireError::Invalid("request crc"));
+        }
+    }
+    Ok(req)
 }
 
 impl CollectionPacket {
@@ -511,13 +655,42 @@ impl CollectionPacket {
         }
         Ok(CollectionPacket { requests })
     }
+
+    /// Decode degrading gracefully: a corrupted entry (CRC mismatch,
+    /// out-of-range field, or truncation) becomes [`Request::IDLE`] and its
+    /// ring position is reported in the returned [`NodeSet`], instead of
+    /// failing the whole packet. Entries are fixed-width, so decoding
+    /// resynchronises on the next entry boundary after a bad one. A missing
+    /// or corrupted start bit poisons every entry (nothing downstream can
+    /// be framed).
+    ///
+    /// This is the master's receive path under control-channel bit errors:
+    /// a node whose entry fails its CRC simply has no request this slot.
+    pub fn decode_with_errors(data: &[u8], n: u16, svc: ServiceWireConfig) -> (Self, NodeSet) {
+        let rb = request_bits(n, svc) as u64;
+        let mut rd = BitReader::new(data);
+        let start_ok = rd.get_bool() == Ok(true);
+        let mut requests = Vec::with_capacity(n as usize);
+        let mut corrupt = NodeSet::EMPTY;
+        for i in 0..n {
+            rd.seek(1 + i as u64 * rb);
+            match get_request(&mut rd, n, svc) {
+                Ok(req) if start_ok => requests.push(req),
+                _ => {
+                    requests.push(Request::IDLE);
+                    corrupt.insert(NodeId(i));
+                }
+            }
+        }
+        (CollectionPacket { requests }, corrupt)
+    }
 }
 
 impl DistributionPacket {
-    /// Encode to wire bytes (Figure 5 layout).
-    pub fn encode(&self, n: u16, svc: ServiceWireConfig) -> Vec<u8> {
+    /// Stream the packet's fields (start bit through service echoes,
+    /// everything the trailing CRC protects) into any [`BitSink`].
+    fn put_fields<S: BitSink>(&self, w: &mut S, n: u16, svc: ServiceWireConfig) {
         let idx = log2_ceil(n);
-        let mut w = BitWriter::new();
         w.put(1, 1); // start bit
         w.put(self.grants.0, n as u32);
         w.put(self.hp_node.0 as u64, idx);
@@ -551,6 +724,22 @@ impl DistributionPacket {
                 w.put(a.src.0 as u64, idx);
                 w.put(a.seq as u64, 8);
             }
+        }
+    }
+
+    /// CRC-16 over the packet's field bits.
+    fn crc(&self, n: u16, svc: ServiceWireConfig) -> u16 {
+        let mut c = Crc16::new();
+        self.put_fields(&mut c, n, svc);
+        c.value()
+    }
+
+    /// Encode to wire bytes (Figure 5 layout).
+    pub fn encode(&self, n: u16, svc: ServiceWireConfig) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        self.put_fields(&mut w, n, svc);
+        if svc.crc {
+            BitSink::put(&mut w, self.crc(n, svc) as u64, 16);
         }
         debug_assert_eq!(w.bit_len(), distribution_bits(n, svc) as u64);
         w.finish()
@@ -600,14 +789,21 @@ impl DistributionPacket {
                 *slot = valid.then_some(AckWire { src, seq });
             }
         }
-        Ok(DistributionPacket {
+        let pkt = DistributionPacket {
             grants,
             hp_node: NodeId(hp),
             barrier_done,
             reduce_result,
             short_msgs,
             acks,
-        })
+        };
+        if svc.crc {
+            let wire_crc = rd.get(16)? as u16;
+            if wire_crc != pkt.crc(n, svc) {
+                return Err(WireError::Invalid("distribution crc"));
+            }
+        }
+        Ok(pkt)
     }
 }
 
@@ -791,6 +987,124 @@ mod tests {
             DistributionPacket::decode(&bytes, 5, svc),
             Err(WireError::Invalid("hp index"))
         );
+    }
+
+    #[test]
+    fn crc_widens_both_packets() {
+        let n = 8;
+        let plain = ServiceWireConfig::default();
+        let crc = plain.with_crc();
+        assert_eq!(request_bits(n, crc), request_bits(n, plain) + 8);
+        assert_eq!(
+            collection_bits(n, crc),
+            collection_bits(n, plain) + 8 * n as u32
+        );
+        assert_eq!(distribution_bits(n, crc), distribution_bits(n, plain) + 16);
+        // ALL is the paper's service set — CRC is orthogonal.
+        let all = ServiceWireConfig::ALL;
+        assert!(!all.crc);
+        assert!(all.with_crc().crc);
+    }
+
+    #[test]
+    fn crc_roundtrips_clean_packets() {
+        for n in [2u16, 8, 33] {
+            let svc = ServiceWireConfig::ALL.with_crc();
+            let pkt = CollectionPacket {
+                requests: sample_requests(n),
+            };
+            let bytes = pkt.encode(n, svc);
+            assert_eq!(bytes.len(), (collection_bits(n, svc) as usize).div_ceil(8));
+            assert_eq!(CollectionPacket::decode(&bytes, n, svc).unwrap(), pkt);
+            let (degraded, corrupt) = CollectionPacket::decode_with_errors(&bytes, n, svc);
+            assert_eq!(degraded, pkt);
+            assert!(corrupt.is_empty());
+        }
+    }
+
+    #[test]
+    fn request_crc_detects_any_single_bit_flip() {
+        let n = 8u16;
+        let svc = ServiceWireConfig::default().with_crc();
+        let pkt = CollectionPacket {
+            requests: sample_requests(n),
+        };
+        let clean = pkt.encode(n, svc);
+        // Gated-off service fields are not serialised, so compare survivors
+        // against what the wire actually carries, not the in-memory packet.
+        let canon = CollectionPacket::decode(&clean, n, svc).unwrap();
+        let total_bits = collection_bits(n, svc) as usize;
+        let rb = request_bits(n, svc) as usize;
+        for bit in 1..total_bits {
+            // skip the start bit; every entry bit (fields or CRC) is covered
+            let mut bytes = clean.clone();
+            bytes[bit / 8] ^= 0x80 >> (bit % 8);
+            let entry = (bit - 1) / rb;
+            let (got, corrupt) = CollectionPacket::decode_with_errors(&bytes, n, svc);
+            assert!(
+                corrupt.contains(NodeId(entry as u16)),
+                "flip of bit {bit} (entry {entry}) undetected"
+            );
+            assert_eq!(got.requests[entry], Request::IDLE, "bad entry not dropped");
+            // Every other entry survives intact.
+            for (i, r) in got.requests.iter().enumerate() {
+                if i != entry {
+                    assert_eq!(*r, canon.requests[i], "entry {i} damaged by flip at {bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_start_bit_poisons_all_entries() {
+        let n = 4u16;
+        let svc = ServiceWireConfig::default().with_crc();
+        let pkt = CollectionPacket {
+            requests: sample_requests(n),
+        };
+        let mut bytes = pkt.encode(n, svc);
+        bytes[0] ^= 0x80;
+        let (got, corrupt) = CollectionPacket::decode_with_errors(&bytes, n, svc);
+        assert_eq!(corrupt.len(), n as u32);
+        assert!(got.requests.iter().all(|r| *r == Request::IDLE));
+    }
+
+    #[test]
+    fn decode_with_errors_never_panics_on_short_input() {
+        let n = 8u16;
+        let svc = ServiceWireConfig::ALL.with_crc();
+        for len in 0..8usize {
+            let (got, corrupt) = CollectionPacket::decode_with_errors(&vec![0xA5; len], n, svc);
+            assert_eq!(got.requests.len(), n as usize);
+            assert!(!corrupt.is_empty());
+        }
+    }
+
+    #[test]
+    fn distribution_crc_detects_flips() {
+        // No optional services: every wire bit is semantic, so the CRC must
+        // catch a flip anywhere (with services enabled, flips inside a
+        // zeroed don't-care echo field are harmless and pass by design).
+        let n = 7u16;
+        let svc = ServiceWireConfig::default().with_crc();
+        let pkt = DistributionPacket {
+            grants: NodeSet(0b101_1010),
+            hp_node: NodeId(3),
+            barrier_done: false,
+            reduce_result: None,
+            short_msgs: vec![None; n as usize],
+            acks: vec![None; n as usize],
+        };
+        let clean = pkt.encode(n, svc);
+        assert_eq!(DistributionPacket::decode(&clean, n, svc).unwrap(), pkt);
+        for bit in 0..distribution_bits(n, svc) as usize {
+            let mut bytes = clean.clone();
+            bytes[bit / 8] ^= 0x80 >> (bit % 8);
+            assert!(
+                DistributionPacket::decode(&bytes, n, svc).is_err(),
+                "flip of bit {bit} undetected"
+            );
+        }
     }
 
     #[test]

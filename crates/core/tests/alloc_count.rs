@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ccr_edf::config::NetworkConfig;
+use ccr_edf::config::{FaultConfig, NetworkConfig};
 use ccr_edf::connection::ConnectionSpec;
 use ccr_edf::network::RingNetwork;
 use ccr_edf::NodeId;
@@ -108,4 +108,41 @@ fn steady_state_slots_do_not_allocate() {
     }
     let during = allocs() - before;
     assert_eq!(during, 0, "idle step_slot allocated {during} times");
+
+    // --- faulty network: token-loss and recovery paths ------------------
+    // High loss rate so the run exercises the token-loss branch, the
+    // recovery dead-time slots and the restart election over and over; the
+    // fault log is pre-allocated and evicts in place, so none of it may
+    // allocate once warm.
+    let cfg = NetworkConfig::builder(16)
+        .slot_bytes(2048)
+        .faults(FaultConfig {
+            token_loss_prob: 0.05,
+            control_error_prob: 0.05,
+            data_loss_prob: 0.05,
+            recovery_timeout_slots: 3,
+        })
+        .build_auto_slot()
+        .unwrap();
+    let slot = cfg.slot_time();
+    let mut faulty = RingNetwork::new_ccr_edf(cfg);
+    for i in 0..4u16 {
+        let spec = ConnectionSpec::unicast(NodeId(i * 4), NodeId(i * 4 + 2))
+            .period(slot * (6 + i as u64))
+            .size_slots(1);
+        faulty.open_connection(spec).expect("admits");
+    }
+    // Long warm-up: the 1024-entry fault log must fill so the measured
+    // window also exercises in-place eviction.
+    faulty.run_slots(15_000);
+    let before = allocs();
+    faulty.run_slots(5_000);
+    let during = allocs() - before;
+    assert_eq!(during, 0, "faulty steady-state allocated {during} times");
+    // The run really took both fault branches.
+    let m = faulty.metrics();
+    assert!(m.tokens_lost.get() > 0, "no token losses drawn");
+    assert!(m.recovery_slots.get() > 0, "no recovery slots executed");
+    assert!(m.control_corrupted.get() > 0, "no control corruption drawn");
+    assert!(m.fault_log.evicted() > 0, "fault log never wrapped");
 }

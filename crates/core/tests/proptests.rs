@@ -68,12 +68,13 @@ fn collection_roundtrip() {
     for case in 0..256u64 {
         let mut rng = SeedSequence::new(0xC0DE).stream("coll", case);
         let n = rng.gen_range(2u16..=64);
-        let svc_bits = rng.gen_range(0u64..16) as u8;
+        let svc_bits = rng.gen_range(0u64..32) as u8;
         let svc = ServiceWireConfig {
             barrier: svc_bits & 1 != 0,
             reduction: svc_bits & 2 != 0,
             short_msg: svc_bits & 4 != 0,
             reliable: svc_bits & 8 != 0,
+            crc: svc_bits & 16 != 0,
         };
         // strip fields the wire doesn't carry for this service mix
         let reqs: Vec<Request> = arb_requests(&mut rng, n)
@@ -129,6 +130,66 @@ fn distribution_roundtrip() {
         );
         let back = DistributionPacket::decode(&bytes, n, svc).unwrap();
         assert_eq!(back, pkt);
+    }
+}
+
+/// Robustness: the wire decoders must *return an error*, never panic, on
+/// arbitrary garbage of any length — including buffers shorter or longer
+/// than a real packet, with or without CRC protection enabled.
+#[test]
+fn decoders_never_panic_on_arbitrary_buffers() {
+    for case in 0..512u64 {
+        let mut rng = SeedSequence::new(0xF422).stream("fuzz", case);
+        let n = rng.gen_range(2u16..=64);
+        let svc_bits = rng.gen_range(0u64..32) as u8;
+        let svc = ServiceWireConfig {
+            barrier: svc_bits & 1 != 0,
+            reduction: svc_bits & 2 != 0,
+            short_msg: svc_bits & 4 != 0,
+            reliable: svc_bits & 8 != 0,
+            crc: svc_bits & 16 != 0,
+        };
+        let real_len = (collection_bits(n, svc) as usize).div_ceil(8);
+        let len = rng.gen_range(0u64..(real_len as u64 + 16)) as usize;
+        let buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        // Any outcome is fine — only a panic is a bug.
+        let _ = CollectionPacket::decode(&buf, n, svc);
+        let _ = DistributionPacket::decode(&buf, n, svc);
+        let (pkt, corrupt) = CollectionPacket::decode_with_errors(&buf, n, svc);
+        assert_eq!(pkt.requests.len(), n as usize);
+        for node in corrupt.iter() {
+            assert_eq!(pkt.requests[node.idx()], Request::IDLE);
+        }
+    }
+}
+
+/// Robustness: bit-flipped *valid* packets never panic the decoders, and
+/// with CRC enabled a flipped collection entry is degraded to IDLE rather
+/// than smuggled through as data.
+#[test]
+fn decoders_never_panic_on_bit_flipped_packets() {
+    for case in 0..256u64 {
+        let mut rng = SeedSequence::new(0xB17F).stream("flip", case);
+        let n = rng.gen_range(2u16..=64);
+        let svc = ServiceWireConfig::ALL.with_crc();
+        let coll = CollectionPacket {
+            requests: arb_requests(&mut rng, n),
+        };
+        let mut bytes = coll.encode(n, svc);
+        let flips = rng.gen_range(1u64..=4);
+        for _ in 0..flips {
+            let bit = rng.gen_range(0u64..bytes.len() as u64 * 8);
+            bytes[(bit / 8) as usize] ^= 0x80 >> (bit % 8);
+        }
+        let _ = CollectionPacket::decode(&bytes, n, svc);
+        let (pkt, corrupt) = CollectionPacket::decode_with_errors(&bytes, n, svc);
+        // Un-flagged entries decoded identically to what was sent.
+        for (i, r) in pkt.requests.iter().enumerate() {
+            if corrupt.contains(NodeId(i as u16)) {
+                assert_eq!(*r, Request::IDLE);
+            }
+        }
+        let _ = DistributionPacket::decode(&bytes, n, svc);
     }
 }
 

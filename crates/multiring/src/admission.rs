@@ -213,6 +213,29 @@ pub fn plan_connection(
     spec: &FabricConnectionSpec,
     envs: &[SegmentEnv],
 ) -> Result<ConnectionPlan, FabricAdmissionError> {
+    validate_spec(spec)?;
+    let segments = topo.segments(spec.src, spec.dst)?;
+    plan_over_segments(spec, segments, envs)
+}
+
+/// Like [`plan_connection`], but routed around the bridges flagged in
+/// `dead` — the degraded-mode planner the fabric uses to re-admit
+/// connections after a bridge failure. Returns
+/// [`FabricAdmissionError::Topology`] with
+/// [`TopologyError::NoRoute`] when the surviving bridges offer no
+/// alternate path.
+pub fn plan_connection_avoiding(
+    topo: &FabricTopology,
+    spec: &FabricConnectionSpec,
+    envs: &[SegmentEnv],
+    dead: &[bool],
+) -> Result<ConnectionPlan, FabricAdmissionError> {
+    validate_spec(spec)?;
+    let segments = topo.segments_avoiding(spec.src, spec.dst, dead)?;
+    plan_over_segments(spec, segments, envs)
+}
+
+fn validate_spec(spec: &FabricConnectionSpec) -> Result<(), FabricAdmissionError> {
     if spec.size_slots == 0 {
         return Err(FabricAdmissionError::InvalidSpec(
             "zero-size messages".into(),
@@ -232,7 +255,14 @@ pub fn plan_connection(
             spec.e2e_deadline, spec.period
         )));
     }
-    let segments = topo.segments(spec.src, spec.dst)?;
+    Ok(())
+}
+
+fn plan_over_segments(
+    spec: &FabricConnectionSpec,
+    segments: Vec<Segment>,
+    envs: &[SegmentEnv],
+) -> Result<ConnectionPlan, FabricAdmissionError> {
     // Floors: what each segment needs no matter how generous the split.
     let floors: Vec<TimeDelta> = segments
         .iter()

@@ -42,17 +42,19 @@
 //! that relative sum against the connection's relative e2e deadline.
 
 use crate::admission::{
-    plan_connection, ConnectionPlan, FabricAdmissionError, FabricConnectionId,
-    FabricConnectionSpec, SegmentEnv,
+    plan_connection, plan_connection_avoiding, ConnectionPlan, FabricAdmissionError,
+    FabricConnectionId, FabricConnectionSpec, SegmentEnv,
 };
 use crate::bridge::{BridgeConfig, BridgeQueue, PendingForward};
+use crate::fault::FabricFaultScript;
 use crate::metrics::FabricMetrics;
-use crate::topology::{FabricTopology, RingId};
+use crate::topology::{FabricTopology, GlobalNodeId, RingId};
 use ccr_edf::config::{ConfigError, NetworkConfig};
 use ccr_edf::connection::ConnectionId;
 use ccr_edf::message::{Destination, Message};
 use ccr_edf::metrics::{Delivery, Metrics};
 use ccr_edf::network::RingNetwork;
+use ccr_edf::NodeId;
 use ccr_sim::{SimTime, TimeDelta};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
@@ -85,6 +87,11 @@ pub enum FabricBuildError {
     },
     /// A per-ring configuration failed validation.
     Config(ConfigError),
+    /// The fault script targets a bridge index outside the topology.
+    UnknownBridge {
+        /// The offending bridge index.
+        bridge: usize,
+    },
 }
 
 impl std::fmt::Display for FabricBuildError {
@@ -111,6 +118,9 @@ impl std::fmt::Display for FabricBuildError {
                 )
             }
             FabricBuildError::Config(e) => write!(f, "ring config invalid: {e}"),
+            FabricBuildError::UnknownBridge { bridge } => {
+                write!(f, "fault script targets unknown bridge #{bridge}")
+            }
         }
     }
 }
@@ -135,6 +145,11 @@ pub struct FabricConfig {
     /// Worker threads for the ring phase (1 = serial). More threads than
     /// rings are never spawned.
     pub threads: usize,
+    /// Scripted fabric-level fault injection. Ring-local events are
+    /// distributed into the per-ring fault scripts at build time (lockstep
+    /// keeps ring slot counters equal to the fabric's); bridge kills are
+    /// applied by the engine itself. Empty by default.
+    pub fault_script: FabricFaultScript,
 }
 
 impl FabricConfig {
@@ -161,6 +176,7 @@ impl FabricConfig {
             ring_configs,
             bridge: BridgeConfig::default(),
             threads: 1,
+            fault_script: FabricFaultScript::default(),
         })
     }
 
@@ -173,6 +189,12 @@ impl FabricConfig {
     /// Set the bridge buffer policy.
     pub fn bridge(mut self, b: BridgeConfig) -> Self {
         self.bridge = b;
+        self
+    }
+
+    /// Install a fabric fault script.
+    pub fn fault_script(mut self, s: FabricFaultScript) -> Self {
+        self.fault_script = s;
         self
     }
 }
@@ -315,6 +337,19 @@ pub struct Fabric {
     pool: Option<RingPool>,
     // scratch reused across slots
     delivery_buf: Vec<Vec<Delivery>>,
+    // --- fault state ---------------------------------------------------
+    /// Per-bridge death flags (indexed by bridge index).
+    dead_bridges: Vec<bool>,
+    /// Scripted `(slot, bridge)` kills, sorted by slot.
+    bridge_kills: Vec<(u64, usize)>,
+    kill_cursor: usize,
+    /// True when any fault source exists (stochastic knobs, scripts, or a
+    /// manual `fail_node`/`kill_bridge` call) — gates the per-slot health
+    /// scan so fault-free fabrics pay nothing for it.
+    track_faults: bool,
+    /// Fabric-side mirror of each ring's per-node liveness, used to detect
+    /// deaths that happen *inside* a ring (scripted `FailNode` events).
+    ring_alive: Vec<Vec<bool>>,
 }
 
 impl Fabric {
@@ -327,7 +362,18 @@ impl Fabric {
                 got: cfg.ring_configs.len(),
             });
         }
-        for (r, rc) in cfg.ring_configs.iter().enumerate() {
+        // Distribute the fabric script's ring-local events into the
+        // per-ring scripts (lockstep ⇒ fabric slot index = ring slot
+        // index), then validate the *merged* configs — a merged script
+        // with clock faults still needs a usable recovery timeout.
+        let mut ring_cfgs: Vec<NetworkConfig> = cfg.ring_configs.clone();
+        for (r, rc) in ring_cfgs.iter_mut().enumerate() {
+            let extra = cfg.fault_script.ring_script(RingId(r as u16));
+            for e in extra.events() {
+                rc.fault_script.push(e.slot, e.kind);
+            }
+        }
+        for (r, rc) in ring_cfgs.iter().enumerate() {
             rc.validate()?;
             let expected = cfg.topology.ring_size(RingId(r as u16));
             if rc.n_nodes != expected {
@@ -337,14 +383,31 @@ impl Fabric {
                     got: rc.n_nodes,
                 });
             }
-            if rc.slot_time() != cfg.ring_configs[0].slot_time() {
+            if rc.slot_time() != ring_cfgs[0].slot_time() {
                 return Err(FabricBuildError::UnequalSlotTimes {
                     ring: RingId(r as u16),
                 });
             }
         }
+        let bridge_kills = cfg.fault_script.bridge_kills();
+        if let Some(&(_, b)) = bridge_kills
+            .iter()
+            .find(|&&(_, b)| b >= cfg.topology.bridges().len())
+        {
+            return Err(FabricBuildError::UnknownBridge { bridge: b });
+        }
+        let track_faults = !bridge_kills.is_empty()
+            || ring_cfgs.iter().any(|rc| {
+                rc.faults.token_loss_prob > 0.0
+                    || rc.faults.control_error_prob > 0.0
+                    || !rc.fault_script.is_empty()
+            });
+        let ring_alive: Vec<Vec<bool>> = ring_cfgs
+            .iter()
+            .map(|rc| vec![true; rc.n_nodes as usize])
+            .collect();
         let rings: Arc<Vec<Mutex<RingNetwork>>> = Arc::new(
-            cfg.ring_configs
+            ring_cfgs
                 .iter()
                 .map(|rc| Mutex::new(RingNetwork::new_ccr_edf(rc.clone())))
                 .collect(),
@@ -374,6 +437,7 @@ impl Fabric {
             .collect();
         let threads = cfg.threads.clamp(1, rings.len());
         let pool = (threads > 1).then(|| RingPool::spawn(&rings, threads));
+        let n_bridges = cfg.topology.bridges().len();
         Ok(Fabric {
             topo: cfg.topology,
             rings,
@@ -391,6 +455,11 @@ impl Fabric {
             fwd_seq: 0,
             pool,
             delivery_buf: Vec::new(),
+            dead_bridges: vec![false; n_bridges],
+            bridge_kills,
+            kill_cursor: 0,
+            track_faults,
+            ring_alive,
         })
     }
 
@@ -455,7 +524,25 @@ impl Fabric {
         &mut self,
         spec: FabricConnectionSpec,
     ) -> Result<FabricConnectionId, FabricAdmissionError> {
-        let plan = plan_connection(&self.topo, &spec, &self.envs)?;
+        // With every bridge alive the avoid-set planner reproduces the
+        // static routing table exactly; once bridges have died, all new
+        // admissions route around them.
+        let plan = if self.dead_bridges.iter().any(|&d| d) {
+            plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)?
+        } else {
+            plan_connection(&self.topo, &spec, &self.envs)?
+        };
+        self.admit_plan(plan)
+    }
+
+    /// Admit an already-planned connection (shared by [`open_connection`]
+    /// and the degraded-mode re-admission path).
+    ///
+    /// [`open_connection`]: Fabric::open_connection
+    fn admit_plan(
+        &mut self,
+        plan: ConnectionPlan,
+    ) -> Result<FabricConnectionId, FabricAdmissionError> {
         // Bridge-buffer feasibility: each resident connection reserves one
         // buffer slot per crossing (one message per period in flight at a
         // bridge is the steady state under met deadlines).
@@ -543,8 +630,182 @@ impl Fabric {
         true
     }
 
+    // --- fault injection & self-healing --------------------------------
+
+    /// Is bridge `b` still forwarding?
+    pub fn bridge_alive(&self, b: usize) -> bool {
+        b < self.dead_bridges.len() && !self.dead_bridges[b]
+    }
+
+    /// Is the node at `g` still alive on its ring?
+    pub fn node_alive(&self, g: GlobalNodeId) -> bool {
+        self.ring_alive
+            .get(g.ring.0 as usize)
+            .and_then(|r| r.get(g.node.0 as usize))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Kill a bridge station mid-run: both forwarding queues are flushed,
+    /// its port nodes are failed on their rings, and every end-to-end
+    /// connection routed across it is re-admitted over an alternate bridge
+    /// path when one exists — revoked otherwise. Returns `false` for an
+    /// unknown or already-dead bridge.
+    pub fn kill_bridge(&mut self, bridge: usize) -> bool {
+        self.track_faults = true;
+        let killed = self.kill_bridge_impl(bridge);
+        if killed {
+            self.reconcile_connections();
+        }
+        killed
+    }
+
+    /// Fail one fabric node: it is optically bypassed on its ring, any
+    /// bridge it serves as a port for dies with it, and the affected
+    /// end-to-end connections are rerouted or revoked. Returns `false` for
+    /// unknown or already-dead nodes.
+    pub fn fail_node(&mut self, g: GlobalNodeId) -> bool {
+        if !self.node_alive(g) {
+            return false;
+        }
+        self.track_faults = true;
+        self.node_down(g);
+        self.reconcile_connections();
+        true
+    }
+
+    fn kill_bridge_impl(&mut self, bridge: usize) -> bool {
+        if bridge >= self.dead_bridges.len() || self.dead_bridges[bridge] {
+            return false;
+        }
+        self.dead_bridges[bridge] = true;
+        self.metrics.bridges_killed.incr();
+        // Flush both direction queues — those messages have no path now.
+        for qi in [2 * bridge, 2 * bridge + 1] {
+            while let Some(pf) = self.queues[qi].pop_earliest() {
+                self.fwd_meta.remove(&pf.seq);
+                self.metrics.fault_dropped_forwards.incr();
+            }
+        }
+        // The bridge is one physical station with a port on each ring:
+        // both ports die with it (which may cascade into further bridges
+        // sharing those nodes).
+        let br = self.topo.bridges()[bridge];
+        self.node_down(br.a);
+        self.node_down(br.b);
+        true
+    }
+
+    /// Mark `g` dead fabric-side, bypass it on its ring, and cascade into
+    /// any bridge it was a port of. Idempotent.
+    fn node_down(&mut self, g: GlobalNodeId) {
+        let (r, n) = (g.ring.0 as usize, g.node.0 as usize);
+        if !self.ring_alive[r][n] {
+            return;
+        }
+        self.ring_alive[r][n] = false;
+        self.rings[r].lock().expect("ring lock").fail_node(g.node);
+        let cascade: Vec<usize> = self
+            .topo
+            .bridges()
+            .iter()
+            .enumerate()
+            .filter(|&(bi, br)| !self.dead_bridges[bi] && (br.a == g || br.b == g))
+            .map(|(bi, _)| bi)
+            .collect();
+        for bi in cascade {
+            self.kill_bridge_impl(bi);
+        }
+    }
+
+    /// Degraded-mode re-validation of the admitted end-to-end set: any
+    /// connection that crosses a dead bridge, or whose ring sub-connection
+    /// was shed by a ring's own degraded-mode admission, is torn down and
+    /// re-admitted over an alternate route when its endpoints are alive
+    /// and a route exists — revoked otherwise. Deterministic: broken
+    /// connections are processed in id order.
+    fn reconcile_connections(&mut self) {
+        let mut broken: Vec<FabricConnectionId> = self
+            .connections
+            .iter()
+            .filter(|(_, a)| {
+                a.plan.bridges().any(|b| self.dead_bridges[b])
+                    || a.ring_conns
+                        .iter()
+                        .zip(a.plan.segments.iter())
+                        .any(|(&rc, seg)| {
+                            !self.rings[seg.segment.ring.0 as usize]
+                                .lock()
+                                .expect("ring lock")
+                                .admission()
+                                .is_admitted(rc)
+                        })
+            })
+            .map(|(&fid, _)| fid)
+            .collect();
+        broken.sort_unstable();
+        for fid in broken {
+            let spec = self.connections[&fid].plan.spec.clone();
+            self.close_connection(fid);
+            let endpoints_alive = self.node_alive(spec.src) && self.node_alive(spec.dst);
+            let rerouted = endpoints_alive
+                && plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
+                    .and_then(|plan| self.admit_plan(plan))
+                    .is_ok();
+            if rerouted {
+                self.metrics.e2e_rerouted.incr();
+            } else {
+                self.metrics.e2e_revoked.incr();
+            }
+        }
+    }
+
+    /// Post-ring-phase health scan (fault runs only): count degraded
+    /// slots and pick up node deaths that happened *inside* a ring this
+    /// slot (scripted `FailNode` events), cascading them into bridge
+    /// deaths and e2e re-admission.
+    fn scan_ring_health(&mut self) {
+        let mut degraded = false;
+        let mut deaths: Vec<GlobalNodeId> = Vec::new();
+        for r in 0..self.rings.len() {
+            let ring = self.rings[r].lock().expect("ring lock");
+            if ring.last_outcome().recovering {
+                degraded = true;
+            }
+            let alive = &self.ring_alive[r];
+            if (ring.live_nodes() as usize) < alive.iter().filter(|&&a| a).count() {
+                for (n, &was_alive) in alive.iter().enumerate() {
+                    if was_alive && !ring.node_alive(NodeId(n as u16)) {
+                        deaths.push(GlobalNodeId::new(r as u16, n as u16));
+                    }
+                }
+            }
+        }
+        if degraded {
+            self.metrics.degraded_slots.incr();
+        }
+        if !deaths.is_empty() {
+            for g in deaths {
+                self.node_down(g);
+            }
+            self.reconcile_connections();
+        }
+    }
+
     /// Execute one fabric slot (every ring advances one MAC slot).
     pub fn step_slot(&mut self) {
+        // Phase 0 — scripted bridge kills land at the slot boundary,
+        // before any ring steps; serial, so the outcome is identical for
+        // any ring-phase thread count.
+        let slot = self.metrics.slots.get();
+        while self.kill_cursor < self.bridge_kills.len()
+            && self.bridge_kills[self.kill_cursor].0 <= slot
+        {
+            let b = self.bridge_kills[self.kill_cursor].1;
+            self.kill_cursor += 1;
+            self.kill_bridge_impl(b);
+            self.reconcile_connections();
+        }
         // Phase 1 — ring stepping. With a pool, each ring is stepped by its
         // owning worker and deliveries are re-ordered by ring index; the
         // serial path steps rings in index order directly.
@@ -559,6 +820,11 @@ impl Fabric {
                     delivered.push(ring.step_slot().deliveries.clone());
                 }
             }
+        }
+
+        // Phase 1.5 — health scan, fault runs only (serial).
+        if self.track_faults {
+            self.scan_ring_health();
         }
 
         // Phase 2 — serial exchange: ring-index order, then delivery order.
@@ -773,6 +1039,152 @@ mod tests {
         let ids: Vec<FabricConnectionId> = fabric.connections.keys().copied().collect();
         fabric.close_connection(ids[0]);
         assert!(fabric.open_connection(spec(2, 4)).is_ok());
+    }
+
+    #[test]
+    fn killing_a_chain_bridge_revokes_crossing_connections() {
+        let topo = FabricTopology::chain(2, 6);
+        let cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let crossing = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(2)),
+            )
+            .unwrap();
+        let local = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(0, 3))
+                    .period(TimeDelta::from_ms(2)),
+            )
+            .unwrap();
+        fabric.run_slots(50);
+        assert!(fabric.kill_bridge(0));
+        assert!(!fabric.bridge_alive(0));
+        assert!(!fabric.kill_bridge(0), "second kill is a no-op");
+        // A chain has no alternate path: the crossing connection is
+        // revoked, the same-ring one rides out the fault.
+        assert_eq!(fabric.metrics().bridges_killed.get(), 1);
+        assert_eq!(fabric.metrics().e2e_revoked.get(), 1);
+        assert_eq!(fabric.metrics().e2e_rerouted.get(), 0);
+        assert!(!fabric.connections.contains_key(&crossing));
+        assert!(fabric.connections.contains_key(&local));
+        // The bridge station's port nodes died with it.
+        assert!(!fabric.node_alive(GlobalNodeId::new(0, 5)));
+        assert!(!fabric.node_alive(GlobalNodeId::new(1, 0)));
+        // New admissions across the cut are refused as unroutable.
+        let err = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 2))
+                    .period(TimeDelta::from_ms(2)),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FabricAdmissionError::Topology(crate::topology::TopologyError::NoRoute(..))
+        ));
+        // The degraded fabric keeps running.
+        let before = fabric.metrics().e2e_delivered.get();
+        fabric.run_slots(4_000);
+        assert!(fabric.metrics().e2e_delivered.get() > before);
+    }
+
+    #[test]
+    fn cyclic_fabric_reroutes_around_a_dead_bridge() {
+        // Triangle: 0—1 (bridge 0), 1—2 (bridge 1), 2—0 (bridge 2).
+        let mut b = FabricTopology::builder();
+        for _ in 0..3 {
+            b.ring(6);
+        }
+        b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+        b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
+        b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
+        b.allow_cycles(true);
+        let topo = b.build().unwrap();
+        let cfg = FabricConfig::uniform(topo, 2048, 11).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let fid = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(5)),
+            )
+            .unwrap();
+        fabric.run_slots(100);
+        let delivered_before = fabric.metrics().e2e_delivered.get();
+        assert!(delivered_before > 0, "traffic flows before the fault");
+        assert!(fabric.kill_bridge(0));
+        // The connection came back over the detour through ring 2.
+        assert_eq!(fabric.metrics().e2e_rerouted.get(), 1);
+        assert_eq!(fabric.metrics().e2e_revoked.get(), 0);
+        assert!(!fabric.connections.contains_key(&fid), "old id is gone");
+        assert_eq!(fabric.active_connections(), 1);
+        let active = fabric.connections.values().next().unwrap();
+        assert_eq!(active.plan.segments.len(), 3, "detour crosses two bridges");
+        assert_eq!(
+            active.plan.bridges().collect::<Vec<_>>(),
+            vec![2, 1],
+            "detour avoids the dead bridge"
+        );
+        // End-to-end traffic resumes on the alternate route.
+        fabric.run_slots(600);
+        assert!(fabric.metrics().e2e_delivered.get() > delivered_before);
+    }
+
+    #[test]
+    fn scripted_node_death_inside_a_ring_is_picked_up_by_the_fabric() {
+        let topo = FabricTopology::chain(2, 6);
+        let mut cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        for rc in &mut cfg.ring_configs {
+            rc.faults.recovery_timeout_slots = 4;
+        }
+        let cfg = cfg.fault_script(FabricFaultScript::new().ring_at(
+            10,
+            RingId(0),
+            ccr_edf::fault::FaultKind::FailNode(ccr_phys::NodeId(1)),
+        ));
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let fid = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(2)),
+            )
+            .unwrap();
+        fabric.run_slots(30);
+        assert!(!fabric.node_alive(GlobalNodeId::new(0, 1)));
+        assert!(!fabric.connections.contains_key(&fid));
+        // The source died, so there is nothing to reroute.
+        assert_eq!(fabric.metrics().e2e_revoked.get(), 1);
+        assert_eq!(fabric.metrics().e2e_rerouted.get(), 0);
+        // A non-port node death leaves the bridge standing.
+        assert!(fabric.bridge_alive(0));
+    }
+
+    #[test]
+    fn scripted_bridge_kill_fires_at_its_slot() {
+        let topo = FabricTopology::chain(2, 6);
+        let mut cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        for rc in &mut cfg.ring_configs {
+            rc.faults.recovery_timeout_slots = 4;
+        }
+        let cfg = cfg.fault_script(FabricFaultScript::new().kill_bridge_at(20, 0));
+        let mut fabric = Fabric::new(cfg).unwrap();
+        fabric.run_slots(20);
+        assert!(fabric.bridge_alive(0), "kill not due yet");
+        fabric.step_slot();
+        assert!(!fabric.bridge_alive(0), "kill landed at its slot");
+        assert_eq!(fabric.metrics().bridges_killed.get(), 1);
+    }
+
+    #[test]
+    fn script_targeting_unknown_bridge_rejected_at_build() {
+        let topo = FabricTopology::chain(2, 6);
+        let cfg = FabricConfig::uniform(topo, 2048, 7)
+            .unwrap()
+            .fault_script(FabricFaultScript::new().kill_bridge_at(5, 9));
+        assert!(matches!(
+            Fabric::new(cfg),
+            Err(FabricBuildError::UnknownBridge { bridge: 9 })
+        ));
     }
 
     #[test]

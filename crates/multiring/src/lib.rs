@@ -18,8 +18,12 @@
 //! - [`engine`] — the lockstep fabric stepper: parallel per-ring slot
 //!   execution (deterministic for any thread count), serial bridge
 //!   exchange between slots, end-to-end admission with rollback.
+//! - [`fault`] — fabric-level fault scripting: ring-local fault events
+//!   aimed at specific rings plus bridge kills, replayed bit-for-bit; the
+//!   engine reroutes or revokes affected end-to-end connections.
 //! - [`metrics`] — end-to-end latency/deadline accounting, per-segment
-//!   breakdowns, and bridge occupancy, comparable with `==` across runs.
+//!   breakdowns, bridge occupancy, and fault/recovery counters, comparable
+//!   with `==` across runs.
 //!
 //! ```
 //! use ccr_multiring::prelude::*;
@@ -43,11 +47,13 @@
 pub mod admission;
 pub mod bridge;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod topology;
 
 pub use admission::{FabricAdmissionError, FabricConnectionId, FabricConnectionSpec};
 pub use engine::{Fabric, FabricBuildError, FabricConfig};
+pub use fault::{FabricFaultEvent, FabricFaultKind, FabricFaultScript};
 pub use metrics::FabricMetrics;
 pub use topology::{Bridge, FabricTopology, GlobalNodeId, RingId, TopologyError};
 
@@ -58,6 +64,7 @@ pub mod prelude {
     };
     pub use crate::bridge::{BridgeConfig, DropPolicy};
     pub use crate::engine::{Fabric, FabricBuildError, FabricConfig};
+    pub use crate::fault::{FabricFaultEvent, FabricFaultKind, FabricFaultScript};
     pub use crate::metrics::FabricMetrics;
     pub use crate::topology::{Bridge, FabricTopology, GlobalNodeId, RingId, TopologyError};
 }

@@ -34,6 +34,19 @@ pub struct FabricMetrics {
     pub segment_latency: Vec<Histogram>,
     /// High-water mark across all bridge buffers.
     pub peak_bridge_occupancy: u64,
+    /// Bridge stations taken down by fault injection.
+    pub bridges_killed: Counter,
+    /// Queued forwards lost when a dying bridge's buffers were flushed.
+    pub fault_dropped_forwards: Counter,
+    /// End-to-end connections re-admitted over an alternate bridge path
+    /// after a fault invalidated their route.
+    pub e2e_rerouted: Counter,
+    /// End-to-end connections revoked by a fault with no surviving
+    /// alternate route (or whose endpoint died).
+    pub e2e_revoked: Counter,
+    /// Fabric slots during which at least one ring was in clock-loss
+    /// recovery (dead time somewhere in the fabric).
+    pub degraded_slots: Counter,
 }
 
 impl Default for FabricMetrics {
@@ -49,6 +62,11 @@ impl Default for FabricMetrics {
             bridge_wait: Histogram::for_latency(),
             segment_latency: Vec::new(),
             peak_bridge_occupancy: 0,
+            bridges_killed: Counter::default(),
+            fault_dropped_forwards: Counter::default(),
+            e2e_rerouted: Counter::default(),
+            e2e_revoked: Counter::default(),
+            degraded_slots: Counter::default(),
         }
     }
 }
@@ -88,6 +106,16 @@ impl FabricMetrics {
     pub fn e2e_miss_ratio(&self) -> f64 {
         self.e2e_missed.fraction_of_counter(&self.e2e_delivered)
     }
+
+    /// Fraction of fabric slots in which every ring had a live clock
+    /// (1.0 on a fault-free run).
+    pub fn availability(&self) -> f64 {
+        let total = self.slots.get();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.degraded_slots.get() as f64 / total as f64
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +142,18 @@ mod tests {
         assert_eq!(m.segment_latency.len(), 3);
         assert_eq!(m.segment_latency[2].count(), 1);
         assert_eq!(m.segment_latency[0].count(), 0);
+    }
+
+    #[test]
+    fn availability_tracks_degraded_slots() {
+        let mut m = FabricMetrics::new();
+        assert_eq!(m.availability(), 1.0, "no slots yet counts as available");
+        for _ in 0..8 {
+            m.slots.incr();
+        }
+        m.degraded_slots.incr();
+        m.degraded_slots.incr();
+        assert!((m.availability() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -344,6 +344,52 @@ impl FabricTopology {
         self.routes.get(&(from, to))
     }
 
+    /// Shortest route from `from` to `to` that crosses no bridge flagged in
+    /// `dead` (indexed by bridge index; missing entries count as alive).
+    /// Same BFS and tie-break as the static table, computed on demand —
+    /// this is how the fabric re-routes around a failed bridge. Returns
+    /// `None` when the surviving bridges no longer connect the rings.
+    pub fn route_avoiding(&self, from: RingId, to: RingId, dead: &[bool]) -> Option<Route> {
+        if from == to {
+            return None;
+        }
+        let n = self.ring_sizes.len();
+        let mut prev: Vec<Option<(u16, usize)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[from.0 as usize] = true;
+        queue.push_back(from.0);
+        while let Some(r) = queue.pop_front() {
+            for (bi, br) in self.bridges.iter().enumerate() {
+                if dead.get(bi).copied().unwrap_or(false) {
+                    continue;
+                }
+                let Some(next) = br.other_ring(RingId(r)) else {
+                    continue;
+                };
+                if !seen[next.0 as usize] {
+                    seen[next.0 as usize] = true;
+                    prev[next.0 as usize] = Some((r, bi));
+                    queue.push_back(next.0);
+                }
+            }
+        }
+        if !seen[to.0 as usize] {
+            return None;
+        }
+        let mut rings = vec![to];
+        let mut bridges = Vec::new();
+        let mut cur = to.0;
+        while let Some((p, bi)) = prev[cur as usize] {
+            bridges.push(bi);
+            rings.push(RingId(p));
+            cur = p;
+        }
+        rings.reverse();
+        bridges.reverse();
+        Some(Route { rings, bridges })
+    }
+
     /// Expand an end-to-end path into its ring segments.
     pub fn segments(
         &self,
@@ -363,7 +409,43 @@ impl FabricTopology {
         }
         let route = self
             .route(src.ring, dst.ring)
+            .ok_or(TopologyError::NoRoute(src.ring, dst.ring))?
+            .clone();
+        self.expand_route(&route, src, dst)
+    }
+
+    /// Like [`segments`](Self::segments), but routed around the bridges
+    /// flagged in `dead`. Same-ring paths never cross a bridge and are
+    /// unaffected.
+    pub fn segments_avoiding(
+        &self,
+        src: GlobalNodeId,
+        dst: GlobalNodeId,
+        dead: &[bool],
+    ) -> Result<Vec<Segment>, TopologyError> {
+        if src == dst {
+            return Err(TopologyError::SelfConnection(src));
+        }
+        if src.ring == dst.ring {
+            return Ok(vec![Segment {
+                ring: src.ring,
+                from: src.node,
+                to: dst.node,
+                bridge: None,
+            }]);
+        }
+        let route = self
+            .route_avoiding(src.ring, dst.ring, dead)
             .ok_or(TopologyError::NoRoute(src.ring, dst.ring))?;
+        self.expand_route(&route, src, dst)
+    }
+
+    fn expand_route(
+        &self,
+        route: &Route,
+        src: GlobalNodeId,
+        dst: GlobalNodeId,
+    ) -> Result<Vec<Segment>, TopologyError> {
         let mut segs = Vec::with_capacity(route.rings.len());
         let mut entry = src.node;
         for (i, &ring) in route.rings.iter().enumerate() {
@@ -526,6 +608,66 @@ mod tests {
         b.ring(4);
         b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(0, 2));
         assert_eq!(b.build().unwrap_err(), TopologyError::SelfBridge(RingId(0)));
+    }
+
+    #[test]
+    fn avoiding_a_dead_bridge_takes_the_long_way_round() {
+        // Triangle fabric: 0—1 (bridge 0), 1—2 (bridge 1), 2—0 (bridge 2).
+        let mut b = FabricTopology::builder();
+        b.ring(4);
+        b.ring(4);
+        b.ring(4);
+        b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+        b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
+        b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
+        b.allow_cycles(true);
+        let t = b.build().unwrap();
+        // Healthy: one crossing via bridge 0.
+        let direct = t.route(RingId(0), RingId(1)).unwrap();
+        assert_eq!(direct.bridges, vec![0]);
+        // Bridge 0 dead: detour through ring 2 over bridges 2 then 1.
+        let detour = t
+            .route_avoiding(RingId(0), RingId(1), &[true, false, false])
+            .unwrap();
+        assert_eq!(detour.rings, vec![RingId(0), RingId(2), RingId(1)]);
+        assert_eq!(detour.bridges, vec![2, 1]);
+        let segs = t
+            .segments_avoiding(
+                GlobalNodeId::new(0, 2),
+                GlobalNodeId::new(1, 3),
+                &[true, false, false],
+            )
+            .unwrap();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].bridge, Some(2));
+        assert_eq!(segs[1].bridge, Some(1));
+        // Two dead bridges disconnect the pair entirely.
+        assert!(t
+            .route_avoiding(RingId(0), RingId(1), &[true, true, false])
+            .is_none());
+        assert_eq!(
+            t.segments_avoiding(
+                GlobalNodeId::new(0, 2),
+                GlobalNodeId::new(1, 3),
+                &[true, true, false],
+            ),
+            Err(TopologyError::NoRoute(RingId(0), RingId(1)))
+        );
+        // No dead set ⇒ identical to the static table.
+        assert_eq!(
+            t.route_avoiding(RingId(0), RingId(1), &[]).as_ref(),
+            Some(direct)
+        );
+        // Same-ring paths never cross a bridge and are unaffected.
+        let same = t
+            .segments_avoiding(
+                GlobalNodeId::new(1, 0),
+                GlobalNodeId::new(1, 2),
+                &[true, true, true],
+            )
+            .unwrap();
+        assert_eq!(same.len(), 1);
+        assert_eq!(same[0].bridge, None);
     }
 
     #[test]

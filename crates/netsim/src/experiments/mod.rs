@@ -22,6 +22,7 @@ pub mod e14_three_way;
 pub mod e15_dbf;
 pub mod e16_hetero;
 pub mod e17_multiring;
+pub mod e18_chaos;
 
 use ccr_edf::config::{NetworkConfig, NetworkConfigBuilder};
 use ccr_sim::report::Table;
@@ -175,6 +176,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "e17",
             "Extension: multi-ring fabric with end-to-end EDF admission",
             e17_multiring::run,
+        ),
+        (
+            "e18",
+            "Robustness: chaos soak, self-healing, and bridge failover",
+            e18_chaos::run,
         ),
     ]
 }

@@ -31,6 +31,13 @@ pub struct SlotRecord {
     pub gap: TimeDelta,
     /// Slot was clock-recovery dead time.
     pub recovering: bool,
+    /// The slot's token (distribution packet) was lost or corrupted —
+    /// recovery starts after this slot.
+    pub token_lost: bool,
+    /// Collection entries dropped by the control-channel CRC this slot.
+    pub corrupt_entries: u16,
+    /// Unreliable-class messages lost to data-phase errors this slot.
+    pub unreliable_lost: u32,
     /// A barrier completed.
     pub barrier: bool,
     /// A reduction completed.
@@ -50,6 +57,9 @@ impl SlotRecord {
             handover_hops: out.handover_hops,
             gap: out.gap,
             recovering: out.recovering,
+            token_lost: out.token_lost,
+            corrupt_entries: out.corrupt_entries,
+            unreliable_lost: out.unreliable_lost,
             barrier: out.barrier_completed,
             reduce: out.reduce_result.is_some(),
         }
@@ -111,7 +121,9 @@ impl TraceRecorder {
                 concat!(
                     "{{\"slot\":{},\"start_ps\":{},\"master\":{},\"grants\":{},",
                     "\"deliveries\":{},\"next_master\":{},\"handover_hops\":{},",
-                    "\"gap_ps\":{},\"recovering\":{},\"barrier\":{},\"reduce\":{}}}\n"
+                    "\"gap_ps\":{},\"recovering\":{},\"token_lost\":{},",
+                    "\"corrupt_entries\":{},\"unreliable_lost\":{},",
+                    "\"barrier\":{},\"reduce\":{}}}\n"
                 ),
                 r.slot,
                 r.start.as_ps(),
@@ -122,6 +134,9 @@ impl TraceRecorder {
                 r.handover_hops,
                 r.gap.as_ps(),
                 r.recovering,
+                r.token_lost,
+                r.corrupt_entries,
+                r.unreliable_lost,
                 r.barrier,
                 r.reduce,
             ));
@@ -145,6 +160,15 @@ impl TraceRecorder {
             let mut flags = String::new();
             if r.recovering {
                 flags.push('R');
+            }
+            if r.token_lost {
+                flags.push('T');
+            }
+            if r.corrupt_entries > 0 {
+                flags.push('C');
+            }
+            if r.unreliable_lost > 0 {
+                flags.push('L');
             }
             if r.barrier {
                 flags.push('B');
@@ -244,8 +268,45 @@ mod tests {
             assert!(line.contains(&format!("\"master\":{}", rec.master.0)));
             assert!(line.contains(&format!("\"gap_ps\":{}", rec.gap.as_ps())));
             assert!(line.contains("\"recovering\":false"));
+            assert!(line.contains("\"token_lost\":false"));
+            assert!(line.contains("\"corrupt_entries\":0"));
+            assert!(line.contains("\"unreliable_lost\":0"));
         }
         // eviction respected: first line is slot 4
         assert!(lines[0].contains("\"slot\":4,"));
+    }
+
+    #[test]
+    fn fault_slots_carry_their_flags_into_the_trace() {
+        use ccr_edf::config::FaultConfig;
+        use ccr_edf::fault::{FaultKind, FaultScript};
+
+        let cfg = NetworkConfig::builder(5)
+            .slot_bytes(2048)
+            .faults(FaultConfig {
+                recovery_timeout_slots: 3,
+                ..Default::default()
+            })
+            .fault_script(
+                FaultScript::new()
+                    .at(2, FaultKind::CorruptCollection { victim: NodeId(1) })
+                    .at(4, FaultKind::LoseToken),
+            )
+            .build_auto_slot()
+            .unwrap();
+        let mut net = RingNetwork::new_ccr_edf(cfg);
+        let mut tr = TraceRecorder::new(16);
+        for _ in 0..10 {
+            tr.observe(net.step_slot());
+        }
+        let recs: Vec<&SlotRecord> = tr.records().collect();
+        assert_eq!(recs[2].corrupt_entries, 1);
+        assert!(recs[4].token_lost);
+        assert!(recs[5].recovering, "recovery dead time follows the loss");
+        let txt = tr.render();
+        assert!(txt.contains('T') && txt.contains('C') && txt.contains('R'));
+        let jsonl = tr.to_jsonl();
+        assert!(jsonl.contains("\"token_lost\":true"));
+        assert!(jsonl.contains("\"corrupt_entries\":1"));
     }
 }

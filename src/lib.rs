@@ -11,7 +11,7 @@
 //! * [`traffic`] — workload generators;
 //! * [`multiring`] — bridged multi-ring fabrics with end-to-end EDF
 //!   admission (DESIGN.md §8);
-//! * [`netsim`] — the experiment harness (E1–E17).
+//! * [`netsim`] — the experiment harness (E1–E18).
 //!
 //! ```
 //! use ccr_edf_suite::prelude::*;

@@ -10,6 +10,7 @@ fn full_pipeline(seed: u64) -> (u64, u64, f64, String) {
         .faults(ccr_edf_suite::edf::config::FaultConfig {
             token_loss_prob: 0.002,
             data_loss_prob: 0.01,
+            control_error_prob: 0.001,
             recovery_timeout_slots: 3,
         })
         .seed(seed)
