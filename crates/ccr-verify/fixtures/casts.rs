@@ -1,0 +1,20 @@
+// Seeded violations for the time-cast rule.
+
+fn bad_float_cast(x: f64) -> u64 {
+    let ps = (x * 1e12).round() as u64; //~ ERROR time-cast
+    ps
+}
+
+fn bad_from_ps(horizon_ps: f64) -> u64 {
+    let d = TimeDelta::from_ps(horizon_ps as u64); //~ ERROR time-cast
+    d.as_ps()
+}
+
+fn raw_ctor(ps: u64) -> TimeDelta {
+    TimeDelta(ps) //~ ERROR time-cast
+}
+
+fn fine_widening(hops: u16) -> u64 {
+    // Integer widening is lossless and allowed.
+    hops as u64
+}

@@ -1,0 +1,19 @@
+// A fixture with zero violations: the gate must stay silent on it.
+
+// ccr-verify: hot_path
+fn step_like(scratch: &mut [u64; 8], inputs: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for (i, x) in inputs.iter().enumerate() {
+        scratch[i % 8] = scratch[i % 8].wrapping_add(*x);
+        acc = acc.wrapping_add(scratch[i % 8]);
+    }
+    acc
+}
+
+fn checked_conversion(ns: u64) -> u64 {
+    ns.saturating_mul(1_000)
+}
+
+fn stated(x: Option<u32>) -> u32 {
+    x.expect("invariant: validated by the admission test")
+}

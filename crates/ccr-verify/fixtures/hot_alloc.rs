@@ -1,0 +1,31 @@
+// Seeded violations for the alloc-in-hot-path rule. Not compiled — read
+// by tests/fixtures.rs and checked against the trybuild-style annotations.
+
+// ccr-verify: hot_path
+fn hot_root_marked() {
+    helper();
+}
+
+fn helper() {
+    let v = Vec::new(); //~ ERROR alloc-in-hot-path
+    let s = format!("x"); //~ ERROR alloc-in-hot-path
+    consume(v, s);
+}
+
+fn step_slot() {
+    let b = Box::new(1u8); //~ ERROR alloc-in-hot-path
+    let owned = borrowed().to_vec(); //~ ERROR alloc-in-hot-path
+    consume(owned, b);
+}
+
+fn cold_path() {
+    // Not reachable from any root: allocation is fine here.
+    let _ = Vec::new();
+    let _ = String::new();
+}
+
+fn consume<A, B>(_a: A, _b: B) {}
+
+fn borrowed() -> &'static [u8] {
+    &[1, 2, 3]
+}

@@ -1,0 +1,18 @@
+// Allow-marker mechanics: justified markers suppress, reasonless and
+// stale markers are findings of their own.
+
+fn justified(x: Option<u32>) -> u32 {
+    // ccr-verify: allow(unwrap-in-lib) -- fixture: documented exception
+    x.unwrap()
+}
+
+fn undocumented(x: Option<u32>) -> u32 {
+    // ccr-verify: allow(unwrap-in-lib)
+    //~^ ERROR allow-marker
+    x.unwrap()
+    //~^ ERROR unwrap-in-lib
+}
+
+// ccr-verify: allow(time-cast) -- stale: nothing below casts anything
+//~^ ERROR allow-marker
+fn stale() {}

@@ -1,0 +1,32 @@
+// Seeded violations for the nondeterminism rule.
+
+use std::collections::HashMap;
+
+struct S {
+    map: HashMap<u32, u32>,
+}
+
+impl S {
+    fn tick(&self) -> u64 {
+        let t = std::time::Instant::now(); //~ ERROR nondeterminism
+        consume(t);
+        let mut acc = 0u64;
+        for (_k, v) in self.map.iter() { //~ ERROR nondeterminism
+            acc += u64::from(*v);
+        }
+        acc
+    }
+
+    fn entropy(&self) -> u64 {
+        let r = rand::thread_rng(); //~ ERROR nondeterminism
+        consume(r);
+        7
+    }
+
+    fn lookup(&self, k: u32) -> Option<u32> {
+        // Keyed lookups are deterministic and allowed.
+        self.map.get(&k).copied()
+    }
+}
+
+fn consume<T>(_t: T) {}

@@ -1,0 +1,18 @@
+// Seeded violations for the unwrap-in-lib rule.
+
+fn lib_code(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); //~ ERROR unwrap-in-lib
+    let b = Some(1).expect(""); //~ ERROR unwrap-in-lib
+    a + b
+}
+
+fn stated_invariant(x: Option<u32>) -> u32 {
+    x.expect("invariant: caller checked admission first")
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests(x: Option<u32>) -> u32 {
+        x.unwrap() // fine: test code is exempt
+    }
+}

@@ -1,0 +1,274 @@
+//! An approximate, name-based call graph over the workspace.
+//!
+//! Without type information, a call `foo(...)` or `.foo(...)` is resolved
+//! to workspace functions *named* `foo` — preferring definitions in the
+//! caller's own crate, and falling back to other crates only when the name
+//! is defined in exactly one of them. This over-approximates reachability
+//! (several same-named methods all count) which is the right bias for a
+//! lint: it can only produce extra findings, which an explicit allow-marker
+//! then documents.
+
+use crate::model::FileModel;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A function's global index: `(file index, fn index within file)`.
+pub type FnRef = (usize, usize);
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "as", "in", "move", "unsafe", "ref",
+    "mut", "await", "else", "impl", "use", "pub", "where", "let", "enum", "struct", "trait",
+    "type", "const", "static", "break", "continue", "crate", "self", "Self", "super", "dyn",
+    "true", "false", "Some", "Ok", "Err", "None",
+];
+
+/// Names so common in Rust (std trait methods, constructors, iterator
+/// adapters) that matching them by name carries no signal: a call to
+/// `.iter()` is almost never the workspace function named `iter`, and one
+/// false edge through `new` merges the whole workspace into the hot set.
+/// Calls to these are never resolved to workspace definitions.
+const UBIQUITOUS_NAMES: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "chain",
+    "next",
+    "len",
+    "is_empty",
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "fmt",
+    "from",
+    "into",
+    "map",
+    "filter",
+    "fold",
+    "collect",
+    "extend",
+    "clear",
+    "drain",
+    "as_ref",
+    "as_mut",
+    "to_string",
+    "write",
+    "read",
+    "min",
+    "max",
+    "sum",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "index",
+    "rev",
+    "take",
+    "skip",
+    "zip",
+    "count",
+    "last",
+    "first",
+    "sort",
+    "sort_by",
+    "retain",
+    "split",
+    "join",
+    "find",
+    "position",
+    "any",
+    "all",
+    "enumerate",
+    "flatten",
+    "flat_map",
+    "unwrap_or",
+    "and_then",
+    "ok_or",
+    "entry",
+    "keys",
+    "values",
+    "reserve",
+    "resize",
+    "truncate",
+    "swap",
+    "replace",
+    "with_capacity",
+];
+
+/// Extract the set of called identifiers (`name(`, `.name(`) from a body.
+pub fn calls_in(body: &str) -> BTreeSet<String> {
+    let bytes = body.as_bytes();
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let mut j = i;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'(' {
+                let name = &body[start..i];
+                if !KEYWORDS.contains(&name) {
+                    out.insert(name.to_string());
+                }
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The callable-name index over all files.
+pub struct CallGraph {
+    /// name → definitions carrying that name.
+    by_name: BTreeMap<String, Vec<FnRef>>,
+}
+
+impl CallGraph {
+    /// Index every non-test function in `files`.
+    pub fn build(files: &[FileModel]) -> CallGraph {
+        let mut by_name: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, g) in f.fns.iter().enumerate() {
+                if !g.is_test {
+                    by_name.entry(g.name.clone()).or_default().push((fi, gi));
+                }
+            }
+        }
+        CallGraph { by_name }
+    }
+
+    /// Resolve a called name from `crate_name` to candidate definitions.
+    fn resolve(&self, files: &[FileModel], crate_name: &str, name: &str) -> Vec<FnRef> {
+        if UBIQUITOUS_NAMES.contains(&name) {
+            return Vec::new();
+        }
+        let Some(defs) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let local: Vec<FnRef> = defs
+            .iter()
+            .copied()
+            .filter(|&(fi, _)| files[fi].crate_name == crate_name)
+            .collect();
+        if !local.is_empty() {
+            return local;
+        }
+        // Cross-crate: only when unambiguous (defined in a single foreign
+        // crate), to keep same-named methods of unrelated types from
+        // merging the whole workspace into one blob.
+        let crates: BTreeSet<&str> = defs
+            .iter()
+            .map(|&(fi, _)| files[fi].crate_name.as_str())
+            .collect();
+        if crates.len() == 1 {
+            defs.clone()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// All functions reachable from the given roots, with one example
+    /// caller chain entry (`reached[f] = caller`) for diagnostics.
+    pub fn reachable(
+        &self,
+        files: &[FileModel],
+        roots: &[FnRef],
+    ) -> BTreeMap<FnRef, Option<FnRef>> {
+        let mut seen: BTreeMap<FnRef, Option<FnRef>> = BTreeMap::new();
+        let mut queue: VecDeque<FnRef> = VecDeque::new();
+        for &r in roots {
+            seen.entry(r).or_insert(None);
+            queue.push_back(r);
+        }
+        while let Some((fi, gi)) = queue.pop_front() {
+            let f = &files[fi];
+            let g = &f.fns[gi];
+            let body = &f.clean[g.body.0..=g.body.1];
+            for name in calls_in(body) {
+                for target in self.resolve(files, &f.crate_name, &name) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(target) {
+                        e.insert(Some((fi, gi)));
+                        queue.push_back(target);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(crate_name: &str, src: &str) -> FileModel {
+        FileModel::parse(PathBuf::from("m.rs"), crate_name, src.to_string())
+    }
+
+    #[test]
+    fn extracts_calls() {
+        let calls = calls_in("{ alpha(); x.beta(1); if gamma() { } vec.push(2) }");
+        assert!(calls.contains("alpha"));
+        assert!(calls.contains("beta"));
+        assert!(calls.contains("gamma"));
+        assert!(calls.contains("push"));
+        assert!(!calls.contains("if"));
+    }
+
+    #[test]
+    fn walks_transitively_within_crate() {
+        let files = vec![file(
+            "a",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn unrelated() {}",
+        )];
+        let cg = CallGraph::build(&files);
+        let reach = cg.reachable(&files, &[(0, 0)]);
+        let names: Vec<&str> = reach
+            .keys()
+            .map(|&(fi, gi)| files[fi].fns[gi].name.as_str())
+            .collect();
+        assert_eq!(names, ["root", "mid", "leaf"]);
+    }
+
+    #[test]
+    fn ubiquitous_names_are_not_resolved() {
+        // A workspace fn named `new` must not become a call-graph edge:
+        // `.new()`-style matches are noise that merges everything.
+        let files = vec![file(
+            "a",
+            "fn root() { let q = Queue::new(); q.push(1); }\nfn new() { evil(); }\nfn push() {}\nfn evil() {}",
+        )];
+        let cg = CallGraph::build(&files);
+        let reach = cg.reachable(&files, &[(0, 0)]);
+        assert_eq!(reach.len(), 1, "only the root itself is reachable");
+    }
+
+    #[test]
+    fn ambiguous_cross_crate_names_do_not_merge() {
+        let files = vec![
+            file("a", "fn root() { shared(); }"),
+            file("b", "fn shared() { evil(); }\nfn evil() {}"),
+            file("c", "fn shared() {}"),
+        ];
+        let cg = CallGraph::build(&files);
+        let reach = cg.reachable(&files, &[(0, 0)]);
+        assert_eq!(reach.len(), 1, "shared() is ambiguous across b and c");
+    }
+}

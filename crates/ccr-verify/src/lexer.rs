@@ -1,0 +1,292 @@
+//! A minimal Rust lexer: enough to blank out comments, string literals and
+//! char literals so the rule engine can pattern-match on *code* without a
+//! full parse. The cleaned text preserves byte offsets and newlines, so
+//! line numbers computed against it map 1:1 onto the original source.
+
+/// The result of cleaning one source file.
+pub struct Cleaned {
+    /// Source with comment and string/char literal *contents* replaced by
+    /// spaces. Quotes are kept so token boundaries survive; newlines are
+    /// kept so line numbers are unchanged.
+    pub clean: String,
+    /// `(line, text)` of every line comment, with the leading `//` and
+    /// surrounding whitespace stripped. Lines are 1-indexed. Used for
+    /// `ccr-verify:` marker parsing.
+    pub comments: Vec<(usize, String)>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Blank comments and literals out of `src`. Not a validating lexer: on
+/// pathological input it degrades to passing bytes through, which only ever
+/// produces *extra* findings, never hides code.
+pub fn clean_source(src: &str) -> Cleaned {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut comment_buf = String::new();
+    let mut state = State::Normal;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                comments.push((line, std::mem::take(&mut comment_buf)));
+                state = State::Normal;
+            }
+            out.push(b'\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                match b {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        state = State::LineComment;
+                        comment_buf.clear();
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                        continue;
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        state = State::Block(1);
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                        continue;
+                    }
+                    b'"' => {
+                        // Possible raw/byte string prefix directly before us
+                        // is handled at the prefix characters below; a bare
+                        // quote starts an ordinary string.
+                        state = State::Str;
+                        out.push(b'"');
+                        i += 1;
+                        continue;
+                    }
+                    b'r' | b'b' => {
+                        // r"..."  r#"..."#  br"..."  b"..."
+                        let (hashes, quote_at) = raw_prefix(bytes, i);
+                        if let Some(q) = quote_at {
+                            out.resize(out.len() + (q - i + 1), b' ');
+                            out.push(b'"');
+                            // we emitted one space per consumed byte plus the
+                            // quote; rewind one to keep offsets aligned
+                            out.pop();
+                            out.pop();
+                            out.push(b'"');
+                            state = State::RawStr(hashes);
+                            i = q + 1;
+                            continue;
+                        }
+                        out.push(b);
+                        i += 1;
+                        continue;
+                    }
+                    b'\'' => {
+                        if let Some(end) = char_literal_end(bytes, i) {
+                            out.push(b'\'');
+                            out.resize(out.len() + (end - i - 1), b' ');
+                            out.push(b'\'');
+                            for &bb in &bytes[i..end + 1] {
+                                if bb == b'\n' {
+                                    line += 1;
+                                }
+                            }
+                            i = end + 1;
+                            continue;
+                        }
+                        // lifetime tick
+                        out.push(b'\'');
+                        i += 1;
+                        continue;
+                    }
+                    _ => {
+                        out.push(b);
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            State::LineComment => {
+                comment_buf.push(b as char);
+                out.push(b' ');
+                i += 1;
+            }
+            State::Block(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::Block(depth + 1);
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b == b'"' {
+                    out.push(b'"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && trailing_hashes(bytes, i + 1) >= hashes {
+                    out.push(b'"');
+                    out.resize(out.len() + hashes as usize, b' ');
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        comments.push((line, comment_buf));
+    }
+
+    Cleaned {
+        clean: String::from_utf8(out).unwrap_or_default(),
+        comments,
+    }
+}
+
+/// If a raw/byte string starts at `i`, return `(hash_count, index of the
+/// opening quote)`.
+fn raw_prefix(bytes: &[u8], i: usize) -> (u32, Option<usize>) {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') && (raw || (hashes == 0 && j > i)) {
+        // b"...", r"...", r#"..."#, br#"..."#
+        (hashes, Some(j))
+    } else {
+        (0, None)
+    }
+}
+
+fn trailing_hashes(bytes: &[u8], from: usize) -> u32 {
+    let mut n = 0u32;
+    while bytes.get(from + n as usize) == Some(&b'#') {
+        n += 1;
+    }
+    n
+}
+
+/// If `'` at `i` opens a char literal (not a lifetime), return the index of
+/// the closing quote.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // escape: scan to the closing quote
+        let mut j = i + 2;
+        while j < bytes.len() {
+            if bytes[j] == b'\\' {
+                j += 2;
+                continue;
+            }
+            if bytes[j] == b'\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // 'x' — exactly one (possibly multi-byte) char then a quote; a lifetime
+    // like 'a or 'static has an identifier char NOT followed by a quote.
+    let mut j = i + 2;
+    // skip UTF-8 continuation bytes of a multi-byte scalar
+    while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'\'') {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_comments_but_keeps_them() {
+        let c = clean_source("let x = 1; // Instant::now()\nlet y = 2;");
+        assert!(!c.clean.contains("Instant"));
+        assert_eq!(c.comments.len(), 1);
+        assert_eq!(c.comments[0].0, 1);
+        assert!(c.comments[0].1.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn blanks_strings_and_preserves_offsets() {
+        let src = r#"let s = "Instant::now()"; let t = 1;"#;
+        let c = clean_source(src);
+        assert!(!c.clean.contains("Instant"));
+        assert_eq!(c.clean.len(), src.len());
+        assert!(c.clean.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn handles_raw_strings_and_chars_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\n'; let r = r#\"vec![]\"#; }";
+        let c = clean_source(src);
+        assert!(!c.clean.contains("vec!"));
+        assert!(c.clean.contains("fn f<'a>"));
+        assert_eq!(c.clean.len(), src.len());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = clean_source("a /* x /* y */ z */ b");
+        assert_eq!(c.clean, "a                   b");
+    }
+
+    #[test]
+    fn newlines_survive_inside_block_comments() {
+        let c = clean_source("a\n/* x\n y */\nb // tail");
+        assert_eq!(c.clean.matches('\n').count(), 3);
+        assert_eq!(c.comments[0].0, 4);
+    }
+}

@@ -1,0 +1,58 @@
+//! CLI entry point: `cargo run -p ccr-verify [-- --root <dir>]`.
+
+use ccr_verify::rules::RuleConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "ccr-verify: workspace static-analysis gate\n\
+                     usage: cargo run -p ccr-verify [-- --root <workspace dir>]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root
+        .or_else(|| {
+            std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(PathBuf::from)
+                .and_then(|p| ccr_verify::find_workspace_root(&p))
+        })
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|p| ccr_verify::find_workspace_root(&p))
+        });
+    let Some(root) = root else {
+        eprintln!("ccr-verify: could not locate a workspace root");
+        return ExitCode::FAILURE;
+    };
+
+    let report = ccr_verify::run(&root, &RuleConfig::workspace());
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "ccr-verify: {} file(s), {} fn(s) indexed, {} allow-marker(s) honoured, {} finding(s)",
+        report.files_scanned,
+        report.fns_indexed,
+        report.markers_honoured,
+        report.findings.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,360 @@
+//! Per-file source model: cleaned text, line table, test-code mask,
+//! function spans, and `ccr-verify:` markers.
+//!
+//! Marker grammar (inside ordinary `//` comments):
+//!
+//! ```text
+//! // ccr-verify: allow(<rule>) -- <reason>
+//! // ccr-verify: hot_path
+//! ```
+//!
+//! An `allow` marker suppresses findings of `<rule>` on its own line and on
+//! the line directly below (so it can sit above the offending statement).
+//! The reason is mandatory; the gate reports markers whose reason is
+//! missing, and markers that suppressed nothing, as errors of their own —
+//! "zero unexplained allow-markers" is part of the contract.
+
+use crate::lexer::{clean_source, Cleaned};
+use std::path::PathBuf;
+
+/// One `ccr-verify: allow(...)` marker.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    /// 1-indexed line the marker comment sits on.
+    pub line: usize,
+    /// Rule name inside `allow(...)`.
+    pub rule: String,
+    /// Justification text after the rule; empty is an error.
+    pub reason: String,
+}
+
+/// A function item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name (identifier after `fn`).
+    pub name: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Byte range of the body (including braces) in the cleaned text.
+    pub body: (usize, usize),
+    /// True when the body lies inside `#[cfg(test)]` code or the fn is
+    /// `#[test]`-annotated.
+    pub is_test: bool,
+    /// True when a `ccr-verify: hot_path` marker sits within two lines
+    /// above the `fn` keyword.
+    pub hot_root: bool,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileModel {
+    /// Path as given to [`FileModel::parse`].
+    pub path: PathBuf,
+    /// Cargo package name of the owning crate.
+    pub crate_name: String,
+    /// Raw source (only used for string-literal checks, e.g. `expect("")`).
+    pub raw: String,
+    /// Comment/string-blanked source; same length and line structure.
+    pub clean: String,
+    /// Byte offset of the start of each 1-indexed line in `clean`.
+    line_starts: Vec<usize>,
+    /// `mask[line-1]` is true when the line is test-only code.
+    pub test_mask: Vec<bool>,
+    /// Function items, in file order.
+    pub fns: Vec<FnDef>,
+    /// Allow markers, in file order.
+    pub markers: Vec<AllowMarker>,
+}
+
+impl FileModel {
+    /// Parse one file.
+    pub fn parse(path: PathBuf, crate_name: &str, raw: String) -> FileModel {
+        let Cleaned { clean, comments } = clean_source(&raw);
+        let line_starts = line_starts(&clean);
+        let n_lines = line_starts.len();
+        let test_mask = test_mask(&clean, &line_starts, n_lines);
+
+        let mut markers = Vec::new();
+        let mut hot_lines = Vec::new();
+        for (line, text) in &comments {
+            let t = text.trim();
+            let Some(rest) = t.strip_prefix("ccr-verify:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            if rest == "hot_path" {
+                hot_lines.push(*line);
+            } else if let Some(args) = rest.strip_prefix("allow(") {
+                if let Some(close) = args.find(')') {
+                    let rule = args[..close].trim().to_string();
+                    let reason = args[close + 1..]
+                        .trim()
+                        .trim_start_matches(['-', '—', ':'])
+                        .trim()
+                        .to_string();
+                    markers.push(AllowMarker {
+                        line: *line,
+                        rule,
+                        reason,
+                    });
+                }
+            } else {
+                // Unknown ccr-verify directive: surface as a marker with an
+                // unknown rule so the gate flags it instead of silently
+                // ignoring a typo.
+                markers.push(AllowMarker {
+                    line: *line,
+                    rule: format!("<unparseable: {rest}>"),
+                    reason: String::new(),
+                });
+            }
+        }
+
+        let fns = parse_fns(&clean, &line_starts, &test_mask, &hot_lines);
+
+        FileModel {
+            path,
+            crate_name: crate_name.to_string(),
+            raw,
+            clean,
+            line_starts,
+            test_mask,
+            fns,
+            markers,
+        }
+    }
+
+    /// 1-indexed line containing byte offset `pos` of the cleaned text.
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.line_starts.binary_search(&pos) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The raw text of a 1-indexed line, trimmed, for finding snippets.
+    pub fn snippet(&self, line: usize) -> &str {
+        self.raw.lines().nth(line - 1).unwrap_or("").trim()
+    }
+
+    /// True when the 1-indexed line is test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_mask.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Iterate over the cleaned text of each non-test line as
+    /// `(line_number, text)`.
+    pub fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.clean
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l))
+            .filter(|(n, _)| !self.is_test_line(*n))
+    }
+}
+
+fn line_starts(s: &str) -> Vec<usize> {
+    let mut v = vec![0usize];
+    for (i, b) in s.bytes().enumerate() {
+        if b == b'\n' {
+            v.push(i + 1);
+        }
+    }
+    v
+}
+
+/// Mark every line covered by `#[cfg(test)]`-gated items or `#[test]`
+/// functions. Works on cleaned text, so braces inside strings can't confuse
+/// the matcher.
+fn test_mask(clean: &str, line_starts: &[usize], n_lines: usize) -> Vec<bool> {
+    let mut mask = vec![false; n_lines];
+    for pat in ["#[cfg(test)]", "#[cfg(all(test", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(hit) = clean[from..].find(pat) {
+            let at = from + hit;
+            from = at + pat.len();
+            // Find the gated item's body: the next `{` before any
+            // same-level `;` (an item like `#[cfg(test)] use x;` has none).
+            let mut j = at + pat.len();
+            let bytes = clean.as_bytes();
+            let mut depth_paren = 0i32;
+            let mut body_start = None;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'(' | b'[' => depth_paren += 1,
+                    b')' | b']' => depth_paren -= 1,
+                    b';' if depth_paren == 0 => break,
+                    b'{' if depth_paren == 0 => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = body_start else { continue };
+            let close = match_brace(clean, open);
+            let (a, b) = (line_of_at(line_starts, at), line_of_at(line_starts, close));
+            for l in a..=b.min(n_lines) {
+                mask[l - 1] = true;
+            }
+        }
+    }
+    mask
+}
+
+fn line_of_at(line_starts: &[usize], pos: usize) -> usize {
+    match line_starts.binary_search(&pos) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Byte offset of the `}` matching the `{` at `open` (or end of text).
+pub fn match_brace(clean: &str, open: usize) -> usize {
+    let bytes = clean.as_bytes();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    clean.len().saturating_sub(1)
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn parse_fns(
+    clean: &str,
+    line_starts: &[usize],
+    test_mask: &[bool],
+    hot_lines: &[usize],
+) -> Vec<FnDef> {
+    let bytes = clean.as_bytes();
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < bytes.len() {
+        // A `fn` keyword: preceded by a non-identifier byte, followed by
+        // whitespace.
+        if &bytes[i..i + 2] == b"fn"
+            && (i == 0 || !is_ident(bytes[i - 1]))
+            && bytes.get(i + 2).is_some_and(|b| b.is_ascii_whitespace())
+        {
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let name_start = j;
+            while j < bytes.len() && is_ident(bytes[j]) {
+                j += 1;
+            }
+            if j == name_start {
+                i += 2;
+                continue;
+            }
+            let name = clean[name_start..j].to_string();
+            // Scan the signature for the body `{` (or `;` for trait
+            // signatures / extern decls) at bracket depth 0.
+            let mut depth = 0i32;
+            let mut body = None;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b';' if depth == 0 => break,
+                    b'{' if depth == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let line = line_of_at(line_starts, i);
+            if let Some(open) = body {
+                let close = match_brace(clean, open);
+                let is_test = test_mask.get(line - 1).copied().unwrap_or(false);
+                let hot_root = hot_lines.iter().any(|&hl| hl < line && line - hl <= 3);
+                fns.push(FnDef {
+                    name,
+                    line,
+                    body: (open, close),
+                    is_test,
+                    hot_root,
+                });
+                // Continue scanning *inside* the body too (nested fns are
+                // rare but real); just move past the signature.
+                i = open + 1;
+                continue;
+            }
+            i = j.max(i + 2);
+            continue;
+        }
+        i += 1;
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::parse(PathBuf::from("mem.rs"), "test-crate", src.to_string())
+    }
+
+    #[test]
+    fn finds_fns_and_bodies() {
+        let m = model("fn alpha() { beta(); }\nfn beta() -> u32 { 1 }\n");
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "alpha");
+        assert_eq!(m.fns[1].line, 2);
+        let body = &m.clean[m.fns[0].body.0..=m.fns[0].body.1];
+        assert!(body.contains("beta()"));
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let m = model("trait T { fn sig(&self) -> u8; fn with_default(&self) { } }");
+        let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_default"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n";
+        let m = model(src);
+        assert!(!m.is_test_line(1));
+        assert!(m.is_test_line(4));
+        let helper = m.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(helper.is_test);
+    }
+
+    #[test]
+    fn markers_parse_with_reasons() {
+        let src = "// ccr-verify: allow(nondeterminism) -- wall-clock meter only\nlet t = 0;\n// ccr-verify: hot_path\nfn fast() {}\n// ccr-verify: allow(unwrap-in-lib)\n";
+        let m = model(src);
+        assert_eq!(m.markers.len(), 2);
+        assert_eq!(m.markers[0].rule, "nondeterminism");
+        assert_eq!(m.markers[0].reason, "wall-clock meter only");
+        assert!(m.markers[1].reason.is_empty());
+        assert!(m.fns.iter().any(|f| f.name == "fast" && f.hot_root));
+    }
+
+    #[test]
+    fn where_clause_bracket_depth_does_not_confuse_body() {
+        let m = model("fn g<T: Into<Vec<u8>>>(x: [u8; 4]) -> u8 where T: Sized { x[0] }");
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "g");
+    }
+}

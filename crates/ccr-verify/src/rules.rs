@@ -1,0 +1,546 @@
+//! The CCR-EDF-specific lint rules.
+//!
+//! Four rule families (see `DESIGN.md` §10 for the full rationale table):
+//!
+//! * `alloc-in-hot-path` — no allocation or cloning in functions reachable
+//!   from the slot-engine hot-path roots.
+//! * `nondeterminism` — no wall clocks, OS randomness, ambient I/O, or
+//!   hash-order iteration in the deterministic model crates.
+//! * `time-cast` — no lossy `as` casts on time-flavoured values and no raw
+//!   `TimeDelta(..)`/`SimTime(..)` tuple construction outside the newtype
+//!   module; use the checked `try_from_ps_f64`-style constructors.
+//! * `unwrap-in-lib` — no bare `.unwrap()` (or empty-message `.expect("")`)
+//!   in non-test library code; state the invariant in an `expect` message
+//!   or return a typed error.
+//!
+//! Every finding can be silenced by a `// ccr-verify: allow(<rule>) --
+//! reason` marker on the offending line or the line above; the reason is
+//! mandatory and unused markers are themselves findings.
+
+use crate::callgraph::CallGraph;
+use crate::model::{FileModel, FnDef};
+use std::collections::BTreeSet;
+use std::fmt;
+
+pub const RULE_ALLOC: &str = "alloc-in-hot-path";
+pub const RULE_DET: &str = "nondeterminism";
+pub const RULE_CAST: &str = "time-cast";
+pub const RULE_UNWRAP: &str = "unwrap-in-lib";
+pub const RULE_DEPS: &str = "deps";
+pub const RULE_MARKER: &str = "allow-marker";
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// File the finding is in (workspace-relative where possible).
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Human-readable diagnosis.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "error[{}] {}:{}: {}",
+            self.rule, self.path, self.line, self.message
+        )?;
+        write!(f, "    | {}", self.snippet)
+    }
+}
+
+/// Which crates each rule family applies to, and which functions root the
+/// hot-path walk.
+pub struct RuleConfig {
+    /// Crates whose library code must be deterministic (rule 2 + 3).
+    pub det_crates: BTreeSet<String>,
+    /// Crates whose library code must not `unwrap()` (rule 4).
+    pub lib_crates: BTreeSet<String>,
+    /// `(crate, fn name)` pairs that root the hot-path walk in addition to
+    /// `ccr-verify: hot_path` markers.
+    pub hot_roots: Vec<(String, String)>,
+    /// Path suffixes exempt from the `time-cast` rule (the sanctioned
+    /// newtype impls live here).
+    pub cast_exempt: Vec<String>,
+}
+
+impl RuleConfig {
+    /// The workspace's production configuration.
+    pub fn workspace() -> RuleConfig {
+        let det: &[&str] = &[
+            "ccr-edf",
+            "ccr-sim",
+            "ccr-phys",
+            "ccr-multiring",
+            "ccr-traffic",
+            "cc-fpr",
+        ];
+        RuleConfig {
+            det_crates: det.iter().map(|s| s.to_string()).collect(),
+            lib_crates: det.iter().map(|s| s.to_string()).collect(),
+            hot_roots: vec![
+                ("ccr-edf".into(), "step_slot".into()),
+                ("ccr-edf".into(), "arbitrate_into".into()),
+            ],
+            cast_exempt: vec!["sim/src/time.rs".into()],
+        }
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Find occurrences of `pat` in `text` honouring identifier boundaries on
+/// whichever ends of the pattern are identifier characters.
+fn token_positions(text: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let first_is_ident = pat.as_bytes().first().is_some_and(|&b| is_ident(b));
+    let last_is_ident = pat.as_bytes().last().is_some_and(|&b| is_ident(b));
+    let mut from = 0;
+    while let Some(hit) = text[from..].find(pat) {
+        let at = from + hit;
+        from = at + 1;
+        if first_is_ident && at > 0 && is_ident(text.as_bytes()[at - 1]) {
+            continue;
+        }
+        if last_is_ident
+            && text
+                .as_bytes()
+                .get(at + pat.len())
+                .is_some_and(|&b| is_ident(b))
+        {
+            continue;
+        }
+        out.push(at);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: alloc-in-hot-path
+// ---------------------------------------------------------------------
+
+const ALLOC_TOKENS: &[(&str, &str)] = &[
+    ("vec!", "vec! allocates"),
+    ("format!", "format! allocates a String"),
+    ("Vec::new", "Vec::new allocates on first push"),
+    ("VecDeque::new", "VecDeque::new allocates on first push"),
+    ("Box::new", "Box::new heap-allocates"),
+    ("String::new", "String::new allocates on first push"),
+    (".to_vec(", "to_vec clones into a fresh allocation"),
+    (".to_owned(", "to_owned clones into a fresh allocation"),
+    (".to_string(", "to_string allocates"),
+    (".collect(", "collect usually allocates its container"),
+    ("with_capacity(", "with_capacity allocates"),
+    (
+        ".clone(",
+        "clone may allocate; hot-path state must be reused",
+    ),
+];
+
+/// Deny allocation-shaped calls in every function reachable from the
+/// hot-path roots.
+pub fn rule_alloc(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let mut roots = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.fns.iter().enumerate() {
+            if g.is_test {
+                continue;
+            }
+            let named_root = cfg
+                .hot_roots
+                .iter()
+                .any(|(c, n)| *c == f.crate_name && *n == g.name);
+            if g.hot_root || named_root {
+                roots.push((fi, gi));
+            }
+        }
+    }
+    let reachable = graph.reachable(files, &roots);
+    // Reconstruct one example call chain per reached function for the
+    // diagnostic, so the reader can audit (and, if bogus, break) the edge.
+    let chain_of = |mut at: (usize, usize)| -> String {
+        let mut names = vec![files[at.0].fns[at.1].name.clone()];
+        while let Some(Some(parent)) = reachable.get(&at) {
+            at = *parent;
+            names.push(files[at.0].fns[at.1].name.clone());
+            if names.len() > 12 {
+                break;
+            }
+        }
+        names.reverse();
+        names.join(" -> ")
+    };
+    let mut findings = Vec::new();
+    for &(fi, gi) in reachable.keys() {
+        let f = &files[fi];
+        let g: &FnDef = &f.fns[gi];
+        let body = &f.clean[g.body.0..=g.body.1];
+        for (tok, why) in ALLOC_TOKENS {
+            for at in token_positions(body, tok) {
+                let line = f.line_of(g.body.0 + at);
+                findings.push(Finding {
+                    path: f.path.display().to_string(),
+                    line,
+                    rule: RULE_ALLOC,
+                    message: format!(
+                        "`{}` inside `{}` (hot via {}): {}",
+                        tok.trim_matches(&['.', '('][..]),
+                        g.name,
+                        chain_of((fi, gi)),
+                        why
+                    ),
+                    snippet: f.snippet(line).to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: nondeterminism
+// ---------------------------------------------------------------------
+
+const DET_TOKENS: &[(&str, &str)] = &[
+    ("Instant", "wall-clock reads make runs irreproducible"),
+    ("SystemTime", "wall-clock reads make runs irreproducible"),
+    ("thread_rng", "OS randomness breaks bit-identical replay"),
+    (
+        "rand::",
+        "external RNGs break bit-identical replay; use ccr_sim::rng",
+    ),
+    (
+        "std::fs::",
+        "ambient file I/O does not belong in the model crates",
+    ),
+    (
+        "std::env::",
+        "environment reads make behaviour machine-dependent",
+    ),
+    ("println!", "model crates must not write to stdout"),
+    ("eprintln!", "model crates must not write to stderr"),
+    ("dbg!", "leftover debugging macro"),
+];
+
+const HASH_ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Identifiers bound to `HashMap`/`HashSet` in this file: struct fields
+/// (`name: HashMap<..>`) and let-bindings (`let name = HashMap::new()`).
+fn hash_bound_idents(clean: &str) -> BTreeSet<String> {
+    let bytes = clean.as_bytes();
+    let mut out = BTreeSet::new();
+    for ty in ["HashMap", "HashSet"] {
+        for at in token_positions(clean, ty) {
+            // Walk left over whitespace to the preceding `:` or `=`.
+            let mut j = at;
+            while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            if j == 0 {
+                continue;
+            }
+            let sep = bytes[j - 1];
+            if sep != b':' && sep != b'=' {
+                continue;
+            }
+            let mut k = j - 1;
+            if sep == b':' && k > 0 && bytes[k - 1] == b':' {
+                // `::` path separator, not a type ascription
+                continue;
+            }
+            while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+                k -= 1;
+            }
+            let end = k;
+            while k > 0 && is_ident(bytes[k - 1]) {
+                k -= 1;
+            }
+            if k < end {
+                out.insert(clean[k..end].to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Deny wall clocks, OS randomness, ambient I/O and hash-order iteration
+/// in the deterministic crates.
+pub fn rule_determinism(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        if !cfg.det_crates.contains(&f.crate_name) {
+            continue;
+        }
+        for (line_no, text) in f.code_lines() {
+            for (tok, why) in DET_TOKENS {
+                if !token_positions(text, tok).is_empty() {
+                    findings.push(Finding {
+                        path: f.path.display().to_string(),
+                        line: line_no,
+                        rule: RULE_DET,
+                        message: format!("`{tok}` in a deterministic crate: {why}"),
+                        snippet: f.snippet(line_no).to_string(),
+                    });
+                }
+            }
+        }
+        // Hash-order iteration: only for identifiers this file binds to a
+        // hash container.
+        let idents = hash_bound_idents(&f.clean);
+        for h in &idents {
+            for (line_no, text) in f.code_lines() {
+                let mut hit = false;
+                for m in HASH_ITER_METHODS {
+                    let pat = format!("{h}{m}");
+                    if !token_positions(text, &pat).is_empty() {
+                        hit = true;
+                    }
+                }
+                if !hit && for_loop_over(text, h) {
+                    hit = true;
+                }
+                if hit {
+                    findings.push(Finding {
+                        path: f.path.display().to_string(),
+                        line: line_no,
+                        rule: RULE_DET,
+                        message: format!(
+                            "iteration over hash container `{h}`: hash order is \
+                             nondeterministic — use a BTreeMap/BTreeSet or sort first"
+                        ),
+                        snippet: f.snippet(line_no).to_string(),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Does this line `for .. in ..` over identifier `h` (possibly behind
+/// `&`, `&mut` or `self.`)?
+fn for_loop_over(line: &str, h: &str) -> bool {
+    if !line.contains("for ") {
+        return false;
+    }
+    let Some(pos) = line.find(" in ") else {
+        return false;
+    };
+    let mut rest = line[pos + 4..].trim_start();
+    rest = rest.trim_start_matches('&');
+    rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    rest = rest.strip_prefix("self.").unwrap_or(rest);
+    let ident_len = rest.bytes().take_while(|&b| is_ident(b)).count();
+    &rest[..ident_len] == h
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: time-cast
+// ---------------------------------------------------------------------
+
+const INT_CASTS: &[&str] = &["as u64", "as u32", "as i64"];
+const FLOAT_EVIDENCE: &[&str] = &["f64", "round(", "ceil(", "floor(", ".ln("];
+
+/// Deny lossy float→integer casts on time-flavoured lines and raw
+/// `TimeDelta(..)`/`SimTime(..)` construction outside the newtype module.
+pub fn rule_time_cast(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        if !cfg.det_crates.contains(&f.crate_name) {
+            continue;
+        }
+        let path_str = f.path.display().to_string();
+        if cfg.cast_exempt.iter().any(|suf| path_str.ends_with(suf)) {
+            continue;
+        }
+        for (line_no, text) in f.code_lines() {
+            let int_cast = INT_CASTS
+                .iter()
+                .any(|c| !token_positions(text, c).is_empty());
+            if int_cast {
+                // Boundary-aware matching so `div_ceil(`/`log2_ceil(` do not
+                // count as float evidence.
+                let floaty = FLOAT_EVIDENCE
+                    .iter()
+                    .any(|e| !token_positions(text, e).is_empty());
+                let psy = !token_positions(text, "from_ps(").is_empty()
+                    || !token_positions(text, "from_ns(").is_empty();
+                if floaty || psy {
+                    findings.push(Finding {
+                        path: path_str.clone(),
+                        line: line_no,
+                        rule: RULE_CAST,
+                        message: "lossy `as` cast on a time-flavoured value: NaN/negative/huge \
+                                  inputs silently wrap — use TimeDelta::try_from_ps_f64 or a \
+                                  checked conversion"
+                            .into(),
+                        snippet: f.snippet(line_no).to_string(),
+                    });
+                }
+            }
+            for ctor in ["TimeDelta(", "SimTime("] {
+                if !token_positions(text, ctor).is_empty() {
+                    findings.push(Finding {
+                        path: path_str.clone(),
+                        line: line_no,
+                        rule: RULE_CAST,
+                        message: format!(
+                            "raw `{}..)` tuple construction bypasses the checked newtype \
+                             constructors; use from_ps/try_from_ps_f64",
+                            ctor
+                        ),
+                        snippet: f.snippet(line_no).to_string(),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: unwrap-in-lib
+// ---------------------------------------------------------------------
+
+/// Deny bare `.unwrap()` / `.unwrap_unchecked()` / empty-message
+/// `.expect("")` in non-test library code.
+pub fn rule_unwrap(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        if !cfg.lib_crates.contains(&f.crate_name) {
+            continue;
+        }
+        for (line_no, text) in f.code_lines() {
+            for pat in [".unwrap()", ".unwrap_unchecked()"] {
+                if text.contains(pat) {
+                    findings.push(Finding {
+                        path: f.path.display().to_string(),
+                        line: line_no,
+                        rule: RULE_UNWRAP,
+                        message: format!(
+                            "bare `{pat}` in library code: state the invariant with \
+                             `.expect(\"invariant: ...\")` or return a typed error"
+                        ),
+                        snippet: f.snippet(line_no).to_string(),
+                    });
+                }
+            }
+        }
+        // Empty expect-messages need the raw text (strings are blanked in
+        // the cleaned copy).
+        for (i, raw_line) in f.raw.lines().enumerate() {
+            let line_no = i + 1;
+            if f.is_test_line(line_no) {
+                continue;
+            }
+            if raw_line.contains(".expect(\"\")") {
+                findings.push(Finding {
+                    path: f.path.display().to_string(),
+                    line: line_no,
+                    rule: RULE_UNWRAP,
+                    message: "`.expect(\"\")` with an empty message is an unwrap in disguise"
+                        .into(),
+                    snippet: f.snippet(line_no).to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Marker application
+// ---------------------------------------------------------------------
+
+/// Apply allow-markers: drop suppressed findings, then report invalid or
+/// unused markers as findings of their own.
+pub fn apply_markers(files: &[FileModel], findings: Vec<Finding>) -> Vec<Finding> {
+    let mut used = vec![Vec::new(); files.len()];
+    for (fi, f) in files.iter().enumerate() {
+        used[fi] = vec![false; f.markers.len()];
+    }
+    let mut kept = Vec::new();
+    'next: for finding in findings {
+        for (fi, f) in files.iter().enumerate() {
+            if f.path.display().to_string() != finding.path {
+                continue;
+            }
+            for (mi, m) in f.markers.iter().enumerate() {
+                let covers = m.line == finding.line || m.line + 1 == finding.line;
+                if covers && m.rule == finding.rule && !m.reason.is_empty() {
+                    used[fi][mi] = true;
+                    continue 'next;
+                }
+            }
+        }
+        kept.push(finding);
+    }
+    for (fi, f) in files.iter().enumerate() {
+        for (mi, m) in f.markers.iter().enumerate() {
+            if m.rule.starts_with("<unparseable") {
+                kept.push(Finding {
+                    path: f.path.display().to_string(),
+                    line: m.line,
+                    rule: RULE_MARKER,
+                    message: format!("unparseable ccr-verify directive {}", m.rule),
+                    snippet: f.snippet(m.line).to_string(),
+                });
+            } else if m.reason.is_empty() {
+                kept.push(Finding {
+                    path: f.path.display().to_string(),
+                    line: m.line,
+                    rule: RULE_MARKER,
+                    message: format!(
+                        "allow({}) without a reason: every exception must explain itself",
+                        m.rule
+                    ),
+                    snippet: f.snippet(m.line).to_string(),
+                });
+            } else if !used[fi][mi] {
+                kept.push(Finding {
+                    path: f.path.display().to_string(),
+                    line: m.line,
+                    rule: RULE_MARKER,
+                    message: format!(
+                        "allow({}) suppresses nothing — stale marker, remove it",
+                        m.rule
+                    ),
+                    snippet: f.snippet(m.line).to_string(),
+                });
+            }
+        }
+    }
+    kept.sort();
+    kept.dedup();
+    kept
+}
+
+/// Run every source rule (not the deps audit) over the given models.
+pub fn run_all(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(rule_alloc(files, cfg));
+    findings.extend(rule_determinism(files, cfg));
+    findings.extend(rule_time_cast(files, cfg));
+    findings.extend(rule_unwrap(files, cfg));
+    apply_markers(files, findings)
+}

@@ -1,0 +1,124 @@
+//! Negative tests: every seeded violation in `fixtures/` must be detected
+//! by exactly the annotated rule, and nothing else may fire.
+//!
+//! Annotation grammar (trybuild-style):
+//! * `//~ ERROR <rule>`  — a finding of `<rule>` on this line
+//! * `//~^ ERROR <rule>` — a finding of `<rule>` on the previous line
+
+use ccr_verify::model::FileModel;
+use ccr_verify::rules::{run_all, RuleConfig};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture_config() -> RuleConfig {
+    let one = |s: &str| -> BTreeSet<String> { std::iter::once(s.to_string()).collect() };
+    RuleConfig {
+        det_crates: one("fixture"),
+        lib_crates: one("fixture"),
+        hot_roots: vec![("fixture".into(), "step_slot".into())],
+        cast_exempt: Vec::new(),
+    }
+}
+
+fn expectations(raw: &str) -> BTreeSet<(String, usize)> {
+    let mut out = BTreeSet::new();
+    for (i, line) in raw.lines().enumerate() {
+        let line_no = i + 1;
+        if let Some(pos) = line.find("//~") {
+            let rest = line[pos + 3..].trim_start();
+            let (target, rest) = if let Some(r) = rest.strip_prefix('^') {
+                (line_no - 1, r.trim_start())
+            } else {
+                (line_no, rest)
+            };
+            let rule = rest
+                .strip_prefix("ERROR")
+                .expect("annotation must read `//~ ERROR <rule>`")
+                .trim()
+                .to_string();
+            out.insert((rule, target));
+        }
+    }
+    out
+}
+
+fn check_fixture(path: &Path) {
+    let raw = std::fs::read_to_string(path).expect("fixture readable");
+    let expected = expectations(&raw);
+    let model = FileModel::parse(path.to_path_buf(), "fixture", raw);
+    let files = vec![model];
+    let findings = run_all(&files, &fixture_config());
+    let actual: BTreeSet<(String, usize)> = findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect();
+    assert_eq!(
+        actual,
+        expected,
+        "fixture {} mismatch.\nfindings:\n{}",
+        path.display(),
+        findings
+            .iter()
+            .map(|f| format!("  {f}\n"))
+            .collect::<String>()
+    );
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn seeded_hot_path_allocations_are_detected() {
+    check_fixture(&fixture_path("hot_alloc.rs"));
+}
+
+#[test]
+fn seeded_nondeterminism_is_detected() {
+    check_fixture(&fixture_path("nondet.rs"));
+}
+
+#[test]
+fn seeded_time_casts_are_detected() {
+    check_fixture(&fixture_path("casts.rs"));
+}
+
+#[test]
+fn seeded_unwraps_are_detected() {
+    check_fixture(&fixture_path("unwraps.rs"));
+}
+
+#[test]
+fn marker_mechanics_suppress_and_report() {
+    check_fixture(&fixture_path("markers.rs"));
+}
+
+#[test]
+fn clean_fixture_stays_clean() {
+    check_fixture(&fixture_path("clean.rs"));
+}
+
+#[test]
+fn every_fixture_is_covered_by_a_test() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        [
+            "casts.rs",
+            "clean.rs",
+            "hot_alloc.rs",
+            "markers.rs",
+            "nondet.rs",
+            "unwraps.rs"
+        ],
+        "new fixture files need a matching #[test]"
+    );
+}

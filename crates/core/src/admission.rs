@@ -150,6 +150,7 @@ impl AdmissionController {
     /// even though the admitted set lives in a `HashMap`. Returns the
     /// revoked ids in revocation order.
     pub fn revalidate(&mut self) -> Vec<ConnectionId> {
+        // ccr-verify: allow(alloc-in-hot-path) -- runs on capacity-change fault events, not in the steady-state slot loop
         let mut revoked = Vec::new();
         while self.total > self.u_max() + 1e-12 {
             let victim = self
@@ -184,6 +185,7 @@ impl AdmissionController {
                 s.src == node || matches!(s.dest, Destination::Unicast(d) if d == node)
             })
             .map(|(id, _)| *id)
+            // ccr-verify: allow(alloc-in-hot-path) -- runs on node-failure events, not in the steady-state slot loop
             .collect();
         ids.sort_unstable();
         ids
@@ -223,7 +225,13 @@ impl AdmissionController {
             });
         }
         if self.policy == AdmissionPolicy::DemandBound {
-            let mut all: Vec<ConnectionSpec> = self.specs.values().cloned().collect();
+            // Sort by id so the f64 demand sums in `dbf::feasible` see the
+            // specs in a fixed order regardless of hash-map layout.
+            let mut entries: Vec<(ConnectionId, ConnectionSpec)> =
+                // ccr-verify: allow(nondeterminism) -- collected to a Vec and sorted by id on the next line
+                self.specs.iter().map(|(id, s)| (*id, s.clone())).collect();
+            entries.sort_unstable_by_key(|(id, _)| *id);
+            let mut all: Vec<ConnectionSpec> = entries.into_iter().map(|(_, s)| s).collect();
             all.push(spec.clone());
             let verdict = dbf::feasible(&self.model, &all);
             if !verdict.is_feasible() {

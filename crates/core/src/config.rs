@@ -86,6 +86,9 @@ pub enum ConfigError {
     EmptySlot,
     /// The per-link length vector is malformed.
     BadLinkLengths(String),
+    /// The physical parameters violate their own invariants (degenerate
+    /// link length or zero clock period).
+    BadPhysParams(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -107,6 +110,7 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::EmptySlot => write!(f, "slot_bytes must be > 0"),
             ConfigError::BadLinkLengths(why) => write!(f, "bad link lengths: {why}"),
+            ConfigError::BadPhysParams(why) => write!(f, "bad phys params: {why}"),
         }
     }
 }
@@ -188,9 +192,10 @@ impl NetworkConfig {
     /// Propagation delay of one specific link (honours per-link lengths).
     pub fn link_prop_of(&self, link: LinkId) -> TimeDelta {
         match &self.link_lengths_m {
-            Some(ls) => TimeDelta::from_ps(
-                (self.phys.prop_per_m.as_ps() as f64 * ls[link.idx()]).round() as u64,
-            ),
+            Some(ls) => {
+                TimeDelta::try_from_ps_f64(self.phys.prop_per_m.as_ps() as f64 * ls[link.idx()])
+                    .expect("invariant: validated link lengths yield representable delays")
+            }
             None => self.phys.link_prop(),
         }
     }
@@ -284,6 +289,9 @@ impl NetworkConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.slot_bytes == 0 {
             return Err(ConfigError::EmptySlot);
+        }
+        if let Err(e) = self.phys.validate() {
+            return Err(ConfigError::BadPhysParams(e.to_string()));
         }
         self.faults.validate()?;
         if self.faults.recovery_timeout_slots == 0 && self.fault_script.has_clock_faults() {

@@ -99,7 +99,10 @@ pub fn feasible(model: &AnalyticModel, specs: &[ConnectionSpec]) -> DbfVerdict {
     if !horizon_ps.is_finite() || horizon_ps > 1e18 {
         return DbfVerdict::HorizonTooLarge;
     }
-    let horizon = TimeDelta::from_ps(horizon_ps as u64);
+    let horizon = match TimeDelta::try_from_ps_f64(horizon_ps) {
+        Ok(h) => h,
+        Err(_) => return DbfVerdict::HorizonTooLarge,
+    };
 
     // Rough checkpoint-count estimate before materialising them.
     let approx: f64 = specs

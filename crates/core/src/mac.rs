@@ -60,6 +60,7 @@ impl SlotPlan {
     /// An idle plan: nobody transmits, the master stays put.
     pub fn idle(master: NodeId) -> Self {
         SlotPlan {
+            // ccr-verify: allow(alloc-in-hot-path) -- allocating constructor for setup/tests; the slot loop reuses plans via reset_idle
             grants: Vec::new(),
             next_master: master,
             hp_node: None,

@@ -66,6 +66,7 @@ impl Destination {
         use crate::wire::NodeSet;
         match self {
             Destination::Unicast(d) => NodeSet::single(*d),
+            // ccr-verify: allow(alloc-in-hot-path) -- collects into the u64-bitmask NodeSet: FromIterator sets bits, no heap
             Destination::Multicast(ds) => ds.iter().copied().collect(),
             Destination::Broadcast => {
                 let n = topo.n_nodes();

@@ -145,6 +145,8 @@ pub struct RingNetwork<P: MacProtocol = CcrEdfMac> {
     dist_scratch: DistributionPacket,
     /// Drain buffer swapped with `staged_acks` at slot start.
     staged_scratch: Vec<(NodeId, AckWire)>,
+    /// Reused buffer for expired stop-and-wait acks in `scan_ack_timeouts`.
+    ack_expired_scratch: Vec<(u8, MessageId)>,
     // cached derived quantities
     t_slot: TimeDelta,
     t_node: TimeDelta,
@@ -210,6 +212,7 @@ impl<P: MacProtocol> RingNetwork<P> {
             arb_scratch: ArbScratch::default(),
             dist_scratch: DistributionPacket::default(),
             staged_scratch: Vec::new(),
+            ack_expired_scratch: Vec::new(),
             t_slot,
             t_node,
             link_props,
@@ -524,6 +527,7 @@ impl<P: MacProtocol> RingNetwork<P> {
 
     /// Run `k` slots, fast-forwarding through provably idle stretches.
     pub fn run_slots(&mut self, k: u64) {
+        // ccr-verify: allow(nondeterminism) -- wall-clock throughput metric only; never feeds simulation state
         let wall = std::time::Instant::now();
         let target = self.slot_index + k;
         while self.slot_index < target {
@@ -538,6 +542,7 @@ impl<P: MacProtocol> RingNetwork<P> {
     /// Run until simulated time reaches at least `t`, fast-forwarding
     /// through provably idle stretches.
     pub fn run_until(&mut self, t: SimTime) {
+        // ccr-verify: allow(nondeterminism) -- wall-clock throughput metric only; never feeds simulation state
         let wall = std::time::Instant::now();
         let start_index = self.slot_index;
         while self.slot_start < t {
@@ -803,6 +808,7 @@ impl<P: MacProtocol> RingNetwork<P> {
                 // wire order is ring order from the master
                 requests: (0..n)
                     .map(|p| self.requests[self.topo.downstream(self.master, p).idx()])
+                    // ccr-verify: allow(alloc-in-hot-path) -- wire_check is a debug validation mode, off in performance runs
                     .collect(),
             };
             let bytes = pkt.encode(n, self.cfg.services);
@@ -1040,6 +1046,7 @@ impl<P: MacProtocol> RingNetwork<P> {
                 .queues
                 .get(id)
                 .expect("pinned message vanished");
+            // ccr-verify: allow(alloc-in-hot-path) -- one clone per completed delivery hands the message to the Delivery record
             (qm.sent_slots + 1 == qm.msg.size_slots, qm.msg.clone())
         };
         if is_final {
@@ -1058,6 +1065,7 @@ impl<P: MacProtocol> RingNetwork<P> {
     /// echo vectors' capacity.
     fn fill_distribution(&mut self) {
         let n = self.cfg.n_nodes as usize;
+        // ccr-verify: allow(alloc-in-hot-path) -- collects into the u64-bitmask NodeSet: FromIterator sets bits, no heap
         self.dist_scratch.grants = self.next_plan.grants.iter().map(|g| g.node).collect();
         self.dist_scratch.hp_node = self.next_plan.hp_node.unwrap_or(self.next_plan.next_master);
         self.dist_scratch.barrier_done =
@@ -1164,29 +1172,33 @@ impl<P: MacProtocol> RingNetwork<P> {
     /// making them eligible for retransmission.
     fn scan_ack_timeouts(&mut self) {
         let slot_idx = self.slot_index;
+        // Buffer first to avoid borrowing queues while mutating the map;
+        // the buffer lives on the engine so its capacity is reused.
+        let mut expired = std::mem::take(&mut self.ack_expired_scratch);
         for node in &mut self.nodes {
-            // Collect first to avoid borrowing queues while mutating map.
-            let expired: Vec<(u8, MessageId)> = node
-                .services
-                .awaiting
-                .iter()
-                .filter(|(_, &id)| {
-                    node.queues
-                        .get(id)
-                        .and_then(|qm| qm.awaiting_ack_since)
-                        .is_some_and(|since| {
-                            slot_idx.saturating_sub(since) >= RELIABLE_TIMEOUT_SLOTS
-                        })
-                })
-                .map(|(&seq, &id)| (seq, id))
-                .collect();
-            for (seq, id) in expired {
+            expired.clear();
+            expired.extend(
+                node.services
+                    .awaiting
+                    .iter()
+                    .filter(|(_, &id)| {
+                        node.queues
+                            .get(id)
+                            .and_then(|qm| qm.awaiting_ack_since)
+                            .is_some_and(|since| {
+                                slot_idx.saturating_sub(since) >= RELIABLE_TIMEOUT_SLOTS
+                            })
+                    })
+                    .map(|(&seq, &id)| (seq, id)),
+            );
+            for &(seq, id) in &expired {
                 node.services.awaiting.remove(&seq);
                 if let Some(qm) = node.queues.get_mut(id) {
                     qm.awaiting_ack_since = None; // re-eligible; seq kept.
                 }
             }
         }
+        self.ack_expired_scratch = expired;
     }
 
     /// Pop every pending release up to `until`, materialising messages into
@@ -1211,6 +1223,7 @@ impl<P: MacProtocol> RingNetwork<P> {
                     let deadline = conn.deadline_for(release);
                     let mut msg = Message::real_time(
                         conn.spec.src,
+                        // ccr-verify: allow(alloc-in-hot-path) -- one owned Destination per released message; Multicast carries a Vec by design
                         conn.spec.dest.clone(),
                         conn.spec.size_slots,
                         release,

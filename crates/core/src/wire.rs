@@ -649,6 +649,7 @@ impl CollectionPacket {
         if !rd.get_bool()? {
             return Err(WireError::Invalid("missing start bit"));
         }
+        // ccr-verify: allow(alloc-in-hot-path) -- decode materialises an owned packet; the slot loop only decodes under wire_check
         let mut requests = Vec::with_capacity(n as usize);
         for _ in 0..n {
             requests.push(get_request(&mut rd, n, svc)?);
@@ -765,6 +766,7 @@ impl DistributionPacket {
         } else {
             None
         };
+        // ccr-verify: allow(alloc-in-hot-path) -- decode materialises an owned packet; the slot loop only decodes under wire_check
         let mut short_msgs = vec![None; n as usize];
         if svc.short_msg {
             for slot in short_msgs.iter_mut() {
@@ -777,6 +779,7 @@ impl DistributionPacket {
                 *slot = valid.then_some(ShortMsgWire { dest, payload });
             }
         }
+        // ccr-verify: allow(alloc-in-hot-path) -- decode materialises an owned packet; the slot loop only decodes under wire_check
         let mut acks = vec![None; n as usize];
         if svc.reliable {
             for slot in acks.iter_mut() {

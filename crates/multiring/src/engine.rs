@@ -337,6 +337,8 @@ pub struct Fabric {
     pool: Option<RingPool>,
     // scratch reused across slots
     delivery_buf: Vec<Vec<Delivery>>,
+    /// Per-ring recovering flags filled by the health scan each slot.
+    health_scratch: Vec<bool>,
     // --- fault state ---------------------------------------------------
     /// Per-bridge death flags (indexed by bridge index).
     dead_bridges: Vec<bool>,
@@ -455,6 +457,7 @@ impl Fabric {
             fwd_seq: 0,
             pool,
             delivery_buf: Vec::new(),
+            health_scratch: Vec::new(),
             dead_bridges: vec![false; n_bridges],
             bridge_kills,
             kill_cursor: 0,
@@ -471,6 +474,14 @@ impl Fabric {
     /// End-to-end metrics.
     pub fn metrics(&self) -> &FabricMetrics {
         &self.metrics
+    }
+
+    /// Emit the in-progress per-ring availability window as a final series
+    /// point (end-of-run bookkeeping for fault-tracking runs; a no-op when
+    /// nothing is accumulated). See [`FabricMetrics::ring_availability`].
+    pub fn flush_health_series(&mut self) {
+        let last = self.metrics.slots.get().saturating_sub(1);
+        self.metrics.flush_ring_health(last);
     }
 
     /// Snapshot of ring `r`'s metrics (cloned out of the ring lock).
@@ -766,10 +777,15 @@ impl Fabric {
     /// deaths and e2e re-admission.
     fn scan_ring_health(&mut self) {
         let mut degraded = false;
+        // Empty Vec: only pushes (and so only allocates) on rare death
+        // events; the every-slot bookkeeping reuses health_scratch.
         let mut deaths: Vec<GlobalNodeId> = Vec::new();
+        self.health_scratch.clear();
         for r in 0..self.rings.len() {
             let ring = self.rings[r].lock().expect("ring lock");
-            if ring.last_outcome().recovering {
+            let recovering = ring.last_outcome().recovering;
+            self.health_scratch.push(recovering);
+            if recovering {
                 degraded = true;
             }
             let alive = &self.ring_alive[r];
@@ -784,6 +800,8 @@ impl Fabric {
         if degraded {
             self.metrics.degraded_slots.incr();
         }
+        self.metrics
+            .record_ring_health(self.metrics.slots.get(), &self.health_scratch);
         if !deaths.is_empty() {
             for g in deaths {
                 self.node_down(g);

@@ -65,6 +65,6 @@ pub mod prelude {
     pub use crate::bridge::{BridgeConfig, DropPolicy};
     pub use crate::engine::{Fabric, FabricBuildError, FabricConfig};
     pub use crate::fault::{FabricFaultEvent, FabricFaultKind, FabricFaultScript};
-    pub use crate::metrics::FabricMetrics;
+    pub use crate::metrics::{FabricMetrics, RING_AVAILABILITY_WINDOW};
     pub use crate::topology::{Bridge, FabricTopology, GlobalNodeId, RingId, TopologyError};
 }

@@ -6,8 +6,13 @@
 //! thread count. The determinism tests rely on this to prove parallel
 //! per-ring stepping is bit-identical to serial stepping.
 
-use ccr_sim::stats::{Counter, Histogram};
+use ccr_sim::stats::{Counter, Histogram, Series};
 use ccr_sim::TimeDelta;
+
+/// Fabric slots per point of the per-ring availability series: each
+/// completed window contributes one `(window-end slot, availability)`
+/// sample to [`FabricMetrics::ring_availability`].
+pub const RING_AVAILABILITY_WINDOW: u64 = 512;
 
 /// Aggregated end-to-end metrics of one fabric run.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +52,19 @@ pub struct FabricMetrics {
     /// Fabric slots during which at least one ring was in clock-loss
     /// recovery (dead time somewhere in the fabric).
     pub degraded_slots: Counter,
+    /// Cumulative recovering (degraded) slots per ring, indexed by ring.
+    /// Populated only on fault-tracking runs; grown on first record.
+    pub ring_degraded_slots: Vec<Counter>,
+    /// Windowed per-ring availability: series `r` holds one point
+    /// `(window-end fabric slot, availability within the window)` per
+    /// completed [`RING_AVAILABILITY_WINDOW`]-slot window of ring `r`.
+    /// Call [`FabricMetrics::flush_ring_health`] at end of run to emit the
+    /// final partial window.
+    pub ring_availability: Vec<Series>,
+    /// Degraded slots inside the currently accumulating window, per ring.
+    window_degraded: Vec<u64>,
+    /// Health-scanned slots accumulated in the current window.
+    window_len: u64,
 }
 
 impl Default for FabricMetrics {
@@ -67,6 +85,10 @@ impl Default for FabricMetrics {
             e2e_rerouted: Counter::default(),
             e2e_revoked: Counter::default(),
             degraded_slots: Counter::default(),
+            ring_degraded_slots: Vec::new(),
+            ring_availability: Vec::new(),
+            window_degraded: Vec::new(),
+            window_len: 0,
         }
     }
 }
@@ -116,6 +138,62 @@ impl FabricMetrics {
         }
         1.0 - self.degraded_slots.get() as f64 / total as f64
     }
+
+    /// Record one health-scanned fabric slot: `recovering[r]` is true when
+    /// ring `r` spent the slot in clock-loss recovery. `slot` is the fabric
+    /// slot index just executed. Completed windows append one point per
+    /// ring to [`FabricMetrics::ring_availability`].
+    pub fn record_ring_health(&mut self, slot: u64, recovering: &[bool]) {
+        self.grow_rings(recovering.len());
+        for (r, &rec) in recovering.iter().enumerate() {
+            if rec {
+                self.ring_degraded_slots[r].incr();
+                self.window_degraded[r] += 1;
+            }
+        }
+        self.window_len += 1;
+        if self.window_len >= RING_AVAILABILITY_WINDOW {
+            self.emit_window(slot);
+        }
+    }
+
+    /// Emit the in-progress partial window (if any) as a final series
+    /// point. Call once at end of run; recording may continue afterwards.
+    pub fn flush_ring_health(&mut self, slot: u64) {
+        if self.window_len > 0 {
+            self.emit_window(slot);
+        }
+    }
+
+    /// Cumulative availability of ring `r` over all health-scanned slots
+    /// (1.0 when the ring was never degraded or never scanned).
+    pub fn ring_availability_total(&self, r: usize) -> f64 {
+        let total = self.slots.get();
+        let degraded = self.ring_degraded_slots.get(r).map_or(0, Counter::get);
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - degraded as f64 / total as f64
+    }
+
+    fn grow_rings(&mut self, n: usize) {
+        while self.ring_degraded_slots.len() < n {
+            let r = self.ring_degraded_slots.len();
+            self.ring_degraded_slots.push(Counter::default());
+            self.ring_availability.push(Series::new(format!("ring{r}")));
+            self.window_degraded.push(0);
+        }
+    }
+
+    fn emit_window(&mut self, slot: u64) {
+        let len = self.window_len as f64;
+        for (r, deg) in self.window_degraded.iter_mut().enumerate() {
+            let avail = 1.0 - *deg as f64 / len;
+            self.ring_availability[r].push(slot as f64, avail);
+            *deg = 0;
+        }
+        self.window_len = 0;
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +232,37 @@ mod tests {
         m.degraded_slots.incr();
         m.degraded_slots.incr();
         assert!((m.availability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_availability_series_windows() {
+        let mut m = FabricMetrics::new();
+        // Ring 1 degraded for the first quarter of a window, ring 0 clean.
+        for slot in 0..RING_AVAILABILITY_WINDOW {
+            m.slots.incr();
+            let ring1_down = slot < RING_AVAILABILITY_WINDOW / 4;
+            m.record_ring_health(slot, &[false, ring1_down]);
+        }
+        assert_eq!(m.ring_availability.len(), 2);
+        assert_eq!(m.ring_availability[0].points(), &[(511.0, 1.0)]);
+        assert_eq!(m.ring_availability[1].points(), &[(511.0, 0.75)]);
+        assert_eq!(m.ring_degraded_slots[1].get(), RING_AVAILABILITY_WINDOW / 4);
+        assert!((m.ring_availability_total(1) - 0.75).abs() < 1e-12);
+        assert_eq!(m.ring_availability_total(0), 1.0);
+
+        // A partial window only lands once flushed.
+        m.slots.incr();
+        m.record_ring_health(RING_AVAILABILITY_WINDOW, &[true, false]);
+        assert_eq!(m.ring_availability[0].len(), 1);
+        m.flush_ring_health(RING_AVAILABILITY_WINDOW);
+        assert_eq!(m.ring_availability[0].len(), 2);
+        assert_eq!(
+            m.ring_availability[0].points()[1],
+            (RING_AVAILABILITY_WINDOW as f64, 0.0)
+        );
+        // Flushing with nothing accumulated is a no-op.
+        m.flush_ring_health(RING_AVAILABILITY_WINDOW);
+        assert_eq!(m.ring_availability[0].len(), 2);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Property and regression tests for the fabric layer.
+//!
+//! * `decompose_deadline` must split an end-to-end deadline so the per-hop
+//!   budgets sum back *exactly*, to the picosecond, for arbitrary hop
+//!   counts, weights and deadlines — the e2e guarantee composes from the
+//!   per-segment guarantees only if nothing is lost to rounding.
+//! * The restart-node election composed with a fault-cascaded bridge kill
+//!   must stay bit-identical across ring-phase thread counts.
+
+use ccr_edf::fault::FaultKind;
+use ccr_multiring::bridge::decompose_deadline;
+use ccr_multiring::prelude::*;
+use ccr_phys::NodeId;
+use ccr_sim::rng::DetRng;
+use ccr_sim::TimeDelta;
+
+#[test]
+fn deadline_decomposition_sums_exactly_for_random_inputs() {
+    let mut rng = DetRng::new(0xDEC0);
+    for case in 0..2_000 {
+        let hops = rng.gen_range(1..=12u32) as usize;
+        let mut weights: Vec<u64> = (0..hops)
+            .map(|_| match rng.gen_range(0..4u32) {
+                0 => 0, // zero-weight hops are legal as long as one is not
+                1 => rng.gen_range(1..=8u64),
+                2 => rng.gen_range(1..=u32::MAX as u64),
+                _ => rng.gen_range(1..=u64::MAX / 16),
+            })
+            .collect();
+        if weights.iter().all(|&w| w == 0) {
+            weights[0] = 1;
+        }
+        // Deadlines from a single picosecond up to centuries.
+        let e2e_ps = match rng.gen_range(0..4u32) {
+            0 => rng.gen_range(0..=hops as u64),
+            1 => rng.gen_range(1..=1_000_000u64),
+            2 => rng.gen_range(1..=u64::MAX / 2),
+            _ => u64::MAX - rng.gen_range(0..=1_000u64),
+        };
+        let e2e = TimeDelta::from_ps(e2e_ps);
+
+        let budgets = decompose_deadline(e2e, &weights)
+            .unwrap_or_else(|| panic!("case {case}: decomposition must exist"));
+        assert_eq!(budgets.len(), hops, "case {case}: one budget per hop");
+        let sum: u128 = budgets.iter().map(|b| b.as_ps() as u128).sum();
+        assert_eq!(
+            sum, e2e_ps as u128,
+            "case {case}: budgets must sum exactly to the e2e deadline \
+             (weights {weights:?}, e2e {e2e_ps} ps)"
+        );
+        // Each budget is its floor share plus at most one remainder ps.
+        let total: u128 = weights.iter().map(|&w| w as u128).sum();
+        for (hop, (&w, b)) in weights.iter().zip(&budgets).enumerate() {
+            let floor = ((e2e_ps as u128 * w as u128) / total) as u64;
+            assert!(
+                b.as_ps() == floor || b.as_ps() == floor + 1,
+                "case {case} hop {hop}: budget {} strays from floor share {floor}",
+                b.as_ps()
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_decompositions_are_rejected() {
+    assert!(decompose_deadline(TimeDelta::from_us(1), &[]).is_none());
+    assert!(decompose_deadline(TimeDelta::from_us(1), &[0, 0, 0]).is_none());
+}
+
+/// Triangle fabric where ring 0's node 0 is both the designated restart
+/// node and a bridge endpoint: failing it cascades into a bridge kill, and
+/// the follow-up token loss forces the restart-successor election. The
+/// whole composition must replay bit-identically for any ring-phase thread
+/// count.
+fn election_with_bridge_kill(threads: usize) -> (FabricMetrics, Vec<ccr_edf::metrics::Metrics>) {
+    let mut b = FabricTopology::builder();
+    for _ in 0..3 {
+        b.ring(6);
+    }
+    b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+    b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
+    b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
+    b.allow_cycles(true);
+    let topo = b.build().unwrap();
+
+    let mut cfg = FabricConfig::uniform(topo, 2_048, 0xE1EC).unwrap();
+    for rc in &mut cfg.ring_configs {
+        rc.faults.recovery_timeout_slots = 6;
+    }
+    let cfg = cfg.threads(threads).fault_script(
+        FabricFaultScript::new()
+            // Kills the designated restart node; its bridge dies with it.
+            .ring_at(100, RingId(0), FaultKind::FailNode(NodeId(0)))
+            // Clock loss with node 0 dead: the election must pick the
+            // nearest live successor.
+            .ring_at(150, RingId(0), FaultKind::LoseToken),
+    );
+    let mut fabric = Fabric::new(cfg).unwrap();
+    fabric
+        .open_connection(
+            FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 3))
+                .period(TimeDelta::from_ms(5)),
+        )
+        .unwrap();
+    fabric.run_slots(20_000);
+    fabric.flush_health_series();
+    let rings = (0..3).map(|r| fabric.ring_metrics(RingId(r))).collect();
+    (fabric.metrics().clone(), rings)
+}
+
+#[test]
+fn restart_election_with_bridge_kill_is_thread_count_invariant() {
+    let (serial, serial_rings) = election_with_bridge_kill(1);
+
+    // The story actually happened: the node death took its bridge down,
+    // the ring lost and recovered its clock, and the crossing connection
+    // failed over to the detour through ring 2.
+    assert_eq!(serial.bridges_killed.get(), 1, "cascaded bridge kill");
+    assert!(serial.e2e_rerouted.get() >= 1, "detour reroute happened");
+    assert!(
+        serial.degraded_slots.get() > 0,
+        "recovery dead time counted"
+    );
+    assert!(serial.e2e_delivered.get() > 0, "traffic resumed");
+    assert_eq!(serial_rings[0].nodes_failed.get(), 1);
+    assert!(serial_rings[0].tokens_lost.get() >= 1);
+    assert!(serial_rings[0].recovery_slots.get() > 0);
+    // The per-ring availability series localises the damage: both bridge-0
+    // endpoint rings (0: node death + clock loss, 1: peer station bypass)
+    // spent recovery slots degraded, while untouched ring 2 stayed at 1.0.
+    assert!(serial.ring_availability_total(0) < 1.0);
+    assert!(serial.ring_availability_total(1) < 1.0);
+    assert_eq!(serial.ring_availability_total(2), 1.0);
+    assert!(!serial.ring_availability.is_empty());
+
+    for threads in [2usize, 4] {
+        let (parallel, parallel_rings) = election_with_bridge_kill(threads);
+        assert_eq!(
+            serial, parallel,
+            "fabric metrics diverge at {threads} threads"
+        );
+        assert_eq!(
+            serial_rings, parallel_rings,
+            "per-ring metrics diverge at {threads} threads"
+        );
+    }
+}

@@ -23,7 +23,9 @@
 //!
 //! CSV artefacts (best-effort, skipped on read-only checkouts):
 //! `results/e18_soak.csv`, `results/e18_selfheal.csv`,
-//! `results/e18_bridge.csv`.
+//! `results/e18_bridge.csv`, and the windowed per-ring availability of the
+//! failover fabric as `results/e18_ring_availability.csv` /
+//! `results/e18_ring_availability.jsonl`.
 
 use super::{base_config, ExpOptions, ExperimentResult};
 use crate::sweep::parallel_map;
@@ -270,7 +272,7 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
     );
 
     // --- 3. bridge failover on a cyclic fabric -------------------------
-    let bridge_row = bridge_failover(opts, &seq);
+    let (bridge_row, ring_avail, ring_avail_jsonl) = bridge_failover(opts, &seq);
     let mut bridge = Table::new(
         "E18c — bridge failover: cyclic 3-ring fabric loses a bridge station",
         &[
@@ -292,11 +294,12 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
             .to_string(),
     );
 
-    // Best-effort CSV artefacts.
+    // Best-effort CSV/JSONL artefacts.
     for (path, table) in [
         ("results/e18_soak.csv", &soak),
         ("results/e18_selfheal.csv", &heal),
         ("results/e18_bridge.csv", &bridge),
+        ("results/e18_ring_availability.csv", &ring_avail),
     ] {
         match std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, table.to_csv()))
         {
@@ -304,16 +307,27 @@ pub fn run(opts: &ExpOptions) -> ExperimentResult {
             Err(e) => notes.push(format!("{path} export skipped ({e})")),
         }
     }
+    {
+        let path = "results/e18_ring_availability.jsonl";
+        match std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(path, &ring_avail_jsonl))
+        {
+            Ok(()) => notes.push(format!("wrote {path}")),
+            Err(e) => notes.push(format!("{path} export skipped ({e})")),
+        }
+    }
 
     ExperimentResult {
-        tables: vec![soak, heal, bridge],
+        tables: vec![soak, heal, bridge, ring_avail],
         notes,
     }
 }
 
 /// The cyclic-fabric failover story: kill bridge 0 mid-run, verify the
-/// detour carries the connection afterwards. Returns the table row.
-fn bridge_failover(opts: &ExpOptions, seq: &SeedSequence) -> Vec<String> {
+/// detour carries the connection afterwards. Returns the summary table
+/// row, the windowed per-ring availability table, and the same series as
+/// JSON lines.
+fn bridge_failover(opts: &ExpOptions, seq: &SeedSequence) -> (Vec<String>, Table, String) {
     let mut b = FabricTopology::builder();
     for _ in 0..3 {
         b.ring(6);
@@ -347,6 +361,7 @@ fn bridge_failover(opts: &ExpOptions, seq: &SeedSequence) -> Vec<String> {
     fabric.run_slots(fault_at);
     let pre = fabric.metrics().e2e_delivered.get();
     fabric.run_slots(horizon - fault_at);
+    fabric.flush_health_series();
     let m = fabric.metrics();
     assert_eq!(m.bridges_killed.get(), 1);
     assert!(
@@ -357,7 +372,7 @@ fn bridge_failover(opts: &ExpOptions, seq: &SeedSequence) -> Vec<String> {
         m.e2e_delivered.get() > pre,
         "end-to-end traffic must resume on the alternate route"
     );
-    vec![
+    let row = vec![
         m.bridges_killed.get().to_string(),
         m.e2e_rerouted.get().to_string(),
         m.e2e_revoked.get().to_string(),
@@ -367,7 +382,51 @@ fn bridge_failover(opts: &ExpOptions, seq: &SeedSequence) -> Vec<String> {
         m.e2e_missed.get().to_string(),
         m.degraded_slots.get().to_string(),
         fmt_f64(m.availability(), 4),
-    ]
+    ];
+    (row, ring_availability_table(m), ring_availability_jsonl(m))
+}
+
+/// One row per availability window: `slot, ring0, ring1, …` — the
+/// dashboard-friendly view of [`FabricMetrics::ring_availability`].
+fn ring_availability_table(m: &FabricMetrics) -> Table {
+    let mut headers = vec!["slot".to_string()];
+    headers.extend(m.ring_availability.iter().map(|s| s.name.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "E18d — windowed per-ring availability of the failover fabric",
+        &header_refs,
+    );
+    let n_windows = m
+        .ring_availability
+        .first()
+        .map_or(0, ccr_sim::stats::Series::len);
+    for w in 0..n_windows {
+        let mut cells = vec![(m.ring_availability[0].points()[w].0 as u64).to_string()];
+        cells.extend(
+            m.ring_availability
+                .iter()
+                .map(|s| fmt_f64(s.points()[w].1, 4)),
+        );
+        table.row(&cells);
+    }
+    table
+}
+
+/// The same series as JSON lines:
+/// `{"slot":…,"ring":…,"availability":…}` per window per ring.
+fn ring_availability_jsonl(m: &FabricMetrics) -> String {
+    let mut out = String::new();
+    for (r, series) in m.ring_availability.iter().enumerate() {
+        for &(slot, avail) in series.points() {
+            out.push_str(&format!(
+                "{{\"slot\":{},\"ring\":{},\"availability\":{}}}\n",
+                slot as u64,
+                r,
+                fmt_f64(avail, 6)
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -377,10 +436,12 @@ mod tests {
     #[test]
     fn quick_chaos() {
         let r = run(&ExpOptions::quick(18));
-        assert_eq!(r.tables.len(), 3);
+        assert_eq!(r.tables.len(), 4);
         assert_eq!(r.tables[0].n_rows(), 8); // 4 kinds × 2 rates
         assert_eq!(r.tables[1].n_rows(), 5); // 5 scripted scenarios
         assert_eq!(r.tables[2].n_rows(), 1);
+        // windowed per-ring availability: at least one window per ring
+        assert!(r.tables[3].n_rows() >= 1);
         assert!(r.notes.iter().any(|n| n.contains("clean tail")));
         assert!(r.notes.iter().any(|n| n.contains("bit-identical")));
     }

@@ -23,6 +23,6 @@ pub mod params;
 pub mod ring;
 pub mod timing;
 
-pub use params::PhysParams;
+pub use params::{PhysParams, PhysParamsError};
 pub use ring::{LinkId, LinkSet, NodeId, RingTopology};
 pub use timing::TimingModel;

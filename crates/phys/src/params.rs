@@ -9,6 +9,34 @@
 //! each bit in the control-packets").
 
 use ccr_sim::time::TimeDelta;
+use std::fmt;
+
+/// Why a [`PhysParams`] construction was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhysParamsError {
+    /// `link_length_m` was NaN or ±infinity.
+    NonFiniteLinkLength(f64),
+    /// `link_length_m` was negative (a fibre cannot have negative length).
+    NegativeLinkLength(f64),
+    /// `clock_period` was zero (bandwidth would be infinite).
+    ZeroClockPeriod,
+}
+
+impl fmt::Display for PhysParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysParamsError::NonFiniteLinkLength(l) => {
+                write!(f, "link_length_m must be finite, got {l}")
+            }
+            PhysParamsError::NegativeLinkLength(l) => {
+                write!(f, "link_length_m must be non-negative, got {l}")
+            }
+            PhysParamsError::ZeroClockPeriod => write!(f, "clock_period must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for PhysParamsError {}
 
 /// Physical constants of the ring.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -43,11 +71,42 @@ impl Default for PhysParams {
 
 impl PhysParams {
     /// OPTOBUS-style defaults at a given link length.
+    ///
+    /// # Panics
+    /// Panics on NaN, infinite or negative lengths; use
+    /// [`PhysParams::try_with_link_length`] to handle those as errors.
     pub fn with_link_length(link_length_m: f64) -> Self {
-        PhysParams {
+        Self::try_with_link_length(link_length_m)
+            .expect("invariant: link_length_m is finite and non-negative")
+    }
+
+    /// OPTOBUS-style defaults at a given link length, rejecting degenerate
+    /// lengths (NaN, ±∞, negative) instead of letting them wrap into
+    /// garbage propagation delays downstream.
+    pub fn try_with_link_length(link_length_m: f64) -> Result<Self, PhysParamsError> {
+        let p = PhysParams {
             link_length_m,
             ..Default::default()
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Check the invariants every constructor must uphold. Fields are
+    /// public (struct-literal construction is allowed for tests and
+    /// exotic hardware models), so consumers that accept a caller-built
+    /// `PhysParams` — e.g. `NetworkConfig::validate` — re-run this.
+    pub fn validate(&self) -> Result<(), PhysParamsError> {
+        if !self.link_length_m.is_finite() {
+            return Err(PhysParamsError::NonFiniteLinkLength(self.link_length_m));
         }
+        if self.link_length_m < 0.0 {
+            return Err(PhysParamsError::NegativeLinkLength(self.link_length_m));
+        }
+        if self.clock_period.is_zero() {
+            return Err(PhysParamsError::ZeroClockPeriod);
+        }
+        Ok(())
     }
 
     /// Data-channel bandwidth in bits per second (8 fibres × clock rate).
@@ -61,8 +120,14 @@ impl PhysParams {
     }
 
     /// Propagation delay across one link.
+    ///
+    /// # Panics
+    /// Panics when `link_length_m` violates [`PhysParams::validate`] (the
+    /// struct was built by hand with a degenerate length) — loudly, rather
+    /// than wrapping NaN/negative lengths into a garbage delay.
     pub fn link_prop(&self) -> TimeDelta {
-        TimeDelta::from_ps((self.prop_per_m.as_ps() as f64 * self.link_length_m).round() as u64)
+        TimeDelta::try_from_ps_f64(self.prop_per_m.as_ps() as f64 * self.link_length_m)
+            .expect("invariant: validated link_length_m yields a representable delay")
     }
 
     /// Propagation delay across `hops` consecutive links.
@@ -111,6 +176,46 @@ mod tests {
         let p = PhysParams::with_link_length(0.3333);
         // 0.3333 m * 5000 ps/m = 1666.5 ps → 1667 (round half up)
         assert_eq!(p.link_prop(), TimeDelta::from_ps(1_667));
+    }
+
+    #[test]
+    fn degenerate_link_lengths_are_rejected_at_construction() {
+        assert!(matches!(
+            PhysParams::try_with_link_length(f64::NAN),
+            Err(PhysParamsError::NonFiniteLinkLength(_))
+        ));
+        assert!(matches!(
+            PhysParams::try_with_link_length(f64::INFINITY),
+            Err(PhysParamsError::NonFiniteLinkLength(_))
+        ));
+        assert!(matches!(
+            PhysParams::try_with_link_length(-3.0),
+            Err(PhysParamsError::NegativeLinkLength(_))
+        ));
+        assert!(PhysParams::try_with_link_length(0.0).is_ok());
+        assert!(PhysParams::try_with_link_length(10.0).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_hand_built_garbage() {
+        let mut p = PhysParams {
+            link_length_m: f64::NAN,
+            ..PhysParams::default()
+        };
+        assert!(p.validate().is_err());
+        p.link_length_m = 10.0;
+        p.clock_period = TimeDelta::ZERO;
+        assert_eq!(p.validate(), Err(PhysParamsError::ZeroClockPeriod));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant")]
+    fn link_prop_panics_loudly_on_hand_built_nan() {
+        let p = PhysParams {
+            link_length_m: f64::NAN,
+            ..PhysParams::default()
+        };
+        let _ = p.link_prop();
     }
 
     #[test]

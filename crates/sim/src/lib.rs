@@ -27,7 +27,7 @@ pub mod time;
 pub use engine::{EventQueue, ScheduledEvent};
 pub use parallel::{parallel_map, parallel_map_chunked};
 pub use rng::SeedSequence;
-pub use time::{SimTime, TimeDelta};
+pub use time::{SimTime, TimeDelta, TimeFromF64Error};
 
 /// Convenience prelude for downstream crates.
 pub mod prelude {

@@ -130,6 +130,7 @@ impl Histogram {
             return None;
         }
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        // ccr-verify: allow(time-cast) -- q is asserted in [0, 1] above, so the product is bounded by count; this is a rank, not a time value
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {

@@ -143,6 +143,45 @@ impl TimeDelta {
         TimeDelta((ns * PS_PER_NS as f64).round() as u64)
     }
 
+    /// Checked construction from a fractional picosecond count: the one
+    /// sanctioned `f64 → TimeDelta` conversion. Rejects NaN, infinities,
+    /// negative values and values beyond `u64::MAX` picoseconds instead of
+    /// letting an `as u64` cast silently wrap them to garbage.
+    #[inline]
+    pub fn try_from_ps_f64(ps: f64) -> Result<Self, TimeFromF64Error> {
+        if ps.is_nan() {
+            return Err(TimeFromF64Error::NaN);
+        }
+        if ps.is_infinite() {
+            return Err(TimeFromF64Error::Infinite);
+        }
+        if ps < 0.0 {
+            return Err(TimeFromF64Error::Negative(ps));
+        }
+        let rounded = ps.round();
+        // u64::MAX as f64 rounds up to 2^64, which would wrap; compare
+        // against the exactly-representable 2^64 instead.
+        if rounded >= u64::MAX as f64 {
+            return Err(TimeFromF64Error::Overflow(ps));
+        }
+        Ok(TimeDelta(rounded as u64))
+    }
+
+    /// Saturating construction from fractional picoseconds: negative (and
+    /// NaN) inputs clamp to zero, values beyond the representable range
+    /// clamp to [`TimeDelta::MAX`]. Use [`TimeDelta::try_from_ps_f64`]
+    /// when the caller can report an error instead of clamping.
+    #[inline]
+    pub fn from_ps_f64_saturating(ps: f64) -> Self {
+        match Self::try_from_ps_f64(ps) {
+            Ok(d) => d,
+            Err(TimeFromF64Error::Overflow(_) | TimeFromF64Error::Infinite) if ps > 0.0 => {
+                TimeDelta::MAX
+            }
+            Err(_) => TimeDelta::ZERO,
+        }
+    }
+
     /// Raw picosecond count.
     #[inline]
     pub const fn as_ps(self) -> u64 {
@@ -201,6 +240,34 @@ impl TimeDelta {
         TimeDelta(self.0 * n)
     }
 }
+
+/// Why an `f64` could not be converted into a [`TimeDelta`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeFromF64Error {
+    /// The input was NaN.
+    NaN,
+    /// The input was ±infinity.
+    Infinite,
+    /// The input was negative; holds the offending value.
+    Negative(f64),
+    /// The input exceeds `u64::MAX` picoseconds; holds the offending value.
+    Overflow(f64),
+}
+
+impl fmt::Display for TimeFromF64Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeFromF64Error::NaN => write!(f, "NaN is not a time span"),
+            TimeFromF64Error::Infinite => write!(f, "infinite time span"),
+            TimeFromF64Error::Negative(v) => write!(f, "negative time span ({v})"),
+            TimeFromF64Error::Overflow(v) => {
+                write!(f, "time span {v}ps exceeds u64::MAX picoseconds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeFromF64Error {}
 
 impl Add<TimeDelta> for SimTime {
     type Output = SimTime;
@@ -376,6 +443,57 @@ mod tests {
     fn sum_of_deltas() {
         let total: TimeDelta = (1..=4).map(TimeDelta::from_ns).sum();
         assert_eq!(total, TimeDelta::from_ns(10));
+    }
+
+    #[test]
+    fn try_from_ps_f64_accepts_normal_values() {
+        assert_eq!(
+            TimeDelta::try_from_ps_f64(2_500.4),
+            Ok(TimeDelta::from_ps(2_500))
+        );
+        assert_eq!(TimeDelta::try_from_ps_f64(0.0), Ok(TimeDelta::ZERO));
+        assert_eq!(TimeDelta::try_from_ps_f64(0.6), Ok(TimeDelta::from_ps(1)));
+    }
+
+    #[test]
+    fn try_from_ps_f64_rejects_degenerate_values() {
+        assert_eq!(
+            TimeDelta::try_from_ps_f64(f64::NAN),
+            Err(TimeFromF64Error::NaN)
+        );
+        assert_eq!(
+            TimeDelta::try_from_ps_f64(f64::INFINITY),
+            Err(TimeFromF64Error::Infinite)
+        );
+        assert!(matches!(
+            TimeDelta::try_from_ps_f64(-1.0),
+            Err(TimeFromF64Error::Negative(_))
+        ));
+        assert!(matches!(
+            TimeDelta::try_from_ps_f64(2.0e19),
+            Err(TimeFromF64Error::Overflow(_))
+        ));
+        // The boundary: u64::MAX itself is not exactly representable, so
+        // anything that rounds to 2^64 must be rejected, not wrapped.
+        assert!(matches!(
+            TimeDelta::try_from_ps_f64(u64::MAX as f64),
+            Err(TimeFromF64Error::Overflow(_))
+        ));
+    }
+
+    #[test]
+    fn from_ps_f64_saturating_clamps() {
+        assert_eq!(TimeDelta::from_ps_f64_saturating(-5.0), TimeDelta::ZERO);
+        assert_eq!(TimeDelta::from_ps_f64_saturating(f64::NAN), TimeDelta::ZERO);
+        assert_eq!(TimeDelta::from_ps_f64_saturating(2.0e19), TimeDelta::MAX);
+        assert_eq!(
+            TimeDelta::from_ps_f64_saturating(f64::INFINITY),
+            TimeDelta::MAX
+        );
+        assert_eq!(
+            TimeDelta::from_ps_f64_saturating(123.0),
+            TimeDelta::from_ps(123)
+        );
     }
 
     #[test]

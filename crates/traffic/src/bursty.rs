@@ -31,7 +31,7 @@ pub struct BurstyGen {
 impl BurstyGen {
     fn exp_draw(rng: &mut DetRng, mean_ps: f64) -> TimeDelta {
         let u = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        TimeDelta::from_ps((-u.ln() * mean_ps).round() as u64)
+        TimeDelta::from_ps_f64_saturating(-u.ln() * mean_ps)
     }
 
     /// Generate arrivals over `[start, start + horizon)`.

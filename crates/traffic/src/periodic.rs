@@ -77,12 +77,18 @@ impl PeriodicSetBuilder {
                 let dst = NodeId((src.0 + hops) % self.n_nodes);
                 // log-uniform period
                 let p_slots = (log_lo + rng.gen_f64() * (log_hi - log_lo)).exp();
-                // size from share: u = e * slot / P  →  e = u * P_slots
-                let e = ((u * p_slots).round() as u32).clamp(1, self.max_size_slots);
+                // size from share: u = e * slot / P  →  e = u * P_slots,
+                // clamped in f64 first so the cast cannot wrap on extreme
+                // draws.
+                let e_f64 = (u * p_slots)
+                    .round()
+                    .clamp(1.0, f64::from(self.max_size_slots));
+                let e = e_f64 as u32;
                 // re-derive the period so the utilisation share is honoured
                 // with the clamped integral size: P = e * slot / u.
                 let period_ps = if u > 0.0 {
-                    ((e as f64 * self.slot.as_ps() as f64) / u).round() as u64
+                    TimeDelta::from_ps_f64_saturating(f64::from(e) * self.slot.as_ps() as f64 / u)
+                        .as_ps()
                 } else {
                     self.slot.as_ps() * hi
                 };

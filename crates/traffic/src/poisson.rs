@@ -46,7 +46,7 @@ impl PoissonGen {
     fn gap(&self, rng: &mut DetRng) -> TimeDelta {
         let u = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let secs = -u.ln() / self.rate_per_s;
-        TimeDelta::from_ps((secs * 1e12).round() as u64)
+        TimeDelta::from_ps_f64_saturating(secs * 1e12)
     }
 
     /// Generate all arrivals in `[start, start + horizon)` as

@@ -48,7 +48,7 @@ impl RadarScenario {
     /// → stage *i+1* (node i+1), staggered phases so the cube "flows".
     pub fn connections(&self) -> Vec<ConnectionSpec> {
         assert!(self.stages >= 2 && self.stages <= self.n_nodes);
-        let stagger = TimeDelta::from_ps(self.cpi.as_ps() / self.stages as u64);
+        let stagger = TimeDelta::from_ps(self.cpi.as_ps() / u64::from(self.stages));
         (0..self.stages - 1)
             .map(|s| {
                 ConnectionSpec::unicast(NodeId(s), NodeId(s + 1))

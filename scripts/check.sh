@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Full verification gate: everything CI would run, offline.
-#   scripts/check.sh          # build + tests + clippy + fmt
+#   scripts/check.sh          # build + tests + lints + static verification
 # Each step reports its wall-clock time; the summary lists all of them.
+#
+# The last three steps (loom models, miri, cargo-deny) need network access
+# or extra toolchain components; they probe for availability and SKIP
+# cleanly when missing so the gate stays runnable in sealed environments.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TIMINGS=()
+SKIPPED=()
 
 step() {
   local name="$1"
@@ -18,13 +23,49 @@ step() {
   TIMINGS+=("$(printf '%4ss  %s' "$dt" "$name")")
 }
 
+skip() {
+  echo "==> $1: SKIPPED ($2)"
+  SKIPPED+=("$1 — $2")
+}
+
 step "cargo build --release" cargo build --workspace --release
 step "cargo test"            cargo test -q --workspace
 step "cargo clippy"          cargo clippy --workspace --all-targets -- -D warnings
 step "cargo fmt --check"     cargo fmt --all -- --check
+step "ccr-verify"            cargo run -q --release -p ccr-verify
+
+# loom models of the parallel_map claim/cursor protocol: the loom crate
+# must be fetchable (network or pre-populated cargo cache).
+if cargo fetch --manifest-path verify/loom/Cargo.toml >/dev/null 2>&1; then
+  step "loom models" cargo test -q --manifest-path verify/loom/Cargo.toml --release
+else
+  skip "loom models" "loom dependency not fetchable offline"
+fi
+
+# miri over the wire-format codec tests (encode/decode round-trips touch
+# every unsafe-adjacent byte-twiddling path in ccr-edf).
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  step "miri wire codec" cargo +nightly miri test -p ccr-edf wire
+else
+  skip "miri wire codec" "nightly toolchain with miri not installed"
+fi
+
+# Supply-chain policy (deny.toml). The workspace has zero external deps;
+# this guards the optional serde feature and any future additions.
+if command -v cargo-deny >/dev/null 2>&1; then
+  step "cargo deny" cargo deny check
+else
+  skip "cargo deny" "cargo-deny not installed"
+fi
 
 echo
 echo "OK: all checks passed"
 for t in "${TIMINGS[@]}"; do
   echo "  $t"
 done
+if [ "${#SKIPPED[@]}" -gt 0 ]; then
+  echo "skipped (environment-gated):"
+  for s in "${SKIPPED[@]}"; do
+    echo "  $s"
+  done
+fi
