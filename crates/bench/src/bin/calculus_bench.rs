@@ -1,0 +1,208 @@
+//! Network-calculus engine throughput: measures min-plus kernel
+//! operations, cyclic fixed-point solves, and live fabric admissions per
+//! wall-clock second, and records the numbers in `BENCH_calculus.json`
+//! at the repository root.
+//!
+//! Three scenarios:
+//!
+//! * `kernel_ops` — a (min,+) operator chain (sum, min, deconvolution,
+//!   left-over service, delay bound) over token buckets and rate-latency
+//!   curves; one *op* is the full chain.
+//! * `solver_triangle` — complete fixed-point solves of the cyclic
+//!   three-ring triangle with nine flows chasing each other around the
+//!   cycle.
+//! * `fabric_admission` — open/close cycles on a calculus-certified
+//!   cyclic fabric; every open re-solves the whole flow set, so this is
+//!   the end-to-end cost a caller actually pays per admission.
+//!
+//! Same file convention as `BENCH_multiring.json`: a `baseline` section
+//! recorded once and kept forever, a `current` section refreshed on every
+//! run, and `speedup_vs_baseline` ratios. JSON is read and written by
+//! hand — the workspace carries no serde by default.
+
+use ccr_calculus::{delay_bound, solve, ArrivalCurve, FabricModel, FlowSpec, ServiceCurve};
+use ccr_multiring::prelude::*;
+use ccr_sim::TimeDelta;
+use std::time::Instant;
+
+const OUT_FILE: &str = "BENCH_calculus.json";
+
+/// One full (min,+) operator chain; returns a value that depends on every
+/// step so the optimiser cannot drop any of it.
+fn kernel_chain(i: u64) -> f64 {
+    let jitter = (i % 7) as f64;
+    let a = ArrivalCurve::token_bucket(4.0 + jitter, 1e-7).expect("bucket a");
+    let b = ArrivalCurve::token_bucket(2.0, 5e-8 + jitter * 1e-10).expect("bucket b");
+    let beta = ServiceCurve::rate_latency(4e-7, 2e7).expect("service");
+    let sum = a.plus(&b);
+    let envelope = sum.min(&a.plus(&b).plus(&b));
+    let residual = beta.left_over(&b).expect("capacity left");
+    let output = envelope
+        .deconvolve(residual.rate_latency_bound())
+        .expect("stable");
+    delay_bound(&output, &residual).expect("finite") + output.burst()
+}
+
+fn bench_kernel() -> f64 {
+    let iters: u64 = 200_000;
+    let mut acc = 0.0;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        acc += kernel_chain(i);
+    }
+    let nanos = t0.elapsed().as_nanos().max(1);
+    assert!(acc.is_finite(), "kernel chain must stay finite");
+    iters as f64 * 1e9 / nanos as f64
+}
+
+/// The cyclic triangle as a raw solver model: three rings, nine flows
+/// (three cyclic chasers at three burst sizes each).
+fn triangle_model() -> FabricModel {
+    let per_slot = 8e6; // ps per slot, the 8-node auto-slot ballpark
+    let service = ServiceCurve::rate_latency(1.0 / per_slot, 3.0 * per_slot).expect("ring");
+    let mut flows = vec![];
+    for burst in [1.0f64, 2.0, 4.0] {
+        for path in [[0usize, 1], [1, 2], [2, 0]] {
+            flows.push(FlowSpec {
+                path: path.to_vec(),
+                arrival: ArrivalCurve::token_bucket(burst, 0.02 / per_slot).expect("bucket"),
+                hop_delay: vec![0.0, per_slot],
+            });
+        }
+    }
+    FabricModel {
+        services: vec![service.clone(), service.clone(), service],
+        flows,
+    }
+}
+
+fn bench_solver() -> f64 {
+    let model = triangle_model();
+    let iters: u64 = 20_000;
+    let mut acc = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let sol = solve(&model).expect("feasible triangle");
+        acc += sol.iterations;
+    }
+    let nanos = t0.elapsed().as_nanos().max(1);
+    assert!(acc > 0, "solver must iterate");
+    iters as f64 * 1e9 / nanos as f64
+}
+
+fn bench_admission() -> f64 {
+    let mut b = FabricTopology::builder();
+    for _ in 0..3 {
+        b.ring(8);
+    }
+    b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+    b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
+    b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
+    b.allow_cycles_with(CycleBound::Calculus);
+    let topo = b.build().expect("triangle");
+    let cfg = FabricConfig::uniform(topo, 2_048, 42).expect("config");
+    let mut fabric = Fabric::new(cfg).expect("fabric");
+    // A resident background set so every admission solves a non-trivial
+    // fixed point.
+    for (src, dst) in [
+        (GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 3)),
+        (GlobalNodeId::new(1, 4), GlobalNodeId::new(2, 3)),
+        (GlobalNodeId::new(2, 4), GlobalNodeId::new(0, 3)),
+    ] {
+        fabric
+            .open_connection(FabricConnectionSpec::unicast(src, dst).period(TimeDelta::from_ms(5)))
+            .expect("background set admits");
+    }
+
+    let iters: u64 = 5_000;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let fid = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 5), GlobalNodeId::new(2, 6))
+                    .period(TimeDelta::from_ms(8)),
+            )
+            .expect("probe admits");
+        assert!(fabric.e2e_bound(fid).is_some(), "certified");
+        fabric.close_connection(fid);
+    }
+    let nanos = t0.elapsed().as_nanos().max(1);
+    iters as f64 * 1e9 / nanos as f64
+}
+
+/// Extract the `"baseline": { ... }` object from a previous report, if any.
+fn existing_baseline(text: &str) -> Option<String> {
+    let key = "\"baseline\":";
+    let start = text.find(key)? + key.len();
+    let open = start + text[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn section(results: &[(&str, f64)]) -> String {
+    let body: Vec<String> = results
+        .iter()
+        .map(|(name, v)| format!("    \"{name}\": {v:.0}"))
+        .collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+/// Pull one `"name": value` number out of a JSON object string.
+fn field(obj: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let start = obj.find(&key)? + key.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    for (name, bench) in [
+        ("kernel_ops", bench_kernel as fn() -> f64),
+        ("solver_triangle", bench_solver),
+        ("fabric_admission", bench_admission),
+    ] {
+        eprintln!("running {name}…");
+        let rate = bench();
+        eprintln!("  {rate:>12.0} ops/s");
+        results.push((name, rate));
+    }
+
+    let current = section(&results);
+    let baseline = std::fs::read_to_string(OUT_FILE)
+        .ok()
+        .and_then(|t| existing_baseline(&t))
+        .unwrap_or_else(|| current.clone());
+
+    let speedups: Vec<String> = results
+        .iter()
+        .filter_map(|(name, cur)| {
+            let base = field(&baseline, name)?;
+            Some(format!("    \"{name}\": {:.2}", cur / base))
+        })
+        .collect();
+
+    let report = format!(
+        "{{\n  \"bench\": \"calculus\",\n  \"unit\": \"ops_per_wall_second\",\n  \
+         \"baseline\": {baseline},\n  \
+         \"current\": {current},\n  \"speedup_vs_baseline\": {{\n{}\n  }}\n}}\n",
+        speedups.join(",\n")
+    );
+    std::fs::write(OUT_FILE, &report).expect("write report");
+    println!("{report}");
+}

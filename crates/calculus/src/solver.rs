@@ -1,0 +1,446 @@
+//! Fixed-point delay-bound solver for (possibly cyclic) ring fabrics.
+//!
+//! Model: each ring offers one aggregate [`ServiceCurve`]; each flow follows
+//! a fixed path of rings, entering hop `i` after a constant bridge-crossing
+//! delay `hop_delay[i]`. Under blind multiplexing, the service left over for
+//! a flow at a ring is `β_lo = (β − Σ α_cross)⁺` (non-decreasing closure);
+//! the flow's output of the hop — and hence its arrival at the next hop —
+//! is the deconvolution of its hop arrival against (a conservative
+//! rate-latency lower bound of) `β_lo`.
+//!
+//! On an acyclic fabric one sweep in path order settles every hop arrival.
+//! With cyclic ring dependencies (ring A's cross traffic depends on ring
+//! B's output and vice versa) the hop arrivals are a genuine fixed point:
+//! following Amari & Mifdaoui (arXiv:1605.07353) we iterate the propagation
+//! until output burstiness converges, and reject sets whose burstiness
+//! diverges. Burst growth per iteration is monotone in the cross-traffic
+//! curves, so the iteration either converges or blows past [`BURST_CAP`] /
+//! [`MAX_ITERATIONS`] — it can never cycle.
+
+use crate::curve::{backlog_bound, delay_bound, ArrivalCurve, ServiceCurve};
+
+/// Hard iteration ceiling: the solver provably terminates within this many
+/// rounds, converged or not.
+pub const MAX_ITERATIONS: usize = 64;
+
+/// Burst ceiling (slots): any hop arrival whose burst exceeds this is
+/// declared divergent immediately.
+pub const BURST_CAP: f64 = 1e12;
+
+/// Relative burst-change tolerance for declaring convergence.
+pub const CONVERGENCE_TOL: f64 = 1e-9;
+
+/// One flow through the fabric.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Ring index per hop, in traversal order (no repeats).
+    pub path: Vec<usize>,
+    /// Arrival curve at the source node (slots / picoseconds).
+    pub arrival: ArrivalCurve,
+    /// Constant delay paid *before* entering each hop (picoseconds):
+    /// `hop_delay[0]` is usually `0`, later entries model the bridge
+    /// crossing from the previous ring.
+    pub hop_delay: Vec<f64>,
+}
+
+/// A fabric to bound: one service curve per ring plus the flow set.
+#[derive(Debug, Clone)]
+pub struct FabricModel {
+    /// Aggregate service curve offered by each ring.
+    pub services: Vec<ServiceCurve>,
+    /// All flows sharing the fabric.
+    pub flows: Vec<FlowSpec>,
+}
+
+/// Per-flow certified bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowBounds {
+    /// End-to-end delay bound (picoseconds), constant hop delays included.
+    pub e2e_delay: f64,
+    /// Per-hop queueing delay bounds (picoseconds), same order as the path.
+    pub hop_delays: Vec<f64>,
+    /// Worst per-hop backlog bound along the path (slots).
+    pub backlog: f64,
+}
+
+/// A converged fixed point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Iterations needed to converge (1 for acyclic fabrics).
+    pub iterations: usize,
+    /// Bounds per flow, in input order.
+    pub flows: Vec<FlowBounds>,
+}
+
+/// Why the solver rejected the set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// A flow's path references a ring outside `services`, or path/delay
+    /// lengths disagree.
+    MalformedFlow {
+        /// Index into [`FabricModel::flows`].
+        flow: usize,
+    },
+    /// The long-run rates alone overload a ring: `Σ αᵢ.rate ≥ β.tail_rate`.
+    Utilisation {
+        /// Ring index.
+        ring: usize,
+        /// Aggregate long-run demand (slots per picosecond).
+        demand: f64,
+        /// The ring's guaranteed long-run rate.
+        capacity: f64,
+    },
+    /// Output burstiness did not converge: it crossed [`BURST_CAP`] or was
+    /// still moving after [`MAX_ITERATIONS`] rounds.
+    Diverged {
+        /// Rounds executed before giving up.
+        iterations: usize,
+        /// Largest hop-arrival burst seen (slots).
+        worst_burst: f64,
+    },
+}
+
+impl core::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SolveError::MalformedFlow { flow } => {
+                write!(f, "flow {flow} has an invalid path or hop-delay vector")
+            }
+            SolveError::Utilisation { ring, demand, capacity } => write!(
+                f,
+                "ring {ring} over-utilised: demand {demand:.3e} ≥ capacity {capacity:.3e} slots/ps"
+            ),
+            SolveError::Diverged { iterations, worst_burst } => write!(
+                f,
+                "burstiness diverged after {iterations} iteration(s) (worst burst {worst_burst:.3e} slots)"
+            ),
+        }
+    }
+}
+
+/// Solve the fabric: certified per-flow delay/backlog bounds, or a
+/// diagnostic explaining the rejection. Fully deterministic: flows are
+/// processed in index order, hops in path order, and every operator is an
+/// exact closed form.
+pub fn solve(model: &FabricModel) -> Result<Solution, SolveError> {
+    let n_rings = model.services.len();
+    for (fi, flow) in model.flows.iter().enumerate() {
+        let ok = !flow.path.is_empty()
+            && flow.path.len() == flow.hop_delay.len()
+            && flow.path.iter().all(|&r| r < n_rings)
+            && flow.hop_delay.iter().all(|d| d.is_finite() && *d >= 0.0);
+        if !ok {
+            return Err(SolveError::MalformedFlow { flow: fi });
+        }
+    }
+
+    // Fast utilisation pre-check per ring: strict inequality required so
+    // every left-over curve keeps a positive tail rate.
+    for ring in 0..n_rings {
+        let demand: f64 = model
+            .flows
+            .iter()
+            .filter(|fl| fl.path.contains(&ring))
+            .map(|fl| fl.arrival.rate())
+            .sum();
+        let capacity = model.services[ring].tail_rate();
+        if demand >= capacity {
+            return Err(SolveError::Utilisation {
+                ring,
+                demand,
+                capacity,
+            });
+        }
+    }
+
+    // Hop arrivals, initialised optimistically to the source curve shifted
+    // by the accumulated constant delays. The fixed-point map only inflates
+    // bursts from here.
+    let mut hop_arrivals: Vec<Vec<ArrivalCurve>> = model
+        .flows
+        .iter()
+        .map(|fl| {
+            let mut acc = 0.0;
+            fl.hop_delay
+                .iter()
+                .map(|d| {
+                    acc += *d;
+                    fl.arrival.shift_time(acc)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut max_rel_change = 0.0_f64;
+        let mut worst_burst = 0.0_f64;
+        for fi in 0..model.flows.len() {
+            let flow = &model.flows[fi];
+            for (hop, &ring) in flow.path.iter().enumerate() {
+                let lo = left_over_at(model, &hop_arrivals, ring, fi, hop).ok_or(
+                    SolveError::Diverged {
+                        iterations,
+                        worst_burst: f64::INFINITY,
+                    },
+                )?;
+                if hop + 1 < flow.path.len() {
+                    let out = hop_arrivals[fi][hop]
+                        .deconvolve(lo.rate_latency_bound())
+                        .ok_or(SolveError::Diverged {
+                            iterations,
+                            worst_burst: f64::INFINITY,
+                        })?;
+                    let next = out.shift_time(flow.hop_delay[hop + 1]);
+                    let old_burst = hop_arrivals[fi][hop + 1].burst();
+                    let new_burst = next.burst();
+                    let denom = old_burst.abs().max(1.0);
+                    max_rel_change = max_rel_change.max((new_burst - old_burst).abs() / denom);
+                    worst_burst = worst_burst.max(new_burst);
+                    hop_arrivals[fi][hop + 1] = next;
+                }
+            }
+        }
+        if worst_burst > BURST_CAP {
+            return Err(SolveError::Diverged {
+                iterations,
+                worst_burst,
+            });
+        }
+        if max_rel_change <= CONVERGENCE_TOL {
+            break;
+        }
+        if iterations >= MAX_ITERATIONS {
+            return Err(SolveError::Diverged {
+                iterations,
+                worst_burst,
+            });
+        }
+    }
+
+    // Final pass: bounds from the converged arrivals.
+    let mut flows = Vec::with_capacity(model.flows.len());
+    for (fi, flow) in model.flows.iter().enumerate() {
+        let mut hop_delays = Vec::with_capacity(flow.path.len());
+        let mut e2e = 0.0;
+        let mut backlog = 0.0_f64;
+        for (hop, &ring) in flow.path.iter().enumerate() {
+            let lo =
+                left_over_at(model, &hop_arrivals, ring, fi, hop).ok_or(SolveError::Diverged {
+                    iterations,
+                    worst_burst: f64::INFINITY,
+                })?;
+            let alpha = &hop_arrivals[fi][hop];
+            let d = delay_bound(alpha, &lo).ok_or(SolveError::Diverged {
+                iterations,
+                worst_burst: f64::INFINITY,
+            })?;
+            let v = backlog_bound(alpha, &lo).ok_or(SolveError::Diverged {
+                iterations,
+                worst_burst: f64::INFINITY,
+            })?;
+            hop_delays.push(d);
+            e2e += flow.hop_delay[hop] + d;
+            backlog = backlog.max(v);
+        }
+        flows.push(FlowBounds {
+            e2e_delay: e2e,
+            hop_delays,
+            backlog,
+        });
+    }
+    Ok(Solution { iterations, flows })
+}
+
+/// Left-over service for flow `fi`'s hop at `ring`: the ring's curve minus
+/// every *other* (flow, hop) arrival currently traversing that ring.
+fn left_over_at(
+    model: &FabricModel,
+    hop_arrivals: &[Vec<ArrivalCurve>],
+    ring: usize,
+    fi: usize,
+    hop: usize,
+) -> Option<ServiceCurve> {
+    let mut cross = ArrivalCurve::zero();
+    let mut any = false;
+    for (gi, flow) in model.flows.iter().enumerate() {
+        for (gh, &r) in flow.path.iter().enumerate() {
+            if r == ring && !(gi == fi && gh == hop) {
+                cross = cross.plus(&hop_arrivals[gi][gh]);
+                any = true;
+            }
+        }
+    }
+    if any {
+        model.services[ring].left_over(&cross)
+    } else {
+        Some(model.services[ring].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::RateLatency;
+
+    fn tb(b: f64, r: f64) -> ArrivalCurve {
+        ArrivalCurve::token_bucket(b, r).unwrap()
+    }
+
+    fn rl(rate: f64, latency: f64) -> ServiceCurve {
+        RateLatency { rate, latency }.to_curve()
+    }
+
+    #[test]
+    fn single_flow_single_ring_matches_closed_form() {
+        let model = FabricModel {
+            services: vec![rl(2.0, 3.0)],
+            flows: vec![FlowSpec {
+                path: vec![0],
+                arrival: tb(4.0, 0.5),
+                hop_delay: vec![0.0],
+            }],
+        };
+        let sol = solve(&model).unwrap();
+        assert_eq!(sol.iterations, 1);
+        assert!((sol.flows[0].e2e_delay - (3.0 + 4.0 / 2.0)).abs() < 1e-9);
+        assert!((sol.flows[0].backlog - (4.0 + 0.5 * 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acyclic_chain_converges_fast() {
+        // Two flows crossing a 3-ring chain in the same direction.
+        let model = FabricModel {
+            services: vec![rl(2.0, 1.0), rl(2.0, 1.0), rl(2.0, 1.0)],
+            flows: vec![
+                FlowSpec {
+                    path: vec![0, 1, 2],
+                    arrival: tb(2.0, 0.3),
+                    hop_delay: vec![0.0, 5.0, 5.0],
+                },
+                FlowSpec {
+                    path: vec![1, 2],
+                    arrival: tb(1.0, 0.2),
+                    hop_delay: vec![0.0, 5.0],
+                },
+            ],
+        };
+        let sol = solve(&model).unwrap();
+        assert!(sol.iterations <= 4, "iterations = {}", sol.iterations);
+        for fb in &sol.flows {
+            assert!(fb.e2e_delay.is_finite() && fb.e2e_delay > 0.0);
+        }
+        // The chain flow pays its constant bridge delays at minimum.
+        assert!(sol.flows[0].e2e_delay >= 10.0);
+    }
+
+    #[test]
+    fn cyclic_triangle_converges_to_finite_bounds() {
+        // Three rings in a cycle, three flows each spanning two rings so the
+        // dependency graph 0→1→2→0 is genuinely cyclic.
+        let model = FabricModel {
+            services: vec![rl(1.0, 2.0), rl(1.0, 2.0), rl(1.0, 2.0)],
+            flows: vec![
+                FlowSpec {
+                    path: vec![0, 1],
+                    arrival: tb(1.0, 0.2),
+                    hop_delay: vec![0.0, 4.0],
+                },
+                FlowSpec {
+                    path: vec![1, 2],
+                    arrival: tb(1.0, 0.2),
+                    hop_delay: vec![0.0, 4.0],
+                },
+                FlowSpec {
+                    path: vec![2, 0],
+                    arrival: tb(1.0, 0.2),
+                    hop_delay: vec![0.0, 4.0],
+                },
+            ],
+        };
+        let sol = solve(&model).unwrap();
+        assert!(sol.iterations >= 2, "cyclic set should need iteration");
+        assert!(sol.iterations <= MAX_ITERATIONS);
+        for fb in &sol.flows {
+            assert!(fb.e2e_delay.is_finite());
+            // Symmetric set: all three bounds identical.
+            assert!((fb.e2e_delay - sol.flows[0].e2e_delay).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn over_utilised_ring_is_rejected_with_diagnostic() {
+        let model = FabricModel {
+            services: vec![rl(1.0, 2.0)],
+            flows: vec![
+                FlowSpec {
+                    path: vec![0],
+                    arrival: tb(1.0, 0.6),
+                    hop_delay: vec![0.0],
+                },
+                FlowSpec {
+                    path: vec![0],
+                    arrival: tb(1.0, 0.6),
+                    hop_delay: vec![0.0],
+                },
+            ],
+        };
+        match solve(&model) {
+            Err(SolveError::Utilisation {
+                ring: 0,
+                demand,
+                capacity,
+            }) => {
+                assert!(demand > capacity - 1e-12);
+            }
+            other => panic!("expected utilisation rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_saturation_cycle_terminates_within_iteration_cap() {
+        // 99.9% utilisation on every ring of a cycle: convergence is slow or
+        // impossible, but the solver must terminate either way.
+        let model = FabricModel {
+            services: vec![rl(1.0, 2.0), rl(1.0, 2.0), rl(1.0, 2.0)],
+            flows: vec![
+                FlowSpec {
+                    path: vec![0, 1],
+                    arrival: tb(5.0, 0.4995),
+                    hop_delay: vec![0.0, 4.0],
+                },
+                FlowSpec {
+                    path: vec![1, 2],
+                    arrival: tb(5.0, 0.4995),
+                    hop_delay: vec![0.0, 4.0],
+                },
+                FlowSpec {
+                    path: vec![2, 0],
+                    arrival: tb(5.0, 0.4995),
+                    hop_delay: vec![0.0, 4.0],
+                },
+            ],
+        };
+        match solve(&model) {
+            Ok(sol) => assert!(sol.iterations <= MAX_ITERATIONS),
+            Err(SolveError::Diverged { iterations, .. }) => {
+                assert!(iterations <= MAX_ITERATIONS);
+            }
+            Err(other) => panic!("unexpected rejection: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_flow_is_rejected() {
+        let model = FabricModel {
+            services: vec![rl(1.0, 2.0)],
+            flows: vec![FlowSpec {
+                path: vec![3],
+                arrival: tb(1.0, 0.1),
+                hop_delay: vec![0.0],
+            }],
+        };
+        assert_eq!(solve(&model), Err(SolveError::MalformedFlow { flow: 0 }));
+    }
+}

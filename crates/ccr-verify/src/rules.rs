@@ -78,6 +78,7 @@ impl RuleConfig {
             "ccr-sim",
             "ccr-phys",
             "ccr-multiring",
+            "ccr-calculus",
             "ccr-traffic",
             "cc-fpr",
         ];

@@ -230,6 +230,8 @@ pub struct Metrics {
     pub distributions_corrupted: Counter,
     /// Nodes failed and optically bypassed.
     pub nodes_failed: Counter,
+    /// Previously failed nodes brought back into the ring.
+    pub nodes_repaired: Counter,
     /// Connections revoked by degraded-mode admission or node teardown.
     pub connections_revoked: Counter,
     /// Queued messages dropped by fault handling (node-failure teardown).
@@ -289,6 +291,7 @@ impl Default for Metrics {
             control_corrupted: Counter::new(),
             distributions_corrupted: Counter::new(),
             nodes_failed: Counter::new(),
+            nodes_repaired: Counter::new(),
             connections_revoked: Counter::new(),
             fault_dropped_messages: Counter::new(),
             recovery_slots: Counter::new(),

@@ -478,6 +478,30 @@ impl<P: MacProtocol> RingNetwork<P> {
         true
     }
 
+    /// Bring a previously failed node back into the ring: the optical
+    /// bypass is removed and the node rejoins arbitration with empty
+    /// queues, and the admissible utilisation bound is scaled back up to
+    /// the new live fraction. Repair only ever *adds* capacity, so the
+    /// admitted set stays valid and nothing is revoked. A repaired
+    /// ex-master rejoins as an ordinary station — clock mastership stays
+    /// wherever the recovery election left it.
+    ///
+    /// Returns `false` when the node was not down.
+    pub fn repair_node(&mut self, node: NodeId) -> bool {
+        assert!(node.0 < self.cfg.n_nodes, "node out of range");
+        if self.nodes[node.idx()].alive {
+            return false;
+        }
+        let nd = &mut self.nodes[node.idx()];
+        nd.alive = true;
+        nd.requested = None;
+        self.metrics.nodes_repaired.incr();
+        let live = self.nodes.iter().filter(|n| n.alive).count();
+        self.admission
+            .set_capacity_factor(live as f64 / self.cfg.n_nodes as f64);
+        true
+    }
+
     /// Apply every scripted fault event scheduled at or before the current
     /// slot. Transient events (token loss, control corruption) landing on
     /// a slot that is already recovery dead time are no-ops — there is no
@@ -1634,6 +1658,30 @@ mod tests {
         assert_eq!(m.rt_deadline_misses.get(), 0);
         assert_eq!(m.nodes_failed.get(), 1);
         assert!(m.connections_revoked.get() >= 1);
+    }
+
+    #[test]
+    fn repaired_node_restores_capacity_and_carries_traffic_again() {
+        let mut net = net(8);
+        net.run_slots(20);
+        assert!(net.fail_node(NodeId(2)));
+        assert!(!net.repair_node(NodeId(3)), "live node needs no repair");
+        assert!(net.repair_node(NodeId(2)));
+        assert!(!net.repair_node(NodeId(2)), "already repaired");
+        assert!(net.node_alive(NodeId(2)));
+        assert_eq!(net.live_nodes(), 8);
+        assert!((net.admission().capacity_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(net.metrics().nodes_repaired.get(), 1);
+        // The repaired node admits and carries fresh traffic.
+        net.open_connection(
+            ConnectionSpec::unicast(NodeId(2), NodeId(6))
+                .period(TimeDelta::from_us(50))
+                .size_slots(1),
+        )
+        .unwrap();
+        net.run_slots(500);
+        assert!(net.metrics().delivered_rt.get() > 0);
+        assert_eq!(net.metrics().rt_deadline_misses.get(), 0);
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub struct SegmentEnv {
     pub slot: TimeDelta,
     /// The ring's analytic worst-case latency for a single-slot message.
     pub worst_latency: TimeDelta,
+    /// The ring's worst hand-over gap between consecutive slots
+    /// ([`ccr_edf::analysis::AnalyticModel::max_handover`]): together with
+    /// `slot` it fixes the guaranteed long-run service rate
+    /// `1 / (slot + max_handover)` the network-calculus layer builds its
+    /// per-ring service curves from.
+    pub max_handover: TimeDelta,
 }
 
 impl SegmentEnv {
@@ -175,6 +181,10 @@ pub enum FabricAdmissionError {
         /// Index into the fabric's bridge list.
         bridge: usize,
     },
+    /// The network-calculus certifier refused the set: with the candidate
+    /// added, some flow no longer has a finite certified end-to-end bound
+    /// within its deadline (see [`crate::calculus::CalculusAdmission`]).
+    Calculus(crate::calculus::CalculusRejection),
 }
 
 impl std::fmt::Display for FabricAdmissionError {
@@ -191,6 +201,9 @@ impl std::fmt::Display for FabricAdmissionError {
             }
             FabricAdmissionError::BridgeOverload { bridge } => {
                 write!(f, "bridge #{bridge} buffer fully reserved")
+            }
+            FabricAdmissionError::Calculus(e) => {
+                write!(f, "calculus certification refused: {e}")
             }
         }
     }
@@ -322,14 +335,17 @@ mod tests {
             SegmentEnv {
                 slot: TimeDelta::from_us(2),
                 worst_latency: TimeDelta::from_us(10),
+                max_handover: TimeDelta::from_us(6),
             },
             SegmentEnv {
                 slot: TimeDelta::from_us(4),
                 worst_latency: TimeDelta::from_us(20),
+                max_handover: TimeDelta::from_us(12),
             },
             SegmentEnv {
                 slot: TimeDelta::from_us(2),
                 worst_latency: TimeDelta::from_us(10),
+                max_handover: TimeDelta::from_us(6),
             },
         ]
     }

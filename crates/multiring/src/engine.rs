@@ -46,9 +46,10 @@ use crate::admission::{
     FabricConnectionId, FabricConnectionSpec, SegmentEnv,
 };
 use crate::bridge::{BridgeConfig, BridgeQueue, PendingForward};
-use crate::fault::FabricFaultScript;
+use crate::calculus::CalculusAdmission;
+use crate::fault::{BridgeEventKind, FabricFaultScript};
 use crate::metrics::FabricMetrics;
-use crate::topology::{FabricTopology, GlobalNodeId, RingId};
+use crate::topology::{CycleBound, FabricTopology, GlobalNodeId, RingId};
 use ccr_edf::config::{ConfigError, NetworkConfig};
 use ccr_edf::connection::ConnectionId;
 use ccr_edf::message::{Destination, Message};
@@ -92,6 +93,9 @@ pub enum FabricBuildError {
         /// The offending bridge index.
         bridge: usize,
     },
+    /// The network-calculus certifier was requested but a ring's timing
+    /// environment is degenerate (zero slot-plus-handover time).
+    DegenerateTiming,
 }
 
 impl std::fmt::Display for FabricBuildError {
@@ -121,6 +125,12 @@ impl std::fmt::Display for FabricBuildError {
             FabricBuildError::UnknownBridge { bridge } => {
                 write!(f, "fault script targets unknown bridge #{bridge}")
             }
+            FabricBuildError::DegenerateTiming => {
+                write!(
+                    f,
+                    "calculus certifier requested but a ring has a degenerate slot time"
+                )
+            }
         }
     }
 }
@@ -147,9 +157,14 @@ pub struct FabricConfig {
     pub threads: usize,
     /// Scripted fabric-level fault injection. Ring-local events are
     /// distributed into the per-ring fault scripts at build time (lockstep
-    /// keeps ring slot counters equal to the fabric's); bridge kills are
-    /// applied by the engine itself. Empty by default.
+    /// keeps ring slot counters equal to the fabric's); bridge kills and
+    /// repairs are applied by the engine itself. Empty by default.
     pub fault_script: FabricFaultScript,
+    /// Force the network-calculus certifier on even for acyclic fabrics
+    /// (it is always on when the topology was built with
+    /// [`CycleBound::Calculus`]). Every admission then carries a certified
+    /// end-to-end delay bound, readable via [`Fabric::e2e_bound`].
+    pub calculus: bool,
 }
 
 impl FabricConfig {
@@ -177,6 +192,7 @@ impl FabricConfig {
             bridge: BridgeConfig::default(),
             threads: 1,
             fault_script: FabricFaultScript::default(),
+            calculus: false,
         })
     }
 
@@ -195,6 +211,14 @@ impl FabricConfig {
     /// Install a fabric fault script.
     pub fn fault_script(mut self, s: FabricFaultScript) -> Self {
         self.fault_script = s;
+        self
+    }
+
+    /// Turn the network-calculus certifier on for every admission (it is
+    /// on regardless when the topology allows cycles with
+    /// [`CycleBound::Calculus`]).
+    pub fn calculus(mut self, on: bool) -> Self {
+        self.calculus = on;
         self
     }
 }
@@ -339,12 +363,20 @@ pub struct Fabric {
     delivery_buf: Vec<Vec<Delivery>>,
     /// Per-ring recovering flags filled by the health scan each slot.
     health_scratch: Vec<bool>,
+    /// End-to-end certifier: present when the topology allows cycles with
+    /// [`CycleBound::Calculus`] or [`FabricConfig::calculus`] opted in.
+    calculus: Option<CalculusAdmission>,
+    /// Largest observed e2e latency per connection (final deliveries).
+    observed_e2e: HashMap<FabricConnectionId, TimeDelta>,
     // --- fault state ---------------------------------------------------
     /// Per-bridge death flags (indexed by bridge index).
     dead_bridges: Vec<bool>,
-    /// Scripted `(slot, bridge)` kills, sorted by slot.
-    bridge_kills: Vec<(u64, usize)>,
-    kill_cursor: usize,
+    /// Scripted `(slot, bridge, kill/repair)` events, sorted by slot.
+    bridge_events: Vec<(u64, usize, BridgeEventKind)>,
+    event_cursor: usize,
+    /// Specs revoked by faults, in revocation order — the reclaim queue a
+    /// bridge repair retries deterministically.
+    revoked_specs: Vec<FabricConnectionSpec>,
     /// True when any fault source exists (stochastic knobs, scripts, or a
     /// manual `fail_node`/`kill_bridge` call) — gates the per-slot health
     /// scan so fault-free fabrics pay nothing for it.
@@ -391,14 +423,14 @@ impl Fabric {
                 });
             }
         }
-        let bridge_kills = cfg.fault_script.bridge_kills();
-        if let Some(&(_, b)) = bridge_kills
+        let bridge_events = cfg.fault_script.bridge_events();
+        if let Some(&(_, b, _)) = bridge_events
             .iter()
-            .find(|&&(_, b)| b >= cfg.topology.bridges().len())
+            .find(|&&(_, b, _)| b >= cfg.topology.bridges().len())
         {
             return Err(FabricBuildError::UnknownBridge { bridge: b });
         }
-        let track_faults = !bridge_kills.is_empty()
+        let track_faults = !bridge_events.is_empty()
             || ring_cfgs.iter().any(|rc| {
                 rc.faults.token_loss_prob > 0.0
                     || rc.faults.control_error_prob > 0.0
@@ -422,6 +454,7 @@ impl Fabric {
                 SegmentEnv {
                     slot: a.slot(),
                     worst_latency: a.worst_latency(),
+                    max_handover: a.max_handover(),
                 }
             })
             .collect();
@@ -440,6 +473,19 @@ impl Fabric {
         let threads = cfg.threads.clamp(1, rings.len());
         let pool = (threads > 1).then(|| RingPool::spawn(&rings, threads));
         let n_bridges = cfg.topology.bridges().len();
+        let want_calculus =
+            cfg.calculus || cfg.topology.cycle_bound() == Some(CycleBound::Calculus);
+        let calculus = if want_calculus {
+            // Never silently drop the certifier a cyclic topology relies
+            // on: degenerate timing (impossible for validated configs) is
+            // a build failure, not a disabled gate.
+            Some(
+                CalculusAdmission::new(&envs, &cfg.bridge)
+                    .ok_or(FabricBuildError::DegenerateTiming)?,
+            )
+        } else {
+            None
+        };
         Ok(Fabric {
             topo: cfg.topology,
             rings,
@@ -458,9 +504,12 @@ impl Fabric {
             pool,
             delivery_buf: Vec::new(),
             health_scratch: Vec::new(),
+            calculus,
+            observed_e2e: HashMap::new(),
             dead_bridges: vec![false; n_bridges],
-            bridge_kills,
-            kill_cursor: 0,
+            bridge_events,
+            event_cursor: 0,
+            revoked_specs: Vec::new(),
             track_faults,
             ring_alive,
         })
@@ -571,6 +620,18 @@ impl Fabric {
                 return Err(FabricAdmissionError::BridgeOverload { bridge: q / 2 });
             }
         }
+        // End-to-end certification (always on for cyclic fabrics): the
+        // whole admitted set plus the candidate is re-solved, and the
+        // candidate is refused unless every flow keeps a certified bound
+        // within its deadline. Checked before touching any ring so a
+        // calculus rejection needs no rollback.
+        let verdict = match &self.calculus {
+            Some(calc) => Some(
+                calc.check(&plan, &crossings)
+                    .map_err(FabricAdmissionError::Calculus)?,
+            ),
+            None => None,
+        };
         // Per-ring admission with rollback.
         let mut ring_conns: Vec<ConnectionId> = Vec::with_capacity(plan.segments.len());
         for (i, seg) in plan.segments.iter().enumerate() {
@@ -598,6 +659,9 @@ impl Fabric {
         }
         let fid = FabricConnectionId(self.next_fid);
         self.next_fid += 1;
+        if let (Some(calc), Some(v)) = (self.calculus.as_mut(), verdict) {
+            calc.commit(fid, v);
+        }
         for (i, (&rc, seg)) in ring_conns.iter().zip(plan.segments.iter()).enumerate() {
             self.by_ring_conn.insert((seg.segment.ring.0, rc), (fid, i));
         }
@@ -638,7 +702,30 @@ impl Fabric {
         for &q in &active.queue_after {
             self.queue_resident[q] -= 1;
         }
+        if let Some(calc) = self.calculus.as_mut() {
+            calc.remove(fid);
+        }
+        self.observed_e2e.remove(&fid);
         true
+    }
+
+    /// The certified end-to-end delay bound of connection `fid`, when the
+    /// network-calculus certifier is active (cyclic topologies built with
+    /// [`CycleBound::Calculus`], or [`FabricConfig::calculus`] opt-in).
+    /// Refreshed on every admission — it always reflects the current set.
+    pub fn e2e_bound(&self, fid: FabricConnectionId) -> Option<TimeDelta> {
+        self.calculus.as_ref().and_then(|c| c.bound(fid))
+    }
+
+    /// Largest end-to-end latency observed so far for connection `fid`
+    /// (final deliveries only). `None` before its first delivery.
+    pub fn observed_e2e_max(&self, fid: FabricConnectionId) -> Option<TimeDelta> {
+        self.observed_e2e.get(&fid).copied()
+    }
+
+    /// Is the network-calculus certifier active on this fabric?
+    pub fn calculus_enabled(&self) -> bool {
+        self.calculus.is_some()
     }
 
     // --- fault injection & self-healing --------------------------------
@@ -767,6 +854,109 @@ impl Fabric {
                 self.metrics.e2e_rerouted.incr();
             } else {
                 self.metrics.e2e_revoked.incr();
+                self.revoked_specs.push(spec);
+            }
+        }
+    }
+
+    /// Repair a previously killed bridge: its dead flag clears, its port
+    /// nodes come back on their rings (unless another dead bridge still
+    /// holds a port down), the health scan sees the rings whole again, and
+    /// the fabric deterministically reclaims connections lost or detoured
+    /// while it was down. Returns `false` for unknown or live bridges.
+    pub fn repair_bridge(&mut self, bridge: usize) -> bool {
+        self.track_faults = true;
+        let repaired = self.repair_bridge_impl(bridge);
+        if repaired {
+            self.reclaim_connections();
+        }
+        repaired
+    }
+
+    fn repair_bridge_impl(&mut self, bridge: usize) -> bool {
+        if bridge >= self.dead_bridges.len() || !self.dead_bridges[bridge] {
+            return false;
+        }
+        self.dead_bridges[bridge] = false;
+        self.metrics.bridges_repaired.incr();
+        let br = self.topo.bridges()[bridge];
+        self.node_up(br.a);
+        self.node_up(br.b);
+        true
+    }
+
+    /// Bring `g` back fabric-side and on its ring — unless another dead
+    /// bridge still claims it as a port. Idempotent.
+    fn node_up(&mut self, g: GlobalNodeId) {
+        let (r, n) = (g.ring.0 as usize, g.node.0 as usize);
+        if self.ring_alive[r][n] {
+            return;
+        }
+        let held_down = self
+            .topo
+            .bridges()
+            .iter()
+            .enumerate()
+            .any(|(bi, br)| self.dead_bridges[bi] && (br.a == g || br.b == g));
+        if held_down {
+            return;
+        }
+        if self.rings[r].lock().expect("ring lock").repair_node(g.node) {
+            self.ring_alive[r][n] = true;
+        }
+    }
+
+    /// Post-repair reclamation, deterministic in two passes:
+    ///
+    /// 1. Specs revoked by earlier faults are retried in revocation order
+    ///    (endpoints must be back; admission runs the full gate, calculus
+    ///    included). Failures stay queued for the next repair.
+    /// 2. Surviving connections whose current route differs from the
+    ///    planner's preference (they were detoured around the dead bridge,
+    ///    or re-planning now finds a shorter path) are moved back, in
+    ///    connection-id order, falling back to their detour when the
+    ///    preferred route is refused — and revoked only if even the detour
+    ///    can no longer be re-admitted.
+    fn reclaim_connections(&mut self) {
+        let stash = std::mem::take(&mut self.revoked_specs);
+        for spec in stash {
+            let reclaimed = self.node_alive(spec.src)
+                && self.node_alive(spec.dst)
+                && plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
+                    .and_then(|plan| self.admit_plan(plan))
+                    .is_ok();
+            if reclaimed {
+                self.metrics.e2e_reclaimed.incr();
+            } else {
+                self.revoked_specs.push(spec);
+            }
+        }
+        // ccr-verify: allow(nondeterminism) -- collected to a Vec and sorted by id on the next line
+        let mut fids: Vec<FabricConnectionId> = self.connections.keys().copied().collect();
+        fids.sort_unstable();
+        for fid in fids {
+            let (spec, current, old_plan) = {
+                let active = &self.connections[&fid];
+                (
+                    active.plan.spec.clone(),
+                    active.plan.bridges().collect::<Vec<usize>>(),
+                    active.plan.clone(),
+                )
+            };
+            let Ok(preferred) =
+                plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
+            else {
+                continue;
+            };
+            if preferred.bridges().collect::<Vec<usize>>() == current {
+                continue;
+            }
+            self.close_connection(fid);
+            if self.admit_plan(preferred).is_ok() {
+                self.metrics.e2e_reclaimed.incr();
+            } else if self.admit_plan(old_plan).is_err() {
+                self.metrics.e2e_revoked.incr();
+                self.revoked_specs.push(spec);
             }
         }
     }
@@ -812,17 +1002,27 @@ impl Fabric {
 
     /// Execute one fabric slot (every ring advances one MAC slot).
     pub fn step_slot(&mut self) {
-        // Phase 0 — scripted bridge kills land at the slot boundary,
-        // before any ring steps; serial, so the outcome is identical for
-        // any ring-phase thread count.
+        // Phase 0 — scripted bridge kills and repairs land at the slot
+        // boundary, before any ring steps; serial, so the outcome is
+        // identical for any ring-phase thread count.
         let slot = self.metrics.slots.get();
-        while self.kill_cursor < self.bridge_kills.len()
-            && self.bridge_kills[self.kill_cursor].0 <= slot
+        while self.event_cursor < self.bridge_events.len()
+            && self.bridge_events[self.event_cursor].0 <= slot
         {
-            let b = self.bridge_kills[self.kill_cursor].1;
-            self.kill_cursor += 1;
-            self.kill_bridge_impl(b);
-            self.reconcile_connections();
+            let (_, b, kind) = self.bridge_events[self.event_cursor];
+            self.event_cursor += 1;
+            match kind {
+                BridgeEventKind::Kill => {
+                    if self.kill_bridge_impl(b) {
+                        self.reconcile_connections();
+                    }
+                }
+                BridgeEventKind::Repair => {
+                    if self.repair_bridge_impl(b) {
+                        self.reclaim_connections();
+                    }
+                }
+            }
         }
         // Phase 1 — ring stepping. With a pool, each ring is stepped by its
         // owning worker and deliveries are re-ordered by ring index; the
@@ -947,6 +1147,8 @@ impl Fabric {
             None => {
                 debug_assert_eq!(seg_idx + 1, n_segs);
                 self.metrics.record_e2e(total, total <= e2e_deadline);
+                let worst = self.observed_e2e.entry(fid).or_insert(TimeDelta::ZERO);
+                *worst = (*worst).max(total);
             }
             Some((qi, egress_ring, from, to, rel_deadline, egress_conn)) => {
                 // Hand off to the bridge: timestamp and sub-deadline on the
@@ -1117,7 +1319,7 @@ mod tests {
         b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
         b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
         b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
-        b.allow_cycles(true);
+        b.allow_cycles_with(CycleBound::unbounded());
         let topo = b.build().unwrap();
         let cfg = FabricConfig::uniform(topo, 2048, 11).unwrap();
         let mut fabric = Fabric::new(cfg).unwrap();
@@ -1146,6 +1348,199 @@ mod tests {
         // End-to-end traffic resumes on the alternate route.
         fabric.run_slots(600);
         assert!(fabric.metrics().e2e_delivered.get() > delivered_before);
+    }
+
+    /// Triangle of three rings: 0—1 (bridge 0), 1—2 (bridge 1), 2—0
+    /// (bridge 2) — genuinely cyclic.
+    fn triangle(ring_size: u16, bound: CycleBound) -> FabricTopology {
+        let mut b = FabricTopology::builder();
+        for _ in 0..3 {
+            b.ring(ring_size);
+        }
+        b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+        b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
+        b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
+        b.allow_cycles_with(bound);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cyclic_triangle_admits_with_certified_finite_bound() {
+        // The seed behaviour: a cyclic triangle is rejected outright at
+        // topology build unless the builder opts in. With the Calculus
+        // bound the fabric now admits connections *with a certificate*.
+        {
+            let mut b = FabricTopology::builder();
+            for _ in 0..3 {
+                b.ring(8);
+            }
+            b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+            b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
+            b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
+            assert!(b.build().is_err(), "seed rejects the cyclic triangle");
+        }
+        let topo = triangle(8, CycleBound::Calculus);
+        let cfg = FabricConfig::uniform(topo, 2048, 3).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        assert!(fabric.calculus_enabled());
+        let fid = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(5)),
+            )
+            .unwrap();
+        let bound = fabric.e2e_bound(fid).expect("admission certified a bound");
+        assert!(bound > TimeDelta::ZERO && bound <= TimeDelta::from_ms(5));
+        // The certificate is honoured by the simulated fabric.
+        fabric.run_slots(3_000);
+        let observed = fabric.observed_e2e_max(fid).expect("traffic flowed");
+        assert!(
+            observed <= bound,
+            "observed {observed} exceeds certified bound {bound}"
+        );
+    }
+
+    #[test]
+    fn calculus_verdicts_are_identical_across_thread_counts() {
+        let mut bounds_by_threads = Vec::new();
+        for threads in [1usize, 4] {
+            let topo = triangle(8, CycleBound::Calculus);
+            let cfg = FabricConfig::uniform(topo, 2048, 3)
+                .unwrap()
+                .threads(threads);
+            let mut fabric = Fabric::new(cfg).unwrap();
+            let mut run = Vec::new();
+            for (src, dst) in [
+                (GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 3)),
+                (GlobalNodeId::new(1, 4), GlobalNodeId::new(2, 3)),
+                (GlobalNodeId::new(2, 4), GlobalNodeId::new(0, 3)),
+            ] {
+                let fid = fabric
+                    .open_connection(
+                        FabricConnectionSpec::unicast(src, dst).period(TimeDelta::from_ms(5)),
+                    )
+                    .unwrap();
+                fabric.run_slots(50);
+                run.push(fabric.e2e_bound(fid).unwrap());
+            }
+            bounds_by_threads.push(run);
+        }
+        assert_eq!(
+            bounds_by_threads[0], bounds_by_threads[1],
+            "certified bounds must be bit-identical for any thread count"
+        );
+    }
+
+    #[test]
+    fn repaired_bridge_reclaims_revoked_connections() {
+        // Chain: killing the only bridge revokes the crossing connection;
+        // repairing it brings the connection back deterministically.
+        let topo = FabricTopology::chain(2, 6);
+        let cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let fid = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(2)),
+            )
+            .unwrap();
+        fabric.run_slots(50);
+        assert!(fabric.kill_bridge(0));
+        assert_eq!(fabric.metrics().e2e_revoked.get(), 1);
+        assert_eq!(fabric.active_connections(), 0);
+        assert!(!fabric.repair_bridge(3), "unknown bridge");
+        assert!(fabric.repair_bridge(0));
+        assert!(!fabric.repair_bridge(0), "second repair is a no-op");
+        assert!(fabric.bridge_alive(0));
+        // Port nodes are back on their rings.
+        assert!(fabric.node_alive(GlobalNodeId::new(0, 5)));
+        assert!(fabric.node_alive(GlobalNodeId::new(1, 0)));
+        assert_eq!(fabric.metrics().bridges_repaired.get(), 1);
+        assert_eq!(fabric.metrics().e2e_reclaimed.get(), 1);
+        assert_eq!(fabric.active_connections(), 1);
+        assert!(
+            !fabric.connections.contains_key(&fid),
+            "fresh id on reclaim"
+        );
+        // Traffic flows end-to-end again.
+        let before = fabric.metrics().e2e_delivered.get();
+        fabric.run_slots(2_000);
+        assert!(fabric.metrics().e2e_delivered.get() > before);
+    }
+
+    #[test]
+    fn repaired_bridge_moves_detoured_connections_back() {
+        // Cyclic triangle with the Unbounded escape hatch: kill bridge 0 so
+        // the connection detours via ring 2, then repair it — the reclaim
+        // pass moves the connection back onto its one-bridge route.
+        let topo = triangle(6, CycleBound::unbounded());
+        let cfg = FabricConfig::uniform(topo, 2048, 11).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(5)),
+            )
+            .unwrap();
+        fabric.run_slots(50);
+        assert!(fabric.kill_bridge(0));
+        assert_eq!(fabric.metrics().e2e_rerouted.get(), 1);
+        {
+            let active = fabric.connections.values().next().unwrap();
+            assert_eq!(active.plan.bridges().collect::<Vec<_>>(), vec![2, 1]);
+        }
+        assert!(fabric.repair_bridge(0));
+        assert_eq!(fabric.metrics().e2e_reclaimed.get(), 1);
+        let active = fabric.connections.values().next().unwrap();
+        assert_eq!(
+            active.plan.bridges().collect::<Vec<_>>(),
+            vec![0],
+            "back on the direct route"
+        );
+    }
+
+    #[test]
+    fn scripted_repair_fires_at_its_slot() {
+        let topo = FabricTopology::chain(2, 6);
+        let mut cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        for rc in &mut cfg.ring_configs {
+            rc.faults.recovery_timeout_slots = 4;
+        }
+        let cfg = cfg.fault_script(
+            FabricFaultScript::new()
+                .kill_bridge_at(20, 0)
+                .repair_bridge_at(60, 0),
+        );
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let fid = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(2)),
+            )
+            .unwrap();
+        fabric.run_slots(30);
+        assert!(!fabric.bridge_alive(0));
+        assert!(!fabric.connections.contains_key(&fid));
+        fabric.run_slots(40);
+        assert!(fabric.bridge_alive(0), "repair landed");
+        assert_eq!(fabric.metrics().bridges_repaired.get(), 1);
+        assert_eq!(fabric.metrics().e2e_reclaimed.get(), 1);
+        assert_eq!(fabric.active_connections(), 1);
+        let before = fabric.metrics().e2e_delivered.get();
+        fabric.run_slots(3_000);
+        assert!(fabric.metrics().e2e_delivered.get() > before);
+    }
+
+    #[test]
+    fn script_targeting_unknown_repair_bridge_rejected_at_build() {
+        let topo = FabricTopology::chain(2, 6);
+        let cfg = FabricConfig::uniform(topo, 2048, 7)
+            .unwrap()
+            .fault_script(FabricFaultScript::new().repair_bridge_at(5, 9));
+        assert!(matches!(
+            Fabric::new(cfg),
+            Err(FabricBuildError::UnknownBridge { bridge: 9 })
+        ));
     }
 
     #[test]

@@ -32,6 +32,25 @@ pub enum FabricFaultKind {
         /// Index into the topology's bridge list.
         bridge: usize,
     },
+    /// The bridge station comes back: its dead flag clears, its port nodes
+    /// are repaired on their rings (unless another dead bridge still shares
+    /// the port), the health scan sees the rings whole again, and the
+    /// engine deterministically reclaims connections that were revoked or
+    /// detoured while it was down.
+    RepairBridge {
+        /// Index into the topology's bridge list.
+        bridge: usize,
+    },
+}
+
+/// What a scheduled bridge event does, as reported by
+/// [`FabricFaultScript::bridge_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeEventKind {
+    /// Take the bridge down.
+    Kill,
+    /// Bring the bridge back.
+    Repair,
 }
 
 /// A fabric fault scheduled for a specific fabric slot.
@@ -68,6 +87,12 @@ impl FabricFaultScript {
     /// Builder: schedule a bridge kill at `slot`.
     pub fn kill_bridge_at(mut self, slot: u64, bridge: usize) -> Self {
         self.push(slot, FabricFaultKind::KillBridge { bridge });
+        self
+    }
+
+    /// Builder: schedule a bridge repair at `slot`.
+    pub fn repair_bridge_at(mut self, slot: u64, bridge: usize) -> Self {
+        self.push(slot, FabricFaultKind::RepairBridge { bridge });
         self
     }
 
@@ -119,6 +144,24 @@ impl FabricFaultScript {
             })
             .collect()
     }
+
+    /// Every scheduled bridge event (kills *and* repairs) as
+    /// `(slot, bridge index, kind)`, sorted by slot with same-slot events in
+    /// insertion order — the cursor the engine drains in its serial phase.
+    pub fn bridge_events(&self) -> Vec<(u64, usize, BridgeEventKind)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FabricFaultKind::KillBridge { bridge } => {
+                    Some((e.slot, bridge, BridgeEventKind::Kill))
+                }
+                FabricFaultKind::RepairBridge { bridge } => {
+                    Some((e.slot, bridge, BridgeEventKind::Repair))
+                }
+                FabricFaultKind::Ring { .. } => None,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +190,24 @@ mod tests {
         assert_eq!(s.ring_script(RingId(7)).len(), 0);
 
         assert_eq!(s.bridge_kills(), vec![(5, 0)]);
+    }
+
+    #[test]
+    fn bridge_events_interleave_kills_and_repairs() {
+        let s = FabricFaultScript::new()
+            .kill_bridge_at(5, 0)
+            .repair_bridge_at(50, 0)
+            .kill_bridge_at(80, 1);
+        assert_eq!(
+            s.bridge_events(),
+            vec![
+                (5, 0, BridgeEventKind::Kill),
+                (50, 0, BridgeEventKind::Repair),
+                (80, 1, BridgeEventKind::Kill),
+            ]
+        );
+        // The kill-only view ignores repairs.
+        assert_eq!(s.bridge_kills(), vec![(5, 0), (80, 1)]);
     }
 
     #[test]

@@ -7,9 +7,16 @@
 //! EDF-ordered queues. The pieces:
 //!
 //! - [`topology`] — rings, bridges, and the validated static routing table
-//!   (shortest bridge path, deterministic tie-breaks, cyclic fabrics
-//!   rejected by default per the network-calculus caveats of Amari &
-//!   Mifdaoui's multi-ring analysis).
+//!   (shortest bridge path, deterministic tie-breaks). Cyclic fabrics are
+//!   rejected unless the builder opts in via
+//!   [`topology::FabricTopologyBuilder::allow_cycles_with`]; the default
+//!   opt-in, [`topology::CycleBound::Calculus`], arms the engine's
+//!   network-calculus certifier instead of trusting cycles blindly.
+//! - [`calculus`] — the end-to-end certifier over [`ccr_calculus`]: rings
+//!   become rate-latency servers, connections token buckets, and every
+//!   admission re-solves the cyclic fixed point of Amari & Mifdaoui's
+//!   multi-ring analysis, refusing candidates that would void any flow's
+//!   certified delay bound.
 //! - [`bridge`] — per-egress-ring EDF forwarding queues with explicit
 //!   overflow policy, and the proportional per-hop deadline decomposition.
 //! - [`admission`] — the pure end-to-end planner: floors from each ring's
@@ -46,16 +53,18 @@
 
 pub mod admission;
 pub mod bridge;
+pub mod calculus;
 pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod topology;
 
 pub use admission::{FabricAdmissionError, FabricConnectionId, FabricConnectionSpec};
+pub use calculus::{CalculusAdmission, CalculusRejection, CalculusVerdict};
 pub use engine::{Fabric, FabricBuildError, FabricConfig};
-pub use fault::{FabricFaultEvent, FabricFaultKind, FabricFaultScript};
+pub use fault::{BridgeEventKind, FabricFaultEvent, FabricFaultKind, FabricFaultScript};
 pub use metrics::FabricMetrics;
-pub use topology::{Bridge, FabricTopology, GlobalNodeId, RingId, TopologyError};
+pub use topology::{Bridge, CycleBound, FabricTopology, GlobalNodeId, RingId, TopologyError};
 
 /// Convenient glob import.
 pub mod prelude {
@@ -63,8 +72,11 @@ pub mod prelude {
         FabricAdmissionError, FabricConnectionId, FabricConnectionSpec, SegmentEnv,
     };
     pub use crate::bridge::{BridgeConfig, DropPolicy};
+    pub use crate::calculus::{CalculusAdmission, CalculusRejection, CalculusVerdict};
     pub use crate::engine::{Fabric, FabricBuildError, FabricConfig};
-    pub use crate::fault::{FabricFaultEvent, FabricFaultKind, FabricFaultScript};
+    pub use crate::fault::{BridgeEventKind, FabricFaultEvent, FabricFaultKind, FabricFaultScript};
     pub use crate::metrics::{FabricMetrics, RING_AVAILABILITY_WINDOW};
-    pub use crate::topology::{Bridge, FabricTopology, GlobalNodeId, RingId, TopologyError};
+    pub use crate::topology::{
+        Bridge, CycleBound, FabricTopology, GlobalNodeId, RingId, TopologyError,
+    };
 }

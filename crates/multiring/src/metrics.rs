@@ -41,6 +41,8 @@ pub struct FabricMetrics {
     pub peak_bridge_occupancy: u64,
     /// Bridge stations taken down by fault injection.
     pub bridges_killed: Counter,
+    /// Previously killed bridge stations brought back by repair events.
+    pub bridges_repaired: Counter,
     /// Queued forwards lost when a dying bridge's buffers were flushed.
     pub fault_dropped_forwards: Counter,
     /// End-to-end connections re-admitted over an alternate bridge path
@@ -49,6 +51,9 @@ pub struct FabricMetrics {
     /// End-to-end connections revoked by a fault with no surviving
     /// alternate route (or whose endpoint died).
     pub e2e_revoked: Counter,
+    /// Connections brought back after a repair: revoked specs re-admitted,
+    /// plus detoured connections moved back onto their preferred route.
+    pub e2e_reclaimed: Counter,
     /// Fabric slots during which at least one ring was in clock-loss
     /// recovery (dead time somewhere in the fabric).
     pub degraded_slots: Counter,
@@ -81,9 +86,11 @@ impl Default for FabricMetrics {
             segment_latency: Vec::new(),
             peak_bridge_occupancy: 0,
             bridges_killed: Counter::default(),
+            bridges_repaired: Counter::default(),
             fault_dropped_forwards: Counter::default(),
             e2e_rerouted: Counter::default(),
             e2e_revoked: Counter::default(),
+            e2e_reclaimed: Counter::default(),
             degraded_slots: Counter::default(),
             ring_degraded_slots: Vec::new(),
             ring_availability: Vec::new(),

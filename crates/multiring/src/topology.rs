@@ -13,10 +13,14 @@
 //! Multiple-Ring Networks with Cyclic Dependencies based on Network
 //! Calculus"): per-segment bounds no longer compose by simple summation.
 //! The builder therefore **rejects** cyclic fabrics by default; callers
-//! that accept the weaker (simulation-only, not analytically bounded)
-//! guarantees can opt in with [`FabricTopologyBuilder::allow_cycles`], and
-//! the flag is preserved as [`FabricTopology::is_cyclic`] so admission and
-//! reporting layers can surface it.
+//! opt in with [`FabricTopologyBuilder::allow_cycles_with`], choosing how
+//! the cycle is to be bounded: [`CycleBound::Calculus`] routes every
+//! admission through the `ccr-calculus` min-plus fixed-point solver
+//! (certified finite e2e bounds, the default), while
+//! [`CycleBound::unbounded()`] is the explicit simulation-only escape
+//! hatch. The decision is preserved as [`FabricTopology::is_cyclic`] /
+//! [`FabricTopology::cycle_bound`] so admission and reporting layers can
+//! surface it.
 
 use ccr_phys::NodeId;
 use std::collections::HashMap;
@@ -153,7 +157,7 @@ impl std::fmt::Display for TopologyError {
             TopologyError::CyclicFabric { closing_bridge } => write!(
                 f,
                 "bridge #{closing_bridge} closes a ring-graph cycle (cyclic inter-ring \
-                 dependencies are rejected unless allow_cycles is set)"
+                 dependencies need an explicit bound: allow_cycles_with(CycleBound::…))"
             ),
             TopologyError::NoRoute(a, b) => write!(f, "no bridge path from {a} to {b}"),
             TopologyError::DegenerateSegment { ring, node } => write!(
@@ -167,12 +171,42 @@ impl std::fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// How the end-to-end guarantees of a **cyclic** ring graph are bounded.
+///
+/// Acyclic fabrics compose per-ring budgets by summation; a cycle breaks
+/// that argument, so the builder demands an explicit policy before it will
+/// accept one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CycleBound {
+    /// Certify every admission with the min-plus network-calculus
+    /// fixed-point solver (`ccr-calculus`): connections are only admitted
+    /// when the whole set converges to finite end-to-end bounds within
+    /// every deadline. The default, and the only analytically sound choice.
+    #[default]
+    Calculus,
+    /// **Escape hatch — no analytic end-to-end bound.** Admission falls
+    /// back to the per-ring utilisation tests alone, whose composition
+    /// argument does *not* cover cyclic dependencies: admitted traffic can
+    /// miss e2e deadlines under adversarial phasing. Only for experiments
+    /// that measure the unbounded behaviour on purpose.
+    Unbounded,
+}
+
+impl CycleBound {
+    /// The explicit escape hatch (see [`CycleBound::Unbounded`]): accept
+    /// cycles with **no** end-to-end guarantee. Prefer the default
+    /// [`CycleBound::Calculus`] everywhere traffic matters.
+    pub fn unbounded() -> Self {
+        CycleBound::Unbounded
+    }
+}
+
 /// Builder for [`FabricTopology`].
 #[derive(Debug, Default)]
 pub struct FabricTopologyBuilder {
     ring_sizes: Vec<u16>,
     bridges: Vec<Bridge>,
-    allow_cycles: bool,
+    cycle_bound: Option<CycleBound>,
 }
 
 impl FabricTopologyBuilder {
@@ -188,9 +222,28 @@ impl FabricTopologyBuilder {
         self
     }
 
+    /// Accept ring-graph cycles under an explicit bounding policy.
+    ///
+    /// With [`CycleBound::Calculus`] (the default policy value) the fabric
+    /// engine routes every admission on the cyclic fabric through the
+    /// min-plus fixed-point solver and only admits sets with certified
+    /// finite end-to-end bounds. [`CycleBound::unbounded()`] restores the
+    /// historical flag behaviour — cycles accepted with no analytic bound.
+    pub fn allow_cycles_with(&mut self, bound: CycleBound) -> &mut Self {
+        self.cycle_bound = Some(bound);
+        self
+    }
+
     /// Accept ring-graph cycles (flagged, not analytically bounded).
+    #[deprecated(
+        since = "0.1.0",
+        note = "a bare flag admits cycles with no end-to-end bound; use \
+                `allow_cycles_with(CycleBound::Calculus)` for certified \
+                admission, or `allow_cycles_with(CycleBound::unbounded())` \
+                to keep the old behaviour on purpose"
+    )]
     pub fn allow_cycles(&mut self, allow: bool) -> &mut Self {
-        self.allow_cycles = allow;
+        self.cycle_bound = allow.then_some(CycleBound::Unbounded);
         self
     }
 
@@ -230,7 +283,7 @@ impl FabricTopologyBuilder {
             );
             if ra == rb {
                 cyclic = true;
-                if !self.allow_cycles {
+                if self.cycle_bound.is_none() {
                     return Err(TopologyError::CyclicFabric { closing_bridge: i });
                 }
             } else {
@@ -282,6 +335,7 @@ impl FabricTopologyBuilder {
             bridges: self.bridges.clone(),
             routes,
             cyclic,
+            cycle_bound: if cyclic { self.cycle_bound } else { None },
         })
     }
 }
@@ -293,6 +347,7 @@ pub struct FabricTopology {
     bridges: Vec<Bridge>,
     routes: HashMap<(RingId, RingId), Route>,
     cyclic: bool,
+    cycle_bound: Option<CycleBound>,
 }
 
 impl FabricTopology {
@@ -337,6 +392,12 @@ impl FabricTopology {
     /// builder was told to allow them).
     pub fn is_cyclic(&self) -> bool {
         self.cyclic
+    }
+
+    /// The bounding policy this cyclic fabric was built with; `None` for
+    /// acyclic fabrics (the summation argument covers those).
+    pub fn cycle_bound(&self) -> Option<CycleBound> {
+        self.cycle_bound
     }
 
     /// The precomputed route between two distinct rings, if connected.
@@ -549,13 +610,36 @@ mod tests {
         b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1)); // closes the cycle
         let err = b.build().unwrap_err();
         assert_eq!(err, TopologyError::CyclicFabric { closing_bridge: 2 });
-        b.allow_cycles(true);
+        b.allow_cycles_with(CycleBound::Calculus);
         let t = b.build().unwrap();
         assert!(t.is_cyclic());
+        assert_eq!(t.cycle_bound(), Some(CycleBound::Calculus));
         // routes still defined (shortest path, one crossing each)
         assert_eq!(t.route(r0, r1).unwrap().bridges.len(), 1);
         assert_eq!(t.route(r0, r2).unwrap().bridges.len(), 1);
         let _ = (r0, r1, r2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_allow_cycles_flag_maps_to_unbounded() {
+        let mut b = FabricTopology::builder();
+        b.ring(4);
+        b.ring(4);
+        b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+        b.bridge(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 2)); // parallel pair = cycle
+        b.allow_cycles(true);
+        let t = b.build().unwrap();
+        assert!(t.is_cyclic());
+        assert_eq!(t.cycle_bound(), Some(CycleBound::Unbounded));
+        // Turning the flag back off restores the rejection.
+        b.allow_cycles(false);
+        assert!(matches!(
+            b.build(),
+            Err(TopologyError::CyclicFabric { closing_bridge: 1 })
+        ));
+        // Acyclic fabrics never carry a policy.
+        assert_eq!(FabricTopology::chain(3, 4).cycle_bound(), None);
     }
 
     #[test]
@@ -620,7 +704,7 @@ mod tests {
         b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
         b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
         b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
-        b.allow_cycles(true);
+        b.allow_cycles_with(CycleBound::unbounded());
         let t = b.build().unwrap();
         // Healthy: one crossing via bridge 0.
         let direct = t.route(RingId(0), RingId(1)).unwrap();

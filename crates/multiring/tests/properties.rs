@@ -80,7 +80,7 @@ fn election_with_bridge_kill(threads: usize) -> (FabricMetrics, Vec<ccr_edf::met
     b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
     b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
     b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
-    b.allow_cycles(true);
+    b.allow_cycles_with(CycleBound::unbounded());
     let topo = b.build().unwrap();
 
     let mut cfg = FabricConfig::uniform(topo, 2_048, 0xE1EC).unwrap();
@@ -135,6 +135,73 @@ fn restart_election_with_bridge_kill_is_thread_count_invariant() {
 
     for threads in [2usize, 4] {
         let (parallel, parallel_rings) = election_with_bridge_kill(threads);
+        assert_eq!(
+            serial, parallel,
+            "fabric metrics diverge at {threads} threads"
+        );
+        assert_eq!(
+            serial_rings, parallel_rings,
+            "per-ring metrics diverge at {threads} threads"
+        );
+    }
+}
+
+/// Kill → repair → reclaim on a cyclic fabric: bridge 0 dies at slot 200
+/// (the crossing connection detours through ring 2), comes back at slot
+/// 6_000 (the connection is reclaimed onto the direct route), and the
+/// whole story must replay bit-identically for any ring-phase thread
+/// count.
+fn kill_repair_reclaim(threads: usize) -> (FabricMetrics, Vec<ccr_edf::metrics::Metrics>) {
+    let mut b = FabricTopology::builder();
+    for _ in 0..3 {
+        b.ring(6);
+    }
+    b.bridge(GlobalNodeId::new(0, 0), GlobalNodeId::new(1, 0));
+    b.bridge(GlobalNodeId::new(1, 1), GlobalNodeId::new(2, 0));
+    b.bridge(GlobalNodeId::new(2, 1), GlobalNodeId::new(0, 1));
+    b.allow_cycles_with(CycleBound::unbounded());
+    let topo = b.build().unwrap();
+
+    let mut cfg = FabricConfig::uniform(topo, 2_048, 0x4EA1).unwrap();
+    for rc in &mut cfg.ring_configs {
+        rc.faults.recovery_timeout_slots = 6;
+    }
+    let cfg = cfg.threads(threads).fault_script(
+        FabricFaultScript::new()
+            .kill_bridge_at(200, 0)
+            .repair_bridge_at(6_000, 0),
+    );
+    let mut fabric = Fabric::new(cfg).unwrap();
+    fabric
+        .open_connection(
+            FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 3))
+                .period(TimeDelta::from_ms(5)),
+        )
+        .unwrap();
+    fabric.run_slots(20_000);
+    fabric.flush_health_series();
+    let rings = (0..3).map(|r| fabric.ring_metrics(RingId(r))).collect();
+    (fabric.metrics().clone(), rings)
+}
+
+#[test]
+fn kill_repair_reclaim_is_thread_count_invariant() {
+    let (serial, serial_rings) = kill_repair_reclaim(1);
+
+    assert_eq!(serial.bridges_killed.get(), 1);
+    assert_eq!(serial.bridges_repaired.get(), 1, "repair landed");
+    assert!(serial.e2e_rerouted.get() >= 1, "detour on the kill");
+    assert!(
+        serial.e2e_reclaimed.get() >= 1,
+        "direct route reclaimed after the repair"
+    );
+    assert!(serial.e2e_delivered.get() > 0, "traffic kept flowing");
+    // The repaired ports rejoined their rings.
+    assert!(serial_rings[0].nodes_repaired.get() >= 1);
+    assert!(serial_rings[1].nodes_repaired.get() >= 1);
+
+    for threads in [2usize, 4] {
+        let (parallel, parallel_rings) = kill_repair_reclaim(threads);
         assert_eq!(
             serial, parallel,
             "fabric metrics diverge at {threads} threads"

@@ -3,7 +3,7 @@
 //! ```text
 //! ccr-experiments list
 //! ccr-experiments all   [--quick] [--seed S] [--csv DIR] [--threads T]
-//! ccr-experiments e18   [--quick] [--seed S] [--csv DIR]
+//! ccr-experiments e19   [--quick] [--seed S] [--csv DIR]
 //! ccr-experiments model [--nodes N] [--slot-bytes B] [--link-m L]
 //! ```
 //!
@@ -17,7 +17,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ccr-experiments <list|all|model|e1..e18> [--quick] [--seed S] [--csv DIR] \
+        "usage: ccr-experiments <list|all|model|e1..e19> [--quick] [--seed S] [--csv DIR] \
          [--threads T] [--nodes N] [--slot-bytes B] [--link-m L]"
     );
     std::process::exit(2);

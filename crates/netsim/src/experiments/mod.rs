@@ -23,6 +23,7 @@ pub mod e15_dbf;
 pub mod e16_hetero;
 pub mod e17_multiring;
 pub mod e18_chaos;
+pub mod e19_calculus;
 
 use ccr_edf::config::{NetworkConfig, NetworkConfigBuilder};
 use ccr_sim::report::Table;
@@ -181,6 +182,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "e18",
             "Robustness: chaos soak, self-healing, and bridge failover",
             e18_chaos::run,
+        ),
+        (
+            "e19",
+            "Extension: network-calculus certified bounds on cyclic fabrics",
+            e19_calculus::run,
         ),
     ]
 }

@@ -11,7 +11,10 @@
 //! * [`traffic`] — workload generators;
 //! * [`multiring`] — bridged multi-ring fabrics with end-to-end EDF
 //!   admission (DESIGN.md §8);
-//! * [`netsim`] — the experiment harness (E1–E18).
+//! * [`calculus`] — the min-plus network-calculus kernel and fixed-point
+//!   solver that certify end-to-end delay bounds, cyclic fabrics included
+//!   (DESIGN.md §11);
+//! * [`netsim`] — the experiment harness (E1–E19).
 //!
 //! ```
 //! use ccr_edf_suite::prelude::*;
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub use cc_fpr as fpr;
+pub use ccr_calculus as calculus;
 pub use ccr_edf as edf;
 pub use ccr_multiring as multiring;
 pub use ccr_netsim as netsim;
@@ -35,10 +39,13 @@ pub use ccr_traffic as traffic;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use cc_fpr::{new_cc_fpr, new_tdma, CcFprAnalysis, CcFprMac, TdmaMac};
+    pub use ccr_calculus::{
+        delay_bound, solve, ArrivalCurve, FabricModel, FlowSpec, RateLatency, ServiceCurve,
+    };
     pub use ccr_edf::admission::AdmissionPolicy;
     pub use ccr_edf::prelude::*;
     pub use ccr_multiring::{
-        Fabric, FabricConfig, FabricConnectionSpec, FabricTopology, GlobalNodeId,
+        CycleBound, Fabric, FabricConfig, FabricConnectionSpec, FabricTopology, GlobalNodeId,
     };
     pub use ccr_netsim::admission_app::AdmissionApp;
     pub use ccr_netsim::trace::TraceRecorder;
