@@ -63,11 +63,11 @@ fn triangle_model() -> FabricModel {
     let mut flows = vec![];
     for burst in [1.0f64, 2.0, 4.0] {
         for path in [[0usize, 1], [1, 2], [2, 0]] {
-            flows.push(FlowSpec {
-                path: path.to_vec(),
-                arrival: ArrivalCurve::token_bucket(burst, 0.02 / per_slot).expect("bucket"),
-                hop_delay: vec![0.0, per_slot],
-            });
+            flows.push(FlowSpec::blind(
+                path.to_vec(),
+                ArrivalCurve::token_bucket(burst, 0.02 / per_slot).expect("bucket"),
+                vec![0.0, per_slot],
+            ));
         }
     }
     FabricModel {
@@ -130,6 +130,58 @@ fn bench_admission() -> f64 {
     iters as f64 * 1e9 / nanos as f64
 }
 
+/// Steady-state open/close throughput on a 32-ring chain fabric carrying
+/// `10_240` resident certified connections. Returns `(incremental,
+/// forced_full)` ops/s: the same churn measured on a warm-started
+/// dirty-set certifier and on the forced full-re-solve reference — their
+/// ratio is the control-plane speedup the incremental solver buys.
+fn bench_admission_10k() -> (f64, f64) {
+    const RINGS: u16 = 32;
+    const PER_RING: usize = 320;
+    let run = |force_full: bool, iters: u64| -> f64 {
+        let topo = FabricTopology::chain(RINGS, 8);
+        let cfg = FabricConfig::uniform(topo, 2_048, 7)
+            .expect("config")
+            .calculus(true)
+            .calculus_force_full(force_full);
+        let mut fabric = Fabric::new(cfg).expect("fabric");
+        // Residents: same-ring flows (single-segment routes) at two long
+        // periods, batch-admitted so setup pays one fixed point, not 10k.
+        let mut specs = Vec::with_capacity(RINGS as usize * PER_RING);
+        for r in 0..RINGS {
+            for i in 0..PER_RING {
+                let (src, dst) = ((2 + (i % 3)) as u16, (5 + (i % 3)) as u16);
+                let period = TimeDelta::from_ms(if i % 2 == 0 { 40 } else { 80 });
+                specs.push(
+                    FabricConnectionSpec::unicast(
+                        GlobalNodeId::new(r, src),
+                        GlobalNodeId::new(r, dst),
+                    )
+                    .period(period),
+                );
+            }
+        }
+        let fids = fabric.open_connections(&specs).expect("residents admit");
+        assert_eq!(fids.len(), RINGS as usize * PER_RING);
+        // Steady-state churn: open + close one probe on ring 0.
+        let probe = || {
+            FabricConnectionSpec::unicast(GlobalNodeId::new(0, 3), GlobalNodeId::new(0, 6))
+                .period(TimeDelta::from_ms(60))
+        };
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let fid = fabric.open_connection(probe()).expect("probe admits");
+            assert!(fabric.e2e_bound(fid).is_some(), "certified");
+            fabric.close_connection(fid);
+        }
+        let nanos = t0.elapsed().as_nanos().max(1);
+        iters as f64 * 1e9 / nanos as f64
+    };
+    // The full reference re-solves all 10k flows per op — keep its
+    // iteration count small so the bench stays runnable.
+    (run(false, 2_000), run(true, 20))
+}
+
 /// Extract the `"baseline": { ... }` object from a previous report, if any.
 fn existing_baseline(text: &str) -> Option<String> {
     let key = "\"baseline\":";
@@ -154,7 +206,14 @@ fn existing_baseline(text: &str) -> Option<String> {
 fn section(results: &[(&str, f64)]) -> String {
     let body: Vec<String> = results
         .iter()
-        .map(|(name, v)| format!("    \"{name}\": {v:.0}"))
+        .map(|(name, v)| {
+            // Throughputs are large integers; ratios keep two decimals.
+            if *v < 1_000.0 {
+                format!("    \"{name}\": {v:.2}")
+            } else {
+                format!("    \"{name}\": {v:.0}")
+            }
+        })
         .collect();
     format!("{{\n{}\n  }}", body.join(",\n"))
 }
@@ -182,6 +241,12 @@ fn main() {
         eprintln!("  {rate:>12.0} ops/s");
         results.push((name, rate));
     }
+    eprintln!("running fabric_admission_10k…");
+    let (inc, full) = bench_admission_10k();
+    eprintln!("  {inc:>12.0} ops/s incremental, {full:>12.0} ops/s full");
+    results.push(("fabric_admission_10k", inc));
+    results.push(("fabric_admission_10k_full", full));
+    results.push(("incremental_speedup_10k", inc / full));
 
     let current = section(&results);
     let baseline = std::fs::read_to_string(OUT_FILE)

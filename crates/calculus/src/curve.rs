@@ -66,6 +66,93 @@ fn crossing(a: Affine, b: Affine) -> f64 {
     (b.burst - a.burst) / (a.rate - b.rate)
 }
 
+/// In-place lower-envelope monotone chain over pieces already sorted by
+/// non-increasing rate. Equal-rate runs keep the smallest burst; dominated
+/// pieces and crossing-order inversions pop. Produces the same normal form
+/// as [`ArrivalCurve::normalized`] without sorting or allocating.
+fn arrival_chain(pieces: &mut Vec<Affine>) {
+    let mut kept = 0usize;
+    for k in 0..pieces.len() {
+        let p = pieces[k];
+        let mut skip = false;
+        loop {
+            if kept == 0 {
+                break;
+            }
+            let last = pieces[kept - 1];
+            if last.rate == p.rate {
+                if last.burst <= p.burst {
+                    skip = true; // the kept equal-rate piece dominates
+                    break;
+                }
+                kept -= 1;
+                continue;
+            }
+            if p.burst <= last.burst {
+                kept -= 1;
+                continue;
+            }
+            if kept == 1 {
+                break;
+            }
+            let a = pieces[kept - 2];
+            if crossing(last, p) <= crossing(a, last) {
+                kept -= 1;
+            } else {
+                break;
+            }
+        }
+        if !skip {
+            pieces[kept] = p;
+            kept += 1;
+        }
+    }
+    pieces.truncate(kept);
+}
+
+/// In-place upper-envelope monotone chain for service pieces already sorted
+/// by non-decreasing rate (same normal form as `ServiceCurve::normalized`
+/// without sorting). Equal-rate runs keep the largest burst.
+fn service_chain(pieces: &mut Vec<Affine>) {
+    let mut kept = 0usize;
+    for k in 0..pieces.len() {
+        let p = pieces[k];
+        let mut skip = false;
+        loop {
+            if kept == 0 {
+                break;
+            }
+            let last = pieces[kept - 1];
+            if last.rate == p.rate {
+                if last.burst >= p.burst {
+                    skip = true;
+                    break;
+                }
+                kept -= 1;
+                continue;
+            }
+            if p.burst >= last.burst {
+                kept -= 1;
+                continue;
+            }
+            if kept == 1 {
+                break;
+            }
+            let a = pieces[kept - 2];
+            if crossing(p, last) <= crossing(last, a) {
+                kept -= 1;
+            } else {
+                break;
+            }
+        }
+        if !skip {
+            pieces[kept] = p;
+            kept += 1;
+        }
+    }
+    pieces.truncate(kept);
+}
+
 // ---------------------------------------------------------------------------
 // Arrival curves
 // ---------------------------------------------------------------------------
@@ -94,6 +181,14 @@ impl ArrivalCurve {
                 rate: 0.0,
             }],
         }
+    }
+
+    /// An empty placeholder curve for scratch slots; not a valid arrival
+    /// curve until written through one of the `_into` operators or
+    /// [`ArrivalCurve::copy_from`].
+    pub fn placeholder() -> Self {
+        // ccr-verify: allow(alloc-in-hot-path) -- Vec::new is heap-free; the scratch slot grows to its high-water piece count once and is reused
+        ArrivalCurve { pieces: Vec::new() }
     }
 
     /// Build from arbitrary pieces; the lower envelope is taken.
@@ -204,31 +299,94 @@ impl ArrivalCurve {
 
     /// Pointwise sum `(α₁ + α₂)(t)` — exact on merged breakpoints.
     pub fn plus(&self, other: &ArrivalCurve) -> ArrivalCurve {
-        let mut xs: Vec<f64> = vec![0.0];
-        xs.extend(self.breakpoints());
-        xs.extend(other.breakpoints());
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
-        xs.dedup();
-        let mut pieces = Vec::with_capacity(xs.len());
-        for &x in &xs {
-            let a = self.pieces[self.active_index(x)];
-            let b = other.pieces[other.active_index(x)];
-            pieces.push(Affine {
-                burst: a.burst + b.burst,
-                rate: a.rate + b.rate,
+        let mut out = ArrivalCurve { pieces: Vec::new() };
+        self.plus_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free [`ArrivalCurve::plus`]: writes the exact sum into
+    /// `out`, reusing its piece storage. Both inputs are in normal form, so
+    /// a single merge walk over the two breakpoint sequences emits the sum's
+    /// active pieces directly in rate-descending order — the result is a
+    /// true lower envelope without sorting or re-normalising.
+    pub fn plus_into(&self, other: &ArrivalCurve, out: &mut ArrivalCurve) {
+        out.pieces.clear();
+        let a = &self.pieces;
+        let b = &other.pieces;
+        if a.len() == 1 && b.len() == 1 {
+            out.pieces.push(Affine {
+                burst: a[0].burst + b[0].burst,
+                rate: a[0].rate + b[0].rate,
             });
+            return;
         }
-        // The sum is concave; each interval's affine extension lies above it
-        // elsewhere, so the lower envelope of the collected pieces is exact.
-        ArrivalCurve::normalized(pieces)
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            out.pieces.push(Affine {
+                burst: a[i].burst + b[j].burst,
+                rate: a[i].rate + b[j].rate,
+            });
+            let na = if i + 1 < a.len() {
+                crossing(a[i], a[i + 1])
+            } else {
+                f64::INFINITY
+            };
+            let nb = if j + 1 < b.len() {
+                crossing(b[j], b[j + 1])
+            } else {
+                f64::INFINITY
+            };
+            if na.is_infinite() && nb.is_infinite() {
+                return;
+            }
+            if na <= nb {
+                i += 1;
+            }
+            if nb <= na {
+                j += 1;
+            }
+        }
     }
 
     /// Pointwise minimum — which is also the min-plus convolution
     /// `α₁ ⊗ α₂` for concave curves that are `0` at `t < 0`.
     pub fn min(&self, other: &ArrivalCurve) -> ArrivalCurve {
-        let mut pieces = self.pieces.clone();
-        pieces.extend_from_slice(&other.pieces);
-        ArrivalCurve::normalized(pieces)
+        let mut out = ArrivalCurve { pieces: Vec::new() };
+        self.min_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free [`ArrivalCurve::min`]: merges the two normal-form
+    /// piece lists by (rate descending, burst ascending) and runs the lower
+    /// envelope chain in place — no sort, no fresh allocation.
+    pub fn min_into(&self, other: &ArrivalCurve, out: &mut ArrivalCurve) {
+        out.pieces.clear();
+        let a = &self.pieces;
+        let b = &other.pieces;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(pa), Some(pb)) => {
+                    pa.rate > pb.rate || (pa.rate == pb.rate && pa.burst <= pb.burst)
+                }
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_a {
+                out.pieces.push(a[i]);
+                i += 1;
+            } else {
+                out.pieces.push(b[j]);
+                j += 1;
+            }
+        }
+        arrival_chain(&mut out.pieces);
+    }
+
+    /// Copy `src`'s pieces into `self`, reusing `self`'s storage.
+    pub fn copy_from(&mut self, src: &ArrivalCurve) {
+        self.pieces.clear();
+        self.pieces.extend_from_slice(&src.pieces);
     }
 
     /// Partial order: `self ≤ other` pointwise (checked exactly on the
@@ -245,15 +403,74 @@ impl ArrivalCurve {
     /// element (e.g. a bridge crossing): each piece's burst grows by
     /// `rate·d`.
     pub fn shift_time(&self, d: f64) -> ArrivalCurve {
-        ArrivalCurve {
-            pieces: self
-                .pieces
-                .iter()
-                .map(|p| Affine {
-                    burst: p.burst + p.rate * d,
-                    rate: p.rate,
-                })
-                .collect(),
+        let mut out = ArrivalCurve { pieces: Vec::new() };
+        self.shift_time_into(d, &mut out);
+        out
+    }
+
+    /// Allocation-free [`ArrivalCurve::shift_time`]. Large shifts can break
+    /// the strict-burst ordering of the normal form, so the envelope chain
+    /// runs in place afterwards (rates stay sorted, no sort needed).
+    pub fn shift_time_into(&self, d: f64, out: &mut ArrivalCurve) {
+        out.pieces.clear();
+        for p in &self.pieces {
+            out.pieces.push(Affine {
+                burst: p.burst + p.rate * d,
+                rate: p.rate,
+            });
+        }
+        if out.pieces.len() > 1 {
+            arrival_chain(&mut out.pieces);
+        }
+    }
+
+    /// Sound concave over-approximation of the *right*-shift `α(t − d)` for
+    /// `d ≥ 0` (traffic observed after an extra delay `d` upstream): each
+    /// piece's burst shrinks by `rate·d`, clamped at zero. For every
+    /// `t ≥ 0` the result dominates the true shifted envelope
+    /// `α((t − d)⁺)`, so using it as a cross-traffic bound is pessimistic
+    /// (safe). Used by the EDF left-over service for cross flows with a
+    /// *later* deadline class.
+    pub fn advance_time_into(&self, d: f64, out: &mut ArrivalCurve) {
+        out.pieces.clear();
+        for p in &self.pieces {
+            out.pieces.push(Affine {
+                burst: (p.burst - p.rate * d).max(0.0),
+                rate: p.rate,
+            });
+        }
+        if out.pieces.len() > 1 {
+            arrival_chain(&mut out.pieces);
+        }
+    }
+
+    /// Allocating wrapper around [`ArrivalCurve::advance_time_into`].
+    pub fn advance_time(&self, d: f64) -> ArrivalCurve {
+        let mut out = ArrivalCurve { pieces: Vec::new() };
+        self.advance_time_into(d, &mut out);
+        out
+    }
+
+    /// Concave over-approximation that caps the piece count: repeatedly
+    /// drops the interior piece with the narrowest active interval. The
+    /// envelope over a subset of pieces dominates the original pointwise,
+    /// so the result is still a sound arrival bound; the first piece
+    /// (instantaneous burst) and last piece (long-run rate) always survive.
+    /// Deterministic: ties resolve to the lowest index.
+    pub fn compact(&mut self, max_pieces: usize) {
+        let floor = max_pieces.max(2);
+        while self.pieces.len() > floor {
+            let mut best = 1usize;
+            let mut best_span = f64::INFINITY;
+            for i in 1..self.pieces.len() - 1 {
+                let span = crossing(self.pieces[i], self.pieces[i + 1])
+                    - crossing(self.pieces[i - 1], self.pieces[i]);
+                if span < best_span {
+                    best_span = span;
+                    best = i;
+                }
+            }
+            self.pieces.remove(best);
         }
     }
 
@@ -263,10 +480,14 @@ impl ArrivalCurve {
         if y <= self.burst() {
             return Some(0.0);
         }
-        // Walk the envelope; within piece k the curve is bᵢ + rᵢ·t.
-        let bps = self.breakpoints();
+        // Walk the envelope; within piece k the curve is bᵢ + rᵢ·t and the
+        // piece stays active until its crossing with the next piece.
         for (k, p) in self.pieces.iter().enumerate() {
-            let end = bps.get(k).copied().unwrap_or(f64::INFINITY);
+            let end = if k + 1 < self.pieces.len() {
+                crossing(self.pieces[k], self.pieces[k + 1])
+            } else {
+                f64::INFINITY
+            };
             if p.rate > 0.0 {
                 let t = (y - p.burst) / p.rate;
                 if t <= end {
@@ -286,29 +507,48 @@ impl ArrivalCurve {
     /// point where the envelope slope first drops to ≤ `R`. Returns `None`
     /// when `α`'s long-run rate exceeds `R` (backlog grows without bound).
     pub fn deconvolve(&self, service: RateLatency) -> Option<ArrivalCurve> {
+        let mut out = ArrivalCurve { pieces: Vec::new() };
+        if self.deconvolve_into(service, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Allocation-free [`ArrivalCurve::deconvolve`]: writes the output
+    /// envelope into `out` and returns `false` when the flow's long-run
+    /// rate exceeds the service rate (unbounded backlog). The clipped
+    /// `R`-rate piece is the steepest surviving piece, so emitting it first
+    /// keeps the list rate-descending for the in-place envelope chain.
+    pub fn deconvolve_into(&self, service: RateLatency, out: &mut ArrivalCurve) -> bool {
         let r_srv = service.rate;
         if self.rate() > r_srv {
-            return None;
+            return false;
         }
-        let first_flat = self.pieces.iter().position(|p| p.rate <= r_srv)?;
-        let mut pieces: Vec<Affine> = self.pieces[first_flat..]
-            .iter()
-            .map(|p| Affine {
-                burst: p.burst + p.rate * service.latency,
-                rate: p.rate,
-            })
-            .collect();
+        let Some(first_flat) = self.pieces.iter().position(|p| p.rate <= r_srv) else {
+            return false;
+        };
+        out.pieces.clear();
         if first_flat > 0 {
             // Envelope start of piece `first_flat`: crossing with the piece
             // before it.
             let t_r = crossing(self.pieces[first_flat - 1], self.pieces[first_flat]);
             let v = self.eval(t_r);
-            pieces.push(Affine {
+            out.pieces.push(Affine {
                 burst: v - r_srv * t_r + r_srv * service.latency,
                 rate: r_srv,
             });
         }
-        Some(ArrivalCurve::normalized(pieces))
+        for p in &self.pieces[first_flat..] {
+            out.pieces.push(Affine {
+                burst: p.burst + p.rate * service.latency,
+                rate: p.rate,
+            });
+        }
+        if out.pieces.len() > 1 {
+            arrival_chain(&mut out.pieces);
+        }
+        true
     }
 }
 
@@ -334,6 +574,37 @@ impl RateLatency {
                 rate: self.rate,
             }],
         }
+    }
+
+    /// Allocation-free left-over service `(β_{R,T} − α_cross)⁺` for a
+    /// rate-latency server — the solver's hot path, where every server is a
+    /// rate-latency curve. On the interval where cross piece `(b, r)` is
+    /// active the difference is `(R−r)·t − (R·T + b)`; non-positive-slope
+    /// pieces never reach the positive part of the convex difference (the
+    /// difference is `≤ 0` at `t = 0`) and drop out. Cross pieces are
+    /// rate-descending, so the differences `R − r` emerge rate-ascending in
+    /// the same order, ready for the in-place upper-envelope chain. Returns
+    /// `false` when the cross traffic's long-run rate exhausts the
+    /// guarantee.
+    pub fn left_over_into(self, cross: &ArrivalCurve, out: &mut ServiceCurve) -> bool {
+        if self.rate - cross.rate() <= 0.0 {
+            return false;
+        }
+        out.pieces.clear();
+        let base = -self.rate * self.latency;
+        for p in cross.pieces.iter() {
+            let rate = self.rate - p.rate;
+            if rate > 0.0 {
+                out.pieces.push(Affine {
+                    burst: base - p.burst,
+                    rate,
+                });
+            }
+        }
+        if out.pieces.len() > 1 {
+            service_chain(&mut out.pieces);
+        }
+        !out.pieces.is_empty()
     }
 }
 
@@ -414,6 +685,20 @@ impl ServiceCurve {
         &self.pieces
     }
 
+    /// Copy `src`'s pieces into `self`, reusing `self`'s storage.
+    pub fn copy_from(&mut self, src: &ServiceCurve) {
+        self.pieces.clear();
+        self.pieces.extend_from_slice(&src.pieces);
+    }
+
+    /// An empty placeholder curve for scratch slots; not a valid service
+    /// curve until written through [`ServiceCurve::copy_from`] or
+    /// [`RateLatency::left_over_into`].
+    pub fn placeholder() -> ServiceCurve {
+        // ccr-verify: allow(alloc-in-hot-path) -- Vec::new is heap-free; the scratch slot grows to its high-water piece count once and is reused
+        ServiceCurve { pieces: Vec::new() }
+    }
+
     /// `β(t)` for `t ≥ 0`.
     pub fn eval(&self, t: f64) -> f64 {
         self.pieces
@@ -475,6 +760,17 @@ impl ServiceCurve {
             }
         }
         segs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(core::cmp::Ordering::Equal));
+        // Canonicalise: equal-slope segments are adjacent after the sort and
+        // concatenate into one — without this, repeated convolutions grow
+        // the segment list (and every downstream walk) linearly per call.
+        segs.dedup_by(|next, kept| {
+            if next.0 == kept.0 {
+                kept.1 += next.1;
+                true
+            } else {
+                false
+            }
+        });
         let mut x = self.latency() + other.latency();
         let mut y = 0.0;
         let mut pieces: Vec<Affine> = Vec::with_capacity(segs.len() + 1);
@@ -503,6 +799,17 @@ impl ServiceCurve {
     pub fn left_over(&self, cross: &ArrivalCurve) -> Option<ServiceCurve> {
         if self.tail_rate() - cross.rate() <= 0.0 {
             return None;
+        }
+        // Single-piece β is a rate-latency curve: the closed form in
+        // [`RateLatency::left_over_into`] gives the identical envelope
+        // without the breakpoint merge, sort, and probe walk below.
+        if self.pieces.len() == 1 {
+            let rl = RateLatency {
+                rate: self.pieces[0].rate,
+                latency: self.latency(),
+            };
+            let mut out = ServiceCurve::placeholder();
+            return rl.left_over_into(cross, &mut out).then_some(out);
         }
         // Merge both curves' breakpoints; on each interval the difference is
         // a single affine piece. Pieces from the zero floor of β, and pieces
@@ -556,13 +863,14 @@ impl ServiceCurve {
         let r = self.tail_rate();
         // t − β(t)/R is non-decreasing for convex β with tail rate R and
         // constant once the tail piece is active: its value at the last
-        // breakpoint is the supremum.
-        let t = self
-            .breakpoints()
-            .last()
-            .copied()
-            .unwrap_or(0.0)
-            .max(self.latency());
+        // breakpoint is the supremum. In normal form the crossings are
+        // already sorted, so the last breakpoint is the final window's
+        // crossing (or the latency instant for a single piece).
+        let mut t = self.latency();
+        if self.pieces.len() > 1 {
+            let n = self.pieces.len();
+            t = t.max(crossing(self.pieces[n - 1], self.pieces[n - 2]));
+        }
         RateLatency {
             rate: r,
             latency: (t - self.eval(t) / r).max(0.0),
@@ -584,19 +892,25 @@ pub fn delay_bound(alpha: &ArrivalCurve, beta: &ServiceCurve) -> Option<f64> {
     // The map t ↦ β⁻¹(α(t)) − t is piecewise linear with kinks at α's
     // breakpoints and wherever α(t) crosses one of β's breakpoint heights;
     // its tail slope is ≤ 0, so the supremum is attained at a candidate.
-    let mut candidates: Vec<f64> = vec![0.0];
-    candidates.extend(alpha.breakpoints());
-    for x in beta.breakpoints() {
-        if let Some(t) = alpha.inverse(beta.eval(x)) {
-            candidates.push(t);
+    // Candidates are enumerated in place (both curves are in normal form
+    // with sorted crossings) — no allocation on this path.
+    let gap_at = |t: f64| beta.inverse(alpha.eval(t)) - t;
+    let mut worst = gap_at(0.0);
+    let ap = alpha.pieces();
+    for w in ap.windows(2) {
+        worst = worst.max(gap_at(crossing(w[0], w[1])));
+    }
+    let mut check_height = |y: f64| {
+        if let Some(t) = alpha.inverse(y) {
+            worst = worst.max(gap_at(t));
         }
+    };
+    check_height(beta.eval(beta.latency()));
+    let bp = beta.pieces();
+    for w in bp.windows(2) {
+        check_height(beta.eval(crossing(w[1], w[0])));
     }
-    let mut worst = 0.0_f64;
-    for t in candidates {
-        let d = beta.inverse(alpha.eval(t)) - t;
-        worst = worst.max(d);
-    }
-    Some(worst)
+    Some(worst.max(0.0))
 }
 
 /// Vertical deviation `v(α, β) = sup_t (α(t) − β(t))` — the worst-case
@@ -605,12 +919,16 @@ pub fn backlog_bound(alpha: &ArrivalCurve, beta: &ServiceCurve) -> Option<f64> {
     if alpha.rate() > beta.tail_rate() {
         return None;
     }
-    let mut candidates: Vec<f64> = vec![0.0];
-    candidates.extend(alpha.breakpoints());
-    candidates.extend(beta.breakpoints());
-    let mut worst = 0.0_f64;
-    for t in candidates {
-        worst = worst.max(alpha.eval(t) - beta.eval(t));
+    let gap_at = |t: f64| alpha.eval(t) - beta.eval(t);
+    let mut worst = gap_at(0.0).max(0.0);
+    let ap = alpha.pieces();
+    for w in ap.windows(2) {
+        worst = worst.max(gap_at(crossing(w[0], w[1])));
+    }
+    worst = worst.max(gap_at(beta.latency()));
+    let bp = beta.pieces();
+    for w in bp.windows(2) {
+        worst = worst.max(gap_at(crossing(w[1], w[0])));
     }
     Some(worst)
 }
@@ -785,6 +1103,114 @@ mod tests {
         let rl = lo.rate_latency_bound();
         for t in [0.0, 1.0, 2.0, 5.0, 20.0] {
             assert!(rl.to_curve().eval(t) <= lo.eval(t) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn advance_time_dominates_true_right_shift() {
+        let a = tb(1.0, 5.0).min(&tb(9.0, 1.0)).min(&tb(20.0, 0.25));
+        for d in [0.0, 0.5, 2.0, 10.0, 100.0] {
+            let shifted = a.advance_time(d);
+            // Still a valid concave envelope in normal form…
+            for w in shifted.pieces().windows(2) {
+                assert!(w[0].rate > w[1].rate);
+                assert!(w[0].burst < w[1].burst);
+            }
+            // …that dominates the true right-shift α((t−d)⁺) pointwise.
+            for t in 0..200 {
+                let t = t as f64 * 0.25;
+                let truth = if t >= d { a.eval(t - d) } else { 0.0 };
+                assert!(
+                    shifted.eval(t) >= truth - 1e-9,
+                    "d={d} t={t}: {} < {truth}",
+                    shifted.eval(t)
+                );
+            }
+        }
+        // Zero shift is the identity.
+        assert_eq!(a.advance_time(0.0), a);
+    }
+
+    #[test]
+    fn compact_is_a_sound_over_approximation() {
+        let a = tb(1.0, 8.0)
+            .min(&tb(2.0, 5.0))
+            .min(&tb(4.0, 3.0))
+            .min(&tb(7.0, 2.0))
+            .min(&tb(12.0, 1.0))
+            .min(&tb(30.0, 0.5));
+        assert_eq!(a.pieces().len(), 6);
+        let mut c = a.clone();
+        c.compact(3);
+        assert_eq!(c.pieces().len(), 3);
+        // Burst and long-run rate survive; the envelope only moves up.
+        assert_eq!(c.burst(), a.burst());
+        assert_eq!(c.rate(), a.rate());
+        for t in 0..400 {
+            let t = t as f64 * 0.1;
+            assert!(c.eval(t) >= a.eval(t) - 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn plus_into_matches_pointwise_sum_and_reuses_storage() {
+        let a = tb(3.0, 2.0).min(&tb(10.0, 0.5));
+        let b = tb(1.0, 1.0).min(&tb(4.0, 0.25));
+        let mut out = ArrivalCurve::placeholder();
+        a.plus_into(&b, &mut out);
+        for t in [0.0, 0.5, 1.0, 3.5, 4.6666, 10.0, 100.0] {
+            assert!((out.eval(t) - (a.eval(t) + b.eval(t))).abs() < 1e-9);
+        }
+        // Normal form: strictly decreasing rates, strictly increasing bursts.
+        for w in out.pieces().windows(2) {
+            assert!(w[0].rate > w[1].rate && w[0].burst < w[1].burst);
+        }
+        // Reuse the same scratch for a second, smaller sum.
+        let c = tb(2.0, 0.125);
+        a.plus_into(&c, &mut out);
+        for t in [0.0, 1.0, 7.0, 50.0] {
+            assert!((out.eval(t) - (a.eval(t) + c.eval(t))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rate_latency_left_over_into_matches_generic() {
+        let rl = RateLatency {
+            rate: 3.0,
+            latency: 2.0,
+        };
+        let cross = tb(2.0, 1.0).min(&tb(5.0, 0.5));
+        let mut fast = ServiceCurve::placeholder();
+        assert!(rl.left_over_into(&cross, &mut fast));
+        let slow = rl.to_curve().left_over(&cross).unwrap();
+        for t in [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 10.0, 100.0] {
+            assert!(
+                (fast.eval(t) - slow.eval(t)).abs() < 1e-9,
+                "t={t}: {} vs {}",
+                fast.eval(t),
+                slow.eval(t)
+            );
+        }
+        // Saturated guarantee is signalled, not silently clamped.
+        assert!(!rl.left_over_into(&tb(0.0, 3.0), &mut fast));
+    }
+
+    #[test]
+    fn convolve_canonicalises_equal_slopes() {
+        let b = ServiceCurve::rate_latency(2.0, 1.0).unwrap();
+        let lo = b.left_over(&tb(1.0, 0.5)).unwrap();
+        // Repeated self-convolution must not grow the piece list without
+        // bound: slopes repeat and equal-slope segments concatenate.
+        let mut acc = lo.clone();
+        let mut last = acc.pieces().len();
+        for _ in 0..6 {
+            acc = acc.convolve(&lo);
+            assert!(
+                acc.pieces().len() <= last + lo.pieces().len(),
+                "segment creep: {} pieces",
+                acc.pieces().len()
+            );
+            last = acc.pieces().len();
         }
     }
 

@@ -29,6 +29,6 @@ pub use curve::{
     backlog_bound, delay_bound, Affine, ArrivalCurve, CurveError, RateLatency, ServiceCurve,
 };
 pub use solver::{
-    solve, FabricModel, FlowBounds, FlowSpec, Solution, SolveError, BURST_CAP, CONVERGENCE_TOL,
-    MAX_ITERATIONS,
+    solve, FabricModel, FlowBounds, FlowSpec, IncrementalSolver, Solution, SolveError, SolveReport,
+    BURST_CAP, CONVERGENCE_TOL, MAX_ITERATIONS, MAX_PIECES,
 };

@@ -1,23 +1,58 @@
-//! Fixed-point delay-bound solver for (possibly cyclic) ring fabrics.
+//! Incremental fixed-point delay-bound solver for (possibly cyclic) ring
+//! fabrics, with EDF-aware left-over service.
 //!
-//! Model: each ring offers one aggregate [`ServiceCurve`]; each flow follows
-//! a fixed path of rings, entering hop `i` after a constant bridge-crossing
-//! delay `hop_delay[i]`. Under blind multiplexing, the service left over for
-//! a flow at a ring is `β_lo = (β − Σ α_cross)⁺` (non-decreasing closure);
-//! the flow's output of the hop — and hence its arrival at the next hop —
-//! is the deconvolution of its hop arrival against (a conservative
-//! rate-latency lower bound of) `β_lo`.
+//! Model: each ring (or bridge queue) offers one aggregate service priced by
+//! its rate-latency minorant; each flow follows a fixed path of servers,
+//! entering hop `i` after a constant delay `hop_delay[i]`, and carries a
+//! per-hop *deadline class* (`classes[i]`, picoseconds of relative deadline;
+//! `f64::INFINITY` marks a hop scheduled blindly). At every server two
+//! left-over curves are formed:
 //!
-//! On an acyclic fabric one sweep in path order settles every hop arrival.
-//! With cyclic ring dependencies (ring A's cross traffic depends on ring
-//! B's output and vice versa) the hop arrivals are a genuine fixed point:
-//! following Amari & Mifdaoui (arXiv:1605.07353) we iterate the propagation
-//! until output burstiness converges, and reject sets whose burstiness
-//! diverges. Burst growth per iteration is monotone in the cross-traffic
-//! curves, so the iteration either converges or blows past [`BURST_CAP`] /
-//! [`MAX_ITERATIONS`] — it can never cycle.
+//! * **blind**: `β_lo = (β − Σ α_cross)⁺` — sound for any work-conserving
+//!   multiplexer;
+//! * **EDF**: per-class left-over where a cross flow of class `D'` competing
+//!   with a flow of class `D` contributes `α_cross(t + D − D')⁺` — cross
+//!   traffic with *later* deadlines is advanced (contributes less), earlier
+//!   deadlines are shifted (contribute more). This is the classic EDF
+//!   residual-service bound; hops whose server mixes classes get both curves
+//!   and every bound takes the **min of the two branches**, so EDF pricing
+//!   is never looser than blind pricing.
+//!
+//! The per-hop output — the arrival at the next hop — is the deconvolution
+//! of the hop arrival against the rate-latency bound of the left-over curve
+//! (min-envelope of both branches where EDF applies).
+//!
+//! Cyclic dependencies are handled as in Amari & Mifdaoui
+//! (arXiv:1605.07353): iterate the propagation until the hop arrivals stop
+//! changing, reject sets whose burstiness diverges. The iteration is
+//! monotone from the optimistic start, so it either stabilises or blows
+//! past [`BURST_CAP`] / [`MAX_ITERATIONS`].
+//!
+//! # Incremental operation
+//!
+//! [`IncrementalSolver`] keeps the converged per-flow hop arrivals as
+//! state. An [`IncrementalSolver::admit`] / [`IncrementalSolver::remove`]
+//! warm-starts from the previous fixed point and re-iterates only the
+//! *dirty set*: the servers the changed flows touch, closed under
+//! downstream burst propagation (if server `s` is dirty, every server later
+//! on the path of any flow through `s` is dirty too). Flows with no hop on
+//! a dirty server keep their stored arrivals and bounds verbatim — their
+//! update inputs are untouched, so re-iterating them would reproduce the
+//! stored values bit for bit. Non-convergence of a restricted solve taints
+//! the solver; while tainted every operation falls back to a full
+//! re-solve, and an exact full solve clears the taint.
+//!
+//! Sweep discipline (identical for full and restricted solves, which is
+//! what makes `force_full` a bit-exact reference): cross-traffic aggregates
+//! are rebuilt per server at the start of each sweep (Jacobi with respect
+//! to cross flows), while a flow's own chain propagates within the sweep
+//! (Gauss–Seidel along its path). All aggregates and outputs are compacted
+//! to [`MAX_PIECES`] pieces — a sound over-approximation that stops
+//! segment-count creep.
 
-use crate::curve::{backlog_bound, delay_bound, ArrivalCurve, ServiceCurve};
+use crate::curve::{backlog_bound, delay_bound, ArrivalCurve, RateLatency, ServiceCurve};
+use core::cmp::Ordering;
+use std::collections::BTreeMap;
 
 /// Hard iteration ceiling: the solver provably terminates within this many
 /// rounds, converged or not.
@@ -27,13 +62,19 @@ pub const MAX_ITERATIONS: usize = 64;
 /// declared divergent immediately.
 pub const BURST_CAP: f64 = 1e12;
 
-/// Relative burst-change tolerance for declaring convergence.
+/// Relative burst-change tolerance: an iteration that is still moving at
+/// [`MAX_ITERATIONS`] but by no more than this is accepted (and taints an
+/// incremental solver, forcing the next operation to re-solve fully).
 pub const CONVERGENCE_TOL: f64 = 1e-9;
+
+/// Piece budget for aggregates and propagated arrivals; exceeding curves
+/// are compacted to a sound concave over-approximation.
+pub const MAX_PIECES: usize = 8;
 
 /// One flow through the fabric.
 #[derive(Debug, Clone)]
 pub struct FlowSpec {
-    /// Ring index per hop, in traversal order (no repeats).
+    /// Server index per hop, in traversal order (no repeats).
     pub path: Vec<usize>,
     /// Arrival curve at the source node (slots / picoseconds).
     pub arrival: ArrivalCurve,
@@ -41,12 +82,29 @@ pub struct FlowSpec {
     /// `hop_delay[0]` is usually `0`, later entries model the bridge
     /// crossing from the previous ring.
     pub hop_delay: Vec<f64>,
+    /// Relative deadline class per hop (picoseconds, `> 0`);
+    /// `f64::INFINITY` prices the hop as a blind multiplexer.
+    pub classes: Vec<f64>,
 }
 
-/// A fabric to bound: one service curve per ring plus the flow set.
+impl FlowSpec {
+    /// A flow priced blindly at every hop (no EDF class information).
+    pub fn blind(path: Vec<usize>, arrival: ArrivalCurve, hop_delay: Vec<f64>) -> FlowSpec {
+        let classes = vec![f64::INFINITY; path.len()];
+        FlowSpec {
+            path,
+            arrival,
+            hop_delay,
+            classes,
+        }
+    }
+}
+
+/// A fabric to bound: one service curve per server plus the flow set.
 #[derive(Debug, Clone)]
 pub struct FabricModel {
-    /// Aggregate service curve offered by each ring.
+    /// Aggregate service curve offered by each server; the solver prices
+    /// each by its rate-latency minorant (exact for rate-latency inputs).
     pub services: Vec<ServiceCurve>,
     /// All flows sharing the fabric.
     pub flows: Vec<FlowSpec>,
@@ -66,28 +124,47 @@ pub struct FlowBounds {
 /// A converged fixed point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
-    /// Iterations needed to converge (1 for acyclic fabrics).
+    /// Sweeps needed to stabilise (1 for a single-hop flow set).
     pub iterations: usize,
     /// Bounds per flow, in input order.
     pub flows: Vec<FlowBounds>,
 }
 
+/// Outcome of an incremental operation that kept the solver consistent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Sweeps executed by the fixed-point iteration.
+    pub iterations: usize,
+    /// `true` when the iteration stabilised exactly (bit-for-bit fixed
+    /// point); `false` when it was accepted at [`CONVERGENCE_TOL`] after
+    /// [`MAX_ITERATIONS`] sweeps, which taints the solver.
+    pub exact: bool,
+    /// `true` when the operation ran as a full re-solve (first fill,
+    /// forced, or tainted) rather than a dirty-set warm start.
+    pub full: bool,
+    /// Keys of the flows whose arrivals and bounds were re-derived; every
+    /// other resident flow kept its stored bounds verbatim.
+    pub dirty_flows: Vec<u64>,
+}
+
 /// Why the solver rejected the set.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolveError {
-    /// A flow's path references a ring outside `services`, or path/delay
-    /// lengths disagree.
+    /// A flow's path references a server outside `services`, the
+    /// path/delay/class lengths disagree, a key is duplicated, or a class
+    /// is not positive.
     MalformedFlow {
-        /// Index into [`FabricModel::flows`].
+        /// Index into the batch (for [`solve`], the index into
+        /// [`FabricModel::flows`]).
         flow: usize,
     },
-    /// The long-run rates alone overload a ring: `Σ αᵢ.rate ≥ β.tail_rate`.
+    /// The long-run rates alone overload a server: `Σ αᵢ.rate ≥ R`.
     Utilisation {
-        /// Ring index.
+        /// Server index.
         ring: usize,
         /// Aggregate long-run demand (slots per picosecond).
         demand: f64,
-        /// The ring's guaranteed long-run rate.
+        /// The server's guaranteed long-run rate.
         capacity: f64,
     },
     /// Output burstiness did not converge: it crossed [`BURST_CAP`] or was
@@ -104,7 +181,7 @@ impl core::fmt::Display for SolveError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SolveError::MalformedFlow { flow } => {
-                write!(f, "flow {flow} has an invalid path or hop-delay vector")
+                write!(f, "flow {flow} has an invalid path, class, or hop-delay vector")
             }
             SolveError::Utilisation { ring, demand, capacity } => write!(
                 f,
@@ -118,165 +195,908 @@ impl core::fmt::Display for SolveError {
     }
 }
 
-/// Solve the fabric: certified per-flow delay/backlog bounds, or a
-/// diagnostic explaining the rejection. Fully deterministic: flows are
-/// processed in index order, hops in path order, and every operator is an
-/// exact closed form.
-pub fn solve(model: &FabricModel) -> Result<Solution, SolveError> {
-    let n_rings = model.services.len();
-    for (fi, flow) in model.flows.iter().enumerate() {
-        let ok = !flow.path.is_empty()
-            && flow.path.len() == flow.hop_delay.len()
-            && flow.path.iter().all(|&r| r < n_rings)
-            && flow.hop_delay.iter().all(|d| d.is_finite() && *d >= 0.0);
-        if !ok {
-            return Err(SolveError::MalformedFlow { flow: fi });
+// ---------------------------------------------------------------------------
+// Incremental solver state
+// ---------------------------------------------------------------------------
+
+/// One (flow, hop) pair resident at a server, ordered by deadline class so
+/// class runs are contiguous in the member list.
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    class: f64,
+    key: u64,
+    hop: u32,
+}
+
+fn member_cmp(a: &Member, b: &Member) -> Ordering {
+    a.class
+        .total_cmp(&b.class)
+        .then(a.key.cmp(&b.key))
+        .then(a.hop.cmp(&b.hop))
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    spec: FlowSpec,
+    /// Arrival curve entering each hop; `arrivals[0]` is the source curve
+    /// shifted by `hop_delay[0]` and never changes.
+    arrivals: Vec<ArrivalCurve>,
+    bounds: FlowBounds,
+    /// Per-hop backlog bounds, kept so a dirty-set pass can recompute the
+    /// path maximum without revisiting clean hops.
+    hop_backlogs: Vec<f64>,
+}
+
+/// Per-server sweep aggregates, rebuilt at each sweep start from the
+/// current hop arrivals (Jacobi with respect to cross traffic).
+#[derive(Debug, Clone)]
+struct ServerSweep {
+    /// `prefix[i] = Σ_{j ≤ i} α_j` over the member list, compacted.
+    prefix: Vec<ArrivalCurve>,
+    /// `suffix[i] = Σ_{j ≥ i} α_j`.
+    suffix: Vec<ArrivalCurve>,
+    /// Within-class-run prefix/suffix sums (only built when `!uniform`).
+    wprefix: Vec<ArrivalCurve>,
+    wsuffix: Vec<ArrivalCurve>,
+    /// Member index → class-run ordinal.
+    run_of: Vec<usize>,
+    /// Run ordinal → first member index; one sentinel entry at the end.
+    run_start: Vec<usize>,
+    /// Per run `r`: Σ over other runs `r'` of that run's aggregate shifted
+    /// by `D_r − D_{r'}` (advanced when negative) — the cross-class part of
+    /// the EDF competing work, shared by every member of run `r`.
+    edf_base: Vec<ArrivalCurve>,
+    /// All members share one class: EDF pricing degenerates to blind.
+    uniform: bool,
+}
+
+impl ServerSweep {
+    fn new() -> ServerSweep {
+        ServerSweep {
+            prefix: Vec::new(),
+            suffix: Vec::new(),
+            wprefix: Vec::new(),
+            wsuffix: Vec::new(),
+            run_of: Vec::new(),
+            run_start: Vec::new(),
+            edf_base: Vec::new(),
+            uniform: true,
+        }
+    }
+}
+
+/// Reusable curve buffers for the sweep inner loop.
+#[derive(Debug, Clone)]
+struct Bufs {
+    zero: ArrivalCurve,
+    cross: ArrivalCurve,
+    cross_edf: ArrivalCurve,
+    tmp: ArrivalCurve,
+    shift: ArrivalCurve,
+    out_a: ArrivalCurve,
+    out_b: ArrivalCurve,
+    next: ArrivalCurve,
+    lo_blind: ServiceCurve,
+    lo_edf: ServiceCurve,
+}
+
+impl Bufs {
+    fn new() -> Bufs {
+        Bufs {
+            zero: ArrivalCurve::zero(),
+            cross: ArrivalCurve::placeholder(),
+            cross_edf: ArrivalCurve::placeholder(),
+            tmp: ArrivalCurve::placeholder(),
+            shift: ArrivalCurve::placeholder(),
+            out_a: ArrivalCurve::placeholder(),
+            out_b: ArrivalCurve::placeholder(),
+            next: ArrivalCurve::placeholder(),
+            lo_blind: ServiceCurve::placeholder(),
+            lo_edf: ServiceCurve::placeholder(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Scratch {
+    dirty_server: Vec<bool>,
+    dirty_flows: Vec<u64>,
+    servers: Vec<ServerSweep>,
+    bufs: Bufs,
+}
+
+impl Scratch {
+    fn new(n_servers: usize) -> Scratch {
+        Scratch {
+            dirty_server: vec![false; n_servers],
+            dirty_flows: Vec::new(),
+            servers: (0..n_servers).map(|_| ServerSweep::new()).collect(),
+            bufs: Bufs::new(),
+        }
+    }
+}
+
+/// Warm-started network-calculus engine: admits and releases flows against
+/// a fixed server set, re-iterating only the dirty set of servers each
+/// change can influence. See the module docs for the dirty-set closure rule
+/// and the taint/fallback contract.
+#[derive(Debug, Clone)]
+pub struct IncrementalSolver {
+    services: Vec<RateLatency>,
+    flows: BTreeMap<u64, FlowState>,
+    members: Vec<Vec<Member>>,
+    tainted: bool,
+    force_full: bool,
+    scratch: Scratch,
+}
+
+impl IncrementalSolver {
+    /// A solver over the given servers, each priced by its rate-latency
+    /// minorant (exact when the input is a rate-latency curve, which is
+    /// what every caller in this workspace builds).
+    pub fn new(services: &[ServiceCurve]) -> IncrementalSolver {
+        let rl: Vec<RateLatency> = services.iter().map(|s| s.rate_latency_bound()).collect();
+        let n = rl.len();
+        IncrementalSolver {
+            services: rl,
+            flows: BTreeMap::new(),
+            members: vec![Vec::new(); n],
+            tainted: false,
+            force_full: false,
+            scratch: Scratch::new(n),
         }
     }
 
-    // Fast utilisation pre-check per ring: strict inequality required so
-    // every left-over curve keeps a positive tail rate.
-    for ring in 0..n_rings {
-        let demand: f64 = model
-            .flows
-            .iter()
-            .filter(|fl| fl.path.contains(&ring))
-            .map(|fl| fl.arrival.rate())
-            .sum();
-        let capacity = model.services[ring].tail_rate();
-        if demand >= capacity {
-            return Err(SolveError::Utilisation {
-                ring,
-                demand,
-                capacity,
-            });
-        }
+    /// Number of resident flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
     }
 
-    // Hop arrivals, initialised optimistically to the source curve shifted
-    // by the accumulated constant delays. The fixed-point map only inflates
-    // bursts from here.
-    let mut hop_arrivals: Vec<Vec<ArrivalCurve>> = model
-        .flows
-        .iter()
-        .map(|fl| {
-            let mut acc = 0.0;
-            fl.hop_delay
-                .iter()
-                .map(|d| {
-                    acc += *d;
-                    fl.arrival.shift_time(acc)
+    /// `true` when no flow is resident.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// `true` when `key` is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        self.flows.contains_key(&key)
+    }
+
+    /// The certified bounds of a resident flow.
+    pub fn bounds(&self, key: u64) -> Option<&FlowBounds> {
+        self.flows.get(&key).map(|st| &st.bounds)
+    }
+
+    /// The spec a resident flow was admitted with.
+    pub fn spec(&self, key: u64) -> Option<&FlowSpec> {
+        self.flows.get(&key).map(|st| &st.spec)
+    }
+
+    /// Resident flow keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.flows.keys().copied()
+    }
+
+    /// Force every subsequent operation to run as a full re-solve — the
+    /// bit-exact reference the differential suite compares against.
+    pub fn set_force_full(&mut self, on: bool) {
+        self.force_full = on;
+    }
+
+    /// `true` while the last restricted solve was accepted inexactly; the
+    /// next operation will re-solve fully and clear this on success.
+    pub fn tainted(&self) -> bool {
+        self.tainted
+    }
+
+    /// Admit a batch of flows atomically: either every flow is admitted
+    /// and the report lists the re-derived dirty set, or the solver state
+    /// (flows, arrivals, bounds) is exactly as before the call.
+    pub fn admit(&mut self, batch: &[(u64, FlowSpec)]) -> Result<SolveReport, SolveError> {
+        let n_servers = self.services.len();
+        for (bi, (key, spec)) in batch.iter().enumerate() {
+            let dup = batch[..bi].iter().any(|(k, _)| k == key) || self.flows.contains_key(key);
+            if dup || !spec_ok(spec, n_servers) {
+                return Err(SolveError::MalformedFlow { flow: bi });
+            }
+        }
+        let full = self.force_full || self.tainted;
+        self.scratch.dirty_server.clear();
+        self.scratch.dirty_server.resize(n_servers, full);
+        for (key, spec) in batch {
+            if !full {
+                for &s in &spec.path {
+                    self.scratch.dirty_server[s] = true;
+                }
+            }
+            self.insert_flow(*key, spec.clone());
+        }
+        if !full {
+            self.close_dirty();
+        }
+        self.collect_dirty_flows();
+        if let Err(e) = self.check_utilisation() {
+            self.rollback(batch);
+            return Err(e);
+        }
+        self.reinit_dirty();
+        match self.run_to_bounds() {
+            Ok((iterations, exact)) => {
+                if exact {
+                    if full {
+                        self.tainted = false;
+                    }
+                } else {
+                    self.tainted = true;
+                }
+                Ok(SolveReport {
+                    iterations,
+                    exact,
+                    full,
+                    dirty_flows: self.scratch.dirty_flows.clone(),
                 })
-                .collect()
-        })
-        .collect();
+            }
+            Err(e) => {
+                // The candidates leave; surviving flows keep their stored
+                // (still valid) bounds but the arrivals were disturbed, so
+                // taint forces the next operation to re-solve fully.
+                self.rollback(batch);
+                self.tainted = true;
+                Err(e)
+            }
+        }
+    }
 
-    let mut iterations = 0;
-    loop {
-        iterations += 1;
-        let mut max_rel_change = 0.0_f64;
-        let mut worst_burst = 0.0_f64;
-        for fi in 0..model.flows.len() {
-            let flow = &model.flows[fi];
-            for (hop, &ring) in flow.path.iter().enumerate() {
-                let lo = left_over_at(model, &hop_arrivals, ring, fi, hop).ok_or(
-                    SolveError::Diverged {
-                        iterations,
-                        worst_burst: f64::INFINITY,
-                    },
-                )?;
-                if hop + 1 < flow.path.len() {
-                    let out = hop_arrivals[fi][hop]
-                        .deconvolve(lo.rate_latency_bound())
-                        .ok_or(SolveError::Diverged {
-                            iterations,
-                            worst_burst: f64::INFINITY,
-                        })?;
-                    let next = out.shift_time(flow.hop_delay[hop + 1]);
-                    let old_burst = hop_arrivals[fi][hop + 1].burst();
-                    let new_burst = next.burst();
-                    let denom = old_burst.abs().max(1.0);
-                    max_rel_change = max_rel_change.max((new_burst - old_burst).abs() / denom);
-                    worst_burst = worst_burst.max(new_burst);
-                    hop_arrivals[fi][hop + 1] = next;
+    /// Release flows. Infallible: removal only shrinks cross traffic, so
+    /// if the (practically unreachable) restricted re-solve fails the
+    /// stored bounds of the survivors remain sound and the solver is
+    /// tainted instead.
+    pub fn remove(&mut self, keys: &[u64]) -> SolveReport {
+        let full = self.force_full || self.tainted;
+        self.scratch.dirty_server.clear();
+        self.scratch.dirty_server.resize(self.services.len(), full);
+        let mut any = false;
+        for key in keys {
+            let Some(st) = self.flows.remove(key) else {
+                continue;
+            };
+            any = true;
+            for (hop, &s) in st.spec.path.iter().enumerate() {
+                self.scratch.dirty_server[s] = true;
+                let m = Member {
+                    class: st.spec.classes[hop],
+                    key: *key,
+                    hop: hop as u32,
+                };
+                let v = &mut self.members[s];
+                if let Ok(pos) = v.binary_search_by(|x| member_cmp(x, &m)) {
+                    v.remove(pos);
                 }
             }
         }
-        if worst_burst > BURST_CAP {
-            return Err(SolveError::Diverged {
-                iterations,
-                worst_burst,
-            });
+        if !any {
+            self.scratch.dirty_flows.clear();
+            return SolveReport {
+                iterations: 0,
+                exact: true,
+                full,
+                dirty_flows: Vec::new(),
+            };
         }
-        if max_rel_change <= CONVERGENCE_TOL {
-            break;
+        if !full {
+            self.close_dirty();
         }
-        if iterations >= MAX_ITERATIONS {
-            return Err(SolveError::Diverged {
-                iterations,
-                worst_burst,
-            });
-        }
-    }
-
-    // Final pass: bounds from the converged arrivals.
-    let mut flows = Vec::with_capacity(model.flows.len());
-    for (fi, flow) in model.flows.iter().enumerate() {
-        let mut hop_delays = Vec::with_capacity(flow.path.len());
-        let mut e2e = 0.0;
-        let mut backlog = 0.0_f64;
-        for (hop, &ring) in flow.path.iter().enumerate() {
-            let lo =
-                left_over_at(model, &hop_arrivals, ring, fi, hop).ok_or(SolveError::Diverged {
+        self.collect_dirty_flows();
+        self.reinit_dirty();
+        match self.run_to_bounds() {
+            Ok((iterations, exact)) => {
+                if exact {
+                    if full {
+                        self.tainted = false;
+                    }
+                } else {
+                    self.tainted = true;
+                }
+                SolveReport {
                     iterations,
-                    worst_burst: f64::INFINITY,
-                })?;
-            let alpha = &hop_arrivals[fi][hop];
-            let d = delay_bound(alpha, &lo).ok_or(SolveError::Diverged {
-                iterations,
-                worst_burst: f64::INFINITY,
-            })?;
-            let v = backlog_bound(alpha, &lo).ok_or(SolveError::Diverged {
-                iterations,
-                worst_burst: f64::INFINITY,
-            })?;
-            hop_delays.push(d);
-            e2e += flow.hop_delay[hop] + d;
-            backlog = backlog.max(v);
-        }
-        flows.push(FlowBounds {
-            e2e_delay: e2e,
-            hop_delays,
-            backlog,
-        });
-    }
-    Ok(Solution { iterations, flows })
-}
-
-/// Left-over service for flow `fi`'s hop at `ring`: the ring's curve minus
-/// every *other* (flow, hop) arrival currently traversing that ring.
-fn left_over_at(
-    model: &FabricModel,
-    hop_arrivals: &[Vec<ArrivalCurve>],
-    ring: usize,
-    fi: usize,
-    hop: usize,
-) -> Option<ServiceCurve> {
-    let mut cross = ArrivalCurve::zero();
-    let mut any = false;
-    for (gi, flow) in model.flows.iter().enumerate() {
-        for (gh, &r) in flow.path.iter().enumerate() {
-            if r == ring && !(gi == fi && gh == hop) {
-                cross = cross.plus(&hop_arrivals[gi][gh]);
-                any = true;
+                    exact,
+                    full,
+                    dirty_flows: self.scratch.dirty_flows.clone(),
+                }
+            }
+            Err(_) => {
+                self.tainted = true;
+                SolveReport {
+                    iterations: 0,
+                    exact: false,
+                    full,
+                    dirty_flows: self.scratch.dirty_flows.clone(),
+                }
             }
         }
     }
-    if any {
-        model.services[ring].left_over(&cross)
-    } else {
-        Some(model.services[ring].clone())
+
+    /// Re-derive every arrival and bound from scratch; an exact outcome
+    /// clears the taint. Exposed for benchmarks and as the reference path.
+    pub fn resolve_full(&mut self) -> Result<SolveReport, SolveError> {
+        self.scratch.dirty_server.clear();
+        self.scratch.dirty_server.resize(self.services.len(), true);
+        self.collect_dirty_flows();
+        self.reinit_dirty();
+        match self.run_to_bounds() {
+            Ok((iterations, exact)) => {
+                self.tainted = !exact;
+                Ok(SolveReport {
+                    iterations,
+                    exact,
+                    full: true,
+                    dirty_flows: self.scratch.dirty_flows.clone(),
+                })
+            }
+            Err(e) => {
+                self.tainted = true;
+                Err(e)
+            }
+        }
     }
+
+    fn run_to_bounds(&mut self) -> Result<(usize, bool), SolveError> {
+        let (iterations, exact) = resolve(
+            &self.services,
+            &mut self.flows,
+            &self.members,
+            &mut self.scratch,
+        )?;
+        finish_bounds(
+            &self.services,
+            &mut self.flows,
+            &self.members,
+            &mut self.scratch,
+            iterations,
+        )?;
+        Ok((iterations, exact))
+    }
+
+    fn insert_flow(&mut self, key: u64, spec: FlowSpec) {
+        let n = spec.path.len();
+        let mut arrivals = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for h in 0..n {
+            acc += spec.hop_delay[h];
+            arrivals.push(spec.arrival.shift_time(acc));
+        }
+        for (hop, &s) in spec.path.iter().enumerate() {
+            let m = Member {
+                class: spec.classes[hop],
+                key,
+                hop: hop as u32,
+            };
+            let v = &mut self.members[s];
+            let pos = v.partition_point(|x| member_cmp(x, &m) == Ordering::Less);
+            v.insert(pos, m);
+        }
+        let bounds = FlowBounds {
+            e2e_delay: 0.0,
+            hop_delays: vec![0.0; n],
+            backlog: 0.0,
+        };
+        self.flows.insert(
+            key,
+            FlowState {
+                spec,
+                arrivals,
+                bounds,
+                hop_backlogs: vec![0.0; n],
+            },
+        );
+    }
+
+    fn rollback(&mut self, batch: &[(u64, FlowSpec)]) {
+        for (key, _) in batch {
+            let Some(st) = self.flows.remove(key) else {
+                continue;
+            };
+            for (hop, &s) in st.spec.path.iter().enumerate() {
+                let m = Member {
+                    class: st.spec.classes[hop],
+                    key: *key,
+                    hop: hop as u32,
+                };
+                let v = &mut self.members[s];
+                if let Ok(pos) = v.binary_search_by(|x| member_cmp(x, &m)) {
+                    v.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Close the dirty server set under downstream burst propagation: a
+    /// changed left-over at `s` perturbs the output of every (flow, hop)
+    /// pair at `s`, hence the arrivals at every later hop of those flows.
+    fn close_dirty(&mut self) {
+        let ds = &mut self.scratch.dirty_server;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..self.members.len() {
+                if !ds[s] {
+                    continue;
+                }
+                for m in &self.members[s] {
+                    let st = &self.flows[&m.key];
+                    for &s2 in &st.spec.path[m.hop as usize + 1..] {
+                        if !ds[s2] {
+                            ds[s2] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_dirty_flows(&mut self) {
+        let Scratch {
+            dirty_server,
+            dirty_flows,
+            ..
+        } = &mut self.scratch;
+        dirty_flows.clear();
+        for (s, ms) in self.members.iter().enumerate() {
+            if dirty_server[s] {
+                for m in ms {
+                    dirty_flows.push(m.key);
+                }
+            }
+        }
+        dirty_flows.sort_unstable();
+        dirty_flows.dedup();
+    }
+
+    /// Strict utilisation pre-check on every dirty server (clean servers
+    /// cannot have changed demand: membership changes dirty their server).
+    fn check_utilisation(&self) -> Result<(), SolveError> {
+        for (s, ms) in self.members.iter().enumerate() {
+            if !self.scratch.dirty_server[s] {
+                continue;
+            }
+            let mut demand = 0.0;
+            for m in ms {
+                demand += self.flows[&m.key].spec.arrival.rate();
+            }
+            let capacity = self.services[s].rate;
+            if demand >= capacity {
+                return Err(SolveError::Utilisation {
+                    ring: s,
+                    demand,
+                    capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reset every dirty flow's arrivals *after* its first dirty hop to the
+    /// optimistic source shift, so the warm start iterates the same
+    /// monotone-from-below trajectory a from-scratch solve would.
+    fn reinit_dirty(&mut self) {
+        let Scratch {
+            dirty_server,
+            dirty_flows,
+            ..
+        } = &self.scratch;
+        for key in dirty_flows {
+            let st = self.flows.get_mut(key).expect("dirty flow resident");
+            let FlowState { spec, arrivals, .. } = st;
+            let Some(fd) = spec.path.iter().position(|&s| dirty_server[s]) else {
+                continue;
+            };
+            let mut acc = 0.0;
+            for (h, hop_arrival) in arrivals.iter_mut().enumerate().take(spec.path.len()) {
+                acc += spec.hop_delay[h];
+                if h > fd {
+                    spec.arrival.shift_time_into(acc, hop_arrival);
+                }
+            }
+        }
+    }
+}
+
+fn spec_ok(spec: &FlowSpec, n_servers: usize) -> bool {
+    !spec.path.is_empty()
+        && spec.path.len() == spec.hop_delay.len()
+        && spec.path.len() == spec.classes.len()
+        && spec.path.iter().all(|&r| r < n_servers)
+        && spec.hop_delay.iter().all(|d| d.is_finite() && *d >= 0.0)
+        && spec.classes.iter().all(|c| *c > 0.0)
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point iteration over the dirty set
+// ---------------------------------------------------------------------------
+
+fn ensure_curves(v: &mut Vec<ArrivalCurve>, n: usize) {
+    while v.len() < n {
+        v.push(ArrivalCurve::placeholder());
+    }
+}
+
+fn member_arrival<'a>(flows: &'a BTreeMap<u64, FlowState>, m: &Member) -> &'a ArrivalCurve {
+    &flows[&m.key].arrivals[m.hop as usize]
+}
+
+/// Rebuild one server's sweep aggregates from the current hop arrivals.
+fn build_sweep(
+    flows: &BTreeMap<u64, FlowState>,
+    mem: &[Member],
+    sw: &mut ServerSweep,
+    shift: &mut ArrivalCurve,
+    tmp: &mut ArrivalCurve,
+) {
+    let n = mem.len();
+    ensure_curves(&mut sw.prefix, n);
+    ensure_curves(&mut sw.suffix, n);
+    sw.run_of.clear();
+    sw.run_start.clear();
+    for i in 0..n {
+        if i == 0 || mem[i].class.to_bits() != mem[i - 1].class.to_bits() {
+            sw.run_start.push(i);
+        }
+        sw.run_of.push(sw.run_start.len() - 1);
+    }
+    let runs = sw.run_start.len();
+    sw.run_start.push(n);
+    sw.uniform = runs == 1;
+
+    sw.prefix[0].copy_from(member_arrival(flows, &mem[0]));
+    for i in 1..n {
+        let (a, b) = sw.prefix.split_at_mut(i);
+        a[i - 1].plus_into(member_arrival(flows, &mem[i]), &mut b[0]);
+        b[0].compact(MAX_PIECES);
+    }
+    sw.suffix[n - 1].copy_from(member_arrival(flows, &mem[n - 1]));
+    for i in (0..n - 1).rev() {
+        let (a, b) = sw.suffix.split_at_mut(i + 1);
+        b[0].plus_into(member_arrival(flows, &mem[i]), &mut a[i]);
+        a[i].compact(MAX_PIECES);
+    }
+    if sw.uniform {
+        return;
+    }
+
+    ensure_curves(&mut sw.wprefix, n);
+    ensure_curves(&mut sw.wsuffix, n);
+    ensure_curves(&mut sw.edf_base, runs);
+    for r in 0..runs {
+        let (st, en) = (sw.run_start[r], sw.run_start[r + 1]);
+        sw.wprefix[st].copy_from(member_arrival(flows, &mem[st]));
+        for i in st + 1..en {
+            let (a, b) = sw.wprefix.split_at_mut(i);
+            a[i - 1].plus_into(member_arrival(flows, &mem[i]), &mut b[0]);
+            b[0].compact(MAX_PIECES);
+        }
+        sw.wsuffix[en - 1].copy_from(member_arrival(flows, &mem[en - 1]));
+        for i in (st..en - 1).rev() {
+            let (a, b) = sw.wsuffix.split_at_mut(i + 1);
+            b[0].plus_into(member_arrival(flows, &mem[i]), &mut a[i]);
+            a[i].compact(MAX_PIECES);
+        }
+    }
+    // Cross-class competing work per run: the other run's aggregate viewed
+    // through the deadline offset `d = D_r − D_{r'}` (blind hops — infinite
+    // class — mix at zero offset).
+    for r in 0..runs {
+        let dr = mem[sw.run_start[r]].class;
+        let mut first = true;
+        for rp in 0..runs {
+            if rp == r {
+                continue;
+            }
+            let drp = mem[sw.run_start[rp]].class;
+            let agg = &sw.wprefix[sw.run_start[rp + 1] - 1];
+            let d = if dr.is_finite() && drp.is_finite() {
+                dr - drp
+            } else {
+                0.0
+            };
+            if d >= 0.0 {
+                agg.shift_time_into(d, shift);
+            } else {
+                agg.advance_time_into(-d, shift);
+            }
+            if first {
+                sw.edf_base[r].copy_from(shift);
+                first = false;
+            } else {
+                sw.edf_base[r].plus_into(shift, tmp);
+                core::mem::swap(&mut sw.edf_base[r], tmp);
+            }
+            sw.edf_base[r].compact(MAX_PIECES);
+        }
+    }
+}
+
+fn build_dirty_sweeps(
+    flows: &BTreeMap<u64, FlowState>,
+    members: &[Vec<Member>],
+    scratch: &mut Scratch,
+) {
+    let Scratch {
+        dirty_server,
+        servers,
+        bufs,
+        ..
+    } = scratch;
+    for (s, mem) in members.iter().enumerate() {
+        if dirty_server[s] && !mem.is_empty() {
+            build_sweep(flows, mem, &mut servers[s], &mut bufs.shift, &mut bufs.tmp);
+        }
+    }
+}
+
+/// Left-over curves for member `idx` at a server: always the blind branch
+/// into `bufs.lo_blind`; additionally the EDF branch into `bufs.lo_edf`
+/// when the server mixes classes (returns `Ok(true)`). `Err(())` when the
+/// cross traffic exhausts the guarantee.
+fn pair_service(
+    service: RateLatency,
+    sw: &ServerSweep,
+    idx: usize,
+    n: usize,
+    bufs: &mut Bufs,
+) -> Result<bool, ()> {
+    if idx > 0 && idx + 1 < n {
+        sw.prefix[idx - 1].plus_into(&sw.suffix[idx + 1], &mut bufs.cross);
+    } else if idx > 0 {
+        bufs.cross.copy_from(&sw.prefix[idx - 1]);
+    } else if idx + 1 < n {
+        bufs.cross.copy_from(&sw.suffix[idx + 1]);
+    } else {
+        bufs.cross.copy_from(&bufs.zero);
+    }
+    if !service.left_over_into(&bufs.cross, &mut bufs.lo_blind) {
+        return Err(());
+    }
+    if sw.uniform {
+        return Ok(false);
+    }
+    let r = sw.run_of[idx];
+    let (st, en) = (sw.run_start[r], sw.run_start[r + 1]);
+    let mut have = false;
+    if idx > st {
+        bufs.cross_edf.copy_from(&sw.wprefix[idx - 1]);
+        have = true;
+    }
+    if idx + 1 < en {
+        if have {
+            bufs.cross_edf
+                .plus_into(&sw.wsuffix[idx + 1], &mut bufs.tmp);
+            core::mem::swap(&mut bufs.cross_edf, &mut bufs.tmp);
+        } else {
+            bufs.cross_edf.copy_from(&sw.wsuffix[idx + 1]);
+            have = true;
+        }
+    }
+    if have {
+        bufs.cross_edf.plus_into(&sw.edf_base[r], &mut bufs.tmp);
+        core::mem::swap(&mut bufs.cross_edf, &mut bufs.tmp);
+    } else {
+        bufs.cross_edf.copy_from(&sw.edf_base[r]);
+    }
+    // The EDF cross has the same long-run rate as the blind cross, so this
+    // cannot fail when the blind branch succeeded; fall back to blind-only
+    // pricing if it ever does.
+    Ok(service.left_over_into(&bufs.cross_edf, &mut bufs.lo_edf))
+}
+
+#[derive(Clone, Copy)]
+struct SweepStats {
+    changed: bool,
+    max_rel: f64,
+    worst_burst: f64,
+}
+
+/// One sweep over every dirty (flow, hop) pair in key order, propagating
+/// hop outputs along each flow's own path within the sweep.
+fn sweep_dirty(
+    services: &[RateLatency],
+    flows: &mut BTreeMap<u64, FlowState>,
+    members: &[Vec<Member>],
+    scratch: &mut Scratch,
+) -> Result<SweepStats, ()> {
+    let Scratch {
+        dirty_server,
+        dirty_flows,
+        servers,
+        bufs,
+    } = scratch;
+    let mut stats = SweepStats {
+        changed: false,
+        max_rel: 0.0,
+        worst_burst: 0.0,
+    };
+    let dirty = core::mem::take(dirty_flows);
+    for key in dirty.iter() {
+        let st = flows.get_mut(key).expect("dirty flow resident");
+        let FlowState { spec, arrivals, .. } = st;
+        let n_hops = spec.path.len();
+        for hop in 0..n_hops {
+            let s = spec.path[hop];
+            if !dirty_server[s] {
+                continue;
+            }
+            let mem = &members[s];
+            let m = Member {
+                class: spec.classes[hop],
+                key: *key,
+                hop: hop as u32,
+            };
+            let idx = mem
+                .binary_search_by(|x| member_cmp(x, &m))
+                .expect("member present");
+            let edf = match pair_service(services[s], &servers[s], idx, mem.len(), bufs) {
+                Ok(e) => e,
+                Err(()) => {
+                    *dirty_flows = dirty;
+                    return Err(());
+                }
+            };
+            if hop + 1 < n_hops {
+                let (head, tail) = arrivals.split_at_mut(hop + 1);
+                let cur = &head[hop];
+                let ok = cur.deconvolve_into(bufs.lo_blind.rate_latency_bound(), &mut bufs.out_a)
+                    && (!edf || {
+                        let e =
+                            cur.deconvolve_into(bufs.lo_edf.rate_latency_bound(), &mut bufs.out_b);
+                        if e {
+                            bufs.out_a.min_into(&bufs.out_b, &mut bufs.tmp);
+                            core::mem::swap(&mut bufs.out_a, &mut bufs.tmp);
+                        }
+                        e
+                    });
+                if !ok {
+                    *dirty_flows = dirty;
+                    return Err(());
+                }
+                bufs.out_a
+                    .shift_time_into(spec.hop_delay[hop + 1], &mut bufs.next);
+                bufs.next.compact(MAX_PIECES);
+                let slot = &mut tail[0];
+                if *slot != bufs.next {
+                    let ob = slot.burst();
+                    let nb = bufs.next.burst();
+                    stats.max_rel = stats.max_rel.max((nb - ob).abs() / ob.abs().max(1.0));
+                    stats.changed = true;
+                    slot.copy_from(&bufs.next);
+                }
+                stats.worst_burst = stats.worst_burst.max(tail[0].burst());
+            }
+        }
+    }
+    *dirty_flows = dirty;
+    Ok(stats)
+}
+
+/// Iterate sweeps until the dirty arrivals stabilise bit-for-bit (`exact`),
+/// or accept at [`CONVERGENCE_TOL`] after [`MAX_ITERATIONS`] (`!exact`).
+// ccr-verify: hot_path
+fn resolve(
+    services: &[RateLatency],
+    flows: &mut BTreeMap<u64, FlowState>,
+    members: &[Vec<Member>],
+    scratch: &mut Scratch,
+) -> Result<(usize, bool), SolveError> {
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        build_dirty_sweeps(flows, members, scratch);
+        let stats =
+            sweep_dirty(services, flows, members, scratch).map_err(|()| SolveError::Diverged {
+                iterations,
+                worst_burst: f64::INFINITY,
+            })?;
+        if stats.worst_burst > BURST_CAP {
+            return Err(SolveError::Diverged {
+                iterations,
+                worst_burst: stats.worst_burst,
+            });
+        }
+        if !stats.changed {
+            return Ok((iterations, true));
+        }
+        if iterations >= MAX_ITERATIONS {
+            if stats.max_rel <= CONVERGENCE_TOL {
+                return Ok((iterations, false));
+            }
+            return Err(SolveError::Diverged {
+                iterations,
+                worst_burst: stats.worst_burst,
+            });
+        }
+    }
+}
+
+/// Final pass: per-hop delay/backlog for every dirty flow at its dirty
+/// hops (clean hops keep their stored values — their inputs are
+/// untouched), then the path aggregates.
+fn finish_bounds(
+    services: &[RateLatency],
+    flows: &mut BTreeMap<u64, FlowState>,
+    members: &[Vec<Member>],
+    scratch: &mut Scratch,
+    iterations: usize,
+) -> Result<(), SolveError> {
+    build_dirty_sweeps(flows, members, scratch);
+    let diverged = SolveError::Diverged {
+        iterations,
+        worst_burst: f64::INFINITY,
+    };
+    let Scratch {
+        dirty_server,
+        dirty_flows,
+        servers,
+        bufs,
+    } = scratch;
+    for key in dirty_flows.iter() {
+        let st = flows.get_mut(key).expect("dirty flow resident");
+        let n_hops = st.spec.path.len();
+        for hop in 0..n_hops {
+            let s = st.spec.path[hop];
+            if !dirty_server[s] {
+                continue;
+            }
+            let mem = &members[s];
+            let m = Member {
+                class: st.spec.classes[hop],
+                key: *key,
+                hop: hop as u32,
+            };
+            let idx = mem
+                .binary_search_by(|x| member_cmp(x, &m))
+                .expect("member present");
+            let edf = pair_service(services[s], &servers[s], idx, mem.len(), bufs)
+                .map_err(|()| diverged.clone())?;
+            let alpha = &st.arrivals[hop];
+            let mut d = delay_bound(alpha, &bufs.lo_blind).ok_or_else(|| diverged.clone())?;
+            let mut v = backlog_bound(alpha, &bufs.lo_blind).ok_or_else(|| diverged.clone())?;
+            if edf {
+                d = d.min(delay_bound(alpha, &bufs.lo_edf).ok_or_else(|| diverged.clone())?);
+                v = v.min(backlog_bound(alpha, &bufs.lo_edf).ok_or_else(|| diverged.clone())?);
+            }
+            st.bounds.hop_delays[hop] = d;
+            st.hop_backlogs[hop] = v;
+        }
+        let mut e2e = 0.0;
+        let mut backlog = 0.0_f64;
+        for hop in 0..n_hops {
+            e2e += st.spec.hop_delay[hop] + st.bounds.hop_delays[hop];
+            backlog = backlog.max(st.hop_backlogs[hop]);
+        }
+        st.bounds.e2e_delay = e2e;
+        st.bounds.backlog = backlog;
+    }
+    Ok(())
+}
+
+/// Solve the fabric in one shot: certified per-flow delay/backlog bounds,
+/// or a diagnostic explaining the rejection. Fully deterministic — this is
+/// exactly an [`IncrementalSolver`] admitting the whole flow set as one
+/// batch (everything dirty), so one-shot and incremental paths share every
+/// line of arithmetic.
+pub fn solve(model: &FabricModel) -> Result<Solution, SolveError> {
+    let mut solver = IncrementalSolver::new(&model.services);
+    let mut batch = Vec::with_capacity(model.flows.len());
+    for (i, fl) in model.flows.iter().enumerate() {
+        batch.push((i as u64, fl.clone()));
+    }
+    let report = solver.admit(&batch)?;
+    let flows = (0..model.flows.len() as u64)
+        .map(|k| solver.flows[&k].bounds.clone())
+        .collect();
+    Ok(Solution {
+        iterations: report.iterations,
+        flows,
+    })
 }
 
 #[cfg(test)]
@@ -296,11 +1116,7 @@ mod tests {
     fn single_flow_single_ring_matches_closed_form() {
         let model = FabricModel {
             services: vec![rl(2.0, 3.0)],
-            flows: vec![FlowSpec {
-                path: vec![0],
-                arrival: tb(4.0, 0.5),
-                hop_delay: vec![0.0],
-            }],
+            flows: vec![FlowSpec::blind(vec![0], tb(4.0, 0.5), vec![0.0])],
         };
         let sol = solve(&model).unwrap();
         assert_eq!(sol.iterations, 1);
@@ -314,16 +1130,8 @@ mod tests {
         let model = FabricModel {
             services: vec![rl(2.0, 1.0), rl(2.0, 1.0), rl(2.0, 1.0)],
             flows: vec![
-                FlowSpec {
-                    path: vec![0, 1, 2],
-                    arrival: tb(2.0, 0.3),
-                    hop_delay: vec![0.0, 5.0, 5.0],
-                },
-                FlowSpec {
-                    path: vec![1, 2],
-                    arrival: tb(1.0, 0.2),
-                    hop_delay: vec![0.0, 5.0],
-                },
+                FlowSpec::blind(vec![0, 1, 2], tb(2.0, 0.3), vec![0.0, 5.0, 5.0]),
+                FlowSpec::blind(vec![1, 2], tb(1.0, 0.2), vec![0.0, 5.0]),
             ],
         };
         let sol = solve(&model).unwrap();
@@ -342,21 +1150,9 @@ mod tests {
         let model = FabricModel {
             services: vec![rl(1.0, 2.0), rl(1.0, 2.0), rl(1.0, 2.0)],
             flows: vec![
-                FlowSpec {
-                    path: vec![0, 1],
-                    arrival: tb(1.0, 0.2),
-                    hop_delay: vec![0.0, 4.0],
-                },
-                FlowSpec {
-                    path: vec![1, 2],
-                    arrival: tb(1.0, 0.2),
-                    hop_delay: vec![0.0, 4.0],
-                },
-                FlowSpec {
-                    path: vec![2, 0],
-                    arrival: tb(1.0, 0.2),
-                    hop_delay: vec![0.0, 4.0],
-                },
+                FlowSpec::blind(vec![0, 1], tb(1.0, 0.2), vec![0.0, 4.0]),
+                FlowSpec::blind(vec![1, 2], tb(1.0, 0.2), vec![0.0, 4.0]),
+                FlowSpec::blind(vec![2, 0], tb(1.0, 0.2), vec![0.0, 4.0]),
             ],
         };
         let sol = solve(&model).unwrap();
@@ -374,16 +1170,8 @@ mod tests {
         let model = FabricModel {
             services: vec![rl(1.0, 2.0)],
             flows: vec![
-                FlowSpec {
-                    path: vec![0],
-                    arrival: tb(1.0, 0.6),
-                    hop_delay: vec![0.0],
-                },
-                FlowSpec {
-                    path: vec![0],
-                    arrival: tb(1.0, 0.6),
-                    hop_delay: vec![0.0],
-                },
+                FlowSpec::blind(vec![0], tb(1.0, 0.6), vec![0.0]),
+                FlowSpec::blind(vec![0], tb(1.0, 0.6), vec![0.0]),
             ],
         };
         match solve(&model) {
@@ -405,21 +1193,9 @@ mod tests {
         let model = FabricModel {
             services: vec![rl(1.0, 2.0), rl(1.0, 2.0), rl(1.0, 2.0)],
             flows: vec![
-                FlowSpec {
-                    path: vec![0, 1],
-                    arrival: tb(5.0, 0.4995),
-                    hop_delay: vec![0.0, 4.0],
-                },
-                FlowSpec {
-                    path: vec![1, 2],
-                    arrival: tb(5.0, 0.4995),
-                    hop_delay: vec![0.0, 4.0],
-                },
-                FlowSpec {
-                    path: vec![2, 0],
-                    arrival: tb(5.0, 0.4995),
-                    hop_delay: vec![0.0, 4.0],
-                },
+                FlowSpec::blind(vec![0, 1], tb(5.0, 0.4995), vec![0.0, 4.0]),
+                FlowSpec::blind(vec![1, 2], tb(5.0, 0.4995), vec![0.0, 4.0]),
+                FlowSpec::blind(vec![2, 0], tb(5.0, 0.4995), vec![0.0, 4.0]),
             ],
         };
         match solve(&model) {
@@ -435,12 +1211,113 @@ mod tests {
     fn malformed_flow_is_rejected() {
         let model = FabricModel {
             services: vec![rl(1.0, 2.0)],
-            flows: vec![FlowSpec {
-                path: vec![3],
-                arrival: tb(1.0, 0.1),
-                hop_delay: vec![0.0],
-            }],
+            flows: vec![FlowSpec::blind(vec![3], tb(1.0, 0.1), vec![0.0])],
         };
         assert_eq!(solve(&model), Err(SolveError::MalformedFlow { flow: 0 }));
+    }
+
+    #[test]
+    fn incremental_admissions_match_one_shot_and_forced_full() {
+        let services = [rl(1.0, 2.0), rl(1.0, 2.0), rl(1.0, 2.0), rl(2.0, 1.0)];
+        let specs = [
+            FlowSpec::blind(vec![0, 1], tb(1.0, 0.1), vec![0.0, 4.0]),
+            FlowSpec::blind(vec![1, 2], tb(1.5, 0.15), vec![0.0, 4.0]),
+            FlowSpec::blind(vec![2, 0], tb(0.5, 0.05), vec![0.0, 4.0]),
+            FlowSpec::blind(vec![3], tb(2.0, 0.3), vec![0.0]),
+            FlowSpec::blind(vec![0, 3], tb(0.8, 0.07), vec![0.0, 2.0]),
+        ];
+        // One-shot batch.
+        let mut one_shot = IncrementalSolver::new(&services);
+        let batch: Vec<(u64, FlowSpec)> = specs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, f)| (i as u64, f))
+            .collect();
+        one_shot.admit(&batch).unwrap();
+        // One at a time, warm-started.
+        let mut warm = IncrementalSolver::new(&services);
+        // One at a time, full re-solve each step.
+        let mut full = IncrementalSolver::new(&services);
+        full.set_force_full(true);
+        for (k, spec) in &batch {
+            warm.admit(&[(*k, spec.clone())]).unwrap();
+            full.admit(&[(*k, spec.clone())]).unwrap();
+        }
+        for k in 0..specs.len() as u64 {
+            assert_eq!(warm.bounds(k), full.bounds(k), "warm ≡ full, flow {k}");
+            assert_eq!(warm.bounds(k), one_shot.bounds(k), "warm ≡ batch, flow {k}");
+        }
+    }
+
+    #[test]
+    fn remove_restores_the_prior_fixed_point_bit_for_bit() {
+        let services = [rl(1.0, 2.0), rl(1.0, 2.0)];
+        let a = FlowSpec::blind(vec![0, 1], tb(1.0, 0.1), vec![0.0, 4.0]);
+        let b = FlowSpec::blind(vec![1, 0], tb(1.2, 0.2), vec![0.0, 4.0]);
+        let mut solver = IncrementalSolver::new(&services);
+        solver.admit(&[(1, a.clone())]).unwrap();
+        let before = solver.bounds(1).unwrap().clone();
+        solver.admit(&[(2, b)]).unwrap();
+        assert_ne!(&before, solver.bounds(1).unwrap(), "b perturbs a");
+        let report = solver.remove(&[2]);
+        assert!(report.exact);
+        assert_eq!(&before, solver.bounds(1).unwrap());
+        assert!(!solver.contains(2));
+    }
+
+    #[test]
+    fn failed_batch_rolls_back_every_candidate() {
+        let services = [rl(1.0, 2.0)];
+        let mut solver = IncrementalSolver::new(&services);
+        solver
+            .admit(&[(1, FlowSpec::blind(vec![0], tb(1.0, 0.3), vec![0.0]))])
+            .unwrap();
+        let before = solver.bounds(1).unwrap().clone();
+        // Second member of the batch overloads the ring: both must vanish.
+        let err = solver
+            .admit(&[
+                (2, FlowSpec::blind(vec![0], tb(1.0, 0.3), vec![0.0])),
+                (3, FlowSpec::blind(vec![0], tb(1.0, 0.5), vec![0.0])),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Utilisation { ring: 0, .. }));
+        assert!(!solver.contains(2) && !solver.contains(3));
+        assert_eq!(&before, solver.bounds(1).unwrap());
+        // The rejected batch left no debris: the next admit still works.
+        solver
+            .admit(&[(4, FlowSpec::blind(vec![0], tb(1.0, 0.3), vec![0.0]))])
+            .unwrap();
+    }
+
+    #[test]
+    fn edf_classes_tighten_and_never_loosen_bounds() {
+        // Two classes sharing one ring: the early-deadline flow must gain
+        // from EDF pricing, and nobody may lose versus blind pricing.
+        let services = [rl(2.0, 1.0)];
+        let blind_model = FabricModel {
+            services: services.to_vec(),
+            flows: vec![
+                FlowSpec::blind(vec![0], tb(1.0, 0.2), vec![0.0]),
+                FlowSpec::blind(vec![0], tb(6.0, 0.2), vec![0.0]),
+            ],
+        };
+        let mut edf_model = blind_model.clone();
+        edf_model.flows[0].classes = vec![10.0];
+        edf_model.flows[1].classes = vec![1000.0];
+        let blind = solve(&blind_model).unwrap();
+        let edf = solve(&edf_model).unwrap();
+        for i in 0..2 {
+            assert!(
+                edf.flows[i].e2e_delay <= blind.flows[i].e2e_delay * (1.0 + 1e-9),
+                "flow {i}: edf {} > blind {}",
+                edf.flows[i].e2e_delay,
+                blind.flows[i].e2e_delay
+            );
+            assert!(edf.flows[i].backlog <= blind.flows[i].backlog * (1.0 + 1e-9));
+        }
+        // The early flow sees the late flow's burst advanced by the class
+        // gap — strictly less competing work, strictly tighter delay.
+        assert!(edf.flows[0].e2e_delay < blind.flows[0].e2e_delay - 1e-6);
     }
 }

@@ -1,0 +1,166 @@
+//! Differential suite for the warm-started incremental solver.
+//!
+//! The incremental path exists purely as a performance optimisation: a
+//! warm-started, dirty-set-restricted fixed point must be *observationally
+//! identical* to throwing the state away and re-solving the whole flow set
+//! from scratch. These tests drive twin solvers — one warm, one with
+//! [`IncrementalSolver::set_force_full`] armed — through long seeded
+//! admit/close churn across ≥24 random fabrics and assert bit-identical
+//! verdicts and bounds (exact `f64` equality, no tolerance) after every
+//! single operation.
+
+use ccr_calculus::{ArrivalCurve, FlowSpec, IncrementalSolver, ServiceCurve, SolveError};
+use ccr_sim::rng::DetRng;
+
+const FABRICS: u64 = 24;
+const OPS_PER_FABRIC: u32 = 40;
+
+fn random_service(rng: &mut DetRng) -> ServiceCurve {
+    ServiceCurve::rate_latency(0.5 + rng.gen_f64() * 3.0, rng.gen_f64() * 5.0)
+        .expect("valid rate-latency curve")
+}
+
+fn random_flow(rng: &mut DetRng, n_rings: usize) -> FlowSpec {
+    let start = rng.gen_range(0..n_rings as u32) as usize;
+    let len = 1 + rng.gen_range(0..n_rings as u32) as usize;
+    let path: Vec<usize> = (0..len).map(|k| (start + k) % n_rings).collect();
+    let mut hop_delay = vec![0.0];
+    hop_delay.extend((1..len).map(|_| rng.gen_f64() * 10.0));
+    let arrival = ArrivalCurve::token_bucket(rng.gen_f64() * 8.0, 0.02 + rng.gen_f64() * 0.4)
+        .expect("token bucket");
+    let mut spec = FlowSpec::blind(path, arrival, hop_delay);
+    // Mix EDF deadline classes with blind hops, like the fabric does
+    // (rings are classed, bridge queues are not).
+    spec.classes = (0..len)
+        .map(|_| {
+            if rng.gen_range(0..3u32) == 0 {
+                f64::INFINITY
+            } else {
+                5.0 + rng.gen_f64() * 200.0
+            }
+        })
+        .collect();
+    spec
+}
+
+/// The two error variants carry floats derived from different iteration
+/// histories; identity of the *verdict* means same variant and same
+/// location, which is what admission control observes.
+fn same_rejection(a: &SolveError, b: &SolveError) -> bool {
+    match (a, b) {
+        (SolveError::MalformedFlow { flow: fa }, SolveError::MalformedFlow { flow: fb }) => {
+            fa == fb
+        }
+        (SolveError::Utilisation { ring: ra, .. }, SolveError::Utilisation { ring: rb, .. }) => {
+            ra == rb
+        }
+        (SolveError::Diverged { .. }, SolveError::Diverged { .. }) => true,
+        _ => false,
+    }
+}
+
+fn assert_states_identical(warm: &IncrementalSolver, full: &IncrementalSolver, ctx: &str) {
+    let warm_keys: Vec<u64> = warm.keys().collect();
+    let full_keys: Vec<u64> = full.keys().collect();
+    assert_eq!(warm_keys, full_keys, "{ctx}: resident sets diverge");
+    for key in warm_keys {
+        let wb = warm.bounds(key).expect("resident bounds");
+        let fb = full.bounds(key).expect("resident bounds");
+        assert_eq!(
+            wb, fb,
+            "{ctx}: flow {key} bounds diverge between warm-started and full re-solve"
+        );
+    }
+}
+
+#[test]
+fn incremental_equals_full_resolve_under_admit_close_churn() {
+    let mut churned_ops = 0u64;
+    for fabric_seed in 0..FABRICS {
+        let mut rng = DetRng::new(0x14C0 ^ fabric_seed);
+        let n_rings = 2 + rng.gen_range(0..4u32) as usize;
+        let services: Vec<ServiceCurve> = (0..n_rings).map(|_| random_service(&mut rng)).collect();
+        let mut warm = IncrementalSolver::new(&services);
+        let mut full = IncrementalSolver::new(&services);
+        full.set_force_full(true);
+        let mut next_key = 0u64;
+        let mut resident: Vec<u64> = Vec::new();
+        for op in 0..OPS_PER_FABRIC {
+            let ctx = format!("fabric {fabric_seed} op {op}");
+            let close = !resident.is_empty() && rng.gen_range(0..3u32) == 0;
+            if close {
+                // Remove a random non-empty batch of resident flows.
+                let n = 1 + rng.gen_range(0..resident.len().min(3) as u32) as usize;
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let idx = rng.gen_range(0..resident.len() as u32) as usize;
+                    batch.push(resident.swap_remove(idx));
+                }
+                warm.remove(&batch);
+                full.remove(&batch);
+            } else {
+                let n = 1 + rng.gen_range(0..3u32) as usize;
+                let batch: Vec<(u64, FlowSpec)> = (0..n)
+                    .map(|_| {
+                        next_key += 1;
+                        (next_key, random_flow(&mut rng, n_rings))
+                    })
+                    .collect();
+                let keys: Vec<u64> = batch.iter().map(|(k, _)| *k).collect();
+                let rw = warm.admit(&batch);
+                let rf = full.admit(&batch);
+                match (&rw, &rf) {
+                    (Ok(_), Ok(_)) => resident.extend(keys),
+                    (Err(ew), Err(ef)) => assert!(
+                        same_rejection(ew, ef),
+                        "{ctx}: rejections diverge: {ew} vs {ef}"
+                    ),
+                    _ => panic!(
+                        "{ctx}: verdicts diverge: warm {:?} vs full {:?}",
+                        rw.as_ref().map(|_| ()),
+                        rf.as_ref().map(|_| ())
+                    ),
+                }
+            }
+            assert_states_identical(&warm, &full, &ctx);
+            churned_ops += 1;
+        }
+    }
+    assert!(churned_ops >= FABRICS * OPS_PER_FABRIC as u64 / 2);
+}
+
+#[test]
+fn removal_restores_the_untouched_fixed_point_exactly() {
+    // Admit A, snapshot; admit B; remove B — the solver must land back on
+    // A's exact fixed point (not just something within tolerance), for
+    // every seed.
+    for seed in 0..FABRICS {
+        let mut rng = DetRng::new(0xBACC ^ (seed << 8));
+        let n_rings = 2 + rng.gen_range(0..3u32) as usize;
+        let services: Vec<ServiceCurve> = (0..n_rings).map(|_| random_service(&mut rng)).collect();
+        let mut solver = IncrementalSolver::new(&services);
+        let base: Vec<(u64, FlowSpec)> = (0..3)
+            .map(|k| (k, random_flow(&mut rng, n_rings)))
+            .collect();
+        if solver.admit(&base).is_err() {
+            continue;
+        }
+        let snapshot: Vec<_> = (0..3)
+            .map(|k| solver.bounds(k).expect("resident").clone())
+            .collect();
+        if solver
+            .admit(&[(100, random_flow(&mut rng, n_rings))])
+            .is_err()
+        {
+            continue;
+        }
+        solver.remove(&[100]);
+        for k in 0..3 {
+            assert_eq!(
+                solver.bounds(k).expect("still resident"),
+                &snapshot[k as usize],
+                "seed {seed}: flow {k} did not return to its prior fixed point"
+            );
+        }
+    }
+}

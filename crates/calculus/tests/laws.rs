@@ -189,11 +189,7 @@ fn solver_iteration_count_is_bounded_across_random_cyclic_models() {
                 let path: Vec<usize> = (0..len).map(|k| (start + k) % n_rings).collect();
                 let mut hop_delay = vec![0.0];
                 hop_delay.extend((1..len).map(|_| rng.gen_f64() * 10.0));
-                FlowSpec {
-                    path,
-                    arrival: random_arrival(&mut rng),
-                    hop_delay,
-                }
+                FlowSpec::blind(path, random_arrival(&mut rng), hop_delay)
             })
             .collect();
         match solve(&FabricModel { services, flows }) {
@@ -211,4 +207,86 @@ fn solver_iteration_count_is_bounded_across_random_cyclic_models() {
             }
         }
     }
+}
+
+#[test]
+fn edf_aware_bounds_are_never_looser_than_blind_multiplexing() {
+    // Law: attaching *any* deadline classes to a solvable flow set may only
+    // tighten the certified bounds. The solver prices every mixed-class hop
+    // as min(blind, EDF), so a regression here means the min was dropped
+    // somewhere. Tiny relative slack absorbs the different member orderings
+    // of the two runs (class sorts reshuffle f64 accumulation).
+    let mut compared = 0;
+    for seed in 0..200 {
+        let mut rng = DetRng::new(0xEDF0 << 16 | seed);
+        let n_rings = rng.gen_range(2u64..5) as usize;
+        let services: Vec<ServiceCurve> = (0..n_rings).map(|_| random_service(&mut rng)).collect();
+        let n_flows = rng.gen_range(2u64..6) as usize;
+        let mut blind_flows = Vec::new();
+        let mut edf_flows = Vec::new();
+        for _ in 0..n_flows {
+            let start = rng.gen_range(0u64..n_rings as u64) as usize;
+            let len = rng.gen_range(1u64..=n_rings as u64) as usize;
+            let path: Vec<usize> = (0..len).map(|k| (start + k) % n_rings).collect();
+            let mut hop_delay = vec![0.0];
+            hop_delay.extend((1..len).map(|_| rng.gen_f64() * 10.0));
+            let arrival = random_arrival(&mut rng);
+            // Mix finite classes with blind (infinite) hops.
+            let classes: Vec<f64> = (0..len)
+                .map(|_| {
+                    if rng.gen_range(0u64..4) == 0 {
+                        f64::INFINITY
+                    } else {
+                        1.0 + rng.gen_f64() * 500.0
+                    }
+                })
+                .collect();
+            blind_flows.push(FlowSpec::blind(
+                path.clone(),
+                arrival.clone(),
+                hop_delay.clone(),
+            ));
+            let mut spec = FlowSpec::blind(path, arrival, hop_delay);
+            spec.classes = classes;
+            edf_flows.push(spec);
+        }
+        let blind = solve(&FabricModel {
+            services: services.clone(),
+            flows: blind_flows,
+        });
+        let edf = solve(&FabricModel {
+            services,
+            flows: edf_flows,
+        });
+        let (Ok(blind), Ok(edf)) = (blind, edf) else {
+            // A set the blind solver rejects is allowed to pass under EDF
+            // pricing (tighter cross-traffic), never the question here.
+            continue;
+        };
+        compared += 1;
+        for (i, (b, e)) in blind.flows.iter().zip(edf.flows.iter()).enumerate() {
+            assert!(
+                e.e2e_delay <= b.e2e_delay * (1.0 + 1e-9) + 1e-9,
+                "seed {seed} flow {i}: EDF delay {} looser than blind {}",
+                e.e2e_delay,
+                b.e2e_delay
+            );
+            assert!(
+                e.backlog <= b.backlog * (1.0 + 1e-9) + 1e-9,
+                "seed {seed} flow {i}: EDF backlog {} looser than blind {}",
+                e.backlog,
+                b.backlog
+            );
+            for (h, (bd, ed)) in b.hop_delays.iter().zip(e.hop_delays.iter()).enumerate() {
+                assert!(
+                    ed <= &(bd * (1.0 + 1e-9) + 1e-9),
+                    "seed {seed} flow {i} hop {h}: EDF hop delay looser"
+                );
+            }
+        }
+    }
+    assert!(
+        compared >= 40,
+        "only {compared} solvable cases — law undertested"
+    );
 }

@@ -165,6 +165,11 @@ pub struct FabricConfig {
     /// [`CycleBound::Calculus`]). Every admission then carries a certified
     /// end-to-end delay bound, readable via [`Fabric::e2e_bound`].
     pub calculus: bool,
+    /// Force every calculus certification to run as a full re-solve
+    /// instead of a warm-started dirty-set solve. Slow — this is the
+    /// bit-exact reference mode the incremental differential suite
+    /// compares against, not a production knob.
+    pub calculus_force_full: bool,
 }
 
 impl FabricConfig {
@@ -193,6 +198,7 @@ impl FabricConfig {
             threads: 1,
             fault_script: FabricFaultScript::default(),
             calculus: false,
+            calculus_force_full: false,
         })
     }
 
@@ -219,6 +225,13 @@ impl FabricConfig {
     /// [`CycleBound::Calculus`]).
     pub fn calculus(mut self, on: bool) -> Self {
         self.calculus = on;
+        self
+    }
+
+    /// Run every calculus certification as a full re-solve (differential
+    /// reference mode; see [`FabricConfig::calculus_force_full`]).
+    pub fn calculus_force_full(mut self, on: bool) -> Self {
+        self.calculus_force_full = on;
         self
     }
 }
@@ -377,6 +390,11 @@ pub struct Fabric {
     /// Specs revoked by faults, in revocation order — the reclaim queue a
     /// bridge repair retries deterministically.
     revoked_specs: Vec<FabricConnectionSpec>,
+    /// True while at least one surviving connection sits on a detour the
+    /// last reclaim pass could not move back (its preferred route was
+    /// refused for capacity). Together with `revoked_specs`, this is what
+    /// arms the freed-capacity reclaim a `close_connection` triggers.
+    detour_pending: bool,
     /// True when any fault source exists (stochastic knobs, scripts, or a
     /// manual `fail_node`/`kill_bridge` call) — gates the per-slot health
     /// scan so fault-free fabrics pay nothing for it.
@@ -479,10 +497,10 @@ impl Fabric {
             // Never silently drop the certifier a cyclic topology relies
             // on: degenerate timing (impossible for validated configs) is
             // a build failure, not a disabled gate.
-            Some(
-                CalculusAdmission::new(&envs, &cfg.bridge)
-                    .ok_or(FabricBuildError::DegenerateTiming)?,
-            )
+            let mut calc = CalculusAdmission::new(&envs, &cfg.bridge, &queue_egress)
+                .ok_or(FabricBuildError::DegenerateTiming)?;
+            calc.set_force_full(cfg.calculus_force_full);
+            Some(calc)
         } else {
             None
         };
@@ -510,6 +528,7 @@ impl Fabric {
             bridge_events,
             event_cursor: 0,
             revoked_specs: Vec::new(),
+            detour_pending: false,
             track_faults,
             ring_alive,
         })
@@ -595,6 +614,29 @@ impl Fabric {
         self.admit_plan(plan)
     }
 
+    /// Admit a batch of end-to-end connections atomically: every spec is
+    /// planned, then the whole batch is certified by **one** warm-started
+    /// calculus pass and admitted segment by segment — either all of them
+    /// open (ids returned in spec order) or the fabric is exactly as
+    /// before the call. Batching amortises the certification fixed point,
+    /// which is what makes bulk admission ~an order of magnitude cheaper
+    /// than a loop of [`Fabric::open_connection`] calls at scale.
+    pub fn open_connections(
+        &mut self,
+        specs: &[FabricConnectionSpec],
+    ) -> Result<Vec<FabricConnectionId>, FabricAdmissionError> {
+        let degraded = self.dead_bridges.iter().any(|&d| d);
+        let mut plans = Vec::with_capacity(specs.len());
+        for spec in specs {
+            plans.push(if degraded {
+                plan_connection_avoiding(&self.topo, spec, &self.envs, &self.dead_bridges)?
+            } else {
+                plan_connection(&self.topo, spec, &self.envs)?
+            });
+        }
+        self.admit_plans(plans)
+    }
+
     /// Admit an already-planned connection (shared by [`open_connection`]
     /// and the degraded-mode re-admission path).
     ///
@@ -603,85 +645,158 @@ impl Fabric {
         &mut self,
         plan: ConnectionPlan,
     ) -> Result<FabricConnectionId, FabricAdmissionError> {
-        // Bridge-buffer feasibility: each resident connection reserves one
-        // buffer slot per crossing (one message per period in flight at a
-        // bridge is the steady state under met deadlines).
-        let crossings: Vec<usize> = plan
-            .segments
+        self.admit_plans(vec![plan]).map(|fids| fids[0])
+    }
+
+    /// Admit a batch of planned connections, all-or-nothing.
+    fn admit_plans(
+        &mut self,
+        plans: Vec<ConnectionPlan>,
+    ) -> Result<Vec<FabricConnectionId>, FabricAdmissionError> {
+        // Bridge-buffer feasibility, cumulative across the batch: each
+        // resident connection reserves one buffer slot per crossing (one
+        // message per period in flight at a bridge is the steady state
+        // under met deadlines).
+        let crossings: Vec<Vec<usize>> = plans
             .iter()
-            .filter_map(|s| {
-                s.segment
-                    .bridge
-                    .map(|b| self.queue_index(b, s.segment.ring))
+            .map(|plan| {
+                plan.segments
+                    .iter()
+                    .filter_map(|s| {
+                        s.segment
+                            .bridge
+                            .map(|b| self.queue_index(b, s.segment.ring))
+                    })
+                    .collect()
             })
             .collect();
-        for &q in &crossings {
-            if self.queue_resident[q] >= self.bridge_cfg.capacity {
-                return Err(FabricAdmissionError::BridgeOverload { bridge: q / 2 });
+        let mut extra = vec![0usize; self.queue_resident.len()];
+        for cr in &crossings {
+            for &q in cr {
+                if self.queue_resident[q] + extra[q] >= self.bridge_cfg.capacity {
+                    return Err(FabricAdmissionError::BridgeOverload { bridge: q / 2 });
+                }
+                extra[q] += 1;
             }
         }
-        // End-to-end certification (always on for cyclic fabrics): the
-        // whole admitted set plus the candidate is re-solved, and the
-        // candidate is refused unless every flow keeps a certified bound
-        // within its deadline. Checked before touching any ring so a
-        // calculus rejection needs no rollback.
-        let verdict = match &self.calculus {
-            Some(calc) => Some(
-                calc.check(&plan, &crossings)
-                    .map_err(FabricAdmissionError::Calculus)?,
-            ),
-            None => None,
-        };
-        // Per-ring admission with rollback.
-        let mut ring_conns: Vec<ConnectionId> = Vec::with_capacity(plan.segments.len());
-        for (i, seg) in plan.segments.iter().enumerate() {
-            let ring_idx = seg.segment.ring.0 as usize;
-            let mut ring = self.rings[ring_idx].lock().expect("ring lock");
-            let res = if i == 0 {
-                ring.open_connection(seg.spec.clone())
+        // End-to-end certification (always on for cyclic fabrics): one
+        // warm-started fixed-point pass certifies the whole batch against
+        // the resident set, refusing it unless every flow — resident and
+        // candidate — keeps a certified bound within its deadline. The
+        // solver rolls itself back on refusal, so no ring was touched yet
+        // and there is nothing to undo. Candidate ids are reserved here
+        // (`next_fid` onwards) and only consumed once the rings accept.
+        let fids: Vec<FabricConnectionId> = (0..plans.len() as u64)
+            .map(|i| FabricConnectionId(self.next_fid + i))
+            .collect();
+        if let Some(calc) = self.calculus.as_mut() {
+            let batch: Vec<(FabricConnectionId, &ConnectionPlan, &[usize])> = fids
+                .iter()
+                .zip(plans.iter())
+                .zip(crossings.iter())
+                .map(|((&fid, plan), cr)| (fid, plan, cr.as_slice()))
+                .collect();
+            let report = calc
+                .admit_batch(&batch)
+                .map_err(FabricAdmissionError::Calculus)?;
+            if report.full {
+                self.metrics.calc_admit_full.incr();
             } else {
-                ring.reserve_connection(seg.spec.clone())
-            };
-            drop(ring);
-            match res {
-                Ok(id) => ring_conns.push(id),
-                Err(error) => {
-                    for (j, id) in ring_conns.into_iter().enumerate() {
-                        let rj = plan.segments[j].segment.ring.0 as usize;
+                self.metrics.calc_admit_incremental.incr();
+            }
+        }
+        // Per-ring admission with whole-batch rollback (certification
+        // included: a certified batch the rings refuse is released from
+        // the solver in one pass).
+        let mut admitted: Vec<Vec<ConnectionId>> = Vec::with_capacity(plans.len());
+        for plan in plans.iter() {
+            let mut ring_conns: Vec<ConnectionId> = Vec::with_capacity(plan.segments.len());
+            let mut failed: Option<(usize, _)> = None;
+            for (i, seg) in plan.segments.iter().enumerate() {
+                let ring_idx = seg.segment.ring.0 as usize;
+                let mut ring = self.rings[ring_idx].lock().expect("ring lock");
+                let res = if i == 0 {
+                    ring.open_connection(seg.spec.clone())
+                } else {
+                    ring.reserve_connection(seg.spec.clone())
+                };
+                drop(ring);
+                match res {
+                    Ok(id) => ring_conns.push(id),
+                    Err(error) => {
+                        failed = Some((i, error));
+                        break;
+                    }
+                }
+            }
+            if let Some((segment, error)) = failed {
+                for (j, id) in ring_conns.into_iter().enumerate() {
+                    let rj = plan.segments[j].segment.ring.0 as usize;
+                    self.rings[rj]
+                        .lock()
+                        .expect("ring lock")
+                        .close_connection(id);
+                }
+                for (qi, conns) in admitted.into_iter().enumerate() {
+                    for (j, id) in conns.into_iter().enumerate() {
+                        let rj = plans[qi].segments[j].segment.ring.0 as usize;
                         self.rings[rj]
                             .lock()
                             .expect("ring lock")
                             .close_connection(id);
                     }
-                    return Err(FabricAdmissionError::SegmentRejected { segment: i, error });
                 }
+                if let Some(calc) = self.calculus.as_mut() {
+                    calc.remove_batch(&fids);
+                }
+                return Err(FabricAdmissionError::SegmentRejected { segment, error });
             }
+            admitted.push(ring_conns);
         }
-        let fid = FabricConnectionId(self.next_fid);
-        self.next_fid += 1;
-        if let (Some(calc), Some(v)) = (self.calculus.as_mut(), verdict) {
-            calc.commit(fid, v);
+        // Bookkeeping — the batch is in.
+        self.next_fid += plans.len() as u64;
+        for ((fid, plan), (ring_conns, cr)) in fids
+            .iter()
+            .zip(plans)
+            .zip(admitted.into_iter().zip(crossings))
+        {
+            for (i, (&rc, seg)) in ring_conns.iter().zip(plan.segments.iter()).enumerate() {
+                self.by_ring_conn
+                    .insert((seg.segment.ring.0, rc), (*fid, i));
+            }
+            for &q in &cr {
+                self.queue_resident[q] += 1;
+            }
+            self.connections.insert(
+                *fid,
+                ActiveConnection {
+                    plan,
+                    ring_conns,
+                    queue_after: cr,
+                },
+            );
         }
-        for (i, (&rc, seg)) in ring_conns.iter().zip(plan.segments.iter()).enumerate() {
-            self.by_ring_conn.insert((seg.segment.ring.0, rc), (fid, i));
-        }
-        for &q in &crossings {
-            self.queue_resident[q] += 1;
-        }
-        self.connections.insert(
-            fid,
-            ActiveConnection {
-                plan,
-                ring_conns,
-                queue_after: crossings,
-            },
-        );
-        Ok(fid)
+        Ok(fids)
     }
 
     /// Tear down an end-to-end connection, releasing every ring's capacity
     /// and the bridge-buffer reservations. Returns `false` for unknown ids.
+    ///
+    /// On fault-tracking fabrics, freed capacity is immediately offered to
+    /// connections a fault left revoked or detoured: the same two-pass
+    /// deterministic reclaim that runs after a bridge repair runs here,
+    /// whenever there is anything to reclaim.
     pub fn close_connection(&mut self, fid: FabricConnectionId) -> bool {
+        let closed = self.close_connection_impl(fid);
+        if closed && self.track_faults && (!self.revoked_specs.is_empty() || self.detour_pending) {
+            self.reclaim_connections();
+        }
+        closed
+    }
+
+    /// The teardown itself, with no reclaim trigger — what internal
+    /// callers (reclaim, reconcile) use to avoid re-entering reclaim.
+    fn close_connection_impl(&mut self, fid: FabricConnectionId) -> bool {
         let Some(active) = self.connections.remove(&fid) else {
             return false;
         };
@@ -844,7 +959,7 @@ impl Fabric {
         broken.sort_unstable();
         for fid in broken {
             let spec = self.connections[&fid].plan.spec.clone();
-            self.close_connection(fid);
+            self.close_connection_impl(fid);
             let endpoints_alive = self.node_alive(spec.src) && self.node_alive(spec.dst);
             let rerouted = endpoints_alive
                 && plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
@@ -918,6 +1033,7 @@ impl Fabric {
     ///    preferred route is refused — and revoked only if even the detour
     ///    can no longer be re-admitted.
     fn reclaim_connections(&mut self) {
+        self.detour_pending = false;
         let stash = std::mem::take(&mut self.revoked_specs);
         for spec in stash {
             let reclaimed = self.node_alive(spec.src)
@@ -951,10 +1067,14 @@ impl Fabric {
             if preferred.bridges().collect::<Vec<usize>>() == current {
                 continue;
             }
-            self.close_connection(fid);
+            self.close_connection_impl(fid);
             if self.admit_plan(preferred).is_ok() {
                 self.metrics.e2e_reclaimed.incr();
-            } else if self.admit_plan(old_plan).is_err() {
+            } else if self.admit_plan(old_plan).is_ok() {
+                // Still detoured: remember so the next freed capacity
+                // (any `close_connection`) re-runs this pass.
+                self.detour_pending = true;
+            } else {
                 self.metrics.e2e_revoked.incr();
                 self.revoked_specs.push(spec);
             }

@@ -60,7 +60,7 @@ pub mod metrics;
 pub mod topology;
 
 pub use admission::{FabricAdmissionError, FabricConnectionId, FabricConnectionSpec};
-pub use calculus::{CalculusAdmission, CalculusRejection, CalculusVerdict};
+pub use calculus::{CalculusAdmission, CalculusRejection, CalculusReport};
 pub use engine::{Fabric, FabricBuildError, FabricConfig};
 pub use fault::{BridgeEventKind, FabricFaultEvent, FabricFaultKind, FabricFaultScript};
 pub use metrics::FabricMetrics;
@@ -72,7 +72,7 @@ pub mod prelude {
         FabricAdmissionError, FabricConnectionId, FabricConnectionSpec, SegmentEnv,
     };
     pub use crate::bridge::{BridgeConfig, DropPolicy};
-    pub use crate::calculus::{CalculusAdmission, CalculusRejection, CalculusVerdict};
+    pub use crate::calculus::{CalculusAdmission, CalculusRejection, CalculusReport};
     pub use crate::engine::{Fabric, FabricBuildError, FabricConfig};
     pub use crate::fault::{BridgeEventKind, FabricFaultEvent, FabricFaultKind, FabricFaultScript};
     pub use crate::metrics::{FabricMetrics, RING_AVAILABILITY_WINDOW};

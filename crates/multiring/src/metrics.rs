@@ -54,6 +54,11 @@ pub struct FabricMetrics {
     /// Connections brought back after a repair: revoked specs re-admitted,
     /// plus detoured connections moved back onto their preferred route.
     pub e2e_reclaimed: Counter,
+    /// Calculus certifications served by a warm-started dirty-set solve.
+    pub calc_admit_incremental: Counter,
+    /// Calculus certifications that ran as a full re-solve (first fill,
+    /// forced reference mode, or recovery from a tainted warm start).
+    pub calc_admit_full: Counter,
     /// Fabric slots during which at least one ring was in clock-loss
     /// recovery (dead time somewhere in the fabric).
     pub degraded_slots: Counter,
@@ -91,6 +96,8 @@ impl Default for FabricMetrics {
             e2e_rerouted: Counter::default(),
             e2e_revoked: Counter::default(),
             e2e_reclaimed: Counter::default(),
+            calc_admit_incremental: Counter::default(),
+            calc_admit_full: Counter::default(),
             degraded_slots: Counter::default(),
             ring_degraded_slots: Vec::new(),
             ring_availability: Vec::new(),

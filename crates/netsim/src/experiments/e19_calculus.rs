@@ -327,10 +327,12 @@ fn solver_table(notes: &mut Vec<String>) -> Table {
         let per_flow_rate = util * rate / 2.0;
         let flows: Vec<FlowSpec> = [[0usize, 1], [1, 2], [2, 0]]
             .iter()
-            .map(|path| FlowSpec {
-                path: path.to_vec(),
-                arrival: ArrivalCurve::token_bucket(2.0, per_flow_rate).expect("token bucket"),
-                hop_delay: vec![0.0, per_slot],
+            .map(|path| {
+                FlowSpec::blind(
+                    path.to_vec(),
+                    ArrivalCurve::token_bucket(2.0, per_flow_rate).expect("token bucket"),
+                    vec![0.0, per_slot],
+                )
             })
             .collect();
         let fabric = FabricModel {

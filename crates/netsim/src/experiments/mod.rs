@@ -24,6 +24,7 @@ pub mod e16_hetero;
 pub mod e17_multiring;
 pub mod e18_chaos;
 pub mod e19_calculus;
+pub mod e20_churn;
 
 use ccr_edf::config::{NetworkConfig, NetworkConfigBuilder};
 use ccr_sim::report::Table;
@@ -187,6 +188,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "e19",
             "Extension: network-calculus certified bounds on cyclic fabrics",
             e19_calculus::run,
+        ),
+        (
+            "e20",
+            "Extension: incremental admission-churn soak at 10k-scale resident sets",
+            e20_churn::run,
         ),
     ]
 }

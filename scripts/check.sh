@@ -34,6 +34,7 @@ step "cargo clippy"          cargo clippy --workspace --all-targets -- -D warnin
 step "cargo fmt --check"     cargo fmt --all -- --check
 step "ccr-verify"            cargo run -q --release -p ccr-verify
 step "e19 calculus smoke"    cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e19 --quick
+step "e20 churn smoke"       cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e20 --quick
 step "calculus bench"        cargo run -q --release -p ccr-bench --bin calculus-bench
 
 # loom models of the parallel_map claim/cursor protocol: the loom crate
