@@ -1,0 +1,240 @@
+//! Gateway throughput: measures the wire codec, the full loopback
+//! datagram pipeline (decode → pace → inject → fabric → deadline-ordered
+//! egress), and the wall→sim SPSC handoff, and records the numbers in
+//! `BENCH_gateway.json` at the repository root.
+//!
+//! Four scenarios:
+//!
+//! * `wire_codec` — header encode + CRC-checked decode round trips per
+//!   second on a representative 64-byte datagram.
+//! * `loopback_datagrams` — end-to-end datagrams per second through the
+//!   whole admitted path on a 2×6 chain fabric: every datagram is paced
+//!   by its link's token bucket, rides the certified fabric, and leaves
+//!   through deadline-ordered egress. This is the rate a caller actually
+//!   gets per virtual link at the admitted envelope — it prices the
+//!   fabric slots between arrivals, not just the gateway code.
+//! * `handoff_items` — items per second through the bounded
+//!   sequence-numbered SPSC handoff with a real producer thread.
+//! * `handoff_p50_ns` / `handoff_p99_ns` — per-item cross-thread latency
+//!   percentiles of that same handoff (nanoseconds; lower is better, so
+//!   read their `speedup_vs_baseline` entries inverted).
+//!
+//! Same file convention as `BENCH_calculus.json`: a `baseline` section
+//! recorded once and kept forever, a `current` section refreshed on every
+//! run, and `speedup_vs_baseline` ratios. JSON is read and written by
+//! hand — the workspace carries no serde by default.
+
+use ccr_gateway::prelude::*;
+use ccr_multiring::prelude::*;
+use ccr_sim::TimeDelta;
+use std::time::Instant;
+
+const OUT_FILE: &str = "BENCH_gateway.json";
+
+fn bench_wire_codec() -> f64 {
+    let payload = [0xA5u8; 64];
+    let iters: u64 = 500_000;
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    let mut acc = 0u64;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let h = Header {
+            kind: PacketKind::Data,
+            link: (i % 7) as u16,
+            seq: i as u32,
+            len: 0, // encode overrides with payload.len()
+            budget_us: i as u32,
+        };
+        h.encode_into(&payload, &mut buf);
+        let (back, body) = Header::decode(&buf).expect("own frames decode");
+        acc += back.link as u64 + body.len() as u64;
+    }
+    let nanos = t0.elapsed().as_nanos().max(1);
+    assert!(acc > 0, "codec chain must do work");
+    iters as f64 * 1e9 / nanos as f64
+}
+
+fn bench_loopback() -> f64 {
+    const PERIOD: TimeDelta = TimeDelta::from_us(100);
+    const DATAGRAMS: u64 = 2_000;
+
+    let topo = FabricTopology::chain(2, 6);
+    let cfg = FabricConfig::uniform(topo, 2_048, 7).expect("config");
+    let mut fabric = Fabric::new(cfg).expect("fabric");
+    let gw_cfg = GatewayConfig::new(vec![VirtualLink::new(
+        1,
+        GlobalNodeId::new(0, 1),
+        GlobalNodeId::new(1, 3),
+    )
+    .period(PERIOD)])
+    .expect("gateway config");
+    let (mut gateway, report) = Gateway::open(&gw_cfg, &mut fabric);
+    assert_eq!(report.admitted, vec![1], "the bench link admits");
+
+    let slot = fabric.segment_envs()[0].slot;
+    let gap = PERIOD.as_ps().div_ceil(slot.as_ps()) + 1;
+    let schedule: Vec<(u64, Vec<u8>)> = (0..DATAGRAMS)
+        .map(|k| {
+            let h = Header {
+                kind: PacketKind::Data,
+                link: 1,
+                seq: k as u32,
+                len: 0,
+                budget_us: 0,
+            };
+            (k * gap, h.encode(&[0x5Au8; 64]))
+        })
+        .collect();
+    let mut backend = LoopbackBackend::new(schedule);
+    let mut egress = Vec::new();
+
+    let t0 = Instant::now();
+    backend.run(
+        &mut gateway,
+        &mut fabric,
+        DATAGRAMS * gap + 4 * gap,
+        &mut egress,
+    );
+    let nanos = t0.elapsed().as_nanos().max(1);
+    assert_eq!(egress.len() as u64, DATAGRAMS, "every datagram delivered");
+    assert!(
+        egress.iter().all(|f| f.met_deadline),
+        "at the admitted rate"
+    );
+    DATAGRAMS as f64 * 1e9 / nanos as f64
+}
+
+/// Drive `n` timestamped items through the handoff from a real producer
+/// thread; returns `(items/s, p50 ns, p99 ns)` of per-item cross-thread
+/// latency.
+fn bench_handoff() -> (f64, f64, f64) {
+    const ITEMS: u64 = 200_000;
+    let (mut tx, mut rx) = handoff::<Instant>(1_024);
+    let producer = std::thread::Builder::new()
+        .name("gateway-bench-producer".into())
+        .spawn(move || {
+            let mut refused = 0u64;
+            let mut sent = 0u64;
+            while sent < ITEMS {
+                if tx.send(Instant::now()) {
+                    sent += 1;
+                } else {
+                    refused += 1;
+                    std::thread::yield_now();
+                }
+            }
+            refused
+        })
+        .expect("spawn producer");
+
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(ITEMS as usize);
+    let mut batch = Vec::new();
+    let t0 = Instant::now();
+    while (latencies_ns.len() as u64) < ITEMS {
+        rx.drain(&mut batch);
+        let now = Instant::now();
+        for item in batch.drain(..) {
+            latencies_ns.push(now.duration_since(item.value).as_nanos() as u64);
+        }
+    }
+    let nanos = t0.elapsed().as_nanos().max(1);
+    let refused = producer.join().expect("producer exits");
+    // A refused send still burns a sequence number, so after the final
+    // drain the consumer's gap tally must equal the producer's refusals —
+    // the two loss ledgers agree.
+    assert_eq!(rx.lost(), refused, "gap tally matches producer refusals");
+    assert_eq!(rx.producer_dropped(), refused);
+    assert_eq!(latencies_ns.len() as u64, ITEMS);
+
+    latencies_ns.sort_unstable();
+    let pct = |p: f64| latencies_ns[((latencies_ns.len() - 1) as f64 * p) as usize] as f64;
+    (ITEMS as f64 * 1e9 / nanos as f64, pct(0.50), pct(0.99))
+}
+
+/// Extract the `"baseline": { ... }` object from a previous report, if any.
+fn existing_baseline(text: &str) -> Option<String> {
+    let key = "\"baseline\":";
+    let start = text.find(key)? + key.len();
+    let open = start + text[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn section(results: &[(&str, f64)]) -> String {
+    let body: Vec<String> = results
+        .iter()
+        .map(|(name, v)| {
+            if *v < 1_000.0 {
+                format!("    \"{name}\": {v:.2}")
+            } else {
+                format!("    \"{name}\": {v:.0}")
+            }
+        })
+        .collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+/// Pull one `"name": value` number out of a JSON object string.
+fn field(obj: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let start = obj.find(&key)? + key.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    for (name, bench) in [
+        ("wire_codec", bench_wire_codec as fn() -> f64),
+        ("loopback_datagrams", bench_loopback),
+    ] {
+        eprintln!("running {name}…");
+        let rate = bench();
+        eprintln!("  {rate:>12.0} ops/s");
+        results.push((name, rate));
+    }
+    eprintln!("running handoff…");
+    let (rate, p50, p99) = bench_handoff();
+    eprintln!("  {rate:>12.0} items/s, p50 {p50:.0} ns, p99 {p99:.0} ns");
+    results.push(("handoff_items", rate));
+    results.push(("handoff_p50_ns", p50));
+    results.push(("handoff_p99_ns", p99));
+
+    let current = section(&results);
+    let baseline = std::fs::read_to_string(OUT_FILE)
+        .ok()
+        .and_then(|t| existing_baseline(&t))
+        .unwrap_or_else(|| current.clone());
+
+    let speedups: Vec<String> = results
+        .iter()
+        .filter_map(|(name, cur)| {
+            let base = field(&baseline, name)?;
+            Some(format!("    \"{name}\": {:.2}", cur / base))
+        })
+        .collect();
+
+    let report = format!(
+        "{{\n  \"bench\": \"gateway\",\n  \"unit\": \"ops_per_wall_second (latencies in ns: *_ns)\",\n  \
+         \"baseline\": {baseline},\n  \
+         \"current\": {current},\n  \"speedup_vs_baseline\": {{\n{}\n  }}\n}}\n",
+        speedups.join(",\n")
+    );
+    std::fs::write(OUT_FILE, &report).expect("write report");
+    println!("{report}");
+}

@@ -1,0 +1,46 @@
+// The event-path / steady-state distinction for alloc-in-hot-path. Not
+// compiled — read by tests/fixtures.rs.
+//
+// `step_slot` is a hot root. Its steady-state callees must stay
+// allocation-free, but the rare-event branch (admission-style
+// reconfiguration) is marked `event_path` and pruned from the walk —
+// along with everything only reachable through it.
+
+fn step_slot() {
+    advance_rings();
+    bogus_exemption();
+    if rare_event_pending() {
+        reconcile_after_fault();
+    }
+}
+
+fn advance_rings() {
+    let v = Vec::new(); //~ ERROR alloc-in-hot-path
+    consume(v);
+}
+
+// ccr-verify: event_path -- fault reconfiguration runs off the slot loop
+fn reconcile_after_fault() {
+    // Allocation is fine here: this runs once per fault, not per slot.
+    let plans = Vec::new();
+    rebuild_routing(plans);
+}
+
+fn rebuild_routing<T>(_plans: T) {
+    // Only reachable through the pruned event path: also exempt.
+    let _ = String::new();
+}
+
+// An event_path marker without a reason grants nothing and is itself a
+// finding (unparseable directive).
+// ccr-verify: event_path
+//~^ ERROR allow-marker
+fn bogus_exemption() {
+    let _ = Box::new(1u8); //~ ERROR alloc-in-hot-path
+}
+
+fn rare_event_pending() -> bool {
+    false
+}
+
+fn consume<T>(_v: T) {}

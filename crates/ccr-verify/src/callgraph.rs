@@ -190,9 +190,26 @@ impl CallGraph {
         files: &[FileModel],
         roots: &[FnRef],
     ) -> BTreeMap<FnRef, Option<FnRef>> {
+        self.reachable_pruned(files, roots, &BTreeSet::new())
+    }
+
+    /// Like [`CallGraph::reachable`], but the walk stops at (and excludes)
+    /// the `pruned` functions: they count as outside the traversed region,
+    /// and nothing is reached *through* them. Used for the event-path /
+    /// steady-state distinction — a fault handler called from `step_slot`
+    /// is reachable, but its allocations are not steady-state allocations.
+    pub fn reachable_pruned(
+        &self,
+        files: &[FileModel],
+        roots: &[FnRef],
+        pruned: &BTreeSet<FnRef>,
+    ) -> BTreeMap<FnRef, Option<FnRef>> {
         let mut seen: BTreeMap<FnRef, Option<FnRef>> = BTreeMap::new();
         let mut queue: VecDeque<FnRef> = VecDeque::new();
         for &r in roots {
+            if pruned.contains(&r) {
+                continue;
+            }
             seen.entry(r).or_insert(None);
             queue.push_back(r);
         }
@@ -202,6 +219,9 @@ impl CallGraph {
             let body = &f.clean[g.body.0..=g.body.1];
             for name in calls_in(body) {
                 for target in self.resolve(files, &f.crate_name, &name) {
+                    if pruned.contains(&target) {
+                        continue;
+                    }
                     if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(target) {
                         e.insert(Some((fi, gi)));
                         queue.push_back(target);
@@ -258,6 +278,26 @@ mod tests {
         let cg = CallGraph::build(&files);
         let reach = cg.reachable(&files, &[(0, 0)]);
         assert_eq!(reach.len(), 1, "only the root itself is reachable");
+    }
+
+    #[test]
+    fn pruned_functions_stop_the_walk() {
+        let files = vec![file(
+            "a",
+            "fn root() { rare(); steady(); }\nfn rare() { deep(); }\nfn deep() {}\nfn steady() {}",
+        )];
+        let cg = CallGraph::build(&files);
+        let pruned: BTreeSet<FnRef> = std::iter::once((0usize, 1usize)).collect();
+        let reach = cg.reachable_pruned(&files, &[(0, 0)], &pruned);
+        let names: Vec<&str> = reach
+            .keys()
+            .map(|&(fi, gi)| files[fi].fns[gi].name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["root", "steady"],
+            "rare() and everything behind it pruned"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! ```text
 //! // ccr-verify: allow(<rule>) -- <reason>
 //! // ccr-verify: hot_path
+//! // ccr-verify: event_path -- <reason>
 //! ```
 //!
 //! An `allow` marker suppresses findings of `<rule>` on its own line and on
@@ -13,6 +14,13 @@
 //! The reason is mandatory; the gate reports markers whose reason is
 //! missing, and markers that suppressed nothing, as errors of their own —
 //! "zero unexplained allow-markers" is part of the contract.
+//!
+//! `hot_path` marks the function below as a root of the alloc-free walk;
+//! `event_path` marks it as a *rare-event* function (admission, fault
+//! reconfiguration, teardown) that is reachable from a hot root but runs
+//! outside the steady-state slot loop — the alloc walk stops there instead
+//! of flagging its (legitimate) allocations. The reason is mandatory, same
+//! as `allow`.
 
 use crate::lexer::{clean_source, Cleaned};
 use std::path::PathBuf;
@@ -43,6 +51,10 @@ pub struct FnDef {
     /// True when a `ccr-verify: hot_path` marker sits within two lines
     /// above the `fn` keyword.
     pub hot_root: bool,
+    /// True when a `ccr-verify: event_path` marker sits within two lines
+    /// above the `fn` keyword: the function handles rare events (admission,
+    /// faults) and is pruned from the alloc-in-hot-path walk.
+    pub event_path: bool,
 }
 
 /// Everything the rules need to know about one source file.
@@ -75,6 +87,7 @@ impl FileModel {
 
         let mut markers = Vec::new();
         let mut hot_lines = Vec::new();
+        let mut event_lines = Vec::new();
         for (line, text) in &comments {
             let t = text.trim();
             let Some(rest) = t.strip_prefix("ccr-verify:") else {
@@ -83,6 +96,18 @@ impl FileModel {
             let rest = rest.trim();
             if rest == "hot_path" {
                 hot_lines.push(*line);
+            } else if let Some(tail) = rest.strip_prefix("event_path") {
+                // The reason is mandatory: `event_path -- why this is rare`.
+                let reason = tail.trim().trim_start_matches(['-', '—', ':']).trim();
+                if reason.is_empty() {
+                    markers.push(AllowMarker {
+                        line: *line,
+                        rule: "<unparseable: event_path without a reason>".into(),
+                        reason: String::new(),
+                    });
+                } else {
+                    event_lines.push(*line);
+                }
             } else if let Some(args) = rest.strip_prefix("allow(") {
                 if let Some(close) = args.find(')') {
                     let rule = args[..close].trim().to_string();
@@ -109,7 +134,7 @@ impl FileModel {
             }
         }
 
-        let fns = parse_fns(&clean, &line_starts, &test_mask, &hot_lines);
+        let fns = parse_fns(&clean, &line_starts, &test_mask, &hot_lines, &event_lines);
 
         FileModel {
             path,
@@ -239,6 +264,7 @@ fn parse_fns(
     line_starts: &[usize],
     test_mask: &[bool],
     hot_lines: &[usize],
+    event_lines: &[usize],
 ) -> Vec<FnDef> {
     let bytes = clean.as_bytes();
     let mut fns = Vec::new();
@@ -285,12 +311,14 @@ fn parse_fns(
                 let close = match_brace(clean, open);
                 let is_test = test_mask.get(line - 1).copied().unwrap_or(false);
                 let hot_root = hot_lines.iter().any(|&hl| hl < line && line - hl <= 3);
+                let event_path = event_lines.iter().any(|&el| el < line && line - el <= 3);
                 fns.push(FnDef {
                     name,
                     line,
                     body: (open, close),
                     is_test,
                     hot_root,
+                    event_path,
                 });
                 // Continue scanning *inside* the body too (nested fns are
                 // rare but real); just move past the signature.
@@ -349,6 +377,17 @@ mod tests {
         assert_eq!(m.markers[0].reason, "wall-clock meter only");
         assert!(m.markers[1].reason.is_empty());
         assert!(m.fns.iter().any(|f| f.name == "fast" && f.hot_root));
+    }
+
+    #[test]
+    fn event_path_markers_need_a_reason() {
+        let src = "// ccr-verify: event_path -- admission runs off the slot loop\nfn admit() {}\n\n\n\n// ccr-verify: event_path\nfn bare() {}\n";
+        let m = model(src);
+        assert!(m.fns.iter().any(|f| f.name == "admit" && f.event_path));
+        let bare = m.fns.iter().find(|f| f.name == "bare").unwrap();
+        assert!(!bare.event_path, "reasonless marker grants nothing");
+        assert_eq!(m.markers.len(), 1);
+        assert!(m.markers[0].rule.starts_with("<unparseable"));
     }
 
     #[test]

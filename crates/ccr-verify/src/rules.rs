@@ -3,7 +3,10 @@
 //! Four rule families (see `DESIGN.md` §10 for the full rationale table):
 //!
 //! * `alloc-in-hot-path` — no allocation or cloning in functions reachable
-//!   from the slot-engine hot-path roots.
+//!   from the slot-engine hot-path roots. The walk distinguishes steady
+//!   state from rare events: `// ccr-verify: event_path -- reason` marks a
+//!   function (admission, fault reconfiguration) as off the per-slot loop,
+//!   pruning it and everything only reachable through it.
 //! * `nondeterminism` — no wall clocks, OS randomness, ambient I/O, or
 //!   hash-order iteration in the deterministic model crates.
 //! * `time-cast` — no lossy `as` casts on time-flavoured values and no raw
@@ -68,6 +71,10 @@ pub struct RuleConfig {
     /// Path suffixes exempt from the `time-cast` rule (the sanctioned
     /// newtype impls live here).
     pub cast_exempt: Vec<String>,
+    /// Path suffixes exempt from the `nondeterminism` rule: the sim↔wall
+    /// bridge files whose entire purpose is wall clocks and sockets. The
+    /// deterministic core behind them stays fully swept.
+    pub det_exempt: Vec<String>,
 }
 
 impl RuleConfig {
@@ -80,6 +87,7 @@ impl RuleConfig {
             "ccr-multiring",
             "ccr-calculus",
             "ccr-traffic",
+            "ccr-gateway",
             "cc-fpr",
         ];
         RuleConfig {
@@ -88,8 +96,17 @@ impl RuleConfig {
             hot_roots: vec![
                 ("ccr-edf".into(), "step_slot".into()),
                 ("ccr-edf".into(), "arbitrate_into".into()),
+                ("ccr-multiring".into(), "step_slot".into()),
             ],
             cast_exempt: vec!["sim/src/time.rs".into()],
+            det_exempt: vec![
+                // The gateway's wall-time edge: clocks, sockets, and the
+                // thread handoff. Everything behind Gateway::ingress is sim
+                // time and stays in the sweep.
+                "gateway/src/clock.rs".into(),
+                "gateway/src/udp.rs".into(),
+                "gateway/src/handoff.rs".into(),
+            ],
         }
     }
 }
@@ -147,13 +164,20 @@ const ALLOC_TOKENS: &[(&str, &str)] = &[
 ];
 
 /// Deny allocation-shaped calls in every function reachable from the
-/// hot-path roots.
+/// hot-path roots — except through `event_path`-marked functions, which
+/// handle rare events (admission, faults, teardown) and are pruned from
+/// the walk along with everything only reachable through them.
 pub fn rule_alloc(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
     let graph = CallGraph::build(files);
     let mut roots = Vec::new();
+    let mut pruned = BTreeSet::new();
     for (fi, f) in files.iter().enumerate() {
         for (gi, g) in f.fns.iter().enumerate() {
             if g.is_test {
+                continue;
+            }
+            if g.event_path {
+                pruned.insert((fi, gi));
                 continue;
             }
             let named_root = cfg
@@ -165,7 +189,7 @@ pub fn rule_alloc(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
             }
         }
     }
-    let reachable = graph.reachable(files, &roots);
+    let reachable = graph.reachable_pruned(files, &roots, &pruned);
     // Reconstruct one example call chain per reached function for the
     // diagnostic, so the reader can audit (and, if bogus, break) the edge.
     let chain_of = |mut at: (usize, usize)| -> String {
@@ -290,6 +314,10 @@ pub fn rule_determinism(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
     let mut findings = Vec::new();
     for f in files {
         if !cfg.det_crates.contains(&f.crate_name) {
+            continue;
+        }
+        let path_str = f.path.display().to_string();
+        if cfg.det_exempt.iter().any(|suf| path_str.ends_with(suf)) {
             continue;
         }
         for (line_no, text) in f.code_lines() {

@@ -17,6 +17,7 @@ fn fixture_config() -> RuleConfig {
         lib_crates: one("fixture"),
         hot_roots: vec![("fixture".into(), "step_slot".into())],
         cast_exempt: Vec::new(),
+        det_exempt: Vec::new(),
     }
 }
 
@@ -96,6 +97,11 @@ fn marker_mechanics_suppress_and_report() {
 }
 
 #[test]
+fn event_path_functions_are_pruned_from_the_hot_walk() {
+    check_fixture(&fixture_path("event_path.rs"));
+}
+
+#[test]
 fn clean_fixture_stays_clean() {
     check_fixture(&fixture_path("clean.rs"));
 }
@@ -114,6 +120,7 @@ fn every_fixture_is_covered_by_a_test() {
         [
             "casts.rs",
             "clean.rs",
+            "event_path.rs",
             "hot_alloc.rs",
             "markers.rs",
             "nondet.rs",

@@ -286,6 +286,7 @@ impl NetworkConfig {
     }
 
     /// Validate all constraints.
+    // ccr-verify: event_path -- config validation runs once at network build
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.slot_bytes == 0 {
             return Err(ConfigError::EmptySlot);

@@ -110,6 +110,7 @@ impl ConnectionSpec {
     }
 
     /// Validate the spec against a topology.
+    // ccr-verify: event_path -- spec validation runs at admission time, not per slot
     pub fn validate(&self, topo: RingTopology) -> Result<(), String> {
         if self.src.0 >= topo.n_nodes() {
             return Err(format!("source {} outside ring", self.src));

@@ -87,6 +87,7 @@ impl Destination {
 
     /// Validate against a topology and source: receivers must exist, differ
     /// from the source, and multicast sets must be non-empty.
+    // ccr-verify: event_path -- allocates only when rejecting a malformed destination
     pub fn validate(&self, topo: RingTopology, src: NodeId) -> Result<(), String> {
         let check = |d: &NodeId| -> Result<(), String> {
             if d.0 >= topo.n_nodes() {
@@ -218,6 +219,7 @@ impl Message {
     }
 
     /// Sanity-check the message against a topology.
+    // ccr-verify: event_path -- allocates only when rejecting a malformed message
     pub fn validate(&self, topo: RingTopology) -> Result<(), String> {
         if self.src.0 >= topo.n_nodes() {
             return Err(format!("source {} outside ring", self.src));

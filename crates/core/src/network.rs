@@ -332,6 +332,7 @@ impl<P: MacProtocol> RingNetwork<P> {
         self.next_msg_id += 1;
         msg.id = id;
         msg.released = at;
+        // ccr-verify: allow(alloc-in-hot-path) -- one box per submitted message, owned by the release queue
         self.releases.schedule(at, ReleaseEvent::Msg(Box::new(msg)));
         id
     }

@@ -1,0 +1,80 @@
+//! The sim-time ↔ wall-time bridge.
+//!
+//! The DES core is a pure function of its inputs; wall time only exists
+//! at the very edge, in this module and the UDP backend. A [`WallClock`]
+//! pins a wall-clock epoch to fabric slot 0 and converts monotonic
+//! elapsed time into a *slot index* — the only unit the deterministic
+//! core accepts. Datagrams arriving mid-slot are quantised to the slot
+//! boundary they will be injected at, exactly like the loopback
+//! backend's slot-indexed schedule, so a recorded UDP session replays
+//! bit-identically through [`LoopbackBackend`].
+//!
+//! [`LoopbackBackend`]: crate::loopback::LoopbackBackend
+//!
+//! Everything here is intentionally outside the workspace determinism
+//! sweep (see `ccr-verify`'s `det_exempt` list): `Instant::now` and
+//! `sleep` are its whole point.
+
+use std::time::{Duration, Instant};
+
+use ccr_sim::TimeDelta;
+
+/// A wall-clock epoch mapped onto the fabric's slot grid.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+    slot: Duration,
+}
+
+impl WallClock {
+    /// A clock whose slot 0 starts now, with one fabric slot lasting
+    /// `slot` of sim time scaled by `dilation` (a dilation of 1000 runs
+    /// the wall edge 1000× slower than the simulated fibre — useful
+    /// because a µs-scale MAC slot is far below scheduler granularity).
+    ///
+    /// # Panics
+    /// `slot` and `dilation` must be non-zero.
+    pub fn new(slot: TimeDelta, dilation: u64) -> Self {
+        assert!(slot > TimeDelta::ZERO, "wall clock needs a slot length");
+        assert!(dilation > 0, "dilation must be at least 1");
+        let nanos = (slot.as_ps() / 1_000).max(1) * dilation;
+        WallClock {
+            epoch: Instant::now(),
+            slot: Duration::from_nanos(nanos),
+        }
+    }
+
+    /// The wall duration of one fabric slot (dilation applied).
+    pub fn slot_wall(&self) -> Duration {
+        self.slot
+    }
+
+    /// The slot index the wall clock is currently inside.
+    pub fn slot_now(&self) -> u64 {
+        let elapsed = self.epoch.elapsed();
+        (elapsed.as_nanos() / self.slot.as_nanos().max(1)) as u64
+    }
+
+    /// Sleep until the start of slot `s` (no-op if already past it).
+    pub fn sleep_until_slot(&self, s: u64) {
+        let target = Duration::from_nanos((self.slot.as_nanos() as u64).saturating_mul(s));
+        let elapsed = self.epoch.elapsed();
+        if elapsed < target {
+            std::thread::sleep(target - elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_advance_with_wall_time() {
+        // A generous slot keeps this robust on loaded CI machines.
+        let clock = WallClock::new(TimeDelta::from_us(1), 2_000); // 2 ms wall
+        let s0 = clock.slot_now();
+        clock.sleep_until_slot(s0 + 2);
+        assert!(clock.slot_now() >= s0 + 2);
+    }
+}

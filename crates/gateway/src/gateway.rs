@@ -1,0 +1,402 @@
+//! The gateway engine: admission, ingress pacing, and deadline-ordered
+//! egress — all in sim time, all deterministic.
+//!
+//! A [`Gateway`] owns the runtime state of every admitted virtual link.
+//! It is driven by a *backend* (loopback or UDP) that feeds it decoded
+//! wall-world datagrams and a sim timestamp; everything the gateway does
+//! with them — token pacing, port queues, fabric injection, egress
+//! ordering — is a pure function of (config, injection schedule), which
+//! is what the replay differential tests pin down.
+//!
+//! Overload story: *admission* guarantees each link's envelope fits the
+//! fabric (EDF utilisation + calculus fixed point, via
+//! [`Fabric::open_external_connections`]); *pacing* guarantees no link
+//! exceeds the envelope it was admitted for. A client pushing faster
+//! than its admitted rate is answered per link policy — [`Shed`] drops
+//! and counts, [`Defer`] parks in the port's bounded queue — and never
+//! disturbs other links' certified bounds.
+//!
+//! [`Shed`]: crate::config::OverloadPolicy::Shed
+//! [`Defer`]: crate::config::OverloadPolicy::Defer
+
+use std::collections::{BTreeMap, HashMap};
+
+use ccr_multiring::admission::{FabricAdmissionError, FabricConnectionId};
+use ccr_multiring::engine::{EgressDelivery, Fabric};
+use ccr_sim::stats::Counter;
+use ccr_sim::{SimTime, TimeDelta};
+
+use crate::config::{GatewayConfig, OverloadPolicy, PortSemantics};
+use crate::link::{LinkMetrics, LinkState};
+use crate::wire::{Header, PacketKind, WireError};
+
+/// Gateway-wide counters (per-link detail lives in [`LinkMetrics`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GatewayMetrics {
+    /// Frames offered to ingress, well-formed or not.
+    pub frames_in: Counter,
+    /// Frames rejected by the wire decoder (truncated, bad CRC, …).
+    pub decode_errors: Counter,
+    /// Well-formed frames naming a link this gateway does not serve.
+    pub unknown_link: Counter,
+    /// Well-formed non-`Data` frames (probes, spoofed deliveries) — noted
+    /// and ignored, never injected.
+    pub non_data_frames: Counter,
+    /// Datagrams injected into the fabric, all links.
+    pub injected: Counter,
+    /// Datagrams shed by pacing, all links.
+    pub shed: Counter,
+    /// End-to-end deliveries handed to egress, all links.
+    pub delivered: Counter,
+    /// Deliveries that missed their link's e2e deadline, all links.
+    pub deadline_missed: Counter,
+}
+
+/// One rejected virtual link, reported — never silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectedLink {
+    /// The link that did not fit.
+    pub id: u16,
+    /// Why admission refused it.
+    pub error: FabricAdmissionError,
+}
+
+/// The outcome of opening a [`GatewayConfig`] against a fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionReport {
+    /// Links now carried by the fabric, in config order.
+    pub admitted: Vec<u16>,
+    /// Links the admission gate refused, with the reason.
+    pub rejected: Vec<RejectedLink>,
+    /// Whether the whole config was admitted as one batch (single
+    /// calculus fixed point). `false` means the batch was refused and
+    /// links were re-tried one by one.
+    pub batched: bool,
+}
+
+/// What ingress did with one offered frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngressOutcome {
+    /// Injected into the fabric immediately.
+    Injected {
+        /// The link it rode.
+        link: u16,
+    },
+    /// Parked in the link's port queue awaiting a token.
+    Deferred {
+        /// The link it waits on.
+        link: u16,
+    },
+    /// Sampling port: replaced a staler datagram already waiting.
+    Overwrote {
+        /// The link whose waiting value was refreshed.
+        link: u16,
+    },
+    /// Dropped by the link's overload policy.
+    Shed {
+        /// The link that shed it.
+        link: u16,
+    },
+    /// The wire decoder refused the frame.
+    Malformed(WireError),
+    /// Well-formed, but no such link is served here.
+    UnknownLink {
+        /// The id the frame named.
+        link: u16,
+    },
+    /// Well-formed non-`Data` frame; noted and ignored.
+    Ignored {
+        /// The frame's kind.
+        kind: PacketKind,
+    },
+}
+
+/// One end-to-end delivery leaving the gateway, payload re-attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EgressFrame {
+    /// The virtual link delivered on.
+    pub link: u16,
+    /// Per-link delivery sequence (cross-checked against the fabric's
+    /// per-connection count).
+    pub seq: u64,
+    /// The datagram bytes, exactly as ingressed.
+    pub payload: Vec<u8>,
+    /// End-to-end sim latency, injection to final delivery.
+    pub latency: TimeDelta,
+    /// Within the link's end-to-end deadline?
+    pub met_deadline: bool,
+    /// Sampling ports: within the validity window. Queuing ports: always
+    /// `true`.
+    pub fresh: bool,
+    /// Remaining deadline budget (zero when missed).
+    pub slack: TimeDelta,
+}
+
+impl EgressFrame {
+    /// Encode as a `Deliver` wire frame into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        Header {
+            kind: PacketKind::Deliver,
+            link: self.link,
+            // Egress sequence wraps at the wire's u32 like ingress does.
+            seq: self.seq as u32,
+            len: 0, // overridden by encode_into
+            budget_us: (self.slack.as_ps() / 1_000_000).min(u32::MAX as u64) as u32,
+        }
+        .encode_into(&self.payload, out);
+    }
+}
+
+/// The gateway: every admitted link's pacing and correlation state.
+#[derive(Debug)]
+pub struct Gateway {
+    /// Admitted links, in config order (the deterministic pacing order).
+    links: Vec<LinkState>,
+    /// Wire id → index into `links`.
+    by_id: BTreeMap<u16, usize>,
+    /// Fabric connection → index into `links`.
+    by_fid: HashMap<FabricConnectionId, usize>,
+    metrics: GatewayMetrics,
+    /// Scratch for draining fabric egress without per-slot allocation.
+    egress_scratch: Vec<EgressDelivery>,
+}
+
+impl Gateway {
+    /// Admit `cfg`'s links into `fabric` and build the gateway.
+    ///
+    /// The whole config is first offered as **one batch** (one calculus
+    /// fixed point via [`Fabric::open_external_connections`]); if the
+    /// batch as a whole is refused, links are re-tried one by one so
+    /// every admissible link still comes up, and every refused link is
+    /// reported in the [`AdmissionReport`] — never silently dropped.
+    pub fn open(cfg: &GatewayConfig, fabric: &mut Fabric) -> (Gateway, AdmissionReport) {
+        let now = fabric.now();
+        let specs: Vec<_> = cfg
+            .links
+            .iter()
+            .map(|l| {
+                let slot_bytes = fabric.with_ring(l.src.ring, |r| r.config().slot_bytes);
+                l.spec(slot_bytes)
+            })
+            .collect();
+        let mut links = Vec::new();
+        let mut admitted = Vec::new();
+        let mut rejected = Vec::new();
+        let batched = match fabric.open_external_connections(&specs) {
+            Ok(fids) => {
+                for (l, fid) in cfg.links.iter().zip(fids) {
+                    admitted.push(l.id);
+                    links.push(LinkState::new(l.clone(), fid, now));
+                }
+                true
+            }
+            Err(_) => {
+                // The batch did not fit as a whole: fall back to
+                // per-link admission so partial configs still serve.
+                for (l, spec) in cfg.links.iter().zip(&specs) {
+                    match fabric.open_external_connection(spec.clone()) {
+                        Ok(fid) => {
+                            admitted.push(l.id);
+                            links.push(LinkState::new(l.clone(), fid, now));
+                        }
+                        Err(error) => rejected.push(RejectedLink { id: l.id, error }),
+                    }
+                }
+                false
+            }
+        };
+        let by_id = links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.cfg.id, i))
+            .collect();
+        let by_fid = links.iter().enumerate().map(|(i, l)| (l.fid, i)).collect();
+        (
+            Gateway {
+                links,
+                by_id,
+                by_fid,
+                metrics: GatewayMetrics::default(),
+                egress_scratch: Vec::new(),
+            },
+            AdmissionReport {
+                admitted,
+                rejected,
+                batched,
+            },
+        )
+    }
+
+    /// Offer one raw frame to ingress at sim time `now`.
+    ///
+    /// Decode errors, unknown links, and non-data frames are counted and
+    /// reported, never panicked on — a hostile peer must not take the
+    /// pacer down. A decoded datagram is injected if its link has a
+    /// token, otherwise handled per the link's port + overload policy.
+    pub fn ingress(&mut self, now: SimTime, frame: &[u8], fabric: &mut Fabric) -> IngressOutcome {
+        self.metrics.frames_in.incr();
+        let (header, payload) = match Header::decode(frame) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.metrics.decode_errors.incr();
+                return IngressOutcome::Malformed(e);
+            }
+        };
+        if header.kind != PacketKind::Data {
+            self.metrics.non_data_frames.incr();
+            return IngressOutcome::Ignored { kind: header.kind };
+        }
+        let Some(&idx) = self.by_id.get(&header.link) else {
+            self.metrics.unknown_link.incr();
+            return IngressOutcome::UnknownLink { link: header.link };
+        };
+        let link = &mut self.links[idx];
+        link.metrics.ingress_frames.incr();
+        let id = link.cfg.id;
+        if payload.len() > link.cfg.mtu as usize {
+            // Oversize violates the admitted slot budget: shed, whatever
+            // the policy — injecting it would void the certificate.
+            link.metrics.shed.incr();
+            self.metrics.shed.incr();
+            return IngressOutcome::Shed { link: id };
+        }
+        if link.bucket.try_take(now) {
+            return match fabric.inject(link.fid) {
+                Ok(_) => {
+                    link.in_flight.push_back(payload.to_vec());
+                    link.metrics.injected.incr();
+                    self.metrics.injected.incr();
+                    IngressOutcome::Injected { link: id }
+                }
+                Err(_) => {
+                    // Connection revoked by a fault: the datagram has no
+                    // path; count it against the link.
+                    link.metrics.shed.incr();
+                    self.metrics.shed.incr();
+                    IngressOutcome::Shed { link: id }
+                }
+            };
+        }
+        match link.cfg.policy {
+            OverloadPolicy::Shed => {
+                link.metrics.shed.incr();
+                self.metrics.shed.incr();
+                IngressOutcome::Shed { link: id }
+            }
+            OverloadPolicy::Defer => {
+                if link.waiting.len() < link.waiting_cap() {
+                    link.waiting.push_back(payload.to_vec());
+                    link.metrics.deferred.incr();
+                    IngressOutcome::Deferred { link: id }
+                } else if matches!(link.cfg.port, PortSemantics::Sampling { .. }) {
+                    // Sampling: the newest value wins the single slot.
+                    link.waiting.clear();
+                    link.waiting.push_back(payload.to_vec());
+                    link.metrics.overwritten.incr();
+                    IngressOutcome::Overwrote { link: id }
+                } else {
+                    link.metrics.shed.incr();
+                    self.metrics.shed.incr();
+                    IngressOutcome::Shed { link: id }
+                }
+            }
+        }
+    }
+
+    /// Pacing tick: called once per fabric slot (before
+    /// [`Fabric::step_slot`]) to move deferred datagrams into the fabric
+    /// as their tokens mature. Links are served in config order —
+    /// deterministic, and fair because each link can only consume its
+    /// own tokens.
+    pub fn pace(&mut self, now: SimTime, fabric: &mut Fabric) {
+        for link in &mut self.links {
+            while !link.waiting.is_empty() && link.bucket.try_take(now) {
+                match fabric.inject(link.fid) {
+                    Ok(_) => {
+                        let payload = link.waiting.pop_front().expect("non-empty queue");
+                        link.in_flight.push_back(payload);
+                        link.metrics.injected.incr();
+                        self.metrics.injected.incr();
+                    }
+                    Err(_) => {
+                        // Revoked mid-flight: drain the queue as shed.
+                        let n = link.waiting.len() as u64;
+                        link.waiting.clear();
+                        for _ in 0..n {
+                            link.metrics.shed.incr();
+                            self.metrics.shed.incr();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect end-to-end deliveries from the fabric, re-attach payloads,
+    /// and append them to `out` in **deadline order** (ascending slack =
+    /// earliest absolute deadline first within the drained slot window;
+    /// ties broken by connection then sequence, so the order is total and
+    /// deterministic).
+    pub fn poll_egress(&mut self, fabric: &mut Fabric, out: &mut Vec<EgressFrame>) {
+        self.egress_scratch.clear();
+        fabric.drain_egress(&mut self.egress_scratch);
+        self.egress_scratch
+            .sort_by_key(|d| (d.slack, d.fid.0, d.seq));
+        for i in 0..self.egress_scratch.len() {
+            let d = self.egress_scratch[i];
+            let Some(&idx) = self.by_fid.get(&d.fid) else {
+                continue; // a non-gateway external connection, if any
+            };
+            let link = &mut self.links[idx];
+            debug_assert_eq!(d.seq, link.egress_seq, "fabric FIFO matches link FIFO");
+            let Some(payload) = link.in_flight.pop_front() else {
+                continue; // stray delivery of a re-opened link
+            };
+            link.egress_seq += 1;
+            let fresh = match link.cfg.port {
+                PortSemantics::Sampling { validity } => d.latency <= validity,
+                PortSemantics::Queuing { .. } => true,
+            };
+            link.metrics.delivered.incr();
+            self.metrics.delivered.incr();
+            if d.met_deadline {
+                link.metrics.deadline_met.incr();
+            } else {
+                link.metrics.deadline_missed.incr();
+                self.metrics.deadline_missed.incr();
+            }
+            if !fresh {
+                link.metrics.stale.incr();
+            }
+            out.push(EgressFrame {
+                link: link.cfg.id,
+                seq: d.seq,
+                payload,
+                latency: d.latency,
+                met_deadline: d.met_deadline,
+                fresh,
+                slack: d.slack,
+            });
+        }
+    }
+
+    /// Gateway-wide counters.
+    pub fn metrics(&self) -> &GatewayMetrics {
+        &self.metrics
+    }
+
+    /// Per-link counters, by wire id.
+    pub fn link_metrics(&self, id: u16) -> Option<&LinkMetrics> {
+        self.by_id.get(&id).map(|&i| &self.links[i].metrics)
+    }
+
+    /// The fabric connection a link rides, by wire id.
+    pub fn link_fid(&self, id: u16) -> Option<FabricConnectionId> {
+        self.by_id.get(&id).map(|&i| self.links[i].fid)
+    }
+
+    /// Served link ids, ascending.
+    pub fn link_ids(&self) -> impl Iterator<Item = u16> + '_ {
+        self.by_id.keys().copied()
+    }
+}

@@ -1,0 +1,74 @@
+//! ccr-gateway: real-wire virtual links into the multiring fabric.
+//!
+//! The fibre-ribbon ring network of the source paper is a closed world:
+//! nodes, slots, and EDF arbitration all live inside the deterministic
+//! simulator. This crate opens a door in that wall without letting the
+//! weather in. A **virtual link** is a contract — source, destination,
+//! rate, MTU, deadline class — declared in a [`GatewayConfig`] and
+//! opened as a real multiring connection through the same EDF +
+//! network-calculus admission every simulated flow passes. Traffic that
+//! honours the contract rides the certified schedule; traffic that
+//! exceeds it is paced, deferred, or shed *at the edge*, before it can
+//! perturb a single admitted flow.
+//!
+//! Three layers:
+//!
+//! - **Virtual links** ([`config`], [`link`], [`gateway`]): declarative
+//!   link specs with sampling/queuing port semantics, admitted in batch
+//!   through [`Fabric::open_external_connections`], per-link token-bucket
+//!   pacing, and deadline-ordered egress.
+//! - **Wire** ([`wire`]): a bit-packed, CRC-16-guarded 16-byte header.
+//!   Malformed input of any shape is a counted error, never a panic.
+//! - **Time bridge** ([`clock`], [`handoff`], [`loopback`], [`udp`]):
+//!   the DES stays deterministic; wall time exists only at the UDP edge,
+//!   which quantises arrivals to slot indices through a bounded,
+//!   loss-counted handoff. The socket-free [`loopback`] backend replays
+//!   any slot-indexed schedule bit-identically.
+//!
+//! [`Fabric::open_external_connections`]:
+//! ccr_multiring::engine::Fabric::open_external_connections
+//! [`GatewayConfig`]: config::GatewayConfig
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod clock;
+pub mod config;
+pub mod gateway;
+pub mod handoff;
+pub mod link;
+pub mod loopback;
+pub mod udp;
+pub mod wire;
+
+pub use bucket::TokenBucket;
+pub use clock::WallClock;
+pub use config::{
+    ConfigError, DeadlineClass, GatewayConfig, OverloadPolicy, PortSemantics, VirtualLink,
+};
+pub use gateway::{
+    AdmissionReport, EgressFrame, Gateway, GatewayMetrics, IngressOutcome, RejectedLink,
+};
+pub use handoff::{handoff, HandoffReceiver, HandoffSender, Stamped};
+pub use link::LinkMetrics;
+pub use loopback::LoopbackBackend;
+pub use udp::{UdpBackend, UdpRunStats};
+pub use wire::{Header, PacketKind, WireError, HEADER_LEN};
+
+/// Everything most gateway users need, one `use` away.
+pub mod prelude {
+    pub use crate::bucket::TokenBucket;
+    pub use crate::clock::WallClock;
+    pub use crate::config::{
+        ConfigError, DeadlineClass, GatewayConfig, OverloadPolicy, PortSemantics, VirtualLink,
+    };
+    pub use crate::gateway::{
+        AdmissionReport, EgressFrame, Gateway, GatewayMetrics, IngressOutcome, RejectedLink,
+    };
+    pub use crate::handoff::{handoff, HandoffReceiver, HandoffSender, Stamped};
+    pub use crate::link::LinkMetrics;
+    pub use crate::loopback::LoopbackBackend;
+    pub use crate::udp::{UdpBackend, UdpRunStats};
+    pub use crate::wire::{Header, PacketKind, WireError, HEADER_LEN};
+}

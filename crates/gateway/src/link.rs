@@ -1,0 +1,89 @@
+//! Per-link runtime state: the pacing bucket, the port queues, and the
+//! payload FIFO that correlates fabric deliveries back to datagram bytes.
+//!
+//! The fabric's DES carries no payloads — messages are sized in slots,
+//! not bytes. The gateway therefore keeps each injected datagram's bytes
+//! in a per-link FIFO and matches them to deliveries by order: the ring
+//! guarantees per-connection FIFO delivery (successive messages of one
+//! connection carry strictly increasing deadlines, so EDF never reorders
+//! them), and [`EgressDelivery::seq`](ccr_multiring::EgressDelivery::seq)
+//! makes the pairing checkable at run time rather than assumed.
+
+use std::collections::VecDeque;
+
+use ccr_multiring::admission::FabricConnectionId;
+use ccr_sim::stats::Counter;
+use ccr_sim::SimTime;
+
+use crate::bucket::TokenBucket;
+use crate::config::{PortSemantics, VirtualLink};
+
+/// Per-link counters, comparable with `==` across runs like every other
+/// metrics block in the workspace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkMetrics {
+    /// Well-formed `Data` frames addressed to this link.
+    pub ingress_frames: Counter,
+    /// Datagrams injected into the fabric.
+    pub injected: Counter,
+    /// Datagrams dropped by the overload policy (token and queue both
+    /// exhausted, or `Shed` policy with no token).
+    pub shed: Counter,
+    /// Datagrams parked in the port queue waiting for a token.
+    pub deferred: Counter,
+    /// Sampling ports only: queued datagrams replaced by a fresher one.
+    pub overwritten: Counter,
+    /// End-to-end deliveries handed to egress.
+    pub delivered: Counter,
+    /// Deliveries that met the link's end-to-end deadline.
+    pub deadline_met: Counter,
+    /// Deliveries that missed it.
+    pub deadline_missed: Counter,
+    /// Sampling ports only: deliveries older than the validity window.
+    pub stale: Counter,
+}
+
+/// One admitted virtual link at run time.
+#[derive(Debug)]
+pub struct LinkState {
+    /// The admitted configuration.
+    pub cfg: VirtualLink,
+    /// The fabric connection carrying this link.
+    pub fid: FabricConnectionId,
+    /// The ingress pacer.
+    pub bucket: TokenBucket,
+    /// Datagrams waiting for a token (bounded: queuing depth, or exactly
+    /// one for sampling ports).
+    pub waiting: VecDeque<Vec<u8>>,
+    /// Payload bytes of datagrams already injected, awaiting delivery.
+    pub in_flight: VecDeque<Vec<u8>>,
+    /// Egress frames produced for this link so far (wire `seq` source,
+    /// cross-checked against the fabric's per-connection sequence).
+    pub egress_seq: u64,
+    /// This link's counters.
+    pub metrics: LinkMetrics,
+}
+
+impl LinkState {
+    /// Fresh state for an admitted link.
+    pub fn new(cfg: VirtualLink, fid: FabricConnectionId, now: SimTime) -> Self {
+        let bucket = TokenBucket::new(cfg.burst, cfg.period, now);
+        LinkState {
+            cfg,
+            fid,
+            bucket,
+            waiting: VecDeque::new(),
+            in_flight: VecDeque::new(),
+            egress_seq: 0,
+            metrics: LinkMetrics::default(),
+        }
+    }
+
+    /// Capacity of the waiting queue under this link's port semantics.
+    pub fn waiting_cap(&self) -> usize {
+        match self.cfg.port {
+            PortSemantics::Sampling { .. } => 1,
+            PortSemantics::Queuing { depth } => depth,
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! In-process loopback backend: the whole gateway path — wire decode,
+//! pacing, injection, fabric traversal, deadline-ordered egress — driven
+//! from a slot-indexed schedule, with no sockets and no threads.
+//!
+//! This is the determinism anchor: a loopback run is a pure function of
+//! `(fabric config, gateway config, schedule)`, so two runs — or the
+//! same run at different fabric thread counts — must produce
+//! byte-identical egress and `==`-equal metrics. The differential suites
+//! at the workspace root hold the gateway to exactly that.
+
+use ccr_multiring::engine::Fabric;
+
+use crate::gateway::{EgressFrame, Gateway};
+
+/// A deterministic, socket-free gateway driver.
+#[derive(Debug, Clone)]
+pub struct LoopbackBackend {
+    /// `(fabric slot, raw frame)` arrivals; sorted by slot, stable, so
+    /// same-slot frames keep their schedule order.
+    schedule: Vec<(u64, Vec<u8>)>,
+    cursor: usize,
+}
+
+impl LoopbackBackend {
+    /// A backend that will deliver `schedule` — pairs of (fabric slot
+    /// index, raw wire frame) — as the fabric reaches each slot.
+    pub fn new(mut schedule: Vec<(u64, Vec<u8>)>) -> Self {
+        schedule.sort_by_key(|(slot, _)| *slot);
+        LoopbackBackend {
+            schedule,
+            cursor: 0,
+        }
+    }
+
+    /// Frames not yet delivered.
+    pub fn pending(&self) -> usize {
+        self.schedule.len() - self.cursor
+    }
+
+    /// Drive `slots` fabric slots: deliver due arrivals to ingress, run
+    /// the pacing tick, step the fabric, and collect egress frames into
+    /// `out` (deadline order within each slot).
+    pub fn run(
+        &mut self,
+        gateway: &mut Gateway,
+        fabric: &mut Fabric,
+        slots: u64,
+        out: &mut Vec<EgressFrame>,
+    ) {
+        for _ in 0..slots {
+            let slot = fabric.metrics().slots.get();
+            let now = fabric.now();
+            while self.cursor < self.schedule.len() && self.schedule[self.cursor].0 <= slot {
+                let frame = std::mem::take(&mut self.schedule[self.cursor].1);
+                gateway.ingress(now, &frame, fabric);
+                self.cursor += 1;
+            }
+            gateway.pace(now, fabric);
+            fabric.step_slot();
+            gateway.poll_egress(fabric, out);
+        }
+    }
+}

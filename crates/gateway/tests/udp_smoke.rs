@@ -1,0 +1,82 @@
+//! Real-socket smoke test: a UDP client pushes a datagram through an
+//! admitted virtual link and receives the deadline-stamped delivery back.
+//!
+//! Wall-clock timing is kept deliberately loose (slots stretched to
+//! ~0.5 ms, generous client timeout) so this stays robust on loaded CI
+//! machines; the *semantics* under test — admission, pacing, delivery,
+//! deadline accounting — are all sim-time and deterministic.
+
+use std::net::UdpSocket;
+use std::time::Duration;
+
+use ccr_gateway::prelude::*;
+use ccr_multiring::engine::{Fabric, FabricConfig};
+use ccr_multiring::topology::{FabricTopology, GlobalNodeId};
+use ccr_sim::TimeDelta;
+
+const PERIOD: TimeDelta = TimeDelta::from_ms(2);
+
+#[test]
+fn udp_client_round_trips_through_an_admitted_link() {
+    let topo = FabricTopology::chain(2, 6);
+    let cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+    let mut fabric = Fabric::new(cfg).unwrap();
+    let gw_cfg = GatewayConfig::new(vec![VirtualLink::new(
+        7,
+        GlobalNodeId::new(0, 1),
+        GlobalNodeId::new(1, 3),
+    )
+    .period(PERIOD)])
+    .unwrap();
+    let (mut gateway, report) = Gateway::open(&gw_cfg, &mut fabric);
+    assert_eq!(report.admitted, vec![7]);
+
+    // Stretch each fabric slot to roughly half a wall millisecond.
+    let slot = fabric.segment_envs()[0].slot;
+    let slot_ns = (slot.as_ps() / 1_000).max(1);
+    let dilation = (500_000 / slot_ns).max(1);
+    let gap = PERIOD.as_ps().div_ceil(slot.as_ps()) + 1;
+
+    let mut backend = UdpBackend::bind("127.0.0.1:0", slot, dilation, 256).unwrap();
+    let server = backend.local_addr().unwrap();
+
+    let client = std::thread::spawn(move || {
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let frame = Header {
+            kind: PacketKind::Data,
+            link: 7,
+            seq: 0,
+            len: 0,
+            budget_us: 0,
+        }
+        .encode(b"hello ring");
+        sock.send_to(&frame, server).unwrap();
+        let mut buf = [0u8; 2048];
+        let (n, _) = sock.recv_from(&mut buf).unwrap();
+        buf[..n].to_vec()
+    });
+
+    let stats = backend.run(&mut gateway, &mut fabric, 4 * gap).unwrap();
+    assert!(stats.frames_in >= 1, "the client's datagram arrived");
+    assert_eq!(stats.frames_out, 1, "exactly one delivery went back");
+    assert_eq!(stats.handoff_dropped, 0);
+
+    let reply = client.join().expect("client got a reply");
+    let (header, payload) = Header::decode(&reply).expect("well-formed delivery frame");
+    assert_eq!(header.kind, PacketKind::Deliver);
+    assert_eq!(header.link, 7);
+    assert_eq!(header.seq, 0);
+    assert_eq!(payload, b"hello ring");
+    assert!(
+        header.budget_us > 0,
+        "delivered with deadline budget to spare"
+    );
+
+    let m = gateway.link_metrics(7).unwrap();
+    assert_eq!(m.injected.get(), 1);
+    assert_eq!(m.delivered.get(), 1);
+    assert_eq!(m.deadline_met.get(), 1);
+    assert_eq!(m.deadline_missed.get(), 0);
+}

@@ -1,0 +1,124 @@
+//! Adversarial hardening of the gateway wire format: seeded random
+//! round-trips, truncation at every length, and single-bit damage must
+//! all land in a typed [`WireError`] — never a panic, never a silently
+//! corrupted accept.
+//!
+//! This suite (together with the unit tests in `wire.rs`) is the miri
+//! target for the gateway: `cargo +nightly miri test -p ccr-gateway wire`.
+
+use ccr_gateway::{Header, PacketKind, WireError, HEADER_LEN};
+use ccr_sim::rng::DetRng;
+
+fn random_header(rng: &mut DetRng) -> Header {
+    let kinds = [
+        PacketKind::Data,
+        PacketKind::Deliver,
+        PacketKind::Shed,
+        PacketKind::Probe,
+    ];
+    Header {
+        kind: kinds[rng.gen_range(0..kinds.len() as u64) as usize],
+        link: rng.next_u64() as u16,
+        seq: rng.next_u64() as u32,
+        len: 0, // encode overrides with the payload length
+        budget_us: rng.next_u64() as u32,
+    }
+}
+
+fn random_payload(rng: &mut DetRng) -> Vec<u8> {
+    let len = rng.gen_range(0..512u64) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+#[test]
+fn seeded_roundtrips_preserve_every_field() {
+    let mut rng = DetRng::new(0xC5C5_0001);
+    for case in 0..256 {
+        let h = random_header(&mut rng);
+        let payload = random_payload(&mut rng);
+        let frame = h.encode(&payload);
+        assert_eq!(frame.len(), HEADER_LEN + payload.len(), "case {case}");
+        let (back, body) = Header::decode(&frame).expect("own frames decode");
+        assert_eq!(back.kind, h.kind, "case {case}");
+        assert_eq!(back.link, h.link, "case {case}");
+        assert_eq!(back.seq, h.seq, "case {case}");
+        assert_eq!(back.len as usize, payload.len(), "case {case}");
+        assert_eq!(back.budget_us, h.budget_us, "case {case}");
+        assert_eq!(body, &payload[..], "case {case}");
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let mut rng = DetRng::new(0xC5C5_0002);
+    let h = random_header(&mut rng);
+    let frame = h.encode(&random_payload(&mut rng));
+    for cut in 0..frame.len() {
+        match Header::decode(&frame[..cut]) {
+            Err(WireError::TooShort { got }) => assert_eq!(got, cut),
+            Err(WireError::LengthMismatch { claimed, got }) => {
+                // Cut inside the payload: the header survives but the
+                // byte count no longer matches its claim.
+                assert!(cut >= HEADER_LEN);
+                assert_eq!(got, cut - HEADER_LEN);
+                assert!(got < claimed as usize);
+            }
+            other => panic!("truncation to {cut} bytes produced {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_in_the_header_is_rejected() {
+    let mut rng = DetRng::new(0xC5C5_0003);
+    for case in 0..64 {
+        let h = random_header(&mut rng);
+        let payload = random_payload(&mut rng);
+        let frame = h.encode(&payload);
+        let byte = rng.gen_range(0..HEADER_LEN as u64) as usize;
+        let bit = rng.gen_range(0..8u64);
+        let mut bad = frame.clone();
+        bad[byte] ^= 1 << bit;
+        assert!(
+            Header::decode(&bad).is_err(),
+            "case {case}: flipping bit {bit} of header byte {byte} must not decode"
+        );
+    }
+}
+
+#[test]
+fn payload_damage_is_caught_or_confined_to_the_payload() {
+    // The CRC guards the header, not the payload (links carry their own
+    // end-to-end integrity). A payload flip must decode to the *same*
+    // header with only the payload differing — never shift framing.
+    let mut rng = DetRng::new(0xC5C5_0004);
+    for _ in 0..64 {
+        let h = random_header(&mut rng);
+        let mut payload = random_payload(&mut rng);
+        if payload.is_empty() {
+            payload.push(0);
+        }
+        let frame = h.encode(&payload);
+        let byte = HEADER_LEN + rng.gen_range(0..payload.len() as u64) as usize;
+        let mut bad = frame.clone();
+        bad[byte] ^= 0x01;
+        let (back, body) = Header::decode(&bad).expect("payload damage is not framing damage");
+        assert_eq!(back.kind, h.kind);
+        assert_eq!(back.link, h.link);
+        assert_eq!(back.seq, h.seq);
+        assert_eq!(body.len(), payload.len());
+        assert_ne!(body, &payload[..], "the flip landed in the payload");
+    }
+}
+
+#[test]
+fn random_garbage_never_panics_the_decoder() {
+    let mut rng = DetRng::new(0xC5C5_0005);
+    for _ in 0..256 {
+        let len = rng.gen_range(0..96u64) as usize;
+        let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        // Overwhelmingly an error; on the astronomically unlikely valid
+        // frame, decoding is still a non-panicking success.
+        let _ = Header::decode(&junk);
+    }
+}

@@ -245,6 +245,55 @@ struct ActiveConnection {
     ring_conns: Vec<ConnectionId>,
     /// Bridge-queue index crossed *after* each non-final segment.
     queue_after: Vec<usize>,
+    /// Externally injected (gateway) connection: every segment is
+    /// reserved, messages enter via [`Fabric::inject`] and final
+    /// deliveries surface through [`Fabric::drain_egress`].
+    external: bool,
+    /// Final deliveries so far — the egress sequence number source.
+    delivered: u64,
+}
+
+/// A final delivery of an externally injected (gateway) connection,
+/// surfaced through [`Fabric::drain_egress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EgressDelivery {
+    /// The owning end-to-end connection.
+    pub fid: FabricConnectionId,
+    /// Per-connection delivery sequence number, starting at 0. Successive
+    /// messages of one connection keep FIFO order end to end (see
+    /// `Inflight`), so this matches the injection order exactly.
+    pub seq: u64,
+    /// End-to-end latency accumulated across every segment and queue.
+    pub latency: TimeDelta,
+    /// Did the delivery meet the connection's e2e deadline?
+    pub met_deadline: bool,
+    /// Remaining deadline budget (zero when missed). All deliveries
+    /// drained together completed in the same fabric slot, so ascending
+    /// slack is exactly earliest-absolute-deadline-first.
+    pub slack: TimeDelta,
+}
+
+/// Why [`Fabric::inject`] refused an externally produced message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectError {
+    /// No such connection: never opened, closed, or revoked by a fault.
+    UnknownConnection,
+    /// The connection was opened with periodic releases
+    /// ([`Fabric::open_connection`]) — its traffic is generated by the
+    /// ring, not injected.
+    NotExternal,
+    /// The source node is currently dead; the message has no way in.
+    SourceDown,
+}
+
+impl std::fmt::Display for InjectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectError::UnknownConnection => write!(f, "unknown or revoked connection"),
+            InjectError::NotExternal => write!(f, "connection is not externally injected"),
+            InjectError::SourceDown => write!(f, "source node is down"),
+        }
+    }
 }
 
 /// Bookkeeping for a forward sitting in (or just popped from) a queue.
@@ -328,6 +377,7 @@ impl RingPool {
     /// Step every ring once, returning deliveries in ring-index order.
     fn step_all(&self, n_rings: usize, out: &mut Vec<Vec<Delivery>>) {
         out.clear();
+        // ccr-verify: allow(alloc-in-hot-path) -- empty-Vec placeholders; the workers swap in their reused per-ring buffers
         out.resize(n_rings, Vec::new());
         for tx in &self.cmd_txs {
             tx.send(()).expect("ring worker alive");
@@ -381,15 +431,19 @@ pub struct Fabric {
     calculus: Option<CalculusAdmission>,
     /// Largest observed e2e latency per connection (final deliveries).
     observed_e2e: HashMap<FabricConnectionId, TimeDelta>,
+    /// Final deliveries of external connections since the last
+    /// [`Fabric::drain_egress`], in deterministic delivery order.
+    egress_buf: Vec<EgressDelivery>,
     // --- fault state ---------------------------------------------------
     /// Per-bridge death flags (indexed by bridge index).
     dead_bridges: Vec<bool>,
     /// Scripted `(slot, bridge, kill/repair)` events, sorted by slot.
     bridge_events: Vec<(u64, usize, BridgeEventKind)>,
     event_cursor: usize,
-    /// Specs revoked by faults, in revocation order — the reclaim queue a
-    /// bridge repair retries deterministically.
-    revoked_specs: Vec<FabricConnectionSpec>,
+    /// Specs revoked by faults (with their external-injection flag), in
+    /// revocation order — the reclaim queue a bridge repair retries
+    /// deterministically.
+    revoked_specs: Vec<(FabricConnectionSpec, bool)>,
     /// True while at least one surviving connection sits on a detour the
     /// last reclaim pass could not move back (its preferred route was
     /// refused for capacity). Together with `revoked_specs`, this is what
@@ -528,6 +582,7 @@ impl Fabric {
             bridge_events,
             event_cursor: 0,
             revoked_specs: Vec::new(),
+            egress_buf: Vec::new(),
             detour_pending: false,
             track_faults,
             ring_alive,
@@ -564,6 +619,13 @@ impl Fabric {
     /// Per-ring timing environments (indexed by ring id).
     pub fn segment_envs(&self) -> &[SegmentEnv] {
         &self.envs
+    }
+
+    /// The fabric clock: start of the current slot on ring 0. Every ring
+    /// runs in lockstep, so this is the canonical fabric time external
+    /// producers (gateways) should stamp injections with.
+    pub fn now(&self) -> SimTime {
+        self.rings[0].lock().expect("ring lock").now()
     }
 
     /// Inspect ring `r` under its lock (e.g. to read
@@ -611,7 +673,41 @@ impl Fabric {
         } else {
             plan_connection(&self.topo, &spec, &self.envs)?
         };
-        self.admit_plan(plan)
+        self.admit_plan(plan, false)
+    }
+
+    /// Admit an end-to-end connection whose messages are produced
+    /// *outside* the fabric — by a gateway pacing real datagrams in via
+    /// [`Fabric::inject`]. Admission is identical to
+    /// [`Fabric::open_connection`] (deadline decomposition, bridge
+    /// headroom, calculus certification), but every segment is only
+    /// *reserved*: the source ring schedules no periodic releases, so the
+    /// connection carries exactly the traffic injected into it.
+    pub fn open_external_connection(
+        &mut self,
+        spec: FabricConnectionSpec,
+    ) -> Result<FabricConnectionId, FabricAdmissionError> {
+        self.open_external_connections(std::slice::from_ref(&spec))
+            .map(|fids| fids[0])
+    }
+
+    /// Batch form of [`Fabric::open_external_connection`] — all-or-nothing
+    /// like [`Fabric::open_connections`], one calculus fixed point for the
+    /// whole batch.
+    pub fn open_external_connections(
+        &mut self,
+        specs: &[FabricConnectionSpec],
+    ) -> Result<Vec<FabricConnectionId>, FabricAdmissionError> {
+        let degraded = self.dead_bridges.iter().any(|&d| d);
+        let mut plans = Vec::with_capacity(specs.len());
+        for spec in specs {
+            plans.push(if degraded {
+                plan_connection_avoiding(&self.topo, spec, &self.envs, &self.dead_bridges)?
+            } else {
+                plan_connection(&self.topo, spec, &self.envs)?
+            });
+        }
+        self.admit_plans(plans, true)
     }
 
     /// Admit a batch of end-to-end connections atomically: every spec is
@@ -634,7 +730,7 @@ impl Fabric {
                 plan_connection(&self.topo, spec, &self.envs)?
             });
         }
-        self.admit_plans(plans)
+        self.admit_plans(plans, false)
     }
 
     /// Admit an already-planned connection (shared by [`open_connection`]
@@ -644,14 +740,18 @@ impl Fabric {
     fn admit_plan(
         &mut self,
         plan: ConnectionPlan,
+        external: bool,
     ) -> Result<FabricConnectionId, FabricAdmissionError> {
-        self.admit_plans(vec![plan]).map(|fids| fids[0])
+        self.admit_plans(vec![plan], external).map(|fids| fids[0])
     }
 
-    /// Admit a batch of planned connections, all-or-nothing.
+    /// Admit a batch of planned connections, all-or-nothing. `external`
+    /// batches reserve every segment (no periodic releases anywhere);
+    /// internal ones open segment 0 for periodic generation.
     fn admit_plans(
         &mut self,
         plans: Vec<ConnectionPlan>,
+        external: bool,
     ) -> Result<Vec<FabricConnectionId>, FabricAdmissionError> {
         // Bridge-buffer feasibility, cumulative across the batch: each
         // resident connection reserves one buffer slot per crossing (one
@@ -715,7 +815,7 @@ impl Fabric {
             for (i, seg) in plan.segments.iter().enumerate() {
                 let ring_idx = seg.segment.ring.0 as usize;
                 let mut ring = self.rings[ring_idx].lock().expect("ring lock");
-                let res = if i == 0 {
+                let res = if i == 0 && !external {
                     ring.open_connection(seg.spec.clone())
                 } else {
                     ring.reserve_connection(seg.spec.clone())
@@ -773,6 +873,8 @@ impl Fabric {
                     plan,
                     ring_conns,
                     queue_after: cr,
+                    external,
+                    delivered: 0,
                 },
             );
         }
@@ -836,6 +938,59 @@ impl Fabric {
     /// (final deliveries only). `None` before its first delivery.
     pub fn observed_e2e_max(&self, fid: FabricConnectionId) -> Option<TimeDelta> {
         self.observed_e2e.get(&fid).copied()
+    }
+
+    /// Inject one externally produced message (e.g. a gateway datagram)
+    /// into connection `fid`, released at the source ring's next slot
+    /// boundary. The connection must have been opened with
+    /// [`Fabric::open_external_connections`]; the message inherits the
+    /// connection's size and decomposed per-segment deadlines, so it rides
+    /// the same EDF machinery (and the same calculus certificate) as
+    /// periodic traffic. Returns the release timestamp on the source
+    /// ring's clock.
+    ///
+    /// The caller is responsible for pacing: injecting faster than the
+    /// admitted period consumes more than the certified arrival curve and
+    /// voids the bound (the gateway's token buckets enforce this).
+    pub fn inject(&mut self, fid: FabricConnectionId) -> Result<SimTime, InjectError> {
+        let Some(active) = self.connections.get(&fid) else {
+            return Err(InjectError::UnknownConnection);
+        };
+        if !active.external {
+            return Err(InjectError::NotExternal);
+        }
+        if !self.node_alive(active.plan.spec.src) {
+            return Err(InjectError::SourceDown);
+        }
+        let seg = &active.plan.segments[0];
+        let ring_idx = seg.segment.ring.0 as usize;
+        let (from, to) = (seg.segment.from, seg.segment.to);
+        let rel_deadline = seg.spec.effective_deadline();
+        let size = seg.spec.size_slots;
+        let conn = active.ring_conns[0];
+        let mut ring = self.rings[ring_idx].lock().expect("ring lock");
+        let now = ring.now();
+        let msg = Message::real_time(
+            from,
+            Destination::Unicast(to),
+            size,
+            now,
+            now + rel_deadline,
+            conn,
+        );
+        ring.submit_message(now, msg);
+        drop(ring);
+        self.metrics.external_injected.incr();
+        Ok(now)
+    }
+
+    /// Drain final deliveries of externally injected connections
+    /// accumulated since the last call, appending them to `out` in
+    /// deterministic order (completion slot, then ring index, then
+    /// delivery order). Within one fabric slot, sorting the drained batch
+    /// by ascending [`EgressDelivery::slack`] yields EDF egress order.
+    pub fn drain_egress(&mut self, out: &mut Vec<EgressDelivery>) {
+        out.append(&mut self.egress_buf);
     }
 
     /// Is the network-calculus certifier active on this fabric?
@@ -911,6 +1066,7 @@ impl Fabric {
 
     /// Mark `g` dead fabric-side, bypass it on its ring, and cascade into
     /// any bridge it was a port of. Idempotent.
+    // ccr-verify: event_path -- runs once per node death, not per slot
     fn node_down(&mut self, g: GlobalNodeId) {
         let (r, n) = (g.ring.0 as usize, g.node.0 as usize);
         if !self.ring_alive[r][n] {
@@ -937,6 +1093,7 @@ impl Fabric {
     /// re-admitted over an alternate route when its endpoints are alive
     /// and a route exists — revoked otherwise. Deterministic: broken
     /// connections are processed in id order.
+    // ccr-verify: event_path -- re-admission runs once per bridge/node fault, not per slot
     fn reconcile_connections(&mut self) {
         let mut broken: Vec<FabricConnectionId> = self
             .connections
@@ -958,18 +1115,21 @@ impl Fabric {
             .collect();
         broken.sort_unstable();
         for fid in broken {
-            let spec = self.connections[&fid].plan.spec.clone();
+            let (spec, external) = {
+                let active = &self.connections[&fid];
+                (active.plan.spec.clone(), active.external)
+            };
             self.close_connection_impl(fid);
             let endpoints_alive = self.node_alive(spec.src) && self.node_alive(spec.dst);
             let rerouted = endpoints_alive
                 && plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
-                    .and_then(|plan| self.admit_plan(plan))
+                    .and_then(|plan| self.admit_plan(plan, external))
                     .is_ok();
             if rerouted {
                 self.metrics.e2e_rerouted.incr();
             } else {
                 self.metrics.e2e_revoked.incr();
-                self.revoked_specs.push(spec);
+                self.revoked_specs.push((spec, external));
             }
         }
     }
@@ -1032,31 +1192,33 @@ impl Fabric {
     ///    connection-id order, falling back to their detour when the
     ///    preferred route is refused — and revoked only if even the detour
     ///    can no longer be re-admitted.
+    // ccr-verify: event_path -- reclamation runs once per bridge repair, not per slot
     fn reclaim_connections(&mut self) {
         self.detour_pending = false;
         let stash = std::mem::take(&mut self.revoked_specs);
-        for spec in stash {
+        for (spec, external) in stash {
             let reclaimed = self.node_alive(spec.src)
                 && self.node_alive(spec.dst)
                 && plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
-                    .and_then(|plan| self.admit_plan(plan))
+                    .and_then(|plan| self.admit_plan(plan, external))
                     .is_ok();
             if reclaimed {
                 self.metrics.e2e_reclaimed.incr();
             } else {
-                self.revoked_specs.push(spec);
+                self.revoked_specs.push((spec, external));
             }
         }
         // ccr-verify: allow(nondeterminism) -- collected to a Vec and sorted by id on the next line
         let mut fids: Vec<FabricConnectionId> = self.connections.keys().copied().collect();
         fids.sort_unstable();
         for fid in fids {
-            let (spec, current, old_plan) = {
+            let (spec, current, old_plan, external) = {
                 let active = &self.connections[&fid];
                 (
                     active.plan.spec.clone(),
                     active.plan.bridges().collect::<Vec<usize>>(),
                     active.plan.clone(),
+                    active.external,
                 )
             };
             let Ok(preferred) =
@@ -1068,15 +1230,15 @@ impl Fabric {
                 continue;
             }
             self.close_connection_impl(fid);
-            if self.admit_plan(preferred).is_ok() {
+            if self.admit_plan(preferred, external).is_ok() {
                 self.metrics.e2e_reclaimed.incr();
-            } else if self.admit_plan(old_plan).is_ok() {
+            } else if self.admit_plan(old_plan, external).is_ok() {
                 // Still detoured: remember so the next freed capacity
                 // (any `close_connection`) re-runs this pass.
                 self.detour_pending = true;
             } else {
                 self.metrics.e2e_revoked.incr();
-                self.revoked_specs.push(spec);
+                self.revoked_specs.push((spec, external));
             }
         }
     }
@@ -1089,6 +1251,7 @@ impl Fabric {
         let mut degraded = false;
         // Empty Vec: only pushes (and so only allocates) on rare death
         // events; the every-slot bookkeeping reuses health_scratch.
+        // ccr-verify: allow(alloc-in-hot-path) -- empty Vec, allocates only on a death event
         let mut deaths: Vec<GlobalNodeId> = Vec::new();
         self.health_scratch.clear();
         for r in 0..self.rings.len() {
@@ -1155,6 +1318,7 @@ impl Fabric {
                 delivered.clear();
                 for i in 0..n {
                     let mut ring = self.rings[i].lock().expect("ring lock");
+                    // ccr-verify: allow(alloc-in-hot-path) -- serial fallback copies each ring's delivery list; the pooled path reuses buffers
                     delivered.push(ring.step_slot().deliveries.clone());
                 }
             }
@@ -1225,7 +1389,7 @@ impl Fabric {
             return;
         };
         // Pull out everything needed from the plan before mutating metrics.
-        let (n_segs, e2e_deadline, next) = {
+        let (n_segs, e2e_deadline, external, next) = {
             let active = &self.connections[&fid];
             let n = active.plan.segments.len();
             let next = if seg_idx + 1 < n {
@@ -1245,7 +1409,7 @@ impl Fabric {
             } else {
                 None
             };
-            (n, active.plan.spec.e2e_deadline, next)
+            (n, active.plan.spec.e2e_deadline, active.external, next)
         };
         let (entered, accumulated) = if seg_idx == 0 {
             (d.msg.released, TimeDelta::ZERO)
@@ -1266,9 +1430,26 @@ impl Fabric {
         match next {
             None => {
                 debug_assert_eq!(seg_idx + 1, n_segs);
-                self.metrics.record_e2e(total, total <= e2e_deadline);
+                let met = total <= e2e_deadline;
+                self.metrics.record_e2e(total, met);
                 let worst = self.observed_e2e.entry(fid).or_insert(TimeDelta::ZERO);
                 *worst = (*worst).max(total);
+                if external {
+                    let active = self
+                        .connections
+                        .get_mut(&fid)
+                        .expect("active connection just read");
+                    let seq = active.delivered;
+                    active.delivered += 1;
+                    self.metrics.external_delivered.incr();
+                    self.egress_buf.push(EgressDelivery {
+                        fid,
+                        seq,
+                        latency: total,
+                        met_deadline: met,
+                        slack: e2e_deadline.saturating_sub(total),
+                    });
+                }
             }
             Some((qi, egress_ring, from, to, rel_deadline, egress_conn)) => {
                 // Hand off to the bridge: timestamp and sub-deadline on the
@@ -1767,5 +1948,82 @@ mod tests {
         };
         assert_eq!(before, after, "ring 0's admission rolled back");
         assert_eq!(fabric.active_connections(), 0);
+    }
+
+    #[test]
+    fn external_connection_carries_only_injected_traffic() {
+        let topo = FabricTopology::chain(2, 6);
+        let cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let fid = fabric
+            .open_external_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(2)),
+            )
+            .unwrap();
+        // Reserved everywhere: slots pass, nothing is generated.
+        fabric.run_slots(500);
+        assert_eq!(fabric.metrics().e2e_delivered.get(), 0);
+        // Injected messages ride the reserved connection end to end, FIFO.
+        for _ in 0..4 {
+            fabric.inject(fid).unwrap();
+            fabric.run_slots(200);
+        }
+        let mut out = Vec::new();
+        fabric.drain_egress(&mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|d| d.fid == fid && d.met_deadline));
+        assert_eq!(
+            out.iter().map(|d| d.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(fabric.metrics().external_injected.get(), 4);
+        assert_eq!(fabric.metrics().external_delivered.get(), 4);
+        assert_eq!(fabric.metrics().e2e_delivered.get(), 4);
+        // The drain is a move: a second call yields nothing new.
+        fabric.drain_egress(&mut out);
+        assert_eq!(out.len(), 4);
+        // Misuse is typed, not silent.
+        let periodic = fabric
+            .open_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(0, 4))
+                    .period(TimeDelta::from_ms(2)),
+            )
+            .unwrap();
+        assert!(matches!(
+            fabric.inject(periodic),
+            Err(InjectError::NotExternal)
+        ));
+        fabric.close_connection(fid);
+        assert!(matches!(
+            fabric.inject(fid),
+            Err(InjectError::UnknownConnection)
+        ));
+    }
+
+    #[test]
+    fn injected_traffic_respects_the_calculus_certificate() {
+        let topo = triangle(8, CycleBound::Calculus);
+        let cfg = FabricConfig::uniform(topo, 2048, 3).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let fid = fabric
+            .open_external_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(5)),
+            )
+            .unwrap();
+        let bound = fabric.e2e_bound(fid).expect("certified");
+        // Inject at the admitted period: every delivery stays within the
+        // certified end-to-end bound.
+        let period_slots = 5 * 1_000_000 / (fabric.segment_envs()[0].slot.as_ps() / 1_000_000);
+        for _ in 0..6 {
+            fabric.inject(fid).unwrap();
+            fabric.run_slots(period_slots.max(1));
+        }
+        let observed = fabric.observed_e2e_max(fid).expect("traffic flowed");
+        assert!(
+            observed <= bound,
+            "observed {observed} exceeds certified bound {bound}"
+        );
     }
 }

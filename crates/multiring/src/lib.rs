@@ -61,7 +61,7 @@ pub mod topology;
 
 pub use admission::{FabricAdmissionError, FabricConnectionId, FabricConnectionSpec};
 pub use calculus::{CalculusAdmission, CalculusRejection, CalculusReport};
-pub use engine::{Fabric, FabricBuildError, FabricConfig};
+pub use engine::{EgressDelivery, Fabric, FabricBuildError, FabricConfig, InjectError};
 pub use fault::{BridgeEventKind, FabricFaultEvent, FabricFaultKind, FabricFaultScript};
 pub use metrics::FabricMetrics;
 pub use topology::{Bridge, CycleBound, FabricTopology, GlobalNodeId, RingId, TopologyError};
@@ -73,7 +73,7 @@ pub mod prelude {
     };
     pub use crate::bridge::{BridgeConfig, DropPolicy};
     pub use crate::calculus::{CalculusAdmission, CalculusRejection, CalculusReport};
-    pub use crate::engine::{Fabric, FabricBuildError, FabricConfig};
+    pub use crate::engine::{EgressDelivery, Fabric, FabricBuildError, FabricConfig, InjectError};
     pub use crate::fault::{BridgeEventKind, FabricFaultEvent, FabricFaultKind, FabricFaultScript};
     pub use crate::metrics::{FabricMetrics, RING_AVAILABILITY_WINDOW};
     pub use crate::topology::{

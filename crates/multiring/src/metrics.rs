@@ -54,6 +54,12 @@ pub struct FabricMetrics {
     /// Connections brought back after a repair: revoked specs re-admitted,
     /// plus detoured connections moved back onto their preferred route.
     pub e2e_reclaimed: Counter,
+    /// Messages injected by an external producer (gateway datagrams)
+    /// through [`Fabric::inject`](crate::engine::Fabric::inject).
+    pub external_injected: Counter,
+    /// Final deliveries of externally injected connections (surfaced via
+    /// [`Fabric::drain_egress`](crate::engine::Fabric::drain_egress)).
+    pub external_delivered: Counter,
     /// Calculus certifications served by a warm-started dirty-set solve.
     pub calc_admit_incremental: Counter,
     /// Calculus certifications that ran as a full re-solve (first fill,
@@ -96,6 +102,8 @@ impl Default for FabricMetrics {
             e2e_rerouted: Counter::default(),
             e2e_revoked: Counter::default(),
             e2e_reclaimed: Counter::default(),
+            external_injected: Counter::default(),
+            external_delivered: Counter::default(),
             calc_admit_incremental: Counter::default(),
             calc_admit_full: Counter::default(),
             degraded_slots: Counter::default(),
@@ -194,6 +202,7 @@ impl FabricMetrics {
         while self.ring_degraded_slots.len() < n {
             let r = self.ring_degraded_slots.len();
             self.ring_degraded_slots.push(Counter::default());
+            // ccr-verify: allow(alloc-in-hot-path) -- one label per ring, built only when a ring first appears
             self.ring_availability.push(Series::new(format!("ring{r}")));
             self.window_degraded.push(0);
         }

@@ -25,6 +25,7 @@ pub mod e17_multiring;
 pub mod e18_chaos;
 pub mod e19_calculus;
 pub mod e20_churn;
+pub mod e21_gateway;
 
 use ccr_edf::config::{NetworkConfig, NetworkConfigBuilder};
 use ccr_sim::report::Table;
@@ -193,6 +194,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "e20",
             "Extension: incremental admission-churn soak at 10k-scale resident sets",
             e20_churn::run,
+        ),
+        (
+            "e21",
+            "Extension: real-wire gateway — virtual links paced through EDF admission",
+            e21_gateway::run,
         ),
     ]
 }

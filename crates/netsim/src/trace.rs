@@ -6,6 +6,7 @@
 
 use ccr_edf::network::SlotOutcome;
 use ccr_edf::{NodeId, SimTime, TimeDelta};
+use ccr_gateway::GatewayMetrics;
 use ccr_sim::report::Table;
 use std::collections::VecDeque;
 
@@ -192,6 +193,139 @@ impl TraceRecorder {
     }
 }
 
+/// One sampling window of gateway activity: the per-window *deltas* of
+/// the gateway-wide counters, so a flat-line row means an idle window and
+/// a `shed` burst is visible at the window it happened in.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayRecord {
+    /// Fabric slot index at the end of the window.
+    pub slot: u64,
+    /// Frames offered to ingress during the window.
+    pub frames_in: u64,
+    /// Datagrams injected into the fabric during the window.
+    pub injected: u64,
+    /// Datagrams shed by pacing during the window.
+    pub shed: u64,
+    /// End-to-end deliveries handed to egress during the window.
+    pub delivered: u64,
+    /// Deliveries that missed their link's deadline during the window.
+    pub deadline_missed: u64,
+}
+
+/// A bounded recorder of recent gateway activity windows — the gateway
+/// counterpart of [`TraceRecorder`]. Feed it the cumulative
+/// [`GatewayMetrics`] at each sampling point; it differences consecutive
+/// snapshots into per-window [`GatewayRecord`]s.
+#[derive(Debug)]
+pub struct GatewayTraceRecorder {
+    records: VecDeque<GatewayRecord>,
+    capacity: usize,
+    observed: u64,
+    last: GatewayRecord,
+}
+
+impl GatewayTraceRecorder {
+    /// Keep at most `capacity` most recent windows.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity gateway trace");
+        GatewayTraceRecorder {
+            records: VecDeque::with_capacity(capacity),
+            capacity,
+            observed: 0,
+            last: GatewayRecord {
+                slot: 0,
+                frames_in: 0,
+                injected: 0,
+                shed: 0,
+                delivered: 0,
+                deadline_missed: 0,
+            },
+        }
+    }
+
+    /// Record one window ending at fabric slot `slot`, given the
+    /// gateway's cumulative counters at that instant.
+    pub fn observe(&mut self, slot: u64, m: &GatewayMetrics) {
+        let cum = GatewayRecord {
+            slot,
+            frames_in: m.frames_in.get(),
+            injected: m.injected.get(),
+            shed: m.shed.get(),
+            delivered: m.delivered.get(),
+            deadline_missed: m.deadline_missed.get(),
+        };
+        let delta = GatewayRecord {
+            slot,
+            frames_in: cum.frames_in - self.last.frames_in,
+            injected: cum.injected - self.last.injected,
+            shed: cum.shed - self.last.shed,
+            delivered: cum.delivered - self.last.delivered,
+            deadline_missed: cum.deadline_missed - self.last.deadline_missed,
+        };
+        self.last = cum;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(delta);
+        self.observed += 1;
+    }
+
+    /// Total windows observed (including evicted ones).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The retained windows, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &GatewayRecord> {
+        self.records.iter()
+    }
+
+    /// The retained windows as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "gateway trace (last {} of {} windows)",
+                self.records.len(),
+                self.observed
+            ),
+            &["slot", "in", "injected", "shed", "delivered", "missed"],
+        );
+        for r in &self.records {
+            t.row(&[
+                r.slot.to_string(),
+                r.frames_in.to_string(),
+                r.injected.to_string(),
+                r.shed.to_string(),
+                r.delivered.to_string(),
+                r.deadline_missed.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Render the retained windows as a timeline table.
+    pub fn render(&self) -> String {
+        self.table().render()
+    }
+
+    /// Render the retained windows as JSON Lines (hand-rolled like
+    /// [`TraceRecorder::to_jsonl`]; every field is a number).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 96);
+        for r in &self.records {
+            out.push_str(&format!(
+                concat!(
+                    "{{\"slot\":{},\"frames_in\":{},\"injected\":{},",
+                    "\"shed\":{},\"delivered\":{},\"deadline_missed\":{}}}\n"
+                ),
+                r.slot, r.frames_in, r.injected, r.shed, r.delivered, r.deadline_missed,
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +442,41 @@ mod tests {
         let jsonl = tr.to_jsonl();
         assert!(jsonl.contains("\"token_lost\":true"));
         assert!(jsonl.contains("\"corrupt_entries\":1"));
+    }
+
+    #[test]
+    fn gateway_recorder_differences_cumulative_counters() {
+        let mut m = GatewayMetrics::default();
+        let mut tr = GatewayTraceRecorder::new(2);
+
+        m.frames_in.incr();
+        m.injected.incr();
+        tr.observe(100, &m);
+
+        m.frames_in.incr();
+        m.frames_in.incr();
+        m.shed.incr();
+        tr.observe(200, &m);
+
+        m.delivered.incr();
+        m.deadline_missed.incr();
+        tr.observe(300, &m);
+
+        // Capacity 2: window ending at slot 100 was evicted.
+        let recs: Vec<&GatewayRecord> = tr.records().collect();
+        assert_eq!(tr.observed(), 3);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].slot, 200);
+        assert_eq!(recs[0].frames_in, 2, "delta, not cumulative");
+        assert_eq!(recs[0].shed, 1);
+        assert_eq!(recs[0].injected, 0);
+        assert_eq!(recs[1].slot, 300);
+        assert_eq!(recs[1].delivered, 1);
+        assert_eq!(recs[1].deadline_missed, 1);
+
+        assert!(tr.render().contains("gateway trace"));
+        let jsonl = tr.to_jsonl();
+        assert!(jsonl.contains("\"slot\":200,\"frames_in\":2,"));
+        assert!(jsonl.contains("\"deadline_missed\":1}"));
     }
 }

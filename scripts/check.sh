@@ -35,7 +35,9 @@ step "cargo fmt --check"     cargo fmt --all -- --check
 step "ccr-verify"            cargo run -q --release -p ccr-verify
 step "e19 calculus smoke"    cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e19 --quick
 step "e20 churn smoke"       cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e20 --quick
+step "e21 gateway smoke"     cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e21 --quick
 step "calculus bench"        cargo run -q --release -p ccr-bench --bin calculus-bench
+step "gateway bench"         cargo run -q --release -p ccr-bench --bin gateway-bench
 
 # loom models of the parallel_map claim/cursor protocol: the loom crate
 # must be fetchable (network or pre-populated cargo cache).
@@ -46,11 +48,13 @@ else
 fi
 
 # miri over the wire-format codec tests (encode/decode round-trips touch
-# every unsafe-adjacent byte-twiddling path in ccr-edf).
+# every unsafe-adjacent byte-twiddling path in ccr-edf and ccr-gateway).
 if cargo +nightly miri --version >/dev/null 2>&1; then
   step "miri wire codec" cargo +nightly miri test -p ccr-edf wire
+  step "miri gateway wire" cargo +nightly miri test -p ccr-gateway wire
 else
   skip "miri wire codec" "nightly toolchain with miri not installed"
+  skip "miri gateway wire" "nightly toolchain with miri not installed"
 fi
 
 # Supply-chain policy (deny.toml). The workspace has zero external deps;

@@ -14,7 +14,9 @@
 //! * [`calculus`] — the min-plus network-calculus kernel and fixed-point
 //!   solver that certify end-to-end delay bounds, cyclic fabrics included
 //!   (DESIGN.md §11);
-//! * [`netsim`] — the experiment harness (E1–E19).
+//! * [`gateway`] — real-wire virtual links: UDP/loopback datagrams paced
+//!   through EDF + calculus admission onto the fabric (DESIGN.md §12);
+//! * [`netsim`] — the experiment harness (E1–E21).
 //!
 //! ```
 //! use ccr_edf_suite::prelude::*;
@@ -30,6 +32,7 @@
 pub use cc_fpr as fpr;
 pub use ccr_calculus as calculus;
 pub use ccr_edf as edf;
+pub use ccr_gateway as gateway;
 pub use ccr_multiring as multiring;
 pub use ccr_netsim as netsim;
 pub use ccr_phys as phys;
@@ -44,6 +47,10 @@ pub mod prelude {
     };
     pub use ccr_edf::admission::AdmissionPolicy;
     pub use ccr_edf::prelude::*;
+    pub use ccr_gateway::{
+        DeadlineClass, Gateway, GatewayConfig, LoopbackBackend, OverloadPolicy, PortSemantics,
+        UdpBackend, VirtualLink,
+    };
     pub use ccr_multiring::{
         CycleBound, Fabric, FabricConfig, FabricConnectionSpec, FabricTopology, GlobalNodeId,
     };

@@ -1,0 +1,119 @@
+//! Differential determinism of the gateway path: datagrams entering the
+//! fabric through the full gateway pipeline (wire decode → token-bucket
+//! pacing → injection → deadline-ordered egress) must behave exactly like
+//! the same injections made directly on the fabric API, and the whole
+//! pipeline must replay bit-identically regardless of the fabric's
+//! thread count.
+
+use ccr_edf_suite::gateway::{EgressFrame, Header, PacketKind};
+use ccr_edf_suite::multiring::engine::EgressDelivery;
+use ccr_edf_suite::prelude::*;
+use ccr_edf_suite::sim::TimeDelta;
+
+const PERIOD: TimeDelta = TimeDelta::from_ms(2);
+const DATAGRAMS: u64 = 12;
+
+fn fabric(threads: usize) -> Fabric {
+    let topo = FabricTopology::chain(2, 6);
+    let cfg = FabricConfig::uniform(topo, 2_048, 7)
+        .unwrap()
+        .threads(threads);
+    Fabric::new(cfg).unwrap()
+}
+
+fn link() -> VirtualLink {
+    VirtualLink::new(5, GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3)).period(PERIOD)
+}
+
+/// Slots per admitted period on this fabric.
+fn gap(fabric: &Fabric) -> u64 {
+    let slot = fabric.segment_envs()[0].slot;
+    PERIOD.as_ps().div_ceil(slot.as_ps()) + 1
+}
+
+/// Drive the gateway pipeline over loopback; returns the egress frames
+/// and the total slots run.
+fn gateway_run(threads: usize) -> (Vec<EgressFrame>, u64) {
+    let mut fabric = fabric(threads);
+    let g = gap(&fabric);
+    let gw_cfg = GatewayConfig::new(vec![link()]).unwrap();
+    let (mut gateway, report) = Gateway::open(&gw_cfg, &mut fabric);
+    assert_eq!(report.admitted, vec![5]);
+
+    let schedule: Vec<(u64, Vec<u8>)> = (0..DATAGRAMS)
+        .map(|k| {
+            let h = Header {
+                kind: PacketKind::Data,
+                link: 5,
+                seq: k as u32,
+                len: 0,
+                budget_us: 0,
+            };
+            (k * g, h.encode(format!("payload-{k}").as_bytes()))
+        })
+        .collect();
+    let horizon = (DATAGRAMS + 4) * g;
+    let mut backend = ccr_edf_suite::gateway::LoopbackBackend::new(schedule);
+    let mut out = Vec::new();
+    backend.run(&mut gateway, &mut fabric, horizon, &mut out);
+    assert_eq!(out.len() as u64, DATAGRAMS, "all datagrams delivered");
+    (out, horizon)
+}
+
+/// Make the same injections straight on the fabric API — no gateway, no
+/// wire format, no pacing (the schedule already respects the rate).
+fn direct_run(threads: usize, horizon: u64) -> Vec<EgressDelivery> {
+    let mut fabric = fabric(threads);
+    let g = gap(&fabric);
+    let slot_bytes = fabric.with_ring(link().src.ring, |r| r.config().slot_bytes);
+    let fid = fabric
+        .open_external_connection(link().spec(slot_bytes))
+        .unwrap();
+    let mut out = Vec::new();
+    for s in 0..horizon {
+        if s % g == 0 && s / g < DATAGRAMS {
+            fabric.inject(fid).unwrap();
+        }
+        fabric.step_slot();
+        fabric.drain_egress(&mut out);
+    }
+    assert_eq!(out.len() as u64, DATAGRAMS);
+    out
+}
+
+#[test]
+fn gateway_loopback_equals_direct_injection() {
+    let (frames, horizon) = gateway_run(1);
+    let direct = direct_run(1, horizon);
+    for (f, d) in frames.iter().zip(&direct) {
+        assert_eq!(f.seq, d.seq);
+        assert_eq!(f.latency, d.latency);
+        assert_eq!(f.met_deadline, d.met_deadline);
+        assert_eq!(f.slack, d.slack);
+    }
+}
+
+#[test]
+fn gateway_pipeline_is_thread_count_invariant() {
+    let (one, _) = gateway_run(1);
+    let (four, _) = gateway_run(4);
+    assert_eq!(one, four, "egress frames identical at 1 vs 4 threads");
+
+    let wire = |frames: &[EgressFrame]| {
+        let mut buf = Vec::new();
+        for f in frames {
+            f.encode_into(&mut buf);
+        }
+        buf
+    };
+    assert_eq!(wire(&one), wire(&four), "wire bytes identical too");
+}
+
+#[test]
+fn direct_injection_is_thread_count_invariant() {
+    let horizon = {
+        let f = fabric(1);
+        (DATAGRAMS + 4) * gap(&f)
+    };
+    assert_eq!(direct_run(1, horizon), direct_run(4, horizon));
+}
