@@ -56,11 +56,53 @@ impl WallClock {
     }
 
     /// Sleep until the start of slot `s` (no-op if already past it).
-    pub fn sleep_until_slot(&self, s: u64) {
+    /// Returns the *lateness*: how far past the slot boundary the wall
+    /// clock stands once this call returns — scheduler wake-up jitter
+    /// when we slept, accumulated drift when the driver is behind. The
+    /// UDP backend aggregates these into its jitter statistics.
+    pub fn sleep_until_slot(&self, s: u64) -> Duration {
         let target = Duration::from_nanos((self.slot.as_nanos() as u64).saturating_mul(s));
         let elapsed = self.epoch.elapsed();
         if elapsed < target {
             std::thread::sleep(target - elapsed);
+        }
+        self.epoch.elapsed().saturating_sub(target)
+    }
+}
+
+/// Wall-clock pacing jitter over one run: how late the driver crossed
+/// each slot boundary, in nanoseconds. Built by the UDP backend from
+/// [`WallClock::sleep_until_slot`] lateness samples; an idle, dilated
+/// edge should hold p99 well under one wall slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JitterStats {
+    /// Lateness samples aggregated (= slots driven).
+    pub samples: u64,
+    /// Median lateness in ns.
+    pub p50_ns: u64,
+    /// 99th-percentile lateness in ns.
+    pub p99_ns: u64,
+    /// Worst lateness in ns.
+    pub max_ns: u64,
+}
+
+impl JitterStats {
+    /// Aggregate raw lateness samples (ns). Sorts in place; the empty
+    /// set yields all zeros.
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return JitterStats::default();
+        }
+        samples.sort_unstable();
+        let pick = |q_num: u64, q_den: u64| {
+            let rank = ((samples.len() as u64 - 1) * q_num) / q_den;
+            samples[rank as usize]
+        };
+        JitterStats {
+            samples: samples.len() as u64,
+            p50_ns: pick(1, 2),
+            p99_ns: pick(99, 100),
+            max_ns: samples[samples.len() - 1],
         }
     }
 }
@@ -74,7 +116,21 @@ mod tests {
         // A generous slot keeps this robust on loaded CI machines.
         let clock = WallClock::new(TimeDelta::from_us(1), 2_000); // 2 ms wall
         let s0 = clock.slot_now();
-        clock.sleep_until_slot(s0 + 2);
+        let late = clock.sleep_until_slot(s0 + 2);
         assert!(clock.slot_now() >= s0 + 2);
+        // Lateness is bounded by how long the whole test may stall, but
+        // it is always a real measurement, not a sentinel.
+        assert!(late < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn jitter_stats_pick_the_right_ranks() {
+        let mut s: Vec<u64> = (1..=100).rev().collect(); // 100..1 reversed
+        let j = JitterStats::from_samples(&mut s);
+        assert_eq!(j.samples, 100);
+        assert_eq!(j.p50_ns, 50, "rank 49 of 1..=100 sorted");
+        assert_eq!(j.p99_ns, 99);
+        assert_eq!(j.max_ns, 100);
+        assert_eq!(JitterStats::from_samples(&mut []), JitterStats::default());
     }
 }

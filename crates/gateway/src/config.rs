@@ -336,6 +336,31 @@ fn parse_u64(value: &str, key: &str, line: usize) -> Result<u64, ConfigError> {
     })
 }
 
+/// Parse an integer and range-check it: a value that does not fit the
+/// field is a typed error, never a silent `as`-truncation (an `id` of
+/// 70000 must not quietly become link 4464).
+fn parse_bounded(value: &str, key: &str, line: usize, max: u64) -> Result<u64, ConfigError> {
+    let v = parse_u64(value, key, line)?;
+    if v > max {
+        return Err(ConfigError::Parse {
+            line,
+            msg: format!("`{key}` must be at most {max}, got `{value}`"),
+        });
+    }
+    Ok(v)
+}
+
+/// Largest µs count representable as a [`TimeDelta`] without overflowing
+/// the picosecond multiply inside [`TimeDelta::from_us`].
+const MAX_US: u64 = u64::MAX / ccr_sim::time::PS_PER_US;
+
+/// Parse a µs duration, bounds-checked so `TimeDelta::from_us` cannot
+/// overflow (debug builds would panic, release builds would wrap to a
+/// nonsense span — both are config errors, not arithmetic accidents).
+fn parse_us(value: &str, key: &str, line: usize) -> Result<TimeDelta, ConfigError> {
+    Ok(TimeDelta::from_us(parse_bounded(value, key, line, MAX_US)?))
+}
+
 fn parse_node(value: &str, key: &str, line: usize) -> Result<GlobalNodeId, ConfigError> {
     let bad = || ConfigError::Parse {
         line,
@@ -382,15 +407,19 @@ impl LinkDraft {
 
     fn set(&mut self, key: &str, value: &str, line: usize) -> Result<(), ConfigError> {
         match key {
-            "id" => self.id = Some(parse_u64(value, key, line)? as u16),
+            "id" => self.id = Some(parse_bounded(value, key, line, u16::MAX as u64)? as u16),
             "src" => self.src = Some(parse_node(value, key, line)?),
             "dst" => self.dst = Some(parse_node(value, key, line)?),
-            "period_us" => self.period = Some(TimeDelta::from_us(parse_u64(value, key, line)?)),
-            "deadline_us" => self.deadline = Some(TimeDelta::from_us(parse_u64(value, key, line)?)),
-            "mtu" => self.mtu = Some(parse_u64(value, key, line)? as u32),
-            "burst" => self.burst = Some(parse_u64(value, key, line)? as u32),
-            "depth" => self.depth = Some(parse_u64(value, key, line)? as usize),
-            "validity_us" => self.validity = Some(TimeDelta::from_us(parse_u64(value, key, line)?)),
+            "period_us" => self.period = Some(parse_us(value, key, line)?),
+            "deadline_us" => self.deadline = Some(parse_us(value, key, line)?),
+            "mtu" => self.mtu = Some(parse_bounded(value, key, line, u32::MAX as u64)? as u32),
+            "burst" => self.burst = Some(parse_bounded(value, key, line, u32::MAX as u64)? as u32),
+            "depth" => {
+                // Queue depths beyond u16 are configuration mistakes,
+                // not workloads; refuse before they reserve memory.
+                self.depth = Some(parse_bounded(value, key, line, u16::MAX as u64)? as usize)
+            }
+            "validity_us" => self.validity = Some(parse_us(value, key, line)?),
             "class" => {
                 self.class = Some(match parse_str(value, key, line)? {
                     "guaranteed" => DeadlineClass::Guaranteed,
@@ -560,5 +589,99 @@ mod tests {
         let l = VirtualLink::new(1, GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3)).mtu(300);
         assert_eq!(l.spec(256).size_slots, 2);
         assert_eq!(l.spec(2048).size_slots, 1);
+    }
+
+    #[test]
+    fn out_of_range_values_are_typed_errors_not_truncation() {
+        // id = 70000 must not silently wrap to link 4464.
+        let err = GatewayConfig::parse("[[link]]\nid = 70000\n").unwrap_err();
+        assert!(
+            matches!(&err, ConfigError::Parse { line: 2, msg } if msg.contains("at most 65535")),
+            "unexpected: {err:?}"
+        );
+        // A µs count whose picosecond conversion overflows u64.
+        let cfg = format!("[[link]]\nid = 1\nperiod_us = {}\n", u64::MAX / 1_000);
+        let err = GatewayConfig::parse(&cfg).unwrap_err();
+        assert!(
+            matches!(&err, ConfigError::Parse { line: 3, msg } if msg.contains("at most")),
+            "unexpected: {err:?}"
+        );
+        // The largest representable period parses fine.
+        let cfg = format!("[[link]]\nid = 1\nsrc = \"0:1\"\ndst = \"1:3\"\nperiod_us = {MAX_US}\n");
+        assert!(GatewayConfig::parse(&cfg).is_ok());
+        for key in ["mtu", "burst"] {
+            let cfg = format!("[[link]]\nid = 1\n{key} = 4294967296\n");
+            assert!(GatewayConfig::parse(&cfg).is_err(), "{key} wraps u32");
+        }
+        let err = GatewayConfig::parse("[[link]]\nid = 1\ndepth = 100000\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Parse { line: 3, .. }));
+    }
+
+    /// DetRng-driven fuzz over the parser's error paths: random mutations
+    /// of a valid config — corrupted keys, values, structure — must
+    /// always yield `Ok` or a typed [`ConfigError`], never a panic, and
+    /// whatever parses must re-validate cleanly.
+    #[test]
+    fn fuzzed_configs_never_panic() {
+        use ccr_sim::rng::DetRng;
+        let mut rng = DetRng::new(0xC0F1_6F22);
+        let keys = [
+            "id",
+            "src",
+            "dst",
+            "period_us",
+            "deadline_us",
+            "mtu",
+            "burst",
+            "depth",
+            "validity_us",
+            "class",
+            "port",
+            "policy",
+            "bogus",
+            "",
+            "id id",
+        ];
+        let values = [
+            "1",
+            "0",
+            "70000",
+            "18446744073709551615",
+            "999999999999999999999999",
+            "-3",
+            "\"0:1\"",
+            "\"9:\"",
+            "\"guaranteed\"",
+            "\"sampling\"",
+            "\"shed\"",
+            "\"zap\"",
+            "q",
+            "",
+            "= =",
+        ];
+        for _ in 0..2_000 {
+            let mut text = String::new();
+            let blocks = rng.gen_range(0u32..4);
+            for _ in 0..blocks {
+                text.push_str("[[link]]\n");
+                let lines = rng.gen_range(0u32..8);
+                for _ in 0..lines {
+                    let key = keys[rng.gen_range(0..keys.len())];
+                    let value = values[rng.gen_range(0..values.len())];
+                    match rng.gen_range(0u32..10) {
+                        0 => text.push_str(&format!("{key} {value}\n")), // no `=`
+                        1 => text.push_str(&format!("{key} = {value} # noise\n")),
+                        2 => text.push_str("[[link]\n"),
+                        _ => text.push_str(&format!("{key} = {value}\n")),
+                    }
+                }
+            }
+            match GatewayConfig::parse(&text) {
+                Ok(cfg) => assert!(GatewayConfig::new(cfg.links).is_ok(), "re-validates"),
+                Err(e) => {
+                    let _ = e.to_string(); // Display never panics either
+                }
+            }
+        }
     }
 }

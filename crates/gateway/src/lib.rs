@@ -33,6 +33,8 @@
 #![warn(missing_docs)]
 
 pub mod bucket;
+pub mod capture;
+pub mod chaos;
 pub mod clock;
 pub mod config;
 pub mod gateway;
@@ -43,15 +45,18 @@ pub mod udp;
 pub mod wire;
 
 pub use bucket::TokenBucket;
-pub use clock::WallClock;
+pub use capture::{Capture, CaptureError};
+pub use chaos::{ChaosConfig, ChaosMetrics, ChaosScript, WireChaos};
+pub use clock::{JitterStats, WallClock};
 pub use config::{
     ConfigError, DeadlineClass, GatewayConfig, OverloadPolicy, PortSemantics, VirtualLink,
 };
 pub use gateway::{
-    AdmissionReport, EgressFrame, Gateway, GatewayMetrics, IngressOutcome, RejectedLink,
+    AdmissionReport, ControlFrame, EgressFrame, Gateway, GatewayMetrics, IngressOutcome,
+    LinkChangeError, RejectedLink,
 };
 pub use handoff::{handoff, HandoffReceiver, HandoffSender, Stamped};
-pub use link::LinkMetrics;
+pub use link::{FlowControl, LinkHealth, LinkMetrics};
 pub use loopback::LoopbackBackend;
 pub use udp::{UdpBackend, UdpRunStats};
 pub use wire::{Header, PacketKind, WireError, HEADER_LEN};
@@ -59,15 +64,18 @@ pub use wire::{Header, PacketKind, WireError, HEADER_LEN};
 /// Everything most gateway users need, one `use` away.
 pub mod prelude {
     pub use crate::bucket::TokenBucket;
-    pub use crate::clock::WallClock;
+    pub use crate::capture::{Capture, CaptureError};
+    pub use crate::chaos::{ChaosConfig, ChaosMetrics, ChaosScript, WireChaos};
+    pub use crate::clock::{JitterStats, WallClock};
     pub use crate::config::{
         ConfigError, DeadlineClass, GatewayConfig, OverloadPolicy, PortSemantics, VirtualLink,
     };
     pub use crate::gateway::{
-        AdmissionReport, EgressFrame, Gateway, GatewayMetrics, IngressOutcome, RejectedLink,
+        AdmissionReport, ControlFrame, EgressFrame, Gateway, GatewayMetrics, IngressOutcome,
+        LinkChangeError, RejectedLink,
     };
     pub use crate::handoff::{handoff, HandoffReceiver, HandoffSender, Stamped};
-    pub use crate::link::LinkMetrics;
+    pub use crate::link::{FlowControl, LinkHealth, LinkMetrics};
     pub use crate::loopback::LoopbackBackend;
     pub use crate::udp::{UdpBackend, UdpRunStats};
     pub use crate::wire::{Header, PacketKind, WireError, HEADER_LEN};

@@ -44,6 +44,15 @@ pub enum PacketKind {
     Shed = 0x3,
     /// Either direction: liveness/echo control, no fabric traversal.
     Probe = 0x4,
+    /// Gateway → client: the named datagram can never be carried — the
+    /// link is unknown, revoked, or the datagram violates its contract
+    /// (oversize). Unlike `Shed`, retrying without a config change is
+    /// pointless.
+    Nack = 0x5,
+    /// Gateway → client: flow-control advisory. `budget_us` carries the
+    /// suggested quiet time in µs (exponential per overload streak);
+    /// a compliant client stops sending on the link for that long.
+    Backoff = 0x6,
 }
 
 impl PacketKind {
@@ -53,6 +62,8 @@ impl PacketKind {
             0x2 => Some(PacketKind::Deliver),
             0x3 => Some(PacketKind::Shed),
             0x4 => Some(PacketKind::Probe),
+            0x5 => Some(PacketKind::Nack),
+            0x6 => Some(PacketKind::Backoff),
             _ => None,
         }
     }
@@ -241,6 +252,16 @@ mod tests {
         assert_eq!(h.len as usize, payload.len());
         assert_eq!(h.budget_us, 1_500);
         assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn control_kinds_roundtrip() {
+        for kind in [PacketKind::Shed, PacketKind::Nack, PacketKind::Backoff] {
+            let frame = Header { kind, ..sample() }.encode(b"");
+            let (h, p) = Header::decode(&frame).unwrap();
+            assert_eq!(h.kind, kind);
+            assert!(p.is_empty());
+        }
     }
 
     #[test]

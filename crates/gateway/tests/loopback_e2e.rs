@@ -53,8 +53,8 @@ fn datagrams_ride_the_certified_fabric_end_to_end() {
         (0, data(1, 0, b"alpha")),
         (gap, data(1, 1, b"bravo")),
         (2 * gap, data(1, 2, b"charlie")),
-        // Oversize payload: violates the admitted MTU, shed regardless
-        // of tokens or policy.
+        // Oversize payload: violates the admitted MTU, refused with a
+        // Nack regardless of tokens or policy.
         (3 * gap, data(1, 3, &[0u8; 300])),
         // Unknown link and a truncated frame: counted, never panicked on.
         (3 * gap, data(9, 0, b"lost")),
@@ -77,15 +77,24 @@ fn datagrams_ride_the_certified_fabric_end_to_end() {
     let m = gateway.metrics();
     assert_eq!(m.frames_in.get(), 6);
     assert_eq!(m.injected.get(), 3);
-    assert_eq!(m.shed.get(), 1, "the oversize datagram");
+    assert_eq!(m.shed.get(), 0);
+    assert_eq!(m.nacks_sent.get(), 1, "the oversize datagram is nacked");
     assert_eq!(m.unknown_link.get(), 1);
     assert_eq!(m.decode_errors.get(), 1);
     assert_eq!(m.delivered.get(), 3);
     assert_eq!(m.deadline_missed.get(), 0);
     let lm = gateway.link_metrics(1).unwrap();
     assert_eq!(lm.injected.get(), 3);
-    assert_eq!(lm.shed.get(), 1);
+    assert_eq!(lm.nacks.get(), 1);
     assert_eq!(lm.delivered.get(), 3);
+    // The backend recorded the Nack as a transmittable control frame.
+    let nacks: Vec<_> = backend
+        .controls()
+        .iter()
+        .filter(|c| c.kind == PacketKind::Nack)
+        .collect();
+    assert_eq!(nacks.len(), 1);
+    assert_eq!((nacks[0].link, nacks[0].seq), (1, 3));
 }
 
 #[test]

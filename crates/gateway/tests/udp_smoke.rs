@@ -80,3 +80,82 @@ fn udp_client_round_trips_through_an_admitted_link() {
     assert_eq!(m.deadline_met.get(), 1);
     assert_eq!(m.deadline_missed.get(), 0);
 }
+
+#[test]
+fn overdriving_client_receives_shed_and_backoff_on_the_wire() {
+    let topo = FabricTopology::chain(2, 6);
+    let cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+    let mut fabric = Fabric::new(cfg).unwrap();
+    let gw_cfg = GatewayConfig::new(vec![VirtualLink::new(
+        9,
+        GlobalNodeId::new(0, 1),
+        GlobalNodeId::new(1, 3),
+    )
+    .period(PERIOD)
+    .class(DeadlineClass::BestEffort)])
+    .unwrap();
+    let (mut gateway, report) = Gateway::open(&gw_cfg, &mut fabric);
+    assert_eq!(report.admitted, vec![9]);
+
+    let slot = fabric.segment_envs()[0].slot;
+    let slot_ns = (slot.as_ps() / 1_000).max(1);
+    let dilation = (500_000 / slot_ns).max(1);
+    let gap = PERIOD.as_ps().div_ceil(slot.as_ps()) + 1;
+
+    let mut backend = UdpBackend::bind("127.0.0.1:0", slot, dilation, 256).unwrap();
+    let server = backend.local_addr().unwrap();
+
+    // The client fires a burst far past the admitted rate (burst 1, one
+    // token per period) and then listens: flow control must answer the
+    // overload on the wire with Shed frames and at least one Backoff
+    // advisory carrying a non-zero advised quiet time.
+    let client = std::thread::spawn(move || {
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        for seq in 0..8u32 {
+            let frame = Header {
+                kind: PacketKind::Data,
+                link: 9,
+                seq,
+                len: 0,
+                budget_us: 0,
+            }
+            .encode(b"flood");
+            sock.send_to(&frame, server).unwrap();
+        }
+        let mut sheds = 0u32;
+        let mut backoff_budget = None;
+        let mut buf = [0u8; 2048];
+        while backoff_budget.is_none() || sheds == 0 {
+            let Ok((n, _)) = sock.recv_from(&mut buf) else {
+                break; // timeout: return what was seen so far
+            };
+            let (header, _) = Header::decode(&buf[..n]).expect("well-formed control frame");
+            match header.kind {
+                PacketKind::Shed => sheds += 1,
+                PacketKind::Backoff => backoff_budget = Some(header.budget_us),
+                _ => {}
+            }
+        }
+        (sheds, backoff_budget)
+    });
+
+    let stats = backend.run(&mut gateway, &mut fabric, 2 * gap).unwrap();
+    assert!(stats.frames_in >= 8, "the whole burst arrived");
+    assert!(stats.controls_out >= 2, "control frames went back out");
+
+    let (sheds, backoff_budget) = client.join().expect("client thread");
+    assert!(sheds >= 1, "the client saw its excess shed on the wire");
+    let budget = backoff_budget.expect("the client received a Backoff advisory");
+    assert!(budget > 0, "the advisory carries a non-zero quiet time");
+
+    let m = gateway.link_metrics(9).unwrap();
+    assert!(m.shed.get() >= 5, "burst 8 against at most 3 tokens");
+    assert!(m.backoffs.get() >= 1);
+    assert_eq!(
+        m.ingress_frames.get(),
+        m.injected.get() + m.shed.get(),
+        "every datagram accounted for: injected or shed"
+    );
+}

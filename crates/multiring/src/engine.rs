@@ -273,6 +273,65 @@ pub struct EgressDelivery {
     pub slack: TimeDelta,
 }
 
+/// Why the fault machinery revoked a connection instead of rerouting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevokeReason {
+    /// The source or destination node is dead — no admission can help.
+    EndpointDead,
+    /// No bridge path avoiding the dead hardware exists.
+    NoRoute,
+    /// A route exists but the admission gate (EDF utilisation, bridge
+    /// headroom, or the calculus fixed point) refused it.
+    AdmissionRefused,
+}
+
+impl std::fmt::Display for RevokeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RevokeReason::EndpointDead => write!(f, "endpoint dead"),
+            RevokeReason::NoRoute => write!(f, "no surviving route"),
+            RevokeReason::AdmissionRefused => write!(f, "re-admission refused"),
+        }
+    }
+}
+
+/// A fault- or repair-driven change to an admitted connection's identity,
+/// surfaced through [`Fabric::drain_connection_events`] so external
+/// holders of a [`FabricConnectionId`] (the gateway) can follow it.
+///
+/// Rerouting and reclamation *re-admit* the connection's spec, which
+/// assigns a fresh id — the old one stops resolving. Every such identity
+/// change is recorded here in the order it happened; the buffer is
+/// bounded by the number of fault events, not by slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionEvent {
+    /// Closed and re-admitted over an alternate (or restored) route. The
+    /// connection survives under `new`; messages in flight at the switch
+    /// were dropped.
+    Rerouted {
+        /// The id that stopped resolving.
+        old: FabricConnectionId,
+        /// The id now carrying the spec.
+        new: FabricConnectionId,
+    },
+    /// Revoked: the spec is queued for reclaim but carries no traffic.
+    Revoked {
+        /// The id that stopped resolving.
+        old: FabricConnectionId,
+        /// Why no reroute was possible.
+        reason: RevokeReason,
+    },
+    /// A previously revoked spec was re-admitted (bridge repair or freed
+    /// capacity). `old` is the id reported by the matching
+    /// [`ConnectionEvent::Revoked`].
+    Reclaimed {
+        /// The id the spec was revoked under.
+        old: FabricConnectionId,
+        /// The id now carrying the spec.
+        new: FabricConnectionId,
+    },
+}
+
 /// Why [`Fabric::inject`] refused an externally produced message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectError {
@@ -440,10 +499,13 @@ pub struct Fabric {
     /// Scripted `(slot, bridge, kill/repair)` events, sorted by slot.
     bridge_events: Vec<(u64, usize, BridgeEventKind)>,
     event_cursor: usize,
-    /// Specs revoked by faults (with their external-injection flag), in
-    /// revocation order — the reclaim queue a bridge repair retries
-    /// deterministically.
-    revoked_specs: Vec<(FabricConnectionSpec, bool)>,
+    /// Specs revoked by faults (with their external-injection flag and
+    /// the id they were revoked under), in revocation order — the reclaim
+    /// queue a bridge repair retries deterministically.
+    revoked_specs: Vec<(FabricConnectionSpec, bool, FabricConnectionId)>,
+    /// Connection identity changes since the last
+    /// [`Fabric::drain_connection_events`], in event order.
+    conn_events: Vec<ConnectionEvent>,
     /// True while at least one surviving connection sits on a detour the
     /// last reclaim pass could not move back (its preferred route was
     /// refused for capacity). Together with `revoked_specs`, this is what
@@ -582,6 +644,7 @@ impl Fabric {
             bridge_events,
             event_cursor: 0,
             revoked_specs: Vec::new(),
+            conn_events: Vec::new(),
             egress_buf: Vec::new(),
             detour_pending: false,
             track_faults,
@@ -993,6 +1056,29 @@ impl Fabric {
         out.append(&mut self.egress_buf);
     }
 
+    /// Are connection lifecycle events pending? Inlined so a per-slot
+    /// caller pays one load on the (overwhelmingly common) idle path.
+    #[inline]
+    pub fn has_connection_events(&self) -> bool {
+        !self.conn_events.is_empty()
+    }
+
+    /// Drain connection lifecycle events (reroutes, revocations,
+    /// reclaims) accumulated by the fault/repair passes since the last
+    /// call, appending them to `out` in emission order. An edge layer
+    /// holding [`FabricConnectionId`]s MUST follow this stream: every
+    /// reroute or reclaim assigns a fresh id, and injecting on the stale
+    /// one fails with [`InjectError::UnknownConnection`] forever.
+    pub fn drain_connection_events(&mut self, out: &mut Vec<ConnectionEvent>) {
+        out.append(&mut self.conn_events);
+    }
+
+    /// Is `fid` a currently admitted connection? `false` for ids that
+    /// were closed, rerouted (the new route has a new id), or revoked.
+    pub fn connection_open(&self, fid: FabricConnectionId) -> bool {
+        self.connections.contains_key(&fid)
+    }
+
     /// Is the network-calculus certifier active on this fabric?
     pub fn calculus_enabled(&self) -> bool {
         self.calculus.is_some()
@@ -1121,15 +1207,28 @@ impl Fabric {
             };
             self.close_connection_impl(fid);
             let endpoints_alive = self.node_alive(spec.src) && self.node_alive(spec.dst);
-            let rerouted = endpoints_alive
-                && plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
-                    .and_then(|plan| self.admit_plan(plan, external))
-                    .is_ok();
-            if rerouted {
-                self.metrics.e2e_rerouted.incr();
+            let rerouted = if endpoints_alive {
+                plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
+                    .map_err(|_| RevokeReason::NoRoute)
+                    .and_then(|plan| {
+                        self.admit_plan(plan, external)
+                            .map_err(|_| RevokeReason::AdmissionRefused)
+                    })
             } else {
-                self.metrics.e2e_revoked.incr();
-                self.revoked_specs.push((spec, external));
+                Err(RevokeReason::EndpointDead)
+            };
+            match rerouted {
+                Ok(new) => {
+                    self.metrics.e2e_rerouted.incr();
+                    self.conn_events
+                        .push(ConnectionEvent::Rerouted { old: fid, new });
+                }
+                Err(reason) => {
+                    self.metrics.e2e_revoked.incr();
+                    self.conn_events
+                        .push(ConnectionEvent::Revoked { old: fid, reason });
+                    self.revoked_specs.push((spec, external, fid));
+                }
             }
         }
     }
@@ -1196,16 +1295,21 @@ impl Fabric {
     fn reclaim_connections(&mut self) {
         self.detour_pending = false;
         let stash = std::mem::take(&mut self.revoked_specs);
-        for (spec, external) in stash {
-            let reclaimed = self.node_alive(spec.src)
-                && self.node_alive(spec.dst)
-                && plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
-                    .and_then(|plan| self.admit_plan(plan, external))
-                    .is_ok();
-            if reclaimed {
-                self.metrics.e2e_reclaimed.incr();
+        for (spec, external, old_fid) in stash {
+            let reclaimed = if self.node_alive(spec.src) && self.node_alive(spec.dst) {
+                plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
+                    .ok()
+                    .and_then(|plan| self.admit_plan(plan, external).ok())
             } else {
-                self.revoked_specs.push((spec, external));
+                None
+            };
+            match reclaimed {
+                Some(new) => {
+                    self.metrics.e2e_reclaimed.incr();
+                    self.conn_events
+                        .push(ConnectionEvent::Reclaimed { old: old_fid, new });
+                }
+                None => self.revoked_specs.push((spec, external, old_fid)),
             }
         }
         // ccr-verify: allow(nondeterminism) -- collected to a Vec and sorted by id on the next line
@@ -1230,15 +1334,23 @@ impl Fabric {
                 continue;
             }
             self.close_connection_impl(fid);
-            if self.admit_plan(preferred, external).is_ok() {
+            if let Ok(new) = self.admit_plan(preferred, external) {
                 self.metrics.e2e_reclaimed.incr();
-            } else if self.admit_plan(old_plan, external).is_ok() {
+                self.conn_events
+                    .push(ConnectionEvent::Reclaimed { old: fid, new });
+            } else if let Ok(new) = self.admit_plan(old_plan, external) {
                 // Still detoured: remember so the next freed capacity
                 // (any `close_connection`) re-runs this pass.
                 self.detour_pending = true;
+                self.conn_events
+                    .push(ConnectionEvent::Rerouted { old: fid, new });
             } else {
                 self.metrics.e2e_revoked.incr();
-                self.revoked_specs.push((spec, external));
+                self.conn_events.push(ConnectionEvent::Revoked {
+                    old: fid,
+                    reason: RevokeReason::AdmissionRefused,
+                });
+                self.revoked_specs.push((spec, external, fid));
             }
         }
     }

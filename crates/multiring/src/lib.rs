@@ -61,7 +61,10 @@ pub mod topology;
 
 pub use admission::{FabricAdmissionError, FabricConnectionId, FabricConnectionSpec};
 pub use calculus::{CalculusAdmission, CalculusRejection, CalculusReport};
-pub use engine::{EgressDelivery, Fabric, FabricBuildError, FabricConfig, InjectError};
+pub use engine::{
+    ConnectionEvent, EgressDelivery, Fabric, FabricBuildError, FabricConfig, InjectError,
+    RevokeReason,
+};
 pub use fault::{BridgeEventKind, FabricFaultEvent, FabricFaultKind, FabricFaultScript};
 pub use metrics::FabricMetrics;
 pub use topology::{Bridge, CycleBound, FabricTopology, GlobalNodeId, RingId, TopologyError};
@@ -73,7 +76,10 @@ pub mod prelude {
     };
     pub use crate::bridge::{BridgeConfig, DropPolicy};
     pub use crate::calculus::{CalculusAdmission, CalculusRejection, CalculusReport};
-    pub use crate::engine::{EgressDelivery, Fabric, FabricBuildError, FabricConfig, InjectError};
+    pub use crate::engine::{
+        ConnectionEvent, EgressDelivery, Fabric, FabricBuildError, FabricConfig, InjectError,
+        RevokeReason,
+    };
     pub use crate::fault::{BridgeEventKind, FabricFaultEvent, FabricFaultKind, FabricFaultScript};
     pub use crate::metrics::{FabricMetrics, RING_AVAILABILITY_WINDOW};
     pub use crate::topology::{

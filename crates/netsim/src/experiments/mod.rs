@@ -26,6 +26,7 @@ pub mod e18_chaos;
 pub mod e19_calculus;
 pub mod e20_churn;
 pub mod e21_gateway;
+pub mod e22_survivability;
 
 use ccr_edf::config::{NetworkConfig, NetworkConfigBuilder};
 use ccr_sim::report::Table;
@@ -199,6 +200,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "e21",
             "Extension: real-wire gateway — virtual links paced through EDF admission",
             e21_gateway::run,
+        ),
+        (
+            "e22",
+            "Robustness: edge survivability — chaos, link churn, record/replay",
+            e22_survivability::run,
         ),
     ]
 }

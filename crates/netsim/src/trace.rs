@@ -207,6 +207,10 @@ pub struct GatewayRecord {
     pub injected: u64,
     /// Datagrams shed by pacing during the window.
     pub shed: u64,
+    /// `Nack` control frames sent back to clients during the window.
+    pub nacks: u64,
+    /// `Backoff` advisories sent back to clients during the window.
+    pub backoffs: u64,
     /// End-to-end deliveries handed to egress during the window.
     pub delivered: u64,
     /// Deliveries that missed their link's deadline during the window.
@@ -238,6 +242,8 @@ impl GatewayTraceRecorder {
                 frames_in: 0,
                 injected: 0,
                 shed: 0,
+                nacks: 0,
+                backoffs: 0,
                 delivered: 0,
                 deadline_missed: 0,
             },
@@ -252,6 +258,8 @@ impl GatewayTraceRecorder {
             frames_in: m.frames_in.get(),
             injected: m.injected.get(),
             shed: m.shed.get(),
+            nacks: m.nacks_sent.get(),
+            backoffs: m.backoffs_sent.get(),
             delivered: m.delivered.get(),
             deadline_missed: m.deadline_missed.get(),
         };
@@ -260,6 +268,8 @@ impl GatewayTraceRecorder {
             frames_in: cum.frames_in - self.last.frames_in,
             injected: cum.injected - self.last.injected,
             shed: cum.shed - self.last.shed,
+            nacks: cum.nacks - self.last.nacks,
+            backoffs: cum.backoffs - self.last.backoffs,
             delivered: cum.delivered - self.last.delivered,
             deadline_missed: cum.deadline_missed - self.last.deadline_missed,
         };
@@ -289,7 +299,16 @@ impl GatewayTraceRecorder {
                 self.records.len(),
                 self.observed
             ),
-            &["slot", "in", "injected", "shed", "delivered", "missed"],
+            &[
+                "slot",
+                "in",
+                "injected",
+                "shed",
+                "nack",
+                "backoff",
+                "delivered",
+                "missed",
+            ],
         );
         for r in &self.records {
             t.row(&[
@@ -297,6 +316,8 @@ impl GatewayTraceRecorder {
                 r.frames_in.to_string(),
                 r.injected.to_string(),
                 r.shed.to_string(),
+                r.nacks.to_string(),
+                r.backoffs.to_string(),
                 r.delivered.to_string(),
                 r.deadline_missed.to_string(),
             ]);
@@ -317,9 +338,17 @@ impl GatewayTraceRecorder {
             out.push_str(&format!(
                 concat!(
                     "{{\"slot\":{},\"frames_in\":{},\"injected\":{},",
-                    "\"shed\":{},\"delivered\":{},\"deadline_missed\":{}}}\n"
+                    "\"shed\":{},\"nacks\":{},\"backoffs\":{},",
+                    "\"delivered\":{},\"deadline_missed\":{}}}\n"
                 ),
-                r.slot, r.frames_in, r.injected, r.shed, r.delivered, r.deadline_missed,
+                r.slot,
+                r.frames_in,
+                r.injected,
+                r.shed,
+                r.nacks,
+                r.backoffs,
+                r.delivered,
+                r.deadline_missed,
             ));
         }
         out
@@ -456,6 +485,8 @@ mod tests {
         m.frames_in.incr();
         m.frames_in.incr();
         m.shed.incr();
+        m.nacks_sent.incr();
+        m.backoffs_sent.incr();
         tr.observe(200, &m);
 
         m.delivered.incr();
@@ -469,6 +500,8 @@ mod tests {
         assert_eq!(recs[0].slot, 200);
         assert_eq!(recs[0].frames_in, 2, "delta, not cumulative");
         assert_eq!(recs[0].shed, 1);
+        assert_eq!(recs[0].nacks, 1);
+        assert_eq!(recs[0].backoffs, 1);
         assert_eq!(recs[0].injected, 0);
         assert_eq!(recs[1].slot, 300);
         assert_eq!(recs[1].delivered, 1);
@@ -477,6 +510,7 @@ mod tests {
         assert!(tr.render().contains("gateway trace"));
         let jsonl = tr.to_jsonl();
         assert!(jsonl.contains("\"slot\":200,\"frames_in\":2,"));
+        assert!(jsonl.contains("\"shed\":1,\"nacks\":1,\"backoffs\":1,"));
         assert!(jsonl.contains("\"deadline_missed\":1}"));
     }
 }

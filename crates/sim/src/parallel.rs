@@ -14,6 +14,27 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// The claim-protocol expressions shared verbatim between the worker loop
+/// below and the loom models in `verify/loom/src/lib.rs`.
+///
+/// The loom models cannot link against `parallel_map_impl` directly
+/// (`std::thread::scope` has no loom shim), so they re-express the same
+/// protocol by hand. These constants pin the three expressions both sides
+/// must agree on; `tests::loom_models_pin_the_same_protocol` asserts each
+/// appears verbatim in both files, so editing the protocol here without
+/// updating the model (or vice versa) fails the build's test run rather
+/// than silently verifying a different algorithm.
+pub mod protocol {
+    /// The atomic claim: a read-modify-write hands each window start to
+    /// exactly one worker even under `Relaxed` ordering.
+    pub const CLAIM: &str = "next.fetch_add(chunk, Ordering::Relaxed)";
+    /// The termination check: a claimed start past the input length means
+    /// the cursor has run dry.
+    pub const TERMINATE: &str = "start >= n";
+    /// The ragged-tail window bound for the chunked variant.
+    pub const TAIL: &str = "(start + chunk).min(n)";
+}
+
 /// Run `f` over `inputs` on up to `threads` worker threads, preserving
 /// input order in the output.
 ///
@@ -216,5 +237,36 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    /// The loom models under `verify/loom` re-express this module's claim
+    /// protocol by hand (loom cannot shim `std::thread::scope`). Pin the
+    /// shared expressions: each must appear verbatim in both this file and
+    /// the model, so a protocol change in either place that is not
+    /// mirrored in the other fails here instead of going unverified.
+    #[test]
+    fn loom_models_pin_the_same_protocol() {
+        let this_file = include_str!("parallel.rs");
+        let model_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../verify/loom/src/lib.rs");
+        let model = std::fs::read_to_string(model_path)
+            .unwrap_or_else(|e| panic!("read {model_path}: {e}"));
+        for (name, expr) in [
+            ("CLAIM", super::protocol::CLAIM),
+            ("TERMINATE", super::protocol::TERMINATE),
+            ("TAIL", super::protocol::TAIL),
+        ] {
+            // The constant's own definition also matches in this file;
+            // require a second occurrence — the real worker-loop code.
+            let here = this_file.matches(expr).count();
+            assert!(
+                here >= 2,
+                "protocol::{name} ({expr:?}) not used by the worker loop"
+            );
+            assert!(
+                model.contains(expr),
+                "protocol::{name} ({expr:?}) missing from the loom model — \
+                 verify/loom/src/lib.rs no longer checks the shipped protocol"
+            );
+        }
     }
 }

@@ -36,6 +36,7 @@ step "ccr-verify"            cargo run -q --release -p ccr-verify
 step "e19 calculus smoke"    cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e19 --quick
 step "e20 churn smoke"       cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e20 --quick
 step "e21 gateway smoke"     cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e21 --quick
+step "e22 survivability"     cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e22 --quick
 step "calculus bench"        cargo run -q --release -p ccr-bench --bin calculus-bench
 step "gateway bench"         cargo run -q --release -p ccr-bench --bin gateway-bench
 
@@ -47,14 +48,15 @@ else
   skip "loom models" "loom dependency not fetchable offline"
 fi
 
-# miri over the wire-format codec tests (encode/decode round-trips touch
-# every unsafe-adjacent byte-twiddling path in ccr-edf and ccr-gateway).
+# miri over the byte-twiddling codec tests: the wire-format round-trips
+# in ccr-edf and ccr-gateway, plus the gateway's chaos bit-flipper and
+# capture (length-prefixed binary log) codecs.
 if cargo +nightly miri --version >/dev/null 2>&1; then
   step "miri wire codec" cargo +nightly miri test -p ccr-edf wire
-  step "miri gateway wire" cargo +nightly miri test -p ccr-gateway wire
+  step "miri gateway codecs" cargo +nightly miri test -p ccr-gateway -- wire chaos capture
 else
   skip "miri wire codec" "nightly toolchain with miri not installed"
-  skip "miri gateway wire" "nightly toolchain with miri not installed"
+  skip "miri gateway codecs" "nightly toolchain with miri not installed"
 fi
 
 # Supply-chain policy (deny.toml). The workspace has zero external deps;
