@@ -15,7 +15,7 @@
 //! under contention, TDMA is fair but priority-blind, CCR-EDF is
 //! deadline-driven.
 
-use ccr_edf::mac::{Desire, Grant, MacProtocol, SlotPlan};
+use ccr_edf::mac::{ArbScratch, Desire, Grant, MacProtocol, SlotPlan};
 use ccr_edf::wire::Request;
 use ccr_phys::{LinkSet, NodeId, RingTopology};
 
@@ -52,23 +52,42 @@ impl MacProtocol for TdmaMac {
         requests: &[Request],
         current_master: NodeId,
         topo: RingTopology,
-        _spatial_reuse: bool,
+        spatial_reuse: bool,
     ) -> SlotPlan {
+        let mut out = SlotPlan::idle(current_master);
+        let mut scratch = ArbScratch::default();
+        self.arbitrate_into(
+            requests,
+            current_master,
+            topo,
+            spatial_reuse,
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
+    /// Allocation-free arbitration: at most one grant, written into the
+    /// engine's reused plan.
+    fn arbitrate_into(
+        &self,
+        requests: &[Request],
+        current_master: NodeId,
+        topo: RingTopology,
+        _spatial_reuse: bool,
+        _scratch: &mut ArbScratch,
+        out: &mut SlotPlan,
+    ) {
         let owner = topo.downstream(current_master, 1);
         let r = &requests[owner.idx()];
-        let grants = if r.wants_tx() {
-            vec![Grant {
+        out.reset_idle(owner);
+        if r.wants_tx() {
+            out.grants.push(Grant {
                 node: owner,
                 links: r.links,
                 dests: r.dests,
-            }]
-        } else {
-            Vec::new()
-        };
-        SlotPlan {
-            grants,
-            next_master: owner,
-            hp_node: r.wants_tx().then_some(owner),
+            });
+            out.hp_node = Some(owner);
         }
     }
 

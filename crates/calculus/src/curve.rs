@@ -695,7 +695,6 @@ impl ServiceCurve {
     /// curve until written through [`ServiceCurve::copy_from`] or
     /// [`RateLatency::left_over_into`].
     pub fn placeholder() -> ServiceCurve {
-        // ccr-verify: allow(alloc-in-hot-path) -- Vec::new is heap-free; the scratch slot grows to its high-water piece count once and is reused
         ServiceCurve { pieces: Vec::new() }
     }
 

@@ -1,0 +1,36 @@
+//! Seeded blocking violations, reachable from the slot-engine root and
+//! from the gateway pump root — plus a workspace method *named* like a
+//! blocking primitive, which must not fire (the walk scans its body
+//! instead of pattern-matching the call).
+
+use std::sync::Mutex;
+
+pub struct Engine {
+    state: Mutex<u32>,
+    backlog: u32,
+}
+
+impl Engine {
+    pub fn step_slot(&self) -> u32 {
+        let held = self.state.lock().expect("state mutex"); //~ ERROR blocking-in-hot-path
+        let n = *held + self.accept();
+        drop(held);
+        helper();
+        n
+    }
+
+    /// The pump root: blocking here stalls the wire, not just the sim.
+    pub fn ingress(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1)); //~ ERROR blocking-in-hot-path
+    }
+
+    /// Named like `TcpListener::accept`, but it is our own method on a
+    /// typed receiver — no finding, and its body joins the walk.
+    pub fn accept(&self) -> u32 {
+        self.backlog
+    }
+}
+
+fn helper() {
+    std::thread::park(); //~ ERROR blocking-in-hot-path
+}

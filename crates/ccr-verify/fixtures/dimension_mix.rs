@@ -1,0 +1,18 @@
+//! Seeded unit-dimension confusion: picosecond-, slot- and byte-flavoured
+//! identifiers must not meet under `+`/`-` without a named conversion.
+//! Multiplication/division are the conversions and stay exempt, as does
+//! any line routed through a `*_per_*`/`to_*` helper name.
+
+pub fn admit(deadline_ps: u64, n_slots: u64, payload_bytes: u64) -> u64 {
+    let bad_budget = deadline_ps + n_slots; //~ ERROR dimension-mix
+    let bad_size = payload_bytes - n_slots; //~ ERROR dimension-mix
+    bad_budget + bad_size
+}
+
+/// The sanctioned way across dimensions: the conversion is named, so the
+/// unit change is visible at the call site.
+pub fn admit_converted(deadline_ps: u64, n_slots: u64, slot_ps: u64) -> u64 {
+    let budget_ps = deadline_ps - n_slots * slot_ps;
+    let same_dim = deadline_ps + budget_ps;
+    same_dim
+}

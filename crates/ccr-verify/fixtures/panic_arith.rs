@@ -1,0 +1,27 @@
+//! Seeded unchecked arithmetic and indexing on time/seq-flavoured values
+//! inside the hot walk. Saturating/checked forms and literal operands are
+//! exempt; the same expressions outside the hot walk are exempt too.
+
+pub struct Engine {
+    now_ps: u64,
+    deadline_ps: u64,
+    seq: u64,
+    ring: [u64; 8],
+}
+
+impl Engine {
+    pub fn step_slot(&mut self) -> u64 {
+        let slack = self.deadline_ps - self.now_ps; //~ ERROR panic-arith
+        let safe = self.deadline_ps.saturating_sub(self.now_ps);
+        let bumped = self.seq + 1;
+        let seq_slot = self.seq;
+        let held = self.ring[seq_slot]; //~ ERROR panic-arith
+        slack + safe + bumped + held
+    }
+}
+
+/// Not reachable from any hot root: the identical subtraction is fine
+/// here (cold paths may rely on debug-mode overflow checks).
+pub fn report_gap(deadline_ps: u64, now_ps: u64) -> u64 {
+    deadline_ps - now_ps
+}

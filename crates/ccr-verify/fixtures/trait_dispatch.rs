@@ -1,0 +1,40 @@
+//! Seeded trait-dispatch violation: the hot walk must fan out through a
+//! `dyn Trait` field to *every* impl of the dispatched method — including
+//! one reached only through the trait's default body — and the diagnostic
+//! must print the `trait::method -> impl` edge taken.
+
+pub trait Arb {
+    fn pick(&self) -> u32;
+
+    /// Default body: dispatches to `pick` on whatever the impl is.
+    fn tick(&self) -> u32 {
+        self.pick()
+    }
+}
+
+pub struct Quiet;
+
+impl Arb for Quiet {
+    fn pick(&self) -> u32 {
+        7
+    }
+}
+
+pub struct Chatty;
+
+impl Arb for Chatty {
+    fn pick(&self) -> u32 {
+        let v = vec![1u32]; //~ ERROR alloc-in-hot-path
+        v[0]
+    }
+}
+
+pub struct Engine {
+    arb: Box<dyn Arb>,
+}
+
+impl Engine {
+    pub fn step_slot(&self) -> u32 {
+        self.arb.tick()
+    }
+}

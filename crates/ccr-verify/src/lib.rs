@@ -21,6 +21,7 @@ pub mod callgraph;
 pub mod deps;
 pub mod lexer;
 pub mod model;
+pub mod report;
 pub mod rules;
 
 use model::FileModel;
@@ -153,6 +154,7 @@ pub fn run(root: &Path, cfg: &RuleConfig) -> Report {
     let total_markers: usize = models.iter().map(|m| m.markers.len()).sum();
 
     let mut findings = rules::run_all(&models, cfg);
+    findings.extend(rules::rule_protocol_pin(root, &models, cfg));
     findings.extend(deps::audit(root, &manifests));
     findings.sort();
 

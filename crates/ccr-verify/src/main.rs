@@ -1,4 +1,11 @@
-//! CLI entry point: `cargo run -p ccr-verify [-- --root <dir>]`.
+//! CLI entry point:
+//!
+//! ```text
+//! cargo run -p ccr-verify                         # human-readable, exit 1 on findings
+//! cargo run -p ccr-verify -- --emit json          # canonical JSON report on stdout
+//! cargo run -p ccr-verify -- --baseline <file>    # also fail on any ID diff vs baseline
+//! cargo run -p ccr-verify -- --write-baseline <f> # write the current report as baseline
+//! ```
 
 use ccr_verify::rules::RuleConfig;
 use std::path::PathBuf;
@@ -7,13 +14,30 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut emit_json = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
+            "--emit" => match args.next().as_deref() {
+                Some("json") => emit_json = true,
+                Some("text") => emit_json = false,
+                other => {
+                    eprintln!("--emit expects `json` or `text`, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => baseline = args.next().map(PathBuf::from),
+            "--write-baseline" => write_baseline = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 println!(
                     "ccr-verify: workspace static-analysis gate\n\
-                     usage: cargo run -p ccr-verify [-- --root <workspace dir>]"
+                     usage: cargo run -p ccr-verify [-- OPTIONS]\n\
+                       --root <dir>            workspace to scan (default: auto-detect)\n\
+                       --emit json|text        report format (default: text)\n\
+                       --baseline <file>       fail when finding IDs differ from this file\n\
+                       --write-baseline <file> write the current JSON report to this file"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -40,19 +64,61 @@ fn main() -> ExitCode {
     };
 
     let report = ccr_verify::run(&root, &RuleConfig::workspace());
-    for finding in &report.findings {
-        println!("{finding}");
+    let json = ccr_verify::report::to_json(&report);
+
+    if let Some(path) = &write_baseline {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("ccr-verify: cannot write baseline {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("ccr-verify: baseline written to {}", path.display());
     }
-    println!(
-        "ccr-verify: {} file(s), {} fn(s) indexed, {} allow-marker(s) honoured, {} finding(s)",
-        report.files_scanned,
-        report.fns_indexed,
-        report.markers_honoured,
-        report.findings.len()
-    );
-    if report.findings.is_empty() {
-        ExitCode::SUCCESS
+
+    if emit_json {
+        print!("{json}");
     } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!(
+            "ccr-verify: {} file(s), {} fn(s) indexed, {} allow-marker(s) honoured, {} finding(s)",
+            report.files_scanned,
+            report.fns_indexed,
+            report.markers_honoured,
+            report.findings.len()
+        );
+    }
+
+    // With a baseline, the gate is the ID diff (baseline findings are
+    // grandfathered, and stale baseline entries are equally an error);
+    // without one, any finding fails.
+    let failed = if let Some(path) = &baseline {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let (new, fixed) = ccr_verify::report::diff_baseline(&report, &text);
+                for id in &new {
+                    eprintln!("ccr-verify: finding {id} is not in the baseline");
+                }
+                for id in &fixed {
+                    eprintln!(
+                        "ccr-verify: baseline finding {id} no longer occurs — \
+                         refresh the baseline with --write-baseline"
+                    );
+                }
+                !new.is_empty() || !fixed.is_empty()
+            }
+            Err(e) => {
+                eprintln!("ccr-verify: cannot read baseline {}: {e}", path.display());
+                true
+            }
+        }
+    } else {
+        !report.findings.is_empty()
+    };
+
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,12 +1,22 @@
 //! The CCR-EDF-specific lint rules.
 //!
-//! Four rule families (see `DESIGN.md` §10 for the full rationale table):
+//! Eight rule families (see `DESIGN.md` §10 for the full rationale table):
 //!
 //! * `alloc-in-hot-path` — no allocation or cloning in functions reachable
 //!   from the slot-engine hot-path roots. The walk distinguishes steady
 //!   state from rare events: `// ccr-verify: event_path -- reason` marks a
 //!   function (admission, fault reconfiguration) as off the per-slot loop,
 //!   pruning it and everything only reachable through it.
+//! * `blocking-in-hot-path` — no sleeps, mutex locks, blocking receives or
+//!   socket waits reachable from the hot roots **or** the gateway pump
+//!   roots: a slot engine that can park mid-slot cannot certify deadlines.
+//! * `panic-arith` — no unchecked `+ - * /` or direct indexing on
+//!   time/sequence-flavoured values reachable from the hot/pump roots;
+//!   overflow panics in debug and silently wraps a deadline in release.
+//! * `dimension-mix` — no `+`/`-` mixing picosecond-, slot- and
+//!   byte-flavoured identifiers without a named conversion; the paper's
+//!   timing model makes unit confusion fatal (a slot count added to a
+//!   picosecond deadline admits garbage).
 //! * `nondeterminism` — no wall clocks, OS randomness, ambient I/O, or
 //!   hash-order iteration in the deterministic model crates.
 //! * `time-cast` — no lossy `as` casts on time-flavoured values and no raw
@@ -15,22 +25,35 @@
 //! * `unwrap-in-lib` — no bare `.unwrap()` (or empty-message `.expect("")`)
 //!   in non-test library code; state the invariant in an `expect` message
 //!   or return a typed error.
+//! * `protocol-pin` — declaratively pinned code fragments (the parallel
+//!   chunk-claim protocol) must appear verbatim both at their anchor and in
+//!   every mirror (the loom model), so the model checker and the
+//!   implementation cannot drift apart silently.
 //!
-//! Every finding can be silenced by a `// ccr-verify: allow(<rule>) --
-//! reason` marker on the offending line or the line above; the reason is
+//! The hot-path walks ride on the type-aware call graph: trait-dispatched
+//! calls fan out to every impl, and each finding prints the resolved chain
+//! including the `trait::method → impl` edge taken.
+//!
+//! Every source finding can be silenced by a `// ccr-verify: allow(<rule>)
+//! -- reason` marker on the offending line or the line above; the reason is
 //! mandatory and unused markers are themselves findings.
 
-use crate::callgraph::CallGraph;
+use crate::callgraph::{CallGraph, FnRef, ReachMap};
 use crate::model::{FileModel, FnDef};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::path::Path;
 
 pub const RULE_ALLOC: &str = "alloc-in-hot-path";
+pub const RULE_BLOCK: &str = "blocking-in-hot-path";
+pub const RULE_PANIC: &str = "panic-arith";
+pub const RULE_DIM: &str = "dimension-mix";
 pub const RULE_DET: &str = "nondeterminism";
 pub const RULE_CAST: &str = "time-cast";
 pub const RULE_UNWRAP: &str = "unwrap-in-lib";
 pub const RULE_DEPS: &str = "deps";
 pub const RULE_MARKER: &str = "allow-marker";
+pub const RULE_PIN: &str = "protocol-pin";
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -58,6 +81,21 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One declaratively pinned protocol: named string fragments defined as
+/// `pub const NAME: &str = "..";` in the anchor file must appear verbatim
+/// at least twice in the anchor (definition + the real code) and at least
+/// once in every mirror file.
+#[derive(Debug, Clone)]
+pub struct ProtocolPin {
+    /// Display name of the pinned protocol.
+    pub name: String,
+    /// Workspace-relative path of the file defining the fragments.
+    pub anchor: String,
+    /// Workspace-relative paths (possibly outside the scanned crates, e.g.
+    /// the loom model) that must embed each fragment verbatim.
+    pub mirrors: Vec<String>,
+}
+
 /// Which crates each rule family applies to, and which functions root the
 /// hot-path walk.
 pub struct RuleConfig {
@@ -68,6 +106,11 @@ pub struct RuleConfig {
     /// `(crate, fn name)` pairs that root the hot-path walk in addition to
     /// `ccr-verify: hot_path` markers.
     pub hot_roots: Vec<(String, String)>,
+    /// `(crate, fn name)` pairs rooting the gateway pump walks. Pumps join
+    /// the blocking and panic-arith walks but **not** the alloc walk: the
+    /// gateway copies each datagram into sim-owned buffers by design (the
+    /// wire edge is allowed to allocate; the slot engine behind it is not).
+    pub pump_roots: Vec<(String, String)>,
     /// Path suffixes exempt from the `time-cast` rule (the sanctioned
     /// newtype impls live here).
     pub cast_exempt: Vec<String>,
@@ -75,6 +118,8 @@ pub struct RuleConfig {
     /// bridge files whose entire purpose is wall clocks and sockets. The
     /// deterministic core behind them stays fully swept.
     pub det_exempt: Vec<String>,
+    /// Declaratively pinned protocols (see [`ProtocolPin`]).
+    pub protocol_pins: Vec<ProtocolPin>,
 }
 
 impl RuleConfig {
@@ -98,6 +143,12 @@ impl RuleConfig {
                 ("ccr-edf".into(), "arbitrate_into".into()),
                 ("ccr-multiring".into(), "step_slot".into()),
             ],
+            pump_roots: vec![
+                ("ccr-gateway".into(), "ingress".into()),
+                ("ccr-gateway".into(), "pace".into()),
+                ("ccr-gateway".into(), "reconcile".into()),
+                ("ccr-gateway".into(), "poll_egress".into()),
+            ],
             cast_exempt: vec!["sim/src/time.rs".into()],
             det_exempt: vec![
                 // The gateway's wall-time edge: clocks, sockets, and the
@@ -107,6 +158,11 @@ impl RuleConfig {
                 "gateway/src/udp.rs".into(),
                 "gateway/src/handoff.rs".into(),
             ],
+            protocol_pins: vec![ProtocolPin {
+                name: "parallel-chunk-claim".into(),
+                anchor: "crates/sim/src/parallel.rs".into(),
+                mirrors: vec!["verify/loom/src/lib.rs".into()],
+            }],
         }
     }
 }
@@ -163,12 +219,10 @@ const ALLOC_TOKENS: &[(&str, &str)] = &[
     ),
 ];
 
-/// Deny allocation-shaped calls in every function reachable from the
-/// hot-path roots — except through `event_path`-marked functions, which
-/// handle rare events (admission, faults, teardown) and are pruned from
-/// the walk along with everything only reachable through them.
-pub fn rule_alloc(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
-    let graph = CallGraph::build(files);
+/// Collect the hot-walk roots and event-path pruning set. `pumps` adds
+/// the gateway pump roots (blocking / panic-arith walks) on top of the
+/// slot-engine hot roots and `hot_path` markers.
+fn hot_roots(files: &[FileModel], cfg: &RuleConfig, pumps: bool) -> (Vec<FnRef>, BTreeSet<FnRef>) {
     let mut roots = Vec::new();
     let mut pruned = BTreeSet::new();
     for (fi, f) in files.iter().enumerate() {
@@ -180,30 +234,44 @@ pub fn rule_alloc(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
                 pruned.insert((fi, gi));
                 continue;
             }
-            let named_root = cfg
-                .hot_roots
-                .iter()
-                .any(|(c, n)| *c == f.crate_name && *n == g.name);
-            if g.hot_root || named_root {
+            let named = |set: &[(String, String)]| {
+                set.iter().any(|(c, n)| *c == f.crate_name && *n == g.name)
+            };
+            if g.hot_root || named(&cfg.hot_roots) || (pumps && named(&cfg.pump_roots)) {
                 roots.push((fi, gi));
             }
         }
     }
-    let reachable = graph.reachable_pruned(files, &roots, &pruned);
-    // Reconstruct one example call chain per reached function for the
-    // diagnostic, so the reader can audit (and, if bogus, break) the edge.
-    let chain_of = |mut at: (usize, usize)| -> String {
-        let mut names = vec![files[at.0].fns[at.1].name.clone()];
-        while let Some(Some(parent)) = reachable.get(&at) {
-            at = *parent;
-            names.push(files[at.0].fns[at.1].name.clone());
-            if names.len() > 12 {
-                break;
-            }
+    (roots, pruned)
+}
+
+/// Reconstruct one example call chain to `at` for a diagnostic, so the
+/// reader can audit (and, if bogus, break) the edge. Trait-dispatch edges
+/// print the resolution taken: `step [dyn Mac::arb -> Fast] -> arb`.
+fn chain_of(files: &[FileModel], reachable: &ReachMap, mut at: FnRef) -> String {
+    let mut parts = vec![files[at.0].fns[at.1].name.clone()];
+    while let Some(Some((parent, label))) = reachable.get(&at) {
+        if let Some(l) = label {
+            parts.push(format!("[{l}]"));
         }
-        names.reverse();
-        names.join(" -> ")
-    };
+        at = *parent;
+        parts.push(files[at.0].fns[at.1].name.clone());
+        if parts.len() > 16 {
+            break;
+        }
+    }
+    parts.reverse();
+    parts.join(" -> ")
+}
+
+/// Deny allocation-shaped calls in every function reachable from the
+/// hot-path roots — except through `event_path`-marked functions, which
+/// handle rare events (admission, faults, teardown) and are pruned from
+/// the walk along with everything only reachable through them.
+pub fn rule_alloc(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let (roots, pruned) = hot_roots(files, cfg, false);
+    let reachable = graph.reachable_pruned(files, &roots, &pruned);
     let mut findings = Vec::new();
     for &(fi, gi) in reachable.keys() {
         let f = &files[fi];
@@ -220,11 +288,496 @@ pub fn rule_alloc(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
                         "`{}` inside `{}` (hot via {}): {}",
                         tok.trim_matches(&['.', '('][..]),
                         g.name,
-                        chain_of((fi, gi)),
+                        chain_of(files, &reachable, (fi, gi)),
                         why
                     ),
                     snippet: f.snippet(line).to_string(),
                 });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: blocking-in-hot-path
+// ---------------------------------------------------------------------
+
+const BLOCK_TOKENS: &[(&str, &str)] = &[
+    ("sleep(", "sleeping parks the thread mid-slot"),
+    (".lock(", "Mutex::lock can block on contention"),
+    (".recv(", "blocking receive parks until a message arrives"),
+    (".recv_timeout(", "timed receive still parks the thread"),
+    (".recv_from(", "blocking socket receive"),
+    (".accept(", "blocking socket accept"),
+    (".wait(", "condvar/barrier wait parks the thread"),
+    (
+        ".wait_timeout(",
+        "timed condvar wait still parks the thread",
+    ),
+    (".join()", "joining a thread blocks until it exits"),
+    ("park(", "thread::park blocks indefinitely"),
+    ("read_to_end(", "blocking stream read"),
+    ("read_to_string(", "blocking stream read"),
+];
+
+/// Deny blocking-shaped calls in every function reachable from the hot
+/// roots *or* the gateway pump roots: a slot engine (or the wire pump
+/// feeding it) that can park mid-slot cannot certify any deadline.
+pub fn rule_blocking(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let (roots, pruned) = hot_roots(files, cfg, true);
+    let reachable = graph.reachable_pruned(files, &roots, &pruned);
+    let mut findings = Vec::new();
+    for &(fi, gi) in reachable.keys() {
+        let f = &files[fi];
+        let g: &FnDef = &f.fns[gi];
+        let body = &f.clean[g.body.0..=g.body.1];
+        // Method names this body calls on *workspace* receivers: a
+        // `.accept(..)` on a workspace type is that type's method (whose
+        // body the walk scans anyway), not the std blocking primitive.
+        let local_methods = graph.workspace_method_names(files, (fi, gi));
+        for (tok, why) in BLOCK_TOKENS {
+            let method = tok.trim_matches(&['.', '(', ')'][..]);
+            if tok.starts_with('.') && local_methods.contains(method) {
+                continue;
+            }
+            for at in token_positions(body, tok) {
+                let line = f.line_of(g.body.0 + at);
+                findings.push(Finding {
+                    path: f.path.display().to_string(),
+                    line,
+                    rule: RULE_BLOCK,
+                    message: format!(
+                        "`{}` inside `{}` (hot via {}): {}",
+                        tok.trim_matches(&['.', '('][..]),
+                        g.name,
+                        chain_of(files, &reachable, (fi, gi)),
+                        why
+                    ),
+                    snippet: f.snippet(line).to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rules: panic-arith and dimension-mix (flavoured-operand analysis)
+// ---------------------------------------------------------------------
+
+/// Identifier segments that mark a value as time- or sequence-flavoured.
+const FLAVOUR_SEGS: &[&str] = &[
+    "ps", "ns", "us", "ms", "seq", "slot", "slots", "deadline", "time", "stamp", "now", "tick",
+    "ticks", "epoch", "horizon", "period", "budget", "laxity",
+];
+
+/// Is any `_`-separated segment of `ident` time/seq-flavoured?
+fn flavoured(ident: &str) -> bool {
+    ident.split('_').any(|s| FLAVOUR_SEGS.contains(&s))
+}
+
+/// The operand adjacent to a binary operator, as an identifier when one
+/// can be read off the line.
+fn left_operand(line: &str, op_at: usize) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut k = op_at;
+    while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+        k -= 1;
+    }
+    if k == 0 {
+        return None;
+    }
+    if bytes[k - 1] == b')' {
+        // `f(x) + y` — attribute the operand to the call `f`.
+        let mut depth = 0i32;
+        let mut p = k - 1;
+        loop {
+            match bytes[p] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if p == 0 {
+                return None;
+            }
+            p -= 1;
+        }
+        let mut s = p;
+        while s > 0 && is_ident(bytes[s - 1]) {
+            s -= 1;
+        }
+        if s == p {
+            return None;
+        }
+        return Some(line[s..p].to_string());
+    }
+    if !is_ident(bytes[k - 1]) {
+        return None;
+    }
+    let end = k;
+    while k > 0 && is_ident(bytes[k - 1]) {
+        k -= 1;
+    }
+    let ident = &line[k..end];
+    if ident.as_bytes()[0].is_ascii_digit() {
+        return None; // numeric literal
+    }
+    Some(ident.to_string())
+}
+
+/// The operand to the right of a binary operator, as an identifier.
+fn right_operand(line: &str, after: usize) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut k = after;
+    while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+        k += 1;
+    }
+    // Borrows/derefs don't change the flavour; `self.` prefixes peel off.
+    while k < bytes.len() && (bytes[k] == b'&' || bytes[k] == b'*') {
+        k += 1;
+    }
+    let start = k;
+    while k < bytes.len() && is_ident(bytes[k]) {
+        k += 1;
+    }
+    if k == start || bytes[start].is_ascii_digit() {
+        return None;
+    }
+    let ident = &line[start..k];
+    if ident == "self" && bytes.get(k) == Some(&b'.') {
+        return right_operand(line, k + 1);
+    }
+    Some(ident.to_string())
+}
+
+/// Binary `+ - * /` operator positions on a line, excluding compound
+/// assignment (`+=`), arrows (`->`), doubled operators and unary uses.
+fn binary_op_positions(line: &str) -> Vec<(usize, char)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        let op = match b {
+            b'+' | b'-' | b'*' | b'/' => b as char,
+            _ => continue,
+        };
+        let next = bytes.get(i + 1);
+        if next == Some(&b'=') || next == Some(&b'>') || next == Some(&b) {
+            continue;
+        }
+        if i > 0 {
+            let prev = bytes[i - 1];
+            if matches!(
+                prev,
+                b'+' | b'-' | b'*' | b'/' | b'=' | b'<' | b'>' | b'(' | b','
+            ) {
+                continue; // unary or part of another operator
+            }
+        }
+        out.push((i, op));
+    }
+    out
+}
+
+/// Lines carrying checked/saturating/wrapping evidence are exempt: the
+/// author already chose an overflow policy.
+fn has_overflow_policy(line: &str) -> bool {
+    ["saturating_", "checked_", "wrapping_", "overflowing_"]
+        .iter()
+        .any(|p| line.contains(p))
+}
+
+/// Deny unchecked arithmetic and direct indexing on time/seq-flavoured
+/// values in every function reachable from the hot or pump roots: in
+/// release builds, an overflowing deadline silently wraps; in debug it
+/// panics mid-slot. Both ends a certification.
+pub fn rule_panic_arith(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let graph = CallGraph::build(files);
+    let (roots, pruned) = hot_roots(files, cfg, true);
+    let reachable = graph.reachable_pruned(files, &roots, &pruned);
+    let mut findings = Vec::new();
+    for &(fi, gi) in reachable.keys() {
+        let f = &files[fi];
+        let g: &FnDef = &f.fns[gi];
+        let body = &f.clean[g.body.0..=g.body.1];
+        let first_line = f.line_of(g.body.0);
+        for (off, line) in body.lines().enumerate() {
+            let line_no = first_line + off;
+            if has_overflow_policy(line) {
+                continue;
+            }
+            let mut hit: Option<String> = None;
+            for (at, op) in binary_op_positions(line) {
+                let (Some(l), Some(r)) = (left_operand(line, at), right_operand(line, at + 1))
+                else {
+                    continue;
+                };
+                if flavoured(&l) && flavoured(&r) {
+                    hit = Some(format!(
+                        "unchecked `{l} {op} {r}` on time/seq-flavoured values"
+                    ));
+                    break;
+                }
+            }
+            if hit.is_none() {
+                // Direct indexing by a single flavoured identifier:
+                // `ring[seq]` panics when the sequence outruns the buffer.
+                for at in token_positions(line, "[") {
+                    let close = line[at..].find(']').map(|c| at + c);
+                    let Some(close) = close else { continue };
+                    let inner = line[at + 1..close].trim();
+                    let bytes = line.as_bytes();
+                    let indexed = at > 0 && is_ident(bytes[at - 1]);
+                    if indexed
+                        && !inner.is_empty()
+                        && inner.bytes().all(is_ident)
+                        && !inner.as_bytes()[0].is_ascii_digit()
+                        && flavoured(inner)
+                    {
+                        hit = Some(format!("direct indexing by time/seq-flavoured `{inner}`"));
+                        break;
+                    }
+                }
+            }
+            if let Some(what) = hit {
+                findings.push(Finding {
+                    path: f.path.display().to_string(),
+                    line: line_no,
+                    rule: RULE_PANIC,
+                    message: format!(
+                        "{} inside `{}` (hot via {}): overflow panics in debug and wraps a \
+                         deadline in release — use checked_/saturating_ ops or a masked index",
+                        what,
+                        g.name,
+                        chain_of(files, &reachable, (fi, gi)),
+                    ),
+                    snippet: f.snippet(line_no).to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// The unit dimension an identifier carries, if any. Time wins over slot
+/// and byte so conversion products (`slot_ps`) count as time.
+fn dim_of(ident: &str) -> Option<&'static str> {
+    const TIME: &[&str] = &[
+        "ps", "ns", "us", "ms", "time", "stamp", "deadline", "horizon", "period", "laxity",
+    ];
+    const SLOT: &[&str] = &["slot", "slots"];
+    const BYTE: &[&str] = &["byte", "bytes", "mtu", "octet", "octets"];
+    let mut dim = None;
+    for seg in ident.split('_') {
+        if TIME.contains(&seg) {
+            return Some("time");
+        }
+        if SLOT.contains(&seg) {
+            dim = dim.or(Some("slot"));
+        }
+        if BYTE.contains(&seg) {
+            dim = dim.or(Some("byte"));
+        }
+    }
+    dim
+}
+
+/// Substrings that mark a line as a *named conversion* between dimensions
+/// — the sanctioned way to cross them.
+const DIM_CONVERSIONS: &[&str] = &[
+    "per_slot",
+    "per_byte",
+    "per_frame",
+    "ps_per",
+    "bytes_per",
+    "slots_per",
+    "to_ps",
+    "to_slot",
+    "to_byte",
+    "from_ps",
+    "from_slot",
+    "from_byte",
+    "as_ps",
+    "as_slot",
+    "as_byte",
+    "slot_ps",
+    "slot_duration",
+    "byte_ps",
+    "ps_of",
+];
+
+/// Deny `+`/`-` between identifiers of different unit dimensions
+/// (picoseconds, slots, bytes) anywhere in the deterministic crates:
+/// adding a slot count to a picosecond deadline admits garbage, and the
+/// type system cannot see it because both are plain integers.
+/// Multiplication and division are exempt — they *are* the conversions.
+pub fn rule_dimension_mix(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        if !cfg.det_crates.contains(&f.crate_name) {
+            continue;
+        }
+        for (line_no, line) in f.code_lines() {
+            if DIM_CONVERSIONS.iter().any(|c| line.contains(c)) {
+                continue;
+            }
+            for (at, op) in binary_op_positions(line) {
+                if op != '+' && op != '-' {
+                    continue;
+                }
+                let (Some(l), Some(r)) = (left_operand(line, at), right_operand(line, at + 1))
+                else {
+                    continue;
+                };
+                let (Some(dl), Some(dr)) = (dim_of(&l), dim_of(&r)) else {
+                    continue;
+                };
+                if dl != dr {
+                    findings.push(Finding {
+                        path: f.path.display().to_string(),
+                        line: line_no,
+                        rule: RULE_DIM,
+                        message: format!(
+                            "`{l} {op} {r}` mixes {dl}-flavoured and {dr}-flavoured values \
+                             without a named conversion — route through a *_per_*/to_* helper \
+                             so the unit change is visible"
+                        ),
+                        snippet: f.snippet(line_no).to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: protocol-pin
+// ---------------------------------------------------------------------
+
+/// Parse `pub const NAME: &str = "..";` fragments from raw source text.
+fn pinned_fragments(raw: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for at in token_positions(raw, "const ") {
+        let rest = &raw[at + 6..];
+        let bytes = rest.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let ns = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        if i == ns {
+            continue;
+        }
+        let name = rest[ns..i].to_string();
+        let Some(colon) = rest[i..].find(':') else {
+            continue;
+        };
+        let after_colon = &rest[i + colon + 1..];
+        if !after_colon.trim_start().starts_with("&str") {
+            continue;
+        }
+        let Some(q1) = after_colon.find('"') else {
+            continue;
+        };
+        let lit_start = i + colon + 1 + q1 + 1;
+        let Some(q2) = rest[lit_start..].find('"') else {
+            continue;
+        };
+        out.push((name, rest[lit_start..lit_start + q2].to_string()));
+    }
+    out
+}
+
+/// Enforce every [`ProtocolPin`]: each pinned fragment must appear at
+/// least twice in the anchor (the definition plus the real code it pins)
+/// and at least once in every mirror. Mirrors may live outside the
+/// scanned crates (the loom model), so this rule reads them from disk.
+pub fn rule_protocol_pin(root: &Path, files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for pin in &cfg.protocol_pins {
+        let anchor_model = files
+            .iter()
+            .find(|f| f.path.display().to_string().ends_with(&pin.anchor));
+        let Some(anchor) = anchor_model else {
+            findings.push(Finding {
+                path: pin.anchor.clone(),
+                line: 1,
+                rule: RULE_PIN,
+                message: format!(
+                    "protocol `{}`: anchor file not found in the workspace scan",
+                    pin.name
+                ),
+                snippet: String::new(),
+            });
+            continue;
+        };
+        let frags = pinned_fragments(&anchor.raw);
+        if frags.is_empty() {
+            findings.push(Finding {
+                path: pin.anchor.clone(),
+                line: 1,
+                rule: RULE_PIN,
+                message: format!(
+                    "protocol `{}`: anchor defines no `pub const NAME: &str` fragments",
+                    pin.name
+                ),
+                snippet: String::new(),
+            });
+            continue;
+        }
+        for (name, lit) in &frags {
+            if anchor.raw.matches(lit.as_str()).count() < 2 {
+                findings.push(Finding {
+                    path: pin.anchor.clone(),
+                    line: 1,
+                    rule: RULE_PIN,
+                    message: format!(
+                        "protocol `{}`: fragment `{name}` is defined but its code \
+                         (`{lit}`) no longer appears in the anchor — the pin is dead \
+                         or the implementation drifted",
+                        pin.name
+                    ),
+                    snippet: String::new(),
+                });
+            }
+        }
+        for mirror in &pin.mirrors {
+            let Ok(text) = std::fs::read_to_string(root.join(mirror)) else {
+                findings.push(Finding {
+                    path: mirror.clone(),
+                    line: 1,
+                    rule: RULE_PIN,
+                    message: format!("protocol `{}`: mirror file is missing", pin.name),
+                    snippet: String::new(),
+                });
+                continue;
+            };
+            for (name, lit) in &frags {
+                if !text.contains(lit.as_str()) {
+                    findings.push(Finding {
+                        path: mirror.clone(),
+                        line: 1,
+                        rule: RULE_PIN,
+                        message: format!(
+                            "protocol `{}`: mirror does not embed fragment `{name}` \
+                             (`{lit}`) — the model checker no longer checks the \
+                             shipped protocol",
+                            pin.name
+                        ),
+                        snippet: String::new(),
+                    });
+                }
             }
         }
     }
@@ -568,6 +1121,9 @@ pub fn apply_markers(files: &[FileModel], findings: Vec<Finding>) -> Vec<Finding
 pub fn run_all(files: &[FileModel], cfg: &RuleConfig) -> Vec<Finding> {
     let mut findings = Vec::new();
     findings.extend(rule_alloc(files, cfg));
+    findings.extend(rule_blocking(files, cfg));
+    findings.extend(rule_panic_arith(files, cfg));
+    findings.extend(rule_dimension_mix(files, cfg));
     findings.extend(rule_determinism(files, cfg));
     findings.extend(rule_time_cast(files, cfg));
     findings.extend(rule_unwrap(files, cfg));

@@ -6,7 +6,7 @@
 //! * `//~^ ERROR <rule>` — a finding of `<rule>` on the previous line
 
 use ccr_verify::model::FileModel;
-use ccr_verify::rules::{run_all, RuleConfig};
+use ccr_verify::rules::{rule_protocol_pin, run_all, ProtocolPin, RuleConfig};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -16,8 +16,10 @@ fn fixture_config() -> RuleConfig {
         det_crates: one("fixture"),
         lib_crates: one("fixture"),
         hot_roots: vec![("fixture".into(), "step_slot".into())],
+        pump_roots: vec![("fixture".into(), "ingress".into())],
         cast_exempt: Vec::new(),
         det_exempt: Vec::new(),
+        protocol_pins: Vec::new(),
     }
 }
 
@@ -43,12 +45,16 @@ fn expectations(raw: &str) -> BTreeSet<(String, usize)> {
     out
 }
 
+fn fixture_findings(path: &Path) -> Vec<ccr_verify::rules::Finding> {
+    let raw = std::fs::read_to_string(path).expect("fixture readable");
+    let model = FileModel::parse(path.to_path_buf(), "fixture", raw);
+    run_all(&[model], &fixture_config())
+}
+
 fn check_fixture(path: &Path) {
     let raw = std::fs::read_to_string(path).expect("fixture readable");
     let expected = expectations(&raw);
-    let model = FileModel::parse(path.to_path_buf(), "fixture", raw);
-    let files = vec![model];
-    let findings = run_all(&files, &fixture_config());
+    let findings = fixture_findings(path);
     let actual: BTreeSet<(String, usize)> = findings
         .iter()
         .map(|f| (f.rule.to_string(), f.line))
@@ -107,6 +113,61 @@ fn clean_fixture_stays_clean() {
 }
 
 #[test]
+fn dyn_trait_allocation_is_caught_through_dispatch() {
+    check_fixture(&fixture_path("trait_dispatch.rs"));
+}
+
+#[test]
+fn seeded_blocking_calls_are_detected() {
+    check_fixture(&fixture_path("blocking.rs"));
+}
+
+#[test]
+fn seeded_panic_arith_is_detected() {
+    check_fixture(&fixture_path("panic_arith.rs"));
+}
+
+#[test]
+fn seeded_dimension_mixing_is_detected() {
+    check_fixture(&fixture_path("dimension_mix.rs"));
+}
+
+/// The diagnostic must let a reader audit the resolution: the chain text
+/// names every hop *and* the trait-dispatch edge taken.
+#[test]
+fn dispatch_diagnostics_print_the_resolved_call_chain() {
+    let findings = fixture_findings(&fixture_path("trait_dispatch.rs"));
+    assert_eq!(findings.len(), 1);
+    let msg = &findings[0].message;
+    assert!(
+        msg.contains("step_slot") && msg.contains("tick") && msg.contains("pick"),
+        "chain names every hop: {msg}"
+    );
+    assert!(
+        msg.contains("dyn Arb::pick -> Chatty"),
+        "chain prints the dispatch edge taken: {msg}"
+    );
+    assert!(
+        msg.contains("dyn Arb::tick -> default body"),
+        "chain shows the walk went through the trait default: {msg}"
+    );
+}
+
+#[test]
+fn blocking_diagnostics_print_the_resolved_call_chain() {
+    let findings = fixture_findings(&fixture_path("blocking.rs"));
+    let park = findings
+        .iter()
+        .find(|f| f.message.contains("`park`"))
+        .expect("park finding");
+    assert!(
+        park.message.contains("step_slot -> helper"),
+        "chain from root to the blocking call: {}",
+        park.message
+    );
+}
+
+#[test]
 fn every_fixture_is_covered_by_a_test() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     let mut names: Vec<String> = std::fs::read_dir(&dir)
@@ -118,14 +179,112 @@ fn every_fixture_is_covered_by_a_test() {
     assert_eq!(
         names,
         [
+            "blocking.rs",
             "casts.rs",
             "clean.rs",
+            "dimension_mix.rs",
             "event_path.rs",
             "hot_alloc.rs",
             "markers.rs",
             "nondet.rs",
+            "panic_arith.rs",
+            "trait_dispatch.rs",
             "unwraps.rs"
         ],
         "new fixture files need a matching #[test]"
     );
+}
+
+// ---------------------------------------------------------------------
+// protocol-pin (exercised against a scratch tree: the rule reads mirror
+// files from disk, since mirrors live outside the scanned crates)
+// ---------------------------------------------------------------------
+
+const PIN_ANCHOR: &str = r#"
+pub mod protocol {
+    pub const CLAIM: &str = "next.fetch_add(1, Ordering::Relaxed)";
+}
+
+pub fn worker(next: &std::sync::atomic::AtomicUsize) -> usize {
+    use std::sync::atomic::Ordering;
+    next.fetch_add(1, Ordering::Relaxed)
+}
+"#;
+
+fn pin_config(mirror: &str) -> RuleConfig {
+    let mut cfg = fixture_config();
+    cfg.protocol_pins = vec![ProtocolPin {
+        name: "claim".into(),
+        anchor: "crates/sim/src/parallel.rs".into(),
+        mirrors: vec![mirror.to_string()],
+    }];
+    cfg
+}
+
+fn pin_models(anchor_src: &str) -> Vec<FileModel> {
+    vec![FileModel::parse(
+        PathBuf::from("crates/sim/src/parallel.rs"),
+        "fixture",
+        anchor_src.to_string(),
+    )]
+}
+
+fn scratch_root(tag: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("pin_{tag}"));
+    std::fs::create_dir_all(&root).expect("scratch root");
+    root
+}
+
+#[test]
+fn protocol_pin_passes_when_anchor_and_mirror_agree() {
+    let root = scratch_root("ok");
+    std::fs::write(
+        root.join("model.rs"),
+        "fn model() { next.fetch_add(1, Ordering::Relaxed); }",
+    )
+    .expect("write mirror");
+    let findings = rule_protocol_pin(&root, &pin_models(PIN_ANCHOR), &pin_config("model.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn protocol_pin_catches_a_drifted_mirror() {
+    let root = scratch_root("drift");
+    std::fs::write(
+        root.join("model.rs"),
+        "fn model() { next.fetch_add(1, Ordering::SeqCst); }",
+    )
+    .expect("write mirror");
+    let findings = rule_protocol_pin(&root, &pin_models(PIN_ANCHOR), &pin_config("model.rs"));
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "protocol-pin");
+    assert!(
+        findings[0].message.contains("CLAIM"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn protocol_pin_catches_a_dead_pin_and_a_missing_mirror() {
+    let root = scratch_root("dead");
+    // Anchor defines the fragment but the real code drifted away from it,
+    // and the mirror file does not exist at all.
+    let drifted_anchor = PIN_ANCHOR.replace("fetch_add(1,", "fetch_add(2,");
+    // Put the const back so only the code side is missing.
+    let drifted_anchor = drifted_anchor.replace(
+        "pub const CLAIM: &str = \"next.fetch_add(2, Ordering::Relaxed)\";",
+        "pub const CLAIM: &str = \"next.fetch_add(1, Ordering::Relaxed)\";",
+    );
+    let findings = rule_protocol_pin(
+        &root,
+        &pin_models(&drifted_anchor),
+        &pin_config("absent.rs"),
+    );
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, ["protocol-pin", "protocol-pin"], "{findings:?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("no longer appears")));
+    assert!(findings.iter().any(|f| f.message.contains("missing")));
 }

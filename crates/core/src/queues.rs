@@ -56,9 +56,10 @@ impl QueuedMessage {
         }
     }
 
-    /// Remaining packets to send.
+    /// Remaining packets to send. Saturating: a stray extra ack after the
+    /// last packet must read as "0 left", not a debug-mode panic mid-slot.
     pub fn remaining(&self) -> u32 {
-        self.msg.size_slots - self.sent_slots
+        self.msg.size_slots.saturating_sub(self.sent_slots)
     }
 }
 

