@@ -1,0 +1,198 @@
+//! Topology-synthesis throughput: measures complete calculus-certified
+//! synthesis runs per wall-clock second and the certifier economy of the
+//! local search, recorded in `BENCH_synth.json` at the repository root.
+//!
+//! Two scenarios:
+//!
+//! * `synthesis_small` / `synthesis_clustered` — full `synthesize()`
+//!   calls (construction, repair, refinement, exact per-ring
+//!   re-certification) over a deterministic family of random traffic
+//!   matrices; one *op* is one matrix synthesized end to end.
+//! * `certifier_calls_per_accepted_move` — how many certifier batch
+//!   solves the refiner spends per accepted improvement, summed over the
+//!   clustered family. Lower is better; it is the warm-start payoff.
+//!
+//! Same file convention as `BENCH_calculus.json`: a `baseline` section
+//! recorded once and kept forever, a `current` section refreshed on every
+//! run, and `speedup_vs_baseline` ratios. JSON is read and written by
+//! hand — the workspace carries no serde by default.
+
+use ccr_sim::rng::DetRng;
+use ccr_sim::TimeDelta;
+use ccr_synth::{synthesize, Criticality, SynthConfig, TrafficMatrix};
+use std::time::Instant;
+
+const OUT_FILE: &str = "BENCH_synth.json";
+
+/// Small random matrices — the property-test family: 2..=12 stations,
+/// mixed periods, mostly feasible with the occasional hopeless case.
+fn small_matrix(rng: &mut DetRng) -> TrafficMatrix {
+    let stations = 2 + rng.gen_range(0..11u16);
+    let mut m = TrafficMatrix::new(stations);
+    let n_flows = 1 + rng.gen_range(0..10usize);
+    for _ in 0..n_flows {
+        let src = rng.gen_range(0..stations);
+        let mut dst = rng.gen_range(0..stations);
+        if dst == src {
+            dst = (dst + 1) % stations;
+        }
+        let period_us: u64 = 200 + rng.gen_range(0..3800u64);
+        let period = TimeDelta::from_us(period_us);
+        let deadline_us = (period_us * (40 + rng.gen_range(0..61u64)) / 100).max(1);
+        let f = m.flow(src, dst, period);
+        f.deadline = TimeDelta::from_us(deadline_us);
+        f.size_slots = 1 + rng.gen_range(0..3u32);
+        if rng.gen_bool(0.15) {
+            f.criticality = Criticality::BestEffort;
+        }
+    }
+    m
+}
+
+/// Clustered matrices that force multi-ring topologies and give the
+/// move-station / remove-bridge refiner real work: three neighbourhoods
+/// of heavy local traffic plus a handful of cross-cluster flows.
+fn clustered_matrix(rng: &mut DetRng) -> TrafficMatrix {
+    let per_cluster = 4 + rng.gen_range(0..3u16); // 4..=6
+    let stations = 3 * per_cluster;
+    let mut m = TrafficMatrix::new(stations);
+    for c in 0..3u16 {
+        let base = c * per_cluster;
+        for i in 0..per_cluster {
+            let src = base + i;
+            let dst = base + (i + 1) % per_cluster;
+            let period = TimeDelta::from_us(400 + rng.gen_range(0..400u64));
+            let f = m.flow(src, dst, period);
+            f.deadline = TimeDelta::from_us(300 + rng.gen_range(0..300u64));
+            f.size_slots = 1 + rng.gen_range(0..2u32);
+        }
+    }
+    let n_cross = 2 + rng.gen_range(0..3usize);
+    for k in 0..n_cross {
+        let c_src = (k as u16) % 3;
+        let c_dst = (c_src + 1 + rng.gen_range(0..2u16)) % 3;
+        let src = c_src * per_cluster + rng.gen_range(0..per_cluster);
+        let dst = c_dst * per_cluster + rng.gen_range(0..per_cluster);
+        let f = m.flow(src, dst, TimeDelta::from_us(2_000));
+        f.deadline = TimeDelta::from_us(1_000 + rng.gen_range(0..500u64));
+        f.size_slots = 1;
+    }
+    m
+}
+
+/// Synthesize `iters` matrices from `gen`; returns (ops/s, Σ certifier
+/// calls, Σ accepted moves) over the successful runs.
+fn bench_family(
+    seed: u64,
+    iters: u64,
+    cfg: &SynthConfig,
+    gen: fn(&mut DetRng) -> TrafficMatrix,
+) -> (f64, u64, u64) {
+    let mut rng = DetRng::new(seed);
+    let matrices: Vec<TrafficMatrix> = (0..iters).map(|_| gen(&mut rng)).collect();
+    let (mut calls, mut accepted, mut ok) = (0u64, 0u64, 0u64);
+    let mut slack_acc = TimeDelta::ZERO;
+    let t0 = Instant::now();
+    for m in &matrices {
+        if let Ok(s) = synthesize(m, cfg) {
+            ok += 1;
+            calls += s.report.certifier_calls;
+            accepted += s.report.moves_accepted;
+            slack_acc += s.report.total_slack;
+        }
+    }
+    let nanos = t0.elapsed().as_nanos().max(1);
+    assert!(ok > 0, "family must synthesize at least one matrix");
+    assert!(slack_acc > TimeDelta::ZERO, "certified slack must be real");
+    (iters as f64 * 1e9 / nanos as f64, calls, accepted)
+}
+
+fn existing_baseline(text: &str) -> Option<String> {
+    let key = "\"baseline\":";
+    let start = text.find(key)? + key.len();
+    let open = start + text[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn section(results: &[(&str, f64)]) -> String {
+    let body: Vec<String> = results
+        .iter()
+        .map(|(name, v)| {
+            // Throughputs are large integers; ratios keep two decimals.
+            if *v < 1_000.0 {
+                format!("    \"{name}\": {v:.2}")
+            } else {
+                format!("    \"{name}\": {v:.0}")
+            }
+        })
+        .collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+/// Pull one `"name": value` number out of a JSON object string.
+fn field(obj: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let start = obj.find(&key)? + key.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let cfg = SynthConfig::default();
+    let mut results: Vec<(&str, f64)> = Vec::new();
+
+    eprintln!("running synthesis_small…");
+    let (small_rate, _, _) = bench_family(0xBE9C_0001, 120, &cfg, small_matrix);
+    eprintln!("  {small_rate:>12.2} matrices/s");
+    results.push(("synthesis_small", small_rate));
+
+    eprintln!("running synthesis_clustered…");
+    let (clustered_rate, calls, accepted) = bench_family(0xBE9C_0002, 40, &cfg, clustered_matrix);
+    eprintln!(
+        "  {clustered_rate:>12.2} matrices/s, {calls} certifier calls, {accepted} accepted moves"
+    );
+    results.push(("synthesis_clustered", clustered_rate));
+    results.push((
+        "certifier_calls_per_accepted_move",
+        calls as f64 / accepted.max(1) as f64,
+    ));
+
+    let current = section(&results);
+    let baseline = std::fs::read_to_string(OUT_FILE)
+        .ok()
+        .and_then(|t| existing_baseline(&t))
+        .unwrap_or_else(|| current.clone());
+
+    let speedups: Vec<String> = results
+        .iter()
+        .filter_map(|(name, cur)| {
+            let base = field(&baseline, name)?;
+            Some(format!("    \"{name}\": {:.2}", cur / base))
+        })
+        .collect();
+
+    let report = format!(
+        "{{\n  \"bench\": \"synth\",\n  \"unit\": \"matrices_per_wall_second\",\n  \
+         \"baseline\": {baseline},\n  \
+         \"current\": {current},\n  \"speedup_vs_baseline\": {{\n{}\n  }}\n}}\n",
+        speedups.join(",\n")
+    );
+    std::fs::write(OUT_FILE, &report).expect("write report");
+    println!("{report}");
+}

@@ -30,5 +30,5 @@ pub use curve::{
 };
 pub use solver::{
     solve, FabricModel, FlowBounds, FlowSpec, IncrementalSolver, Solution, SolveError, SolveReport,
-    BURST_CAP, CONVERGENCE_TOL, MAX_ITERATIONS, MAX_PIECES,
+    SolverSession, BURST_CAP, CONVERGENCE_TOL, MAX_ITERATIONS, MAX_PIECES,
 };

@@ -540,6 +540,20 @@ impl IncrementalSolver {
         }
     }
 
+    /// Open a candidate-scoped session: admissions made through it are
+    /// rolled back (via a warm-started [`remove`](Self::remove)) when the
+    /// session drops, unless [`SolverSession::commit`] is called. This is
+    /// the "try a candidate, keep it only if it certifies" primitive that
+    /// search loops build on — abandoning a candidate can never leak its
+    /// flows into the resident set.
+    pub fn session(&mut self) -> SolverSession<'_> {
+        SolverSession {
+            solver: self,
+            admitted: Vec::new(),
+            committed: false,
+        }
+    }
+
     fn run_to_bounds(&mut self) -> Result<(usize, bool), SolveError> {
         let (iterations, exact) = resolve(
             &self.services,
@@ -1078,6 +1092,67 @@ fn finish_bounds(
     Ok(())
 }
 
+/// A candidate-scoped transaction over an [`IncrementalSolver`].
+///
+/// Every key admitted through the session is tracked; on drop, uncommitted
+/// keys are released with a warm-started [`IncrementalSolver::remove`], so
+/// the resident set (and — by the solver's restore-the-fixed-point
+/// guarantee — every surviving bound, bit for bit) is as if the candidate
+/// had never been tried. Call [`commit`](Self::commit) to keep the
+/// admissions instead.
+#[derive(Debug)]
+pub struct SolverSession<'a> {
+    solver: &'a mut IncrementalSolver,
+    admitted: Vec<u64>,
+    committed: bool,
+}
+
+impl SolverSession<'_> {
+    /// Admit a batch through the session; on success the keys join the
+    /// rollback set. Same atomicity as [`IncrementalSolver::admit`].
+    pub fn admit(&mut self, batch: &[(u64, FlowSpec)]) -> Result<SolveReport, SolveError> {
+        let report = self.solver.admit(batch)?;
+        self.admitted.extend(batch.iter().map(|(k, _)| *k));
+        Ok(report)
+    }
+
+    /// Release flows mid-session. Keys that were admitted through this
+    /// session leave the rollback set — they are gone already.
+    pub fn remove(&mut self, keys: &[u64]) -> SolveReport {
+        self.admitted.retain(|k| !keys.contains(k));
+        self.solver.remove(keys)
+    }
+
+    /// The certified bounds of a resident flow (session-admitted or prior).
+    pub fn bounds(&self, key: u64) -> Option<&FlowBounds> {
+        self.solver.bounds(key)
+    }
+
+    /// Read-only view of the underlying solver.
+    pub fn solver(&self) -> &IncrementalSolver {
+        self.solver
+    }
+
+    /// Keys admitted through this session so far, in admission order.
+    pub fn admitted(&self) -> &[u64] {
+        &self.admitted
+    }
+
+    /// Keep every session admission and return the admitted keys.
+    pub fn commit(mut self) -> Vec<u64> {
+        self.committed = true;
+        std::mem::take(&mut self.admitted)
+    }
+}
+
+impl Drop for SolverSession<'_> {
+    fn drop(&mut self) {
+        if !self.committed && !self.admitted.is_empty() {
+            self.solver.remove(&self.admitted);
+        }
+    }
+}
+
 /// Solve the fabric in one shot: certified per-flow delay/backlog bounds,
 /// or a diagnostic explaining the rejection. Fully deterministic — this is
 /// exactly an [`IncrementalSolver`] admitting the whole flow set as one
@@ -1319,5 +1394,44 @@ mod tests {
         // The early flow sees the late flow's burst advanced by the class
         // gap — strictly less competing work, strictly tighter delay.
         assert!(edf.flows[0].e2e_delay < blind.flows[0].e2e_delay - 1e-6);
+    }
+
+    #[test]
+    fn dropped_session_restores_the_prior_fixed_point_bit_for_bit() {
+        let services = [rl(2.0, 1.0), rl(2.0, 1.5)];
+        let mut solver = IncrementalSolver::new(&services);
+        solver
+            .admit(&[(1, FlowSpec::blind(vec![0, 1], tb(2.0, 0.4), vec![0.0; 2]))])
+            .unwrap();
+        let before = solver.bounds(1).unwrap().clone();
+        {
+            let mut session = solver.session();
+            session
+                .admit(&[(2, FlowSpec::blind(vec![1], tb(1.0, 0.3), vec![0.0]))])
+                .unwrap();
+            session
+                .admit(&[(3, FlowSpec::blind(vec![0], tb(1.0, 0.3), vec![0.0]))])
+                .unwrap();
+            assert_eq!(session.admitted(), &[2, 3]);
+            assert!(session.bounds(2).is_some());
+            // Dropped without commit: the candidate is abandoned.
+        }
+        assert!(!solver.contains(2) && !solver.contains(3));
+        assert_eq!(&before, solver.bounds(1).unwrap(), "bit-identical restore");
+
+        // Removing a session key mid-session takes it out of the rollback
+        // set; committing keeps the rest resident.
+        let mut session = solver.session();
+        session
+            .admit(&[(4, FlowSpec::blind(vec![0], tb(1.0, 0.2), vec![0.0]))])
+            .unwrap();
+        session
+            .admit(&[(5, FlowSpec::blind(vec![1], tb(1.0, 0.2), vec![0.0]))])
+            .unwrap();
+        session.remove(&[4]);
+        assert_eq!(session.admitted(), &[5]);
+        let kept = session.commit();
+        assert_eq!(kept, vec![5]);
+        assert!(!solver.contains(4) && solver.contains(5));
     }
 }

@@ -133,6 +133,7 @@ impl RuleConfig {
             "ccr-calculus",
             "ccr-traffic",
             "ccr-gateway",
+            "ccr-synth",
             "cc-fpr",
         ];
         RuleConfig {

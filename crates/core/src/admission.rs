@@ -14,7 +14,7 @@ use crate::connection::{ConnectionId, ConnectionSpec};
 use crate::dbf;
 use crate::message::Destination;
 use ccr_phys::{NodeId, RingTopology};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Which feasibility test the controller runs.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -85,6 +85,11 @@ pub struct AdmissionController {
     admitted: HashMap<ConnectionId, f64>,
     /// Full specs of the admitted set (needed by the demand-bound test).
     specs: HashMap<ConnectionId, ConnectionSpec>,
+    /// Best-effort registrations: validated and id-allocated, but outside
+    /// `Ma` — they contribute no utilisation and are invisible to the
+    /// feasibility tests, because best-effort traffic only rides capacity
+    /// the guaranteed set leaves idle.
+    best_effort: BTreeMap<ConnectionId, ConnectionSpec>,
     total: f64,
     next_id: u64,
     /// Degraded-mode scaling of `U_max` in `[0, 1]` — 1.0 when the ring is
@@ -106,6 +111,7 @@ impl AdmissionController {
             policy,
             admitted: HashMap::new(),
             specs: HashMap::new(),
+            best_effort: BTreeMap::new(),
             total: 0.0,
             next_id: 1,
             capacity_factor: 1.0,
@@ -181,6 +187,7 @@ impl AdmissionController {
         let mut ids: Vec<ConnectionId> = self
             .specs
             .iter()
+            .chain(self.best_effort.iter())
             .filter(|(_, s)| {
                 s.src == node || matches!(s.dest, Destination::Unicast(d) if d == node)
             })
@@ -203,8 +210,10 @@ impl AdmissionController {
 
     /// True while `id` is still admitted (or reserved) — fault layers use
     /// this to detect sub-connections shed by degraded-mode revalidation.
+    /// Best-effort registrations count: they hold no capacity, but they
+    /// are live connections until removed.
     pub fn is_admitted(&self, id: ConnectionId) -> bool {
-        self.specs.contains_key(&id)
+        self.specs.contains_key(&id) || self.best_effort.contains_key(&id)
     }
 
     /// Headroom left under `U_max`.
@@ -255,8 +264,31 @@ impl AdmissionController {
         Ok(id)
     }
 
-    /// Remove a connection from `Ma`, releasing its utilisation.
-    /// Returns `false` if the id was unknown.
+    /// Register a best-effort connection: the spec is validated against
+    /// the topology and receives an id from the same sequence as admitted
+    /// connections, but it joins no feasibility test and holds no
+    /// utilisation — best-effort traffic is served strictly from slots
+    /// the guaranteed set leaves idle, so there is nothing to admit
+    /// against. Infallible apart from spec validation.
+    pub fn register_best_effort(
+        &mut self,
+        spec: &ConnectionSpec,
+    ) -> Result<ConnectionId, AdmissionError> {
+        spec.validate(self.topo)
+            .map_err(AdmissionError::InvalidSpec)?;
+        let id = ConnectionId(self.next_id);
+        self.next_id += 1;
+        self.best_effort.insert(id, spec.clone());
+        Ok(id)
+    }
+
+    /// Number of registered best-effort connections.
+    pub fn best_effort_count(&self) -> usize {
+        self.best_effort.len()
+    }
+
+    /// Remove a connection from `Ma` (releasing its utilisation) or from
+    /// the best-effort register. Returns `false` if the id was unknown.
     pub fn remove(&mut self, id: ConnectionId) -> bool {
         match self.admitted.remove(&id) {
             Some(u) => {
@@ -267,7 +299,7 @@ impl AdmissionController {
                 }
                 true
             }
-            None => false,
+            None => self.best_effort.remove(&id).is_some(),
         }
     }
 }
@@ -474,6 +506,31 @@ mod tests {
         assert_eq!(revoked[0], d);
         assert_eq!(revoked.get(1), Some(&b));
         assert!(c.admitted_count() >= 1);
+    }
+
+    #[test]
+    fn best_effort_registrations_hold_no_capacity() {
+        let mut c = controller();
+        let big = spec_with_util(&c, c.u_max() * 0.9);
+        let be = c.register_best_effort(&big).unwrap();
+        assert!(c.is_admitted(be));
+        assert_eq!(c.best_effort_count(), 1);
+        assert_eq!(c.admitted_utilisation(), 0.0, "no utilisation charged");
+        // The guaranteed set still has the whole ring: the same heavy spec
+        // admits fine next to its best-effort twin.
+        let rt = c.admit(&big).unwrap();
+        assert_ne!(be, rt, "ids come from one sequence");
+        // Degraded-mode shedding never touches best-effort registrations.
+        c.set_capacity_factor(0.1);
+        let revoked = c.revalidate();
+        assert!(revoked.contains(&rt) && !revoked.contains(&be));
+        assert!(c.is_admitted(be));
+        assert!(c.remove(be));
+        assert!(!c.remove(be));
+        assert!(!c.is_admitted(be));
+        // Invalid specs are still refused.
+        let bad = ConnectionSpec::unicast(NodeId(0), NodeId(0));
+        assert!(c.register_best_effort(&bad).is_err());
     }
 
     #[test]

@@ -369,6 +369,19 @@ impl<P: MacProtocol> RingNetwork<P> {
         self.admission.admit(&spec)
     }
 
+    /// Register a best-effort connection: an id for metrics/teardown, no
+    /// admission test and no reserved capacity — its traffic (submitted
+    /// via [`RingNetwork::submit_message`] as best-effort messages) rides
+    /// slots the guaranteed set leaves idle, always at lower priority
+    /// than real-time traffic. Tear down with
+    /// [`RingNetwork::close_connection`].
+    pub fn reserve_best_effort(
+        &mut self,
+        spec: ConnectionSpec,
+    ) -> Result<ConnectionId, AdmissionError> {
+        self.admission.register_best_effort(&spec)
+    }
+
     /// Tear down a connection (opened *or* reserved), releasing its
     /// utilisation. Messages already queued drain normally. Returns `false`
     /// for unknown ids.

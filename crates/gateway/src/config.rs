@@ -32,6 +32,7 @@
 
 use ccr_multiring::admission::FabricConnectionSpec;
 use ccr_multiring::topology::GlobalNodeId;
+use ccr_sim::toml::{self, Item};
 use ccr_sim::TimeDelta;
 
 /// How much the fabric promises this link.
@@ -270,40 +271,39 @@ impl GatewayConfig {
     }
 
     /// Parse the dependency-free TOML subset documented at module level.
+    ///
+    /// The lexical layer (headers, `key = value` lines, comments, value
+    /// grammar) is the shared, fuzzed [`ccr_sim::toml`] scanner; this
+    /// function owns only the gateway semantics — which table names
+    /// exist, which keys a `[[link]]` accepts, cross-field validation.
     pub fn parse(text: &str) -> Result<Self, ConfigError> {
         let mut links: Vec<VirtualLink> = Vec::new();
         let mut cur: Option<LinkDraft> = None;
-        for (i, raw) in text.lines().enumerate() {
-            let lineno = i + 1;
-            let line = match raw.find('#') {
-                Some(p) => &raw[..p],
-                None => raw,
-            }
-            .trim();
-            if line.is_empty() {
-                continue;
-            }
-            if line == "[[link]]" {
-                if let Some(d) = cur.take() {
-                    links.push(d.finish()?);
+        for item in toml::scan(text) {
+            let spanned = item.map_err(scan_err)?;
+            match spanned.item {
+                Item::Table { name: "link" } => {
+                    if let Some(d) = cur.take() {
+                        links.push(d.finish()?);
+                    }
+                    cur = Some(LinkDraft::new(spanned.line));
                 }
-                cur = Some(LinkDraft::new(lineno));
-                continue;
+                Item::Table { name } => {
+                    return Err(ConfigError::Parse {
+                        line: spanned.line,
+                        msg: format!("unknown table `[[{name}]]` (expected `[[link]]`)"),
+                    });
+                }
+                Item::KeyValue { key, value } => {
+                    let Some(d) = cur.as_mut() else {
+                        return Err(ConfigError::Parse {
+                            line: spanned.line,
+                            msg: format!("`{key}` before the first [[link]] header"),
+                        });
+                    };
+                    d.set(key, value, spanned.line)?;
+                }
             }
-            let Some(eq) = line.find('=') else {
-                return Err(ConfigError::Parse {
-                    line: lineno,
-                    msg: format!("expected `key = value` or `[[link]]`, got `{line}`"),
-                });
-            };
-            let (key, value) = (line[..eq].trim(), line[eq + 1..].trim());
-            let Some(d) = cur.as_mut() else {
-                return Err(ConfigError::Parse {
-                    line: lineno,
-                    msg: format!("`{key}` before the first [[link]] header"),
-                });
-            };
-            d.set(key, value, lineno)?;
         }
         if let Some(d) = cur.take() {
             links.push(d.finish()?);
@@ -329,36 +329,21 @@ struct LinkDraft {
     policy: Option<OverloadPolicy>,
 }
 
-fn parse_u64(value: &str, key: &str, line: usize) -> Result<u64, ConfigError> {
-    value.parse().map_err(|_| ConfigError::Parse {
-        line,
-        msg: format!("`{key}` expects an unsigned integer, got `{value}`"),
-    })
-}
-
-/// Parse an integer and range-check it: a value that does not fit the
-/// field is a typed error, never a silent `as`-truncation (an `id` of
-/// 70000 must not quietly become link 4464).
-fn parse_bounded(value: &str, key: &str, line: usize, max: u64) -> Result<u64, ConfigError> {
-    let v = parse_u64(value, key, line)?;
-    if v > max {
-        return Err(ConfigError::Parse {
-            line,
-            msg: format!("`{key}` must be at most {max}, got `{value}`"),
-        });
+/// Lift a lexical [`toml::ScanError`] into the gateway's error type,
+/// preserving the line number and message verbatim.
+fn scan_err(e: toml::ScanError) -> ConfigError {
+    ConfigError::Parse {
+        line: e.line,
+        msg: e.msg,
     }
-    Ok(v)
 }
 
-/// Largest µs count representable as a [`TimeDelta`] without overflowing
-/// the picosecond multiply inside [`TimeDelta::from_us`].
-const MAX_US: u64 = u64::MAX / ccr_sim::time::PS_PER_US;
+fn parse_bounded(value: &str, key: &str, line: usize, max: u64) -> Result<u64, ConfigError> {
+    toml::parse_bounded(value, key, line, max).map_err(scan_err)
+}
 
-/// Parse a µs duration, bounds-checked so `TimeDelta::from_us` cannot
-/// overflow (debug builds would panic, release builds would wrap to a
-/// nonsense span — both are config errors, not arithmetic accidents).
 fn parse_us(value: &str, key: &str, line: usize) -> Result<TimeDelta, ConfigError> {
-    Ok(TimeDelta::from_us(parse_bounded(value, key, line, MAX_US)?))
+    toml::parse_us(value, key, line).map_err(scan_err)
 }
 
 fn parse_node(value: &str, key: &str, line: usize) -> Result<GlobalNodeId, ConfigError> {
@@ -366,10 +351,7 @@ fn parse_node(value: &str, key: &str, line: usize) -> Result<GlobalNodeId, Confi
         line,
         msg: format!("`{key}` expects \"ring:node\", got `{value}`"),
     };
-    let s = value
-        .strip_prefix('"')
-        .and_then(|v| v.strip_suffix('"'))
-        .ok_or_else(bad)?;
+    let s = toml::parse_quoted(value, key, line).map_err(|_| bad())?;
     let (ring, node) = s.split_once(':').ok_or_else(bad)?;
     let ring: u16 = ring.trim().parse().map_err(|_| bad())?;
     let node: u16 = node.trim().parse().map_err(|_| bad())?;
@@ -377,13 +359,7 @@ fn parse_node(value: &str, key: &str, line: usize) -> Result<GlobalNodeId, Confi
 }
 
 fn parse_str<'v>(value: &'v str, key: &str, line: usize) -> Result<&'v str, ConfigError> {
-    value
-        .strip_prefix('"')
-        .and_then(|v| v.strip_suffix('"'))
-        .ok_or_else(|| ConfigError::Parse {
-            line,
-            msg: format!("`{key}` expects a quoted string, got `{value}`"),
-        })
+    toml::parse_quoted(value, key, line).map_err(scan_err)
 }
 
 impl LinkDraft {
@@ -607,7 +583,8 @@ mod tests {
             "unexpected: {err:?}"
         );
         // The largest representable period parses fine.
-        let cfg = format!("[[link]]\nid = 1\nsrc = \"0:1\"\ndst = \"1:3\"\nperiod_us = {MAX_US}\n");
+        let max_us = ccr_sim::toml::MAX_US;
+        let cfg = format!("[[link]]\nid = 1\nsrc = \"0:1\"\ndst = \"1:3\"\nperiod_us = {max_us}\n");
         assert!(GatewayConfig::parse(&cfg).is_ok());
         for key in ["mtu", "burst"] {
             let cfg = format!("[[link]]\nid = 1\n{key} = 4294967296\n");

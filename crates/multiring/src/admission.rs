@@ -151,6 +151,21 @@ impl ConnectionPlan {
     pub fn bridges(&self) -> impl Iterator<Item = usize> + '_ {
         self.segments.iter().filter_map(|s| s.segment.bridge)
     }
+
+    /// Directed bridge-queue indices this plan crosses, in route order —
+    /// the `crossings` argument of
+    /// [`crate::calculus::CalculusAdmission::admit_batch`], in the
+    /// engine's queue layout (see [`FabricTopology::queue_index`]).
+    pub fn queue_crossings(&self, topo: &FabricTopology) -> Vec<usize> {
+        self.segments
+            .iter()
+            .filter_map(|s| {
+                s.segment
+                    .bridge
+                    .map(|b| topo.queue_index(b, s.segment.ring))
+            })
+            .collect()
+    }
 }
 
 /// Why an end-to-end connection was refused.

@@ -209,17 +209,18 @@ impl CalculusAdmission {
         for (fid, plan, crossings) in batch {
             flows.push((fid.0, self.flow_from_plan(plan, crossings)?));
         }
-        let report = self
-            .solver
-            .admit(&flows)
-            .map_err(|e| self.map_solve_error(e))?;
+        // The candidate batch runs inside a solver session: dropping the
+        // session without committing (any early return below) rolls the
+        // admissions back with a warm-started remove, restoring the prior
+        // fixed point bit for bit.
+        let mut session = self.solver.session();
+        let report = session.admit(&flows).map_err(map_solve_error)?;
         // Deadline gate over the dirty set only: clean flows kept their
         // stored bounds, which passed this same gate when they were last
         // derived. Dirty keys ascend, and batch candidates carry the
         // largest ids, so an existing victim is named before a candidate.
         for &key in &report.dirty_flows {
-            let bound_ps = self
-                .solver
+            let bound_ps = session
                 .bounds(key)
                 .map(|b| b.e2e_delay)
                 .unwrap_or(f64::INFINITY);
@@ -236,7 +237,6 @@ impl CalculusAdmission {
                 .unwrap_or(f64::INFINITY);
             if bound_ps > deadline_ps {
                 let candidate = batch.iter().any(|(fid, _, _)| fid.0 == key);
-                self.rollback_keys(&flows);
                 return Err(CalculusRejection::BoundExceeded {
                     flow: (!candidate).then_some(FabricConnectionId(key)),
                     bound: TimeDelta::from_ps_f64_saturating(bound_ps.ceil()),
@@ -244,6 +244,7 @@ impl CalculusAdmission {
                 });
             }
         }
+        session.commit();
         for (fid, plan, _) in batch {
             self.deadlines
                 .insert(fid.0, plan.spec.e2e_deadline.as_ps() as f64);
@@ -275,33 +276,6 @@ impl CalculusAdmission {
     /// Release a single flow. See [`CalculusAdmission::remove_batch`].
     pub fn remove(&mut self, fid: FabricConnectionId) -> CalculusReport {
         self.remove_batch(&[fid])
-    }
-
-    fn rollback_keys(&mut self, flows: &[(u64, FlowSpec)]) {
-        let keys: Vec<u64> = flows.iter().map(|(k, _)| *k).collect();
-        self.solver.remove(&keys);
-    }
-
-    fn map_solve_error(&self, e: SolveError) -> CalculusRejection {
-        match e {
-            SolveError::MalformedFlow { .. } => CalculusRejection::Malformed,
-            SolveError::Utilisation {
-                ring,
-                demand,
-                capacity,
-            } => CalculusRejection::Utilisation {
-                ring,
-                demand,
-                capacity,
-            },
-            SolveError::Diverged {
-                iterations,
-                worst_burst,
-            } => CalculusRejection::Diverged {
-                iterations,
-                worst_burst,
-            },
-        }
     }
 
     /// Translate a plan into the solver's [`FlowSpec`]: rings and bridge
@@ -355,10 +329,7 @@ impl CalculusAdmission {
         batch: &[(u64, FlowSpec, f64)],
     ) -> Result<CalculusReport, CalculusRejection> {
         let flows: Vec<(u64, FlowSpec)> = batch.iter().map(|(k, s, _)| (*k, s.clone())).collect();
-        let report = self
-            .solver
-            .admit(&flows)
-            .map_err(|e| self.map_solve_error(e))?;
+        let report = self.solver.admit(&flows).map_err(map_solve_error)?;
         for (k, _, deadline_ps) in batch {
             self.deadlines.insert(*k, *deadline_ps);
         }
@@ -367,6 +338,28 @@ impl CalculusAdmission {
             full: report.full,
             dirty_flows: report.dirty_flows.len(),
         })
+    }
+}
+
+fn map_solve_error(e: SolveError) -> CalculusRejection {
+    match e {
+        SolveError::MalformedFlow { .. } => CalculusRejection::Malformed,
+        SolveError::Utilisation {
+            ring,
+            demand,
+            capacity,
+        } => CalculusRejection::Utilisation {
+            ring,
+            demand,
+            capacity,
+        },
+        SolveError::Diverged {
+            iterations,
+            worst_burst,
+        } => CalculusRejection::Diverged {
+            iterations,
+            worst_burst,
+        },
     }
 }
 

@@ -236,6 +236,34 @@ impl FabricConfig {
     }
 }
 
+/// How a connection's traffic enters the fabric and which guarantees it
+/// carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnClass {
+    /// Ring-generated periodic traffic with full guarantees
+    /// ([`Fabric::open_connection`]).
+    Periodic,
+    /// Externally injected guaranteed traffic
+    /// ([`Fabric::open_external_connections`]): every segment reserved,
+    /// messages enter via [`Fabric::inject`], same admission gate as
+    /// periodic traffic.
+    External,
+    /// Externally injected best-effort traffic
+    /// ([`Fabric::open_best_effort`]): placed on a route but never
+    /// admitted or certified — it rides ring slots the guaranteed set
+    /// leaves idle and a separate leftover-budget bridge queue, so it can
+    /// never displace a guaranteed message anywhere in the fabric.
+    BestEffort,
+}
+
+impl ConnClass {
+    /// Classes whose traffic enters via [`Fabric::inject`] and leaves via
+    /// [`Fabric::drain_egress`].
+    fn is_injected(self) -> bool {
+        matches!(self, ConnClass::External | ConnClass::BestEffort)
+    }
+}
+
 /// An admitted end-to-end connection.
 #[derive(Debug)]
 struct ActiveConnection {
@@ -245,10 +273,8 @@ struct ActiveConnection {
     ring_conns: Vec<ConnectionId>,
     /// Bridge-queue index crossed *after* each non-final segment.
     queue_after: Vec<usize>,
-    /// Externally injected (gateway) connection: every segment is
-    /// reserved, messages enter via [`Fabric::inject`] and final
-    /// deliveries surface through [`Fabric::drain_egress`].
-    external: bool,
+    /// How traffic enters and which guarantees it carries.
+    class: ConnClass,
     /// Final deliveries so far — the egress sequence number source.
     delivered: u64,
 }
@@ -469,6 +495,10 @@ pub struct Fabric {
     bridge_cfg: BridgeConfig,
     /// Two queues per bridge: `2·b` carries a→b traffic, `2·b + 1` b→a.
     queues: Vec<BridgeQueue>,
+    /// Best-effort twins of `queues`, same layout: served strictly from
+    /// the forward budget the guaranteed queue leaves unused each slot,
+    /// so best-effort forwards can never evict or delay a guaranteed one.
+    be_queues: Vec<BridgeQueue>,
     /// Egress ring index of each queue.
     queue_egress: Vec<usize>,
     /// Connections currently reserving a buffer slot in each queue.
@@ -500,10 +530,10 @@ pub struct Fabric {
     /// Scripted `(slot, bridge, kill/repair)` events, sorted by slot.
     bridge_events: Vec<(u64, usize, BridgeEventKind)>,
     event_cursor: usize,
-    /// Specs revoked by faults (with their external-injection flag and
-    /// the id they were revoked under), in revocation order — the reclaim
-    /// queue a bridge repair retries deterministically.
-    revoked_specs: Vec<(FabricConnectionSpec, bool, FabricConnectionId)>,
+    /// Specs revoked by faults (with their connection class and the id
+    /// they were revoked under), in revocation order — the reclaim queue
+    /// a bridge repair retries deterministically.
+    revoked_specs: Vec<(FabricConnectionSpec, ConnClass, FabricConnectionId)>,
     /// Connection identity changes since the last
     /// [`Fabric::drain_connection_events`], in event order.
     conn_events: Vec<ConnectionEvent>,
@@ -593,18 +623,8 @@ impl Fabric {
                 }
             })
             .collect();
-        let n_queues = cfg.topology.bridges().len() * 2;
-        let queue_egress: Vec<usize> = (0..n_queues)
-            .map(|q| {
-                let br = &cfg.topology.bridges()[q / 2];
-                // queue 2b carries a→b (egress ring = b's), 2b+1 carries b→a
-                if q % 2 == 0 {
-                    br.b.ring.0 as usize
-                } else {
-                    br.a.ring.0 as usize
-                }
-            })
-            .collect();
+        let n_queues = cfg.topology.n_queues();
+        let queue_egress: Vec<usize> = cfg.topology.queue_egress();
         let threads = cfg.threads.clamp(1, rings.len());
         let pool = (threads > 1).then(|| RingPool::spawn(&rings, threads));
         let n_bridges = cfg.topology.bridges().len();
@@ -627,6 +647,7 @@ impl Fabric {
             envs,
             bridge_cfg: cfg.bridge,
             queues: (0..n_queues).map(|_| BridgeQueue::new()).collect(),
+            be_queues: (0..n_queues).map(|_| BridgeQueue::new()).collect(),
             queue_egress,
             queue_resident: vec![0; n_queues],
             connections: HashMap::new(),
@@ -712,12 +733,7 @@ impl Fabric {
     /// The bridge-queue index crossed when leaving `segment` over bridge
     /// `bridge` (an index into the topology's bridge list).
     fn queue_index(&self, bridge: usize, from_ring: RingId) -> usize {
-        let br = &self.topo.bridges()[bridge];
-        if br.a.ring == from_ring {
-            2 * bridge
-        } else {
-            2 * bridge + 1
-        }
+        self.topo.queue_index(bridge, from_ring)
     }
 
     /// Admit an end-to-end connection: plan the per-segment decomposition,
@@ -737,7 +753,7 @@ impl Fabric {
         } else {
             plan_connection(&self.topo, &spec, &self.envs)?
         };
-        self.admit_plan(plan, false)
+        self.admit_plan(plan, ConnClass::Periodic)
     }
 
     /// Admit an end-to-end connection whose messages are produced
@@ -771,7 +787,28 @@ impl Fabric {
                 plan_connection(&self.topo, spec, &self.envs)?
             });
         }
-        self.admit_plans(plans, true)
+        self.admit_plans(plans, ConnClass::External)
+    }
+
+    /// Open a best-effort connection: the route is planned and every
+    /// segment is *reserved* (registered with ring admission for
+    /// integrity, but holding **no** utilisation and **no** calculus
+    /// certificate). Traffic enters via [`Fabric::inject`] exactly like
+    /// an external connection, but rides strictly leftover capacity:
+    /// ring slots the EDF scheduler leaves idle, and bridge forward
+    /// budget the guaranteed queue leaves unused each slot. Best-effort
+    /// load can therefore never displace or delay a certified flow.
+    pub fn open_best_effort(
+        &mut self,
+        spec: FabricConnectionSpec,
+    ) -> Result<FabricConnectionId, FabricAdmissionError> {
+        let degraded = self.dead_bridges.iter().any(|&d| d);
+        let plan = if degraded {
+            plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)?
+        } else {
+            plan_connection(&self.topo, &spec, &self.envs)?
+        };
+        self.admit_plan(plan, ConnClass::BestEffort)
     }
 
     /// Admit a batch of end-to-end connections atomically: every spec is
@@ -794,7 +831,7 @@ impl Fabric {
                 plan_connection(&self.topo, spec, &self.envs)?
             });
         }
-        self.admit_plans(plans, false)
+        self.admit_plans(plans, ConnClass::Periodic)
     }
 
     /// Admit an already-planned connection (shared by [`open_connection`]
@@ -804,18 +841,21 @@ impl Fabric {
     fn admit_plan(
         &mut self,
         plan: ConnectionPlan,
-        external: bool,
+        class: ConnClass,
     ) -> Result<FabricConnectionId, FabricAdmissionError> {
-        self.admit_plans(vec![plan], external).map(|fids| fids[0])
+        self.admit_plans(vec![plan], class).map(|fids| fids[0])
     }
 
-    /// Admit a batch of planned connections, all-or-nothing. `external`
+    /// Admit a batch of planned connections, all-or-nothing. External
     /// batches reserve every segment (no periodic releases anywhere);
-    /// internal ones open segment 0 for periodic generation.
+    /// periodic ones open segment 0 for periodic generation. Best-effort
+    /// batches bypass the guaranteed machinery entirely: no bridge-buffer
+    /// reservation, no calculus certification — segments are registered
+    /// with the rings only so routing stays consistent.
     fn admit_plans(
         &mut self,
         plans: Vec<ConnectionPlan>,
-        external: bool,
+        class: ConnClass,
     ) -> Result<Vec<FabricConnectionId>, FabricAdmissionError> {
         // Bridge-buffer feasibility, cumulative across the batch: each
         // resident connection reserves one buffer slot per crossing (one
@@ -823,24 +863,17 @@ impl Fabric {
         // under met deadlines).
         let crossings: Vec<Vec<usize>> = plans
             .iter()
-            .map(|plan| {
-                plan.segments
-                    .iter()
-                    .filter_map(|s| {
-                        s.segment
-                            .bridge
-                            .map(|b| self.queue_index(b, s.segment.ring))
-                    })
-                    .collect()
-            })
+            .map(|plan| plan.queue_crossings(&self.topo))
             .collect();
-        let mut extra = vec![0usize; self.queue_resident.len()];
-        for cr in &crossings {
-            for &q in cr {
-                if self.queue_resident[q] + extra[q] >= self.bridge_cfg.capacity {
-                    return Err(FabricAdmissionError::BridgeOverload { bridge: q / 2 });
+        if class != ConnClass::BestEffort {
+            let mut extra = vec![0usize; self.queue_resident.len()];
+            for cr in &crossings {
+                for &q in cr {
+                    if self.queue_resident[q] + extra[q] >= self.bridge_cfg.capacity {
+                        return Err(FabricAdmissionError::BridgeOverload { bridge: q / 2 });
+                    }
+                    extra[q] += 1;
                 }
-                extra[q] += 1;
             }
         }
         // End-to-end certification (always on for cyclic fabrics): one
@@ -853,20 +886,22 @@ impl Fabric {
         let fids: Vec<FabricConnectionId> = (0..plans.len() as u64)
             .map(|i| FabricConnectionId(self.next_fid + i))
             .collect();
-        if let Some(calc) = self.calculus.as_mut() {
-            let batch: Vec<(FabricConnectionId, &ConnectionPlan, &[usize])> = fids
-                .iter()
-                .zip(plans.iter())
-                .zip(crossings.iter())
-                .map(|((&fid, plan), cr)| (fid, plan, cr.as_slice()))
-                .collect();
-            let report = calc
-                .admit_batch(&batch)
-                .map_err(FabricAdmissionError::Calculus)?;
-            if report.full {
-                self.metrics.calc_admit_full.incr();
-            } else {
-                self.metrics.calc_admit_incremental.incr();
+        if class != ConnClass::BestEffort {
+            if let Some(calc) = self.calculus.as_mut() {
+                let batch: Vec<(FabricConnectionId, &ConnectionPlan, &[usize])> = fids
+                    .iter()
+                    .zip(plans.iter())
+                    .zip(crossings.iter())
+                    .map(|((&fid, plan), cr)| (fid, plan, cr.as_slice()))
+                    .collect();
+                let report = calc
+                    .admit_batch(&batch)
+                    .map_err(FabricAdmissionError::Calculus)?;
+                if report.full {
+                    self.metrics.calc_admit_full.incr();
+                } else {
+                    self.metrics.calc_admit_incremental.incr();
+                }
             }
         }
         // Per-ring admission with whole-batch rollback (certification
@@ -879,7 +914,9 @@ impl Fabric {
             for (i, seg) in plan.segments.iter().enumerate() {
                 let ring_idx = seg.segment.ring.0 as usize;
                 let mut ring = self.rings[ring_idx].lock().expect("ring lock");
-                let res = if i == 0 && !external {
+                let res = if class == ConnClass::BestEffort {
+                    ring.reserve_best_effort(seg.spec.clone())
+                } else if i == 0 && class == ConnClass::Periodic {
                     ring.open_connection(seg.spec.clone())
                 } else {
                     ring.reserve_connection(seg.spec.clone())
@@ -910,8 +947,10 @@ impl Fabric {
                             .close_connection(id);
                     }
                 }
-                if let Some(calc) = self.calculus.as_mut() {
-                    calc.remove_batch(&fids);
+                if class != ConnClass::BestEffort {
+                    if let Some(calc) = self.calculus.as_mut() {
+                        calc.remove_batch(&fids);
+                    }
                 }
                 return Err(FabricAdmissionError::SegmentRejected { segment, error });
             }
@@ -928,8 +967,10 @@ impl Fabric {
                 self.by_ring_conn
                     .insert((seg.segment.ring.0, rc), (*fid, i));
             }
-            for &q in &cr {
-                self.queue_resident[q] += 1;
+            if class != ConnClass::BestEffort {
+                for &q in &cr {
+                    self.queue_resident[q] += 1;
+                }
             }
             self.connections.insert(
                 *fid,
@@ -937,7 +978,7 @@ impl Fabric {
                     plan,
                     ring_conns,
                     queue_after: cr,
-                    external,
+                    class,
                     delivered: 0,
                 },
             );
@@ -980,11 +1021,13 @@ impl Fabric {
             self.by_ring_conn.remove(&(seg.segment.ring.0, rc));
             self.inflight.remove(&(fid, i));
         }
-        for &q in &active.queue_after {
-            self.queue_resident[q] -= 1;
-        }
-        if let Some(calc) = self.calculus.as_mut() {
-            calc.remove(fid);
+        if active.class != ConnClass::BestEffort {
+            for &q in &active.queue_after {
+                self.queue_resident[q] -= 1;
+            }
+            if let Some(calc) = self.calculus.as_mut() {
+                calc.remove(fid);
+            }
         }
         self.observed_e2e.remove(&fid);
         true
@@ -1020,12 +1063,13 @@ impl Fabric {
         let Some(active) = self.connections.get(&fid) else {
             return Err(InjectError::UnknownConnection);
         };
-        if !active.external {
+        if !active.class.is_injected() {
             return Err(InjectError::NotExternal);
         }
         if !self.node_alive(active.plan.spec.src) {
             return Err(InjectError::SourceDown);
         }
+        let class = active.class;
         let seg = &active.plan.segments[0];
         let ring_idx = seg.segment.ring.0 as usize;
         let (from, to) = (seg.segment.from, seg.segment.to);
@@ -1035,17 +1079,33 @@ impl Fabric {
         // ccr-verify: allow(blocking-in-hot-path) -- the gateway pump and the slot engine share one thread; the per-ring mutex is uncontended at inject time
         let mut ring = self.rings[ring_idx].lock().expect("ring lock");
         let now = ring.now();
-        let msg = Message::real_time(
-            from,
-            Destination::Unicast(to),
-            size,
-            now,
-            now.saturating_add(rel_deadline),
-            conn,
-        );
+        let msg = if class == ConnClass::BestEffort {
+            let mut m = Message::best_effort(
+                from,
+                Destination::Unicast(to),
+                size,
+                now,
+                now.saturating_add(rel_deadline),
+            );
+            m.connection = Some(conn);
+            m
+        } else {
+            Message::real_time(
+                from,
+                Destination::Unicast(to),
+                size,
+                now,
+                now.saturating_add(rel_deadline),
+                conn,
+            )
+        };
         ring.submit_message(now, msg);
         drop(ring);
-        self.metrics.external_injected.incr();
+        if class == ConnClass::BestEffort {
+            self.metrics.be_injected.incr();
+        } else {
+            self.metrics.external_injected.incr();
+        }
         Ok(now)
     }
 
@@ -1142,6 +1202,10 @@ impl Fabric {
                 self.fwd_meta.remove(&pf.seq);
                 self.metrics.fault_dropped_forwards.incr();
             }
+            while let Some(pf) = self.be_queues[qi].pop_earliest() {
+                self.fwd_meta.remove(&pf.seq);
+                self.metrics.fault_dropped_forwards.incr();
+            }
         }
         // The bridge is one physical station with a port on each ring:
         // both ports die with it (which may cascade into further bridges
@@ -1203,9 +1267,9 @@ impl Fabric {
             .collect();
         broken.sort_unstable();
         for fid in broken {
-            let (spec, external) = {
+            let (spec, class) = {
                 let active = &self.connections[&fid];
-                (active.plan.spec.clone(), active.external)
+                (active.plan.spec.clone(), active.class)
             };
             self.close_connection_impl(fid);
             let endpoints_alive = self.node_alive(spec.src) && self.node_alive(spec.dst);
@@ -1213,7 +1277,7 @@ impl Fabric {
                 plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
                     .map_err(|_| RevokeReason::NoRoute)
                     .and_then(|plan| {
-                        self.admit_plan(plan, external)
+                        self.admit_plan(plan, class)
                             .map_err(|_| RevokeReason::AdmissionRefused)
                     })
             } else {
@@ -1229,7 +1293,7 @@ impl Fabric {
                     self.metrics.e2e_revoked.incr();
                     self.conn_events
                         .push(ConnectionEvent::Revoked { old: fid, reason });
-                    self.revoked_specs.push((spec, external, fid));
+                    self.revoked_specs.push((spec, class, fid));
                 }
             }
         }
@@ -1298,11 +1362,11 @@ impl Fabric {
     fn reclaim_connections(&mut self) {
         self.detour_pending = false;
         let stash = std::mem::take(&mut self.revoked_specs);
-        for (spec, external, old_fid) in stash {
+        for (spec, class, old_fid) in stash {
             let reclaimed = if self.node_alive(spec.src) && self.node_alive(spec.dst) {
                 plan_connection_avoiding(&self.topo, &spec, &self.envs, &self.dead_bridges)
                     .ok()
-                    .and_then(|plan| self.admit_plan(plan, external).ok())
+                    .and_then(|plan| self.admit_plan(plan, class).ok())
             } else {
                 None
             };
@@ -1312,20 +1376,20 @@ impl Fabric {
                     self.conn_events
                         .push(ConnectionEvent::Reclaimed { old: old_fid, new });
                 }
-                None => self.revoked_specs.push((spec, external, old_fid)),
+                None => self.revoked_specs.push((spec, class, old_fid)),
             }
         }
         // ccr-verify: allow(nondeterminism) -- collected to a Vec and sorted by id on the next line
         let mut fids: Vec<FabricConnectionId> = self.connections.keys().copied().collect();
         fids.sort_unstable();
         for fid in fids {
-            let (spec, current, old_plan, external) = {
+            let (spec, current, old_plan, class) = {
                 let active = &self.connections[&fid];
                 (
                     active.plan.spec.clone(),
                     active.plan.bridges().collect::<Vec<usize>>(),
                     active.plan.clone(),
-                    active.external,
+                    active.class,
                 )
             };
             let Ok(preferred) =
@@ -1337,11 +1401,11 @@ impl Fabric {
                 continue;
             }
             self.close_connection_impl(fid);
-            if let Ok(new) = self.admit_plan(preferred, external) {
+            if let Ok(new) = self.admit_plan(preferred, class) {
                 self.metrics.e2e_reclaimed.incr();
                 self.conn_events
                     .push(ConnectionEvent::Reclaimed { old: fid, new });
-            } else if let Ok(new) = self.admit_plan(old_plan, external) {
+            } else if let Ok(new) = self.admit_plan(old_plan, class) {
                 // Still detoured: remember so the next freed capacity
                 // (any `close_connection`) re-runs this pass.
                 self.detour_pending = true;
@@ -1353,7 +1417,7 @@ impl Fabric {
                     old: fid,
                     reason: RevokeReason::AdmissionRefused,
                 });
-                self.revoked_specs.push((spec, external, fid));
+                self.revoked_specs.push((spec, class, fid));
             }
         }
     }
@@ -1454,31 +1518,25 @@ impl Fabric {
         }
         self.delivery_buf = delivered;
 
-        // Phase 3 — serial injection, queue-index order.
+        // Phase 3 — serial injection, queue-index order. The guaranteed
+        // queue is drained first; best-effort forwards consume only
+        // whatever is left of the per-slot budget, so they can never
+        // delay a certified forward at the bridge.
         for qi in 0..self.queues.len() {
-            for _ in 0..self.bridge_cfg.forward_per_slot {
+            let mut used = 0u32;
+            while used < self.bridge_cfg.forward_per_slot {
                 let Some(pf) = self.queues[qi].pop_earliest() else {
                     break;
                 };
-                let meta = self
-                    .fwd_meta
-                    .remove(&pf.seq)
-                    .expect("every queued forward has metadata");
-                let ring_idx = self.queue_egress[qi];
-                // ccr-verify: allow(blocking-in-hot-path) -- serial phase: ring workers are parked between pool rounds; the per-ring mutex is uncontended by construction
-                let mut ring = self.rings[ring_idx].lock().expect("ring lock");
-                let now = ring.now();
-                let wait = now.saturating_since(pf.enqueued);
-                ring.submit_message(now, pf.msg);
-                drop(ring);
-                self.metrics.record_forward(wait);
-                self.inflight
-                    .entry((meta.fid, meta.seg_idx))
-                    .or_default()
-                    .push_back(Inflight {
-                        entered: pf.enqueued,
-                        accumulated: meta.accumulated,
-                    });
+                used += 1;
+                self.submit_forward(qi, pf);
+            }
+            while used < self.bridge_cfg.forward_per_slot {
+                let Some(pf) = self.be_queues[qi].pop_earliest() else {
+                    break;
+                };
+                used += 1;
+                self.submit_forward(qi, pf);
             }
         }
 
@@ -1499,6 +1557,30 @@ impl Fabric {
         }
     }
 
+    /// Submit one popped forward into its egress ring — the phase-3
+    /// tail shared by the guaranteed and best-effort queue drains.
+    fn submit_forward(&mut self, qi: usize, pf: PendingForward) {
+        let meta = self
+            .fwd_meta
+            .remove(&pf.seq)
+            .expect("every queued forward has metadata");
+        let ring_idx = self.queue_egress[qi];
+        // ccr-verify: allow(blocking-in-hot-path) -- serial phase: ring workers are parked between pool rounds; the per-ring mutex is uncontended by construction
+        let mut ring = self.rings[ring_idx].lock().expect("ring lock");
+        let now = ring.now();
+        let wait = now.saturating_since(pf.enqueued);
+        ring.submit_message(now, pf.msg);
+        drop(ring);
+        self.metrics.record_forward(wait);
+        self.inflight
+            .entry((meta.fid, meta.seg_idx))
+            .or_default()
+            .push_back(Inflight {
+                entered: pf.enqueued,
+                accumulated: meta.accumulated,
+            });
+    }
+
     fn handle_delivery(&mut self, ring: u16, d: &Delivery) {
         let Some(conn) = d.msg.connection else {
             return;
@@ -1507,7 +1589,7 @@ impl Fabric {
             return;
         };
         // Pull out everything needed from the plan before mutating metrics.
-        let (n_segs, e2e_deadline, external, next) = {
+        let (n_segs, e2e_deadline, class, next) = {
             let active = &self.connections[&fid];
             let n = active.plan.segments.len();
             let next = if seg_idx + 1 < n {
@@ -1527,7 +1609,7 @@ impl Fabric {
             } else {
                 None
             };
-            (n, active.plan.spec.e2e_deadline, active.external, next)
+            (n, active.plan.spec.e2e_deadline, active.class, next)
         };
         let (entered, accumulated) = if seg_idx == 0 {
             (d.msg.released, TimeDelta::ZERO)
@@ -1549,17 +1631,26 @@ impl Fabric {
             None => {
                 debug_assert_eq!(seg_idx + 1, n_segs);
                 let met = total <= e2e_deadline;
-                self.metrics.record_e2e(total, met);
-                let worst = self.observed_e2e.entry(fid).or_insert(TimeDelta::ZERO);
-                *worst = (*worst).max(total);
-                if external {
+                if class == ConnClass::BestEffort {
+                    // Best-effort stays out of e2e_* so guaranteed
+                    // hit/miss ratios and observed-vs-bound checks are
+                    // never diluted by uncertified traffic.
+                    self.metrics.record_be(total, met);
+                } else {
+                    self.metrics.record_e2e(total, met);
+                    let worst = self.observed_e2e.entry(fid).or_insert(TimeDelta::ZERO);
+                    *worst = (*worst).max(total);
+                }
+                if class.is_injected() {
                     let active = self
                         .connections
                         .get_mut(&fid)
                         .expect("active connection just read");
                     let seq = active.delivered;
                     active.delivered += 1;
-                    self.metrics.external_delivered.incr();
+                    if class == ConnClass::External {
+                        self.metrics.external_delivered.incr();
+                    }
                     self.egress_buf.push(EgressDelivery {
                         fid,
                         seq,
@@ -1575,14 +1666,26 @@ impl Fabric {
                 // ccr-verify: allow(blocking-in-hot-path) -- serial phase: ring workers are parked between pool rounds; the per-ring mutex is uncontended by construction
                 let now = self.rings[egress_ring].lock().expect("ring lock").now();
                 let size = d.msg.size_slots;
-                let msg = Message::real_time(
-                    from,
-                    Destination::Unicast(to),
-                    size,
-                    now,
-                    now.saturating_add(rel_deadline),
-                    egress_conn,
-                );
+                let msg = if class == ConnClass::BestEffort {
+                    let mut m = Message::best_effort(
+                        from,
+                        Destination::Unicast(to),
+                        size,
+                        now,
+                        now.saturating_add(rel_deadline),
+                    );
+                    m.connection = Some(egress_conn);
+                    m
+                } else {
+                    Message::real_time(
+                        from,
+                        Destination::Unicast(to),
+                        size,
+                        now,
+                        now.saturating_add(rel_deadline),
+                        egress_conn,
+                    )
+                };
                 let seq = self.fwd_seq;
                 self.fwd_seq += 1;
                 self.fwd_meta.insert(
@@ -1593,17 +1696,23 @@ impl Fabric {
                         accumulated: total,
                     },
                 );
-                let dropped = self.queues[qi].push(
-                    PendingForward {
-                        msg,
-                        enqueued: now,
-                        seq,
-                    },
-                    &self.bridge_cfg,
-                );
+                let pending = PendingForward {
+                    msg,
+                    enqueued: now,
+                    seq,
+                };
+                let dropped = if class == ConnClass::BestEffort {
+                    self.be_queues[qi].push(pending, &self.bridge_cfg)
+                } else {
+                    self.queues[qi].push(pending, &self.bridge_cfg)
+                };
                 if let Some(dp) = dropped {
                     self.fwd_meta.remove(&dp.seq);
-                    self.metrics.bridge_drops.incr();
+                    if class == ConnClass::BestEffort {
+                        self.metrics.be_bridge_drops.incr();
+                    } else {
+                        self.metrics.bridge_drops.incr();
+                    }
                 }
             }
         }
@@ -2144,5 +2253,96 @@ mod tests {
             observed <= bound,
             "observed {observed} exceeds certified bound {bound}"
         );
+    }
+
+    #[test]
+    fn best_effort_rides_leftover_capacity_end_to_end() {
+        let topo = FabricTopology::chain(2, 6);
+        let cfg = FabricConfig::uniform(topo, 2048, 7).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let fid = fabric
+            .open_best_effort(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 1), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(2)),
+            )
+            .unwrap();
+        // Placed, not certified: nothing periodic is generated and no
+        // calculus bound exists for it.
+        assert!(fabric.e2e_bound(fid).is_none());
+        fabric.run_slots(200);
+        assert_eq!(fabric.metrics().be_delivered.get(), 0);
+        // Injected messages cross the bridge on leftover forward budget.
+        for _ in 0..4 {
+            fabric.inject(fid).unwrap();
+            fabric.run_slots(200);
+        }
+        let mut out = Vec::new();
+        fabric.drain_egress(&mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|d| d.fid == fid));
+        assert_eq!(
+            out.iter().map(|d| d.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(fabric.metrics().be_injected.get(), 4);
+        assert_eq!(fabric.metrics().be_delivered.get(), 4);
+        // The guaranteed ledgers never see best-effort traffic.
+        assert_eq!(fabric.metrics().e2e_delivered.get(), 0);
+        assert_eq!(fabric.metrics().external_delivered.get(), 0);
+        assert!(fabric.observed_e2e_max(fid).is_none());
+        // Teardown releases the route like any other class.
+        assert!(fabric.close_connection(fid));
+        assert!(matches!(
+            fabric.inject(fid),
+            Err(InjectError::UnknownConnection)
+        ));
+    }
+
+    #[test]
+    fn best_effort_floods_never_induce_a_guaranteed_miss() {
+        let topo = triangle(8, CycleBound::Calculus);
+        let cfg = FabricConfig::uniform(topo, 2048, 3).unwrap();
+        let mut fabric = Fabric::new(cfg).unwrap();
+        let rt = fabric
+            .open_external_connection(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 2), GlobalNodeId::new(1, 3))
+                    .period(TimeDelta::from_ms(5)),
+            )
+            .unwrap();
+        let bound = fabric.e2e_bound(rt).expect("certified");
+        // Same source ring, same bridge direction — maximal contention
+        // for the guaranteed flow's slots and forward budget.
+        let be = fabric
+            .open_best_effort(
+                FabricConnectionSpec::unicast(GlobalNodeId::new(0, 4), GlobalNodeId::new(1, 5))
+                    .period(TimeDelta::from_ms(5)),
+            )
+            .unwrap();
+        let period_slots =
+            (5 * 1_000_000 / (fabric.segment_envs()[0].slot.as_ps() / 1_000_000)).max(1);
+        // Flood best-effort every slot — far beyond any certified
+        // envelope — while the guaranteed flow paces at its period.
+        for _ in 0..6 {
+            fabric.inject(rt).unwrap();
+            for _ in 0..period_slots {
+                fabric.inject(be).unwrap();
+                fabric.run_slots(1);
+            }
+        }
+        fabric.run_slots(2 * period_slots);
+        let observed = fabric
+            .observed_e2e_max(rt)
+            .expect("guaranteed traffic flowed");
+        assert!(
+            observed <= bound,
+            "best-effort flood pushed guaranteed flow to {observed}, past its certified {bound}"
+        );
+        assert_eq!(
+            fabric.metrics().e2e_delivered.get(),
+            fabric.metrics().e2e_met.get(),
+            "a guaranteed delivery missed its deadline under best-effort load"
+        );
+        assert_eq!(fabric.metrics().bridge_drops.get(), 0);
+        assert!(fabric.metrics().be_delivered.get() > 0);
     }
 }

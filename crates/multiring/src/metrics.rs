@@ -60,6 +60,20 @@ pub struct FabricMetrics {
     /// Final deliveries of externally injected connections (surfaced via
     /// [`Fabric::drain_egress`](crate::engine::Fabric::drain_egress)).
     pub external_delivered: Counter,
+    /// Best-effort messages injected through
+    /// [`Fabric::inject`](crate::engine::Fabric::inject).
+    pub be_injected: Counter,
+    /// Final deliveries of best-effort connections. Kept out of the
+    /// `e2e_*` guaranteed-traffic counters so guaranteed miss ratios are
+    /// never diluted by soft-deadline traffic.
+    pub be_delivered: Counter,
+    /// Best-effort final deliveries inside their (soft) deadline.
+    pub be_met: Counter,
+    /// Release-at-source → final-delivery latency of best-effort
+    /// messages (ns).
+    pub be_latency: Histogram,
+    /// Best-effort forwards dropped at a full best-effort bridge queue.
+    pub be_bridge_drops: Counter,
     /// Calculus certifications served by a warm-started dirty-set solve.
     pub calc_admit_incremental: Counter,
     /// Calculus certifications that ran as a full re-solve (first fill,
@@ -104,6 +118,11 @@ impl Default for FabricMetrics {
             e2e_reclaimed: Counter::default(),
             external_injected: Counter::default(),
             external_delivered: Counter::default(),
+            be_injected: Counter::default(),
+            be_delivered: Counter::default(),
+            be_met: Counter::default(),
+            be_latency: Histogram::for_latency(),
+            be_bridge_drops: Counter::default(),
             calc_admit_incremental: Counter::default(),
             calc_admit_full: Counter::default(),
             degraded_slots: Counter::default(),
@@ -153,6 +172,15 @@ impl FabricMetrics {
     pub fn record_forward(&mut self, wait: TimeDelta) {
         self.forwarded.incr();
         self.bridge_wait.record(wait.as_ps() / 1_000);
+    }
+
+    /// Record a final delivery of a best-effort connection.
+    pub fn record_be(&mut self, latency: TimeDelta, met_deadline: bool) {
+        self.be_delivered.incr();
+        if met_deadline {
+            self.be_met.incr();
+        }
+        self.be_latency.record(latency.as_ps() / 1_000);
     }
 
     /// Fraction of final deliveries that missed their e2e deadline.

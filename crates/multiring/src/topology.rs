@@ -388,6 +388,41 @@ impl FabricTopology {
         &self.bridges
     }
 
+    /// Number of directed bridge queues in the engine's layout: two per
+    /// bridge — queue `2b` carries a→b traffic, `2b+1` carries b→a.
+    pub fn n_queues(&self) -> usize {
+        self.bridges.len() * 2
+    }
+
+    /// The ring index each directed bridge queue drains into, in the
+    /// engine's `2b`/`2b+1` layout (queue `2b` egresses on bridge `b`'s
+    /// `b`-side ring, queue `2b+1` on its `a`-side ring). This is the
+    /// `queue_egress` table [`crate::calculus::CalculusAdmission::new`]
+    /// expects, derivable from the topology alone — which is what lets a
+    /// synthesizer certify candidates without building fabrics.
+    pub fn queue_egress(&self) -> Vec<usize> {
+        (0..self.n_queues())
+            .map(|q| {
+                let br = &self.bridges[q / 2];
+                if q % 2 == 0 {
+                    br.b.ring.0 as usize
+                } else {
+                    br.a.ring.0 as usize
+                }
+            })
+            .collect()
+    }
+
+    /// The directed bridge-queue index crossed when leaving `from_ring`
+    /// over bridge `bridge` (an index into [`bridges`](Self::bridges)).
+    pub fn queue_index(&self, bridge: usize, from_ring: RingId) -> usize {
+        if self.bridges[bridge].a.ring == from_ring {
+            2 * bridge
+        } else {
+            2 * bridge + 1
+        }
+    }
+
     /// True when the ring graph contains a cycle (only possible when the
     /// builder was told to allow them).
     pub fn is_cyclic(&self) -> bool {

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ccr-experiments <list|all|model|e1..e22> [--quick] [--seed S] [--csv DIR] \
+        "usage: ccr-experiments <list|all|model|e1..e23> [--quick] [--seed S] [--csv DIR] \
          [--threads T] [--nodes N] [--slot-bytes B] [--link-m L]"
     );
     std::process::exit(2);

@@ -27,6 +27,7 @@ pub mod e19_calculus;
 pub mod e20_churn;
 pub mod e21_gateway;
 pub mod e22_survivability;
+pub mod e23_synthesis;
 
 use ccr_edf::config::{NetworkConfig, NetworkConfigBuilder};
 use ccr_sim::report::Table;
@@ -205,6 +206,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "e22",
             "Robustness: edge survivability — chaos, link churn, record/replay",
             e22_survivability::run,
+        ),
+        (
+            "e23",
+            "Extension: calculus-certified topology synthesis from traffic matrices",
+            e23_synthesis::run,
         ),
     ]
 }

@@ -23,6 +23,7 @@ pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod toml;
 
 pub use engine::{EventQueue, ScheduledEvent};
 pub use parallel::{parallel_map, parallel_map_chunked};

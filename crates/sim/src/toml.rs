@@ -1,0 +1,248 @@
+//! Dependency-free TOML-subset scanner shared by every config loader in
+//! the workspace (the gateway's `[[link]]` files, the synthesizer's
+//! `[[flow]]` traffic matrices).
+//!
+//! The subset is deliberately tiny — exactly what offline deployments
+//! need and nothing that would demand a real TOML dependency:
+//!
+//! * `[[table]]` array-of-tables headers open a new entry;
+//! * `key = value` lines assign into the open entry;
+//! * `#` starts a comment anywhere on a line; blank lines are skipped.
+//!
+//! [`scan`] yields the syntactic items with their 1-based line numbers
+//! and typed [`ScanError`]s for anything structurally unparseable; the
+//! value helpers ([`parse_u64`], [`parse_bounded`], [`parse_us`],
+//! [`parse_quoted`]) implement the shared value grammar with typed
+//! range errors — an out-of-range integer is refused, never silently
+//! truncated, and a µs duration that would overflow the picosecond
+//! representation is a config error, not an arithmetic accident.
+//!
+//! Callers own the semantic layer (which table names exist, which keys a
+//! table accepts, cross-field validation); this module owns the lexical
+//! layer, so one fuzz suite covers every loader's parsing substrate.
+
+use crate::time::TimeDelta;
+
+/// A structural error from the scanner or a value helper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// One syntactic item of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Item<'a> {
+    /// A `[[name]]` array-of-tables header.
+    Table {
+        /// The table name between the double brackets, trimmed.
+        name: &'a str,
+    },
+    /// A `key = value` assignment (both sides trimmed, comment stripped).
+    KeyValue {
+        /// The key left of `=`.
+        key: &'a str,
+        /// The raw value right of `=` (quotes intact).
+        value: &'a str,
+    },
+}
+
+/// An [`Item`] with the 1-based line it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spanned<'a> {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// The item itself.
+    pub item: Item<'a>,
+}
+
+/// Iterator over the syntactic items of a TOML-subset document.
+#[derive(Debug, Clone)]
+pub struct Scanner<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Iterator for Scanner<'a> {
+    type Item = Result<Spanned<'a>, ScanError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for (i, raw) in self.lines.by_ref() {
+            let line = i + 1;
+            let text = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if text.is_empty() {
+                continue;
+            }
+            if let Some(inner) = text.strip_prefix("[[").and_then(|t| t.strip_suffix("]]")) {
+                let name = inner.trim();
+                if name.is_empty() {
+                    return Some(Err(ScanError {
+                        line,
+                        msg: "empty `[[ ]]` table header".to_string(),
+                    }));
+                }
+                return Some(Ok(Spanned {
+                    line,
+                    item: Item::Table { name },
+                }));
+            }
+            let Some(eq) = text.find('=') else {
+                return Some(Err(ScanError {
+                    line,
+                    msg: format!("expected `key = value` or a `[[table]]` header, got `{text}`"),
+                }));
+            };
+            return Some(Ok(Spanned {
+                line,
+                item: Item::KeyValue {
+                    key: text[..eq].trim(),
+                    value: text[eq + 1..].trim(),
+                },
+            }));
+        }
+        None
+    }
+}
+
+/// Scan a TOML-subset document into syntactic items.
+pub fn scan(text: &str) -> Scanner<'_> {
+    Scanner {
+        lines: text.lines().enumerate(),
+    }
+}
+
+/// Parse an unsigned integer value.
+pub fn parse_u64(value: &str, key: &str, line: usize) -> Result<u64, ScanError> {
+    value.parse().map_err(|_| ScanError {
+        line,
+        msg: format!("`{key}` expects an unsigned integer, got `{value}`"),
+    })
+}
+
+/// Parse an integer and range-check it: a value that does not fit the
+/// field is a typed error, never a silent `as`-truncation (an `id` of
+/// 70000 must not quietly become link 4464).
+pub fn parse_bounded(value: &str, key: &str, line: usize, max: u64) -> Result<u64, ScanError> {
+    let v = parse_u64(value, key, line)?;
+    if v > max {
+        return Err(ScanError {
+            line,
+            msg: format!("`{key}` must be at most {max}, got `{value}`"),
+        });
+    }
+    Ok(v)
+}
+
+/// Largest µs count representable as a [`TimeDelta`] without overflowing
+/// the picosecond multiply inside [`TimeDelta::from_us`].
+pub const MAX_US: u64 = u64::MAX / crate::time::PS_PER_US;
+
+/// Parse a µs duration, bounds-checked so `TimeDelta::from_us` cannot
+/// overflow (debug builds would panic, release builds would wrap to a
+/// nonsense span — both are config errors, not arithmetic accidents).
+pub fn parse_us(value: &str, key: &str, line: usize) -> Result<TimeDelta, ScanError> {
+    Ok(TimeDelta::from_us(parse_bounded(value, key, line, MAX_US)?))
+}
+
+/// Parse a double-quoted string value, returning the unquoted interior.
+pub fn parse_quoted<'v>(value: &'v str, key: &str, line: usize) -> Result<&'v str, ScanError> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| ScanError {
+            line,
+            msg: format!("`{key}` expects a quoted string, got `{value}`"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_tables_keys_and_comments() {
+        let doc = "# preamble\n[[flow]]\nid = 1 # trailing\n\n  src = \"0:1\"\n[[flow]]\n";
+        let items: Vec<Spanned<'_>> = scan(doc).collect::<Result<_, _>>().unwrap();
+        assert_eq!(
+            items,
+            vec![
+                Spanned {
+                    line: 2,
+                    item: Item::Table { name: "flow" }
+                },
+                Spanned {
+                    line: 3,
+                    item: Item::KeyValue {
+                        key: "id",
+                        value: "1"
+                    }
+                },
+                Spanned {
+                    line: 5,
+                    item: Item::KeyValue {
+                        key: "src",
+                        value: "\"0:1\""
+                    }
+                },
+                Spanned {
+                    line: 6,
+                    item: Item::Table { name: "flow" }
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn structural_garbage_is_a_typed_error_with_line() {
+        let mut s = scan("[[link]]\nzap\n");
+        assert!(s.next().unwrap().is_ok());
+        let err = s.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("zap"));
+        // A broken header has no `=` either: still a typed error.
+        let err = scan("[[link]\n").next().unwrap().unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = scan("[[ ]]\n").next().unwrap().unwrap_err();
+        assert!(err.msg.contains("empty"));
+    }
+
+    #[test]
+    fn bounded_values_refuse_rather_than_truncate() {
+        assert!(parse_bounded("70000", "id", 3, u16::MAX as u64)
+            .unwrap_err()
+            .msg
+            .contains("at most 65535"));
+        assert_eq!(
+            parse_bounded("65535", "id", 3, u16::MAX as u64).unwrap(),
+            65535
+        );
+        assert!(parse_u64("-3", "id", 1).is_err());
+        assert!(parse_u64("999999999999999999999999", "id", 1).is_err());
+    }
+
+    #[test]
+    fn durations_guard_the_picosecond_overflow() {
+        assert!(parse_us(&MAX_US.to_string(), "period_us", 1).is_ok());
+        assert!(parse_us(&(MAX_US + 1).to_string(), "period_us", 1).is_err());
+    }
+
+    #[test]
+    fn quoted_strings_round_trip() {
+        assert_eq!(parse_quoted("\"a:b\"", "src", 1).unwrap(), "a:b");
+        assert!(parse_quoted("a:b", "src", 1).is_err());
+        assert!(parse_quoted("\"open", "src", 1).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # ccr-synth — calculus-certified topology synthesis
+//!
+//! Given a [`TrafficMatrix`] (stations, periodic flows, deadlines,
+//! criticality), search the space of bridged-ring fabrics — ring count
+//! and size, station placement, bridge placement — and return the
+//! cheapest topology whose **entire guaranteed flow set carries a
+//! network-calculus certificate**. The certifier is the same (min,+)
+//! engine the fabric's runtime admission uses
+//! ([`ccr_multiring::CalculusAdmission`]), so a synthesized topology is
+//! admissible by construction: loading its flows onto the real fabric
+//! reproduces the same bounds.
+//!
+//! The search is deterministic and incremental. Station placement is
+//! refined with warm-started dirty-set solves (moving a station leaves
+//! the calculus server set untouched — only its own flows re-solve);
+//! structural moves (ring merges/splits, bridge edits) re-certify from a
+//! cold solver and are the counted "full" solves. Costs are
+//! `node_weight·nodes + bridge_weight·bridges`, certified slack breaking
+//! ties.
+//!
+//! ```
+//! use ccr_synth::{synthesize, SynthConfig, TrafficMatrix};
+//! use ccr_sim::TimeDelta;
+//!
+//! let mut m = TrafficMatrix::new(4);
+//! m.flow(0, 2, TimeDelta::from_us(500));
+//! m.flow(1, 3, TimeDelta::from_us(800));
+//! let s = synthesize(&m, &SynthConfig::default()).unwrap();
+//! assert!(s.report.cost >= 4); // at least one node per station
+//! for (k, bound) in &s.bounds {
+//!     assert!(*bound <= s.matrix.flows[*k].deadline);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidate;
+mod certify;
+pub mod matrix;
+pub mod report;
+pub mod search;
+
+pub use candidate::{Candidate, MAX_RING_NODES};
+pub use certify::RejectionCensus;
+pub use matrix::{Criticality, MatrixError, StationId, TrafficFlow, TrafficMatrix, MAX_STATIONS};
+pub use report::{RingSummary, SynthReport};
+pub use search::{synthesize, SynthConfig, SynthError, Synthesis};

@@ -1,0 +1,192 @@
+//! Machine-readable synthesis report: what the search built, what it
+//! cost, how hard the certifier worked, and what it threw away.
+
+use crate::certify::RejectionCensus;
+use ccr_sim::TimeDelta;
+
+/// Per-ring summary of the synthesized fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSummary {
+    /// Stations placed on the ring.
+    pub stations: u16,
+    /// Total ring nodes (stations + bridge ports).
+    pub nodes: u16,
+    /// Guaranteed utilisation of the ring's certified service rate,
+    /// transit traffic included.
+    pub utilisation: f64,
+    /// Smallest certified slack (deadline − bound) over the guaranteed
+    /// flows crossing the ring; `None` when none do.
+    pub min_slack: Option<TimeDelta>,
+}
+
+/// The synthesizer's full account of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthReport {
+    /// The accepted topology's cost
+    /// (`node_weight·nodes + bridge_weight·bridges`).
+    pub cost: u64,
+    /// Total node count across the rings.
+    pub nodes: u64,
+    /// Bridge count.
+    pub bridges: u64,
+    /// Ring summaries, in ring order.
+    pub rings: Vec<RingSummary>,
+    /// Certified (guaranteed) flows placed.
+    pub guaranteed_flows: u64,
+    /// Best-effort flows placed (routed, never certified).
+    pub best_effort_flows: u64,
+    /// Total certified slack across the guaranteed set — the cost
+    /// tiebreak, larger is better.
+    pub total_slack: TimeDelta,
+    /// Calculus batch invocations across the whole search.
+    pub certifier_calls: u64,
+    /// How many of those ran as full (cold) solves rather than
+    /// warm-started dirty-set passes.
+    pub full_solves: u64,
+    /// Refinement moves proposed.
+    pub moves_attempted: u64,
+    /// Refinement moves accepted.
+    pub moves_accepted: u64,
+    /// Census of everything the search refused, by reason.
+    pub rejected: RejectionCensus,
+}
+
+impl SynthReport {
+    /// Render the report as a JSON object (hand-rolled — the workspace
+    /// carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"cost\": {},\n", self.cost));
+        s.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        s.push_str(&format!("  \"bridges\": {},\n", self.bridges));
+        s.push_str("  \"rings\": [\n");
+        for (i, r) in self.rings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"stations\": {}, \"nodes\": {}, \"utilisation\": {:.6}, \"min_slack_us\": {}}}{}\n",
+                r.stations,
+                r.nodes,
+                r.utilisation,
+                r.min_slack
+                    .map(|d| format!("{:.3}", d.as_us_f64()))
+                    .unwrap_or_else(|| "null".into()),
+                if i + 1 < self.rings.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"guaranteed_flows\": {},\n",
+            self.guaranteed_flows
+        ));
+        s.push_str(&format!(
+            "  \"best_effort_flows\": {},\n",
+            self.best_effort_flows
+        ));
+        s.push_str(&format!(
+            "  \"total_slack_us\": {:.3},\n",
+            self.total_slack.as_us_f64()
+        ));
+        s.push_str(&format!(
+            "  \"certifier_calls\": {},\n",
+            self.certifier_calls
+        ));
+        s.push_str(&format!("  \"full_solves\": {},\n", self.full_solves));
+        s.push_str(&format!(
+            "  \"moves_attempted\": {},\n",
+            self.moves_attempted
+        ));
+        s.push_str(&format!("  \"moves_accepted\": {},\n", self.moves_accepted));
+        s.push_str(&format!(
+            "  \"rejected\": {{\"utilisation\": {}, \"bound_exceeded\": {}, \"diverged\": {}, \"deadline_floor\": {}, \"routing\": {}, \"shape\": {}}}\n",
+            self.rejected.utilisation,
+            self.rejected.bound_exceeded,
+            self.rejected.diverged,
+            self.rejected.deadline_floor,
+            self.rejected.routing,
+            self.rejected.shape,
+        ));
+        s.push('}');
+        s
+    }
+}
+
+impl std::fmt::Display for SynthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "synthesized fabric: cost {} ({} nodes + {} bridges), {} ring(s)",
+            self.cost,
+            self.nodes,
+            self.bridges,
+            self.rings.len()
+        )?;
+        for (i, r) in self.rings.iter().enumerate() {
+            writeln!(
+                f,
+                "  ring {i}: {} station(s) / {} node(s), utilisation {:.1}%{}",
+                r.stations,
+                r.nodes,
+                r.utilisation * 100.0,
+                match r.min_slack {
+                    Some(d) => format!(", min slack {:.1}\u{00b5}s", d.as_us_f64()),
+                    None => String::new(),
+                }
+            )?;
+        }
+        writeln!(
+            f,
+            "  flows: {} guaranteed certified, {} best-effort routed; total slack {:.1}\u{00b5}s",
+            self.guaranteed_flows,
+            self.best_effort_flows,
+            self.total_slack.as_us_f64()
+        )?;
+        write!(
+            f,
+            "  search: {} certifier call(s) ({} full), {}/{} move(s) accepted, {} rejection(s)",
+            self.certifier_calls,
+            self.full_solves,
+            self.moves_accepted,
+            self.moves_attempted,
+            self.rejected.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = SynthReport {
+            cost: 18,
+            nodes: 16,
+            bridges: 2,
+            rings: vec![RingSummary {
+                stations: 4,
+                nodes: 5,
+                utilisation: 0.25,
+                min_slack: Some(TimeDelta::from_us(120)),
+            }],
+            guaranteed_flows: 6,
+            best_effort_flows: 2,
+            total_slack: TimeDelta::from_us(900),
+            certifier_calls: 11,
+            full_solves: 3,
+            moves_attempted: 9,
+            moves_accepted: 4,
+            rejected: RejectionCensus {
+                bound_exceeded: 2,
+                ..RejectionCensus::default()
+            },
+        };
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cost\": 18"));
+        assert!(json.contains("\"min_slack_us\": 120.000"));
+        assert!(json.contains("\"bound_exceeded\": 2"));
+        let shown = format!("{r}");
+        assert!(shown.contains("cost 18"));
+        assert!(shown.contains("4/9 move(s)"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Randomized synthesis properties (deterministic seeds, no external
+//! dependencies):
+//!
+//! * every topology the synthesizer returns re-certifies **bit-identically**
+//!   under a cold forced-full solve — the warm-started dirty-set fixed
+//!   point the search finished on is the same picosecond bound the
+//!   reference produces;
+//! * every returned certificate fits its flow's deadline, and the exact
+//!   slot size never exceeds the search's (the monotonicity the two-stage
+//!   certification leans on);
+//! * infeasible matrices are rejected with a typed [`SynthError`] — the
+//!   synthesizer never hands back an uncertified topology.
+
+use ccr_sim::rng::DetRng;
+use ccr_sim::TimeDelta;
+use ccr_synth::{synthesize, Criticality, SynthConfig, SynthError, TrafficMatrix};
+
+fn random_matrix(rng: &mut DetRng) -> TrafficMatrix {
+    let stations = 2 + rng.gen_range(0..11u16); // 2..=12
+    let mut m = TrafficMatrix::new(stations);
+    let n_flows = 1 + rng.gen_range(0..10usize); // 1..=10
+    for _ in 0..n_flows {
+        let src = rng.gen_range(0..stations);
+        let mut dst = rng.gen_range(0..stations);
+        if dst == src {
+            dst = (dst + 1) % stations;
+        }
+        // Periods from 60µs to ~5ms; occasionally brutal ones that make
+        // the matrix infeasible on purpose.
+        let period_us: u64 = match rng.gen_range(0..10u32) {
+            0 => 60 + rng.gen_range(0..40u64),
+            1..=4 => 100 + rng.gen_range(0..900u64),
+            _ => 1000 + rng.gen_range(0..4000u64),
+        };
+        let period = TimeDelta::from_us(period_us);
+        // Deadline between ~30% of the period and the period itself.
+        let deadline_us = (period_us * (30 + rng.gen_range(0..71u64)) / 100).max(1);
+        let f = m.flow(src, dst, period);
+        f.deadline = TimeDelta::from_us(deadline_us);
+        f.size_slots = 1 + rng.gen_range(0..3u32);
+        if rng.gen_bool(0.15) {
+            f.criticality = Criticality::BestEffort;
+        }
+    }
+    m
+}
+
+#[test]
+fn two_hundred_random_matrices_certify_or_reject_typed() {
+    let mut rng = DetRng::new(0xCC2_53A7);
+    let cfg = SynthConfig::default();
+    let (mut ok, mut rejected) = (0u32, 0u32);
+    for case in 0..200 {
+        let m = random_matrix(&mut rng);
+        match synthesize(&m, &cfg) {
+            Ok(s) => {
+                ok += 1;
+                // Certificates fit the deadlines the matrix demanded.
+                for (k, bound) in &s.bounds {
+                    assert!(
+                        *bound <= m.flows[*k].deadline,
+                        "case {case}: flow {k} bound {bound} exceeds deadline",
+                    );
+                }
+                assert_eq!(
+                    s.bounds.len(),
+                    m.flows
+                        .iter()
+                        .filter(|f| f.criticality == Criticality::Guaranteed)
+                        .count(),
+                    "case {case}: every guaranteed flow is certified",
+                );
+                // Exact slot never above the search slot: the transfer
+                // argument (shorter slot ⇒ faster service) stays sound.
+                assert!(s.slot_bytes <= s.search_slot_bytes, "case {case}");
+                // The differential property: a cold forced-full reference
+                // solve reproduces the search's warm-started fixed point
+                // bit for bit.
+                let reference = s.recertify_full().unwrap_or_else(|e| {
+                    panic!("case {case}: returned topology failed re-certification: {e}")
+                });
+                assert_eq!(
+                    s.search_bounds, reference,
+                    "case {case}: warm-started bounds differ from the full reference",
+                );
+            }
+            Err(e) => {
+                rejected += 1;
+                // The refusal is typed and displayable — never a panic,
+                // never a silent empty result.
+                match e {
+                    SynthError::Matrix(_)
+                    | SynthError::Overloaded { .. }
+                    | SynthError::Exhausted { .. }
+                    | SynthError::Config(_) => {
+                        assert!(!e.to_string().is_empty());
+                    }
+                }
+            }
+        }
+    }
+    // The generator is tuned so both outcomes actually occur: plenty of
+    // matrices certify, and the brutal tail gets refused.
+    assert!(ok >= 100, "only {ok}/200 matrices synthesized");
+    assert!(rejected >= 5, "only {rejected}/200 matrices rejected");
+}
+
+#[test]
+fn identical_inputs_synthesize_identical_fabrics() {
+    let mut rng = DetRng::new(42);
+    let m = random_matrix(&mut rng);
+    let cfg = SynthConfig::default();
+    let (a, b) = (synthesize(&m, &cfg), synthesize(&m, &cfg));
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(x.candidate, y.candidate);
+            assert_eq!(x.bounds, y.bounds);
+            assert_eq!(x.report, y.report);
+        }
+        (Err(x), Err(y)) => assert_eq!(x, y),
+        _ => panic!("synthesis is not deterministic"),
+    }
+}

@@ -16,7 +16,9 @@
 //!   (DESIGN.md §11);
 //! * [`gateway`] — real-wire virtual links: UDP/loopback datagrams paced
 //!   through EDF + calculus admission onto the fabric (DESIGN.md §12);
-//! * [`netsim`] — the experiment harness (E1–E21).
+//! * [`synth`] — calculus-certified topology synthesis from traffic
+//!   matrices (DESIGN.md §14);
+//! * [`netsim`] — the experiment harness (E1–E23).
 //!
 //! ```
 //! use ccr_edf_suite::prelude::*;
@@ -37,6 +39,7 @@ pub use ccr_multiring as multiring;
 pub use ccr_netsim as netsim;
 pub use ccr_phys as phys;
 pub use ccr_sim as sim;
+pub use ccr_synth as synth;
 pub use ccr_traffic as traffic;
 
 /// One-stop imports for examples and tests.
@@ -58,6 +61,7 @@ pub mod prelude {
     pub use ccr_netsim::trace::TraceRecorder;
     pub use ccr_netsim::{expand_periodic, run_with_mac, RunSummary, Workload};
     pub use ccr_sim::prelude::*;
+    pub use ccr_synth::{synthesize, SynthConfig, SynthError, Synthesis, TrafficMatrix};
     pub use ccr_traffic::scenarios::{MultimediaScenario, RadarScenario};
     pub use ccr_traffic::{BurstyGen, PeriodicSetBuilder, PoissonGen};
 }
